@@ -1,0 +1,97 @@
+//! Shared helpers for the application implementations.
+
+use mixp_core::synth::SplitMix64;
+use mixp_core::{ExecCtx, Precision, VarId};
+use mixp_float::MpVec;
+use mixp_runtime::{mp_fwrite, mp_read_vec};
+use std::io::Cursor;
+
+/// Fixed seed all applications derive their synthetic inputs from.
+pub(crate) const APP_SEED: u64 = 0x4850_432d_4d69_7850; // "HPC-MixP"
+
+/// A deterministic RNG stream for application `name`, stream `k`.
+pub(crate) fn rng(name: &str, k: u64) -> SplitMix64 {
+    let mut h = APP_SEED;
+    for b in name.bytes() {
+        h = h.wrapping_mul(0x100_0000_01b3).wrapping_add(b as u64);
+    }
+    SplitMix64::new(h ^ (k.wrapping_mul(0x9E37_79B9)))
+}
+
+/// A synthetic binary input file: values serialised in double precision
+/// through the runtime library's `mp_fwrite`, exactly like the `.bin` inputs
+/// the paper's benchmarks ship with.
+#[derive(Debug, Clone)]
+pub(crate) struct InputFile {
+    bytes: Vec<u8>,
+    count: usize,
+}
+
+impl InputFile {
+    /// Serialises `values` as a double-precision binary file.
+    pub fn new(values: &[f64]) -> Self {
+        let mut bytes = Vec::with_capacity(values.len() * 8);
+        mp_fwrite(&mut bytes, Precision::Double, values).expect("in-memory write cannot fail");
+        InputFile {
+            bytes,
+            count: values.len(),
+        }
+    }
+
+    /// Number of stored elements.
+    #[allow(dead_code)] // used by tests and kept for API symmetry
+    pub fn len(&self) -> usize {
+        self.count
+    }
+
+    /// Loads the file into an [`MpVec`] for `var` via `mp_read_vec`: the
+    /// runtime library converts the double-precision file contents into
+    /// whatever storage precision `var` is configured with.
+    pub fn load(&self, ctx: &mut ExecCtx<'_>, var: VarId) -> MpVec {
+        mp_read_vec(
+            ctx,
+            var,
+            Cursor::new(&self.bytes),
+            Precision::Double,
+            self.count,
+        )
+        .expect("in-memory read cannot fail")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mixp_core::PrecisionConfig;
+    use mixp_float::VarRegistry;
+
+    #[test]
+    fn input_file_round_trips_through_runtime() {
+        let file = InputFile::new(&[0.1, 0.2, 0.3]);
+        assert_eq!(file.len(), 3);
+        let mut reg = VarRegistry::new();
+        let v = reg.fresh("data");
+        let cfg = PrecisionConfig::all_double(reg.len());
+        let mut ctx = ExecCtx::new(&cfg);
+        let vec = file.load(&mut ctx, v);
+        assert_eq!(vec.snapshot(), vec![0.1, 0.2, 0.3]);
+    }
+
+    #[test]
+    fn input_file_converts_for_single_storage() {
+        let file = InputFile::new(&[0.1]);
+        let mut reg = VarRegistry::new();
+        let v = reg.fresh("data");
+        let cfg = PrecisionConfig::all_single(reg.len());
+        let mut ctx = ExecCtx::new(&cfg);
+        let vec = file.load(&mut ctx, v);
+        assert_eq!(vec.peek(0), 0.1f32 as f64);
+    }
+
+    #[test]
+    fn rng_streams_are_stable() {
+        let a: Vec<u64> = (0..4).map(|_| rng("x", 0).next_u64()).collect();
+        assert!(a.iter().all(|v| *v == a[0]));
+        assert_ne!(rng("x", 0).next_u64(), rng("y", 0).next_u64());
+    }
+}

@@ -1,0 +1,313 @@
+//! K-means — Rodinia data-mining clustering.
+
+use crate::common::{rng, InputFile};
+use mixp_core::{
+    Benchmark, BenchmarkKind, ExecCtx, MetricKind, ProgramBuilder, ProgramModel, VarId,
+};
+use mixp_float::{IndexVec, MpScalar, MpVec};
+
+/// K-means (§III-B): divides data objects into K sub-clusters and assigns
+/// each object to the centroid of its nearest sub-cluster (Rodinia).
+/// The verified output is the assignment of objects to clusters, compared
+/// with the Misclassification Rate (MCR) metric.
+///
+/// Program model (Table II): TV = 26, TC = 15.
+///
+/// This is the paper's extreme case in one direction: the synthetic input
+/// clusters are well separated, so even the full single-precision conversion
+/// assigns every object identically (MCR = 0) — yet there is *no*
+/// performance benefit (Table IV: 0.96×, i.e. slightly slower). The
+/// slowdown comes from the untransformable normalisation literal inside the
+/// distance loop, which keeps the hot arithmetic in double and adds a cast
+/// per term, plus integer membership traffic that does not shrink.
+#[derive(Debug, Clone)]
+pub struct Kmeans {
+    program: ProgramModel,
+    v: Vars,
+    npoints: usize,
+    nfeatures: usize,
+    k: usize,
+    iterations: usize,
+    feature_file: InputFile,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct Vars {
+    feature: VarId,
+    clusters: VarId,
+    new_centers: VarId,
+    dist: VarId,
+    min_dist: VarId,
+    ans: VarId,
+    diff: VarId,
+    norm_lit: VarId,
+}
+
+impl Kmeans {
+    /// Paper-scale instance.
+    pub fn new() -> Self {
+        Self::with_params(2048, 8, 5, 4)
+    }
+
+    /// Reduced instance for unit tests.
+    pub fn small() -> Self {
+        Self::with_params(200, 4, 3, 2)
+    }
+
+    /// Fully parameterised constructor.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any parameter is zero or `k > npoints`.
+    pub fn with_params(npoints: usize, nfeatures: usize, k: usize, iterations: usize) -> Self {
+        assert!(npoints > 0 && nfeatures > 0 && k > 0 && iterations > 0 && k <= npoints);
+        let mut b = ProgramBuilder::new("kmeans");
+        let module = b.module("kmeans.c");
+        let main = b.function("main", module);
+        let clustering = b.function("kmeans_clustering", module);
+        let nearest = b.function("find_nearest_point", module);
+        let euclid = b.function("euclid_dist_2", module);
+
+        // --- main (7): the fread buffer aliases the feature matrix.
+        let buf = b.array(main, "buf");
+        let feature = b.array(main, "feature");
+        let attributes = b.array(main, "attributes");
+        b.bind(buf, feature);
+        b.bind(buf, attributes);
+        let cluster_centres = b.array(main, "cluster_centres");
+        let rmse = b.scalar(main, "rmse");
+        let delta_main = b.scalar(main, "delta");
+        let threshold = b.scalar(main, "threshold");
+
+        // --- kmeans_clustering (9).
+        let feature_c = b.array(clustering, "feature_c");
+        b.bind(feature, feature_c);
+        let clusters = b.array(clustering, "clusters");
+        b.bind(cluster_centres, clusters);
+        let new_centers = b.array(clustering, "new_centers");
+        let delta_c = b.scalar(clustering, "delta_c");
+        let timing = b.scalar(clustering, "timing");
+        let partial_new = b.scalar(clustering, "partial_new");
+        let limit = b.scalar(clustering, "limit");
+        let frac = b.scalar(clustering, "frac");
+        let center_val = b.scalar(clustering, "center_val");
+
+        // --- find_nearest_point (6).
+        let pt = b.array(nearest, "pt");
+        b.bind(feature_c, pt);
+        let pts = b.array(nearest, "pts");
+        b.bind(clusters, pts);
+        let min_dist = b.scalar(nearest, "min_dist");
+        let dist = b.scalar(nearest, "dist");
+        let max_dist = b.scalar(nearest, "max_dist");
+        let nearest_acc = b.scalar(nearest, "nearest_acc");
+
+        // --- euclid_dist_2 (4).
+        let pt1 = b.array(euclid, "pt1");
+        b.bind(pt, pt1);
+        let pt2 = b.array(euclid, "pt2");
+        b.bind(pts, pt2);
+        let ans = b.scalar(euclid, "ans");
+        let diff = b.scalar(euclid, "diff");
+
+        // In the merged single-file source, feature rows and the centre
+        // accumulation target flow through the same `double*` parameter of
+        // the accumulation helper, and the distance results travel through
+        // result pointers.
+        b.bind(new_centers, pt);
+        b.bind(ans, dist);
+        b.bind(min_dist, max_dist);
+
+        // The per-feature normalisation weight is a source literal.
+        let norm_lit = b.literal(euclid, "1.0/NFEATURES");
+
+        let program = b.build();
+        debug_assert_eq!(program.total_variables(), 26);
+        debug_assert_eq!(program.total_clusters(), 15);
+
+        let _ = (
+            rmse,
+            delta_main,
+            threshold,
+            delta_c,
+            timing,
+            partial_new,
+            limit,
+            frac,
+            center_val,
+            max_dist,
+            nearest_acc,
+        );
+
+        // Well-separated synthetic clusters: k centres on a coarse lattice,
+        // points jittered tightly around them.
+        let mut g = rng("kmeans", 0);
+        let mut values = Vec::with_capacity(npoints * nfeatures);
+        for p in 0..npoints {
+            let c = p % k;
+            for f in 0..nfeatures {
+                let centre = ((c * 7 + f * 3) % 13) as f64 * 10.0;
+                values.push(centre + g.uniform(-0.5, 0.5));
+            }
+        }
+        Kmeans {
+            program,
+            v: Vars {
+                feature,
+                clusters,
+                new_centers,
+                dist,
+                min_dist,
+                ans,
+                diff,
+                norm_lit,
+            },
+            npoints,
+            nfeatures,
+            k,
+            iterations,
+            feature_file: InputFile::new(&values),
+        }
+    }
+}
+
+impl Default for Kmeans {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Benchmark for Kmeans {
+    fn name(&self) -> &str {
+        "kmeans"
+    }
+
+    fn description(&self) -> &str {
+        "K-means clustering of data objects (Rodinia)"
+    }
+
+    fn kind(&self) -> BenchmarkKind {
+        BenchmarkKind::Application
+    }
+
+    fn program(&self) -> &ProgramModel {
+        &self.program
+    }
+
+    fn metric(&self) -> MetricKind {
+        MetricKind::Mcr
+    }
+
+    fn run(&self, ctx: &mut ExecCtx<'_>) -> Vec<f64> {
+        let v = &self.v;
+        let (n, d, k) = (self.npoints, self.nfeatures, self.k);
+        let feature = self.feature_file.load(ctx, v.feature);
+        // Initial centroids: the first k points.
+        let mut clusters = MpVec::from_fn(ctx, v.clusters, k * d, |i| feature.peek(i));
+        let mut membership = IndexVec::new(ctx, vec![-1i64; n]);
+
+        for _ in 0..self.iterations {
+            let mut new_centers = ctx.alloc_vec(v.new_centers, k * d);
+            let mut counts = vec![0u32; k];
+            for p in 0..n {
+                // find_nearest_point
+                let mut min_dist = MpScalar::new(ctx, v.min_dist, f64::MAX);
+                let mut best = 0usize;
+                for c in 0..k {
+                    // euclid_dist_2 with a literal normalisation weight:
+                    // the multiply stays double and casts lowered operands.
+                    let mut ans = MpScalar::new(ctx, v.ans, 0.0);
+                    for f in 0..d {
+                        let a = feature.get(ctx, p * d + f);
+                        let bv = clusters.get(ctx, c * d + f);
+                        let mut diff = MpScalar::new(ctx, v.diff, a - bv);
+                        let _ = &mut diff;
+                        ctx.flop(v.diff, &[v.feature, v.clusters], 1);
+                        ctx.flop(v.ans, &[v.diff], 2);
+                        ctx.flop(v.ans, &[v.diff, v.norm_lit], 1);
+                        ans.set(
+                            ctx,
+                            ans.get() + diff.get() * diff.get() * (1.0 / d as f64),
+                        );
+                    }
+                    let mut dist = MpScalar::new(ctx, v.dist, ans.get());
+                    let _ = &mut dist;
+                    if dist.get() < min_dist.get() {
+                        min_dist.set(ctx, dist.get());
+                        best = c;
+                    }
+                    ctx.flop(v.min_dist, &[v.dist], 1);
+                }
+                membership.set(ctx, p, best as i64);
+                counts[best] += 1;
+                for f in 0..d {
+                    let cur = new_centers.get(ctx, best * d + f);
+                    ctx.flop(v.new_centers, &[v.feature], 1);
+                    let fv = feature.get(ctx, p * d + f);
+                    new_centers.set(ctx, best * d + f, cur + fv);
+                }
+            }
+            // Recompute centroids.
+            #[allow(clippy::needless_range_loop)] // mirrors the C loop shape
+            for c in 0..k {
+                if counts[c] == 0 {
+                    continue;
+                }
+                for f in 0..d {
+                    let s = new_centers.get(ctx, c * d + f);
+                    ctx.heavy(v.clusters, &[v.new_centers], 1);
+                    clusters.set(ctx, c * d + f, s / counts[c] as f64);
+                }
+            }
+        }
+        membership.snapshot_f64()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mixp_core::{Evaluator, QualityThreshold};
+
+    #[test]
+    fn model_matches_table2() {
+        let app = Kmeans::small();
+        assert_eq!(app.program().total_variables(), 26);
+        assert_eq!(app.program().total_clusters(), 15);
+    }
+
+    #[test]
+    fn assignments_recover_the_planted_clusters() {
+        let app = Kmeans::small();
+        let cfg = app.program().config_all_double();
+        let mut ctx = ExecCtx::new(&cfg);
+        let out = app.run(&mut ctx);
+        assert_eq!(out.len(), 200);
+        // Points planted on the same centre must share a label.
+        for p in 0..200 {
+            let q = p % 3; // same residue = same planted centre
+            let first = out[q];
+            assert_eq!(out[p] as i64, first as i64, "point {p}");
+        }
+    }
+
+    #[test]
+    fn single_precision_preserves_every_assignment() {
+        let app = Kmeans::small();
+        let mut ev = Evaluator::new(&app, QualityThreshold::new(1e-3));
+        let rec = ev.evaluate(&app.program().config_all_single()).unwrap();
+        assert_eq!(rec.quality, 0.0, "MCR must be zero on separated clusters");
+    }
+
+    #[test]
+    fn single_precision_gives_no_speedup() {
+        let app = Kmeans::small();
+        let mut ev = Evaluator::new(&app, QualityThreshold::new(1e-3));
+        let rec = ev.evaluate(&app.program().config_all_single()).unwrap();
+        assert!(
+            rec.speedup < 1.05,
+            "Table IV says 0.96 (a slight slowdown), got {}",
+            rec.speedup
+        );
+    }
+}

@@ -1,0 +1,73 @@
+//! Ablation benches for the substrates DESIGN.md calls out: the cache
+//! simulator, the cost model and the mp I/O runtime.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use mixp_core::synth::SplitMix64;
+use mixp_core::{CostModel, OpCounts, Precision};
+use mixp_core::float::MemoryTracer;
+use mixp_core::perf::Hierarchy;
+use mixp_core::CacheParams;
+use mixp_core::runtime::{mp_fread, mp_fwrite};
+use std::io::Cursor;
+
+fn cache_sim(c: &mut Criterion) {
+    let mut group = c.benchmark_group("substrate_cache_sim");
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    group.measurement_time(std::time::Duration::from_secs(2));
+    // Sequential sweep: the best case for the line-granularity fast path.
+    group.bench_function("sequential_64k", |b| {
+        b.iter(|| {
+            let mut h = Hierarchy::new(CacheParams::default());
+            for i in 0..65_536u64 {
+                h.access(i * 8, 8, i % 4 == 0);
+            }
+            std::hint::black_box(h.stats().misses)
+        })
+    });
+    // Random access: worst case for the replacement logic.
+    group.bench_function("random_64k", |b| {
+        b.iter(|| {
+            let mut h = Hierarchy::new(CacheParams::default());
+            let mut rng = SplitMix64::new(7);
+            for _ in 0..65_536 {
+                h.access(rng.next_u64() % (1 << 24), 8, false);
+            }
+            std::hint::black_box(h.stats().misses)
+        })
+    });
+    group.finish();
+}
+
+fn cost_model(c: &mut Criterion) {
+    c.bench_function("substrate_cost_model", |b| {
+        let model = CostModel::default();
+        let counts = OpCounts {
+            flops_f32: 1_000,
+            flops_f64: 2_000,
+            heavy_f32: 50,
+            heavy_f64: 70,
+            casts: 300,
+            loads_f32: 4_000,
+            loads_f64: 4_000,
+            stores_f32: 1_000,
+            stores_f64: 1_000,
+            ..OpCounts::default()
+        };
+        b.iter(|| std::hint::black_box(model.cost(&counts, None)));
+    });
+}
+
+fn mp_io(c: &mut Criterion) {
+    let values: Vec<f64> = (0..16_384).map(|i| i as f64 * 0.5).collect();
+    c.bench_function("substrate_mp_io_round_trip", |b| {
+        b.iter(|| {
+            let mut buf = Vec::with_capacity(values.len() * 8);
+            mp_fwrite(&mut buf, Precision::Single, &values).unwrap();
+            let back = mp_fread(Cursor::new(&buf), Precision::Single, values.len()).unwrap();
+            std::hint::black_box(back.len())
+        })
+    });
+}
+
+criterion_group!(benches, cache_sim, cost_model, mp_io);
+criterion_main!(benches);

@@ -1,0 +1,22 @@
+//! Regenerates the Figure 2a/2b series (DD vs GA): application complexity
+//! (clusters) against evaluated configurations and against speedup, for
+//! all applications and thresholds. Emits CSV.
+
+use mixp_bench::options_from_env;
+use mixp_harness::experiments::figure2_points;
+
+fn main() {
+    let opts = options_from_env();
+    println!("benchmark,algorithm,threshold,clusters,evaluated,speedup");
+    for p in figure2_points(opts.scale, opts.workers) {
+        println!(
+            "{},{},{:e},{},{},{}",
+            p.benchmark,
+            p.algorithm,
+            p.threshold,
+            p.clusters,
+            p.evaluated,
+            p.speedup.map_or("NA".to_string(), |s| format!("{s:.4}"))
+        );
+    }
+}

@@ -1,0 +1,20 @@
+//! Regenerates the Figure 3 scatter: speedup versus number of tested
+//! configurations over all search scenarios. Emits CSV.
+
+use mixp_bench::options_from_env;
+use mixp_harness::experiments::figure3_points;
+
+fn main() {
+    let opts = options_from_env();
+    println!("benchmark,algorithm,threshold,evaluated,speedup");
+    for p in figure3_points(opts.scale, opts.workers) {
+        println!(
+            "{},{},{:e},{},{}",
+            p.benchmark,
+            p.algorithm,
+            p.threshold,
+            p.evaluated,
+            p.speedup.map_or("NA".to_string(), |s| format!("{s:.4}"))
+        );
+    }
+}

@@ -1,0 +1,13 @@
+//! Regenerates Table I: the kernel inventory of HPC-MixPBench.
+
+use mixp_harness::experiments::table1;
+use mixp_harness::report::render_table;
+
+fn main() {
+    let rows: Vec<Vec<String>> = table1()
+        .into_iter()
+        .map(|r| vec![r.name, r.description])
+        .collect();
+    println!("Table I: Kernels included in HPC-MixPBench\n");
+    print!("{}", render_table(&["Name", "Description"], &rows));
+}

@@ -1,0 +1,17 @@
+//! Regenerates Table III: evaluation results of the kernel codes — quality,
+//! evaluated configurations and speedup for all six search algorithms at
+//! the 1e-8 threshold.
+
+use mixp_bench::options_from_env;
+use mixp_harness::experiments::{table3, TABLE3_ALGOS, TABLE3_THRESHOLD};
+use mixp_harness::report::render_grouped;
+
+fn main() {
+    let opts = options_from_env();
+    let groups = table3(opts.scale, opts.workers);
+    println!(
+        "Table III: kernel evaluation (threshold {TABLE3_THRESHOLD:.0e}, scale {:?})\n",
+        opts.scale
+    );
+    print!("{}", render_grouped(&groups, &TABLE3_ALGOS));
+}

@@ -1,0 +1,33 @@
+//! Regenerates Table IV: application speedup and quality loss when
+//! comparing the full single-precision version against the original
+//! double-precision execution.
+
+use mixp_bench::options_from_env;
+use mixp_harness::experiments::table4;
+use mixp_harness::report::{fmt_quality, render_table};
+
+fn main() {
+    let opts = options_from_env();
+    let rows: Vec<Vec<String>> = table4(opts.scale)
+        .into_iter()
+        .map(|r| {
+            vec![
+                r.name,
+                format!("{:.2}", r.speedup),
+                r.metric,
+                fmt_quality(Some(r.quality_loss)),
+            ]
+        })
+        .collect();
+    println!(
+        "Table IV: single- vs double-precision executions (scale {:?})\n",
+        opts.scale
+    );
+    print!(
+        "{}",
+        render_table(
+            &["Application", "Speed Up", "Quality Metric", "Quality Loss"],
+            &rows
+        )
+    );
+}

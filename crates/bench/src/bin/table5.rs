@@ -1,0 +1,19 @@
+//! Regenerates Table V: evaluation results of the applications for the
+//! five search algorithms at quality thresholds 1e-3, 1e-6 and 1e-8.
+
+use mixp_bench::options_from_env;
+use mixp_harness::experiments::{table5, TABLE5_ALGOS, TABLE5_THRESHOLDS};
+use mixp_harness::report::render_grouped;
+
+fn main() {
+    let opts = options_from_env();
+    for threshold in TABLE5_THRESHOLDS {
+        println!(
+            "Table V: application evaluation (threshold {threshold:.0e}, scale {:?})\n",
+            opts.scale
+        );
+        let groups = table5(threshold, opts.scale, opts.workers);
+        print!("{}", render_grouped(&groups, &TABLE5_ALGOS));
+        println!();
+    }
+}

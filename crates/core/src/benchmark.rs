@@ -1,0 +1,70 @@
+//! The benchmark interface.
+
+use mixp_float::ExecCtx;
+use mixp_typedeps::ProgramModel;
+use mixp_verify::MetricKind;
+use std::fmt;
+
+/// Whether a benchmark is one of the 10 kernels or one of the 7 proxy
+/// applications.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum BenchmarkKind {
+    /// A small, I/O-free kernel with randomly initialised inputs
+    /// (Table I of the paper).
+    Kernel,
+    /// An HPC proxy / mini application.
+    Application,
+}
+
+impl fmt::Display for BenchmarkKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            BenchmarkKind::Kernel => "kernel",
+            BenchmarkKind::Application => "application",
+        })
+    }
+}
+
+/// A tunable benchmark program.
+///
+/// Implementations are immutable once constructed: the same benchmark value
+/// must produce the same output for the same configuration, so that the
+/// evaluator's reference comparison and memoisation are sound. Inputs are
+/// generated from a fixed seed at construction time.
+pub trait Benchmark: Send + Sync {
+    /// Short machine-friendly name (e.g. `"hydro-1d"`, `"lavamd"`).
+    fn name(&self) -> &str;
+
+    /// One-line human description (Table I / §III-B).
+    fn description(&self) -> &str;
+
+    /// Kernel or application.
+    fn kind(&self) -> BenchmarkKind;
+
+    /// The program model: variables, type-dependence clusters, hierarchy.
+    fn program(&self) -> &ProgramModel;
+
+    /// The quality metric used to verify this benchmark's output
+    /// (MAE for all benchmarks except K-means, which uses MCR).
+    fn metric(&self) -> MetricKind;
+
+    /// Executes the benchmark under the configuration carried by `ctx` and
+    /// returns its verification output (the values the metric compares).
+    ///
+    /// Implementations must route all tunable storage through
+    /// [`mixp_float::MpVec`] / [`mixp_float::MpScalar`] and report their
+    /// arithmetic via [`ExecCtx::flop`] / [`ExecCtx::heavy`] so that both
+    /// the numerics and the cost accounting reflect the configuration.
+    fn run(&self, ctx: &mut ExecCtx<'_>) -> Vec<f64>;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn kind_display() {
+        assert_eq!(BenchmarkKind::Kernel.to_string(), "kernel");
+        assert_eq!(BenchmarkKind::Application.to_string(), "application");
+    }
+}

@@ -1,0 +1,417 @@
+//! Configuration evaluation: run, verify, price.
+
+use crate::{Benchmark, Granularity, SearchSpace};
+use mixp_float::{ExecCtx, OpCounts, PrecisionConfig};
+use mixp_perf::{CacheParams, CacheStats, CostModel, Hierarchy};
+use mixp_verify::QualityThreshold;
+use std::collections::HashMap;
+use std::fmt;
+
+/// Error returned once a search has used up its evaluation budget — the
+/// deterministic analogue of the paper's 24-hour wall-clock limit. A search
+/// receiving this must stop and report "did not finish".
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SearchBudgetExhausted;
+
+impl fmt::Display for SearchBudgetExhausted {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("search budget exhausted (the 24-hour limit analogue)")
+    }
+}
+
+impl std::error::Error for SearchBudgetExhausted {}
+
+/// The outcome of evaluating one configuration.
+#[derive(Debug, Clone)]
+pub struct EvalRecord {
+    /// The configuration that was evaluated.
+    pub config: PrecisionConfig,
+    /// Whether the configuration "compiles": no split cluster, no lowered
+    /// literal. Variable-granularity searches can produce configurations
+    /// that fail here; they consume budget but never pass.
+    pub compiled: bool,
+    /// The verification error against the all-double reference (`NaN` if the
+    /// configuration did not compile, or if the output was destroyed).
+    pub quality: f64,
+    /// Estimated speedup over the all-double reference (0 if the
+    /// configuration did not compile).
+    pub speedup: f64,
+    /// Whether the configuration passed verification under the evaluator's
+    /// quality threshold.
+    pub passes: bool,
+}
+
+/// Builds an [`Evaluator`] with non-default cost model, cache geometry or
+/// budget.
+///
+/// # Example
+///
+/// ```no_run
+/// # fn get_benchmark() -> Box<dyn mixp_core::Benchmark> { unimplemented!() }
+/// use mixp_core::{EvaluatorBuilder, QualityThreshold};
+///
+/// let bench = get_benchmark();
+/// let mut ev = EvaluatorBuilder::new(QualityThreshold::new(1e-6))
+///     .budget(500)
+///     .build(bench.as_ref());
+/// ```
+#[derive(Debug, Clone)]
+pub struct EvaluatorBuilder {
+    threshold: QualityThreshold,
+    budget: usize,
+    cost_model: CostModel,
+    cache: CacheParams,
+}
+
+impl EvaluatorBuilder {
+    /// Starts a builder with the given quality threshold, an unlimited
+    /// budget and default cost/cache models.
+    pub fn new(threshold: QualityThreshold) -> Self {
+        EvaluatorBuilder {
+            threshold,
+            budget: usize::MAX,
+            cost_model: CostModel::default(),
+            cache: CacheParams::default(),
+        }
+    }
+
+    /// Limits the number of configurations the search may evaluate.
+    pub fn budget(mut self, budget: usize) -> Self {
+        self.budget = budget;
+        self
+    }
+
+    /// Overrides the cost model.
+    pub fn cost_model(mut self, model: CostModel) -> Self {
+        self.cost_model = model;
+        self
+    }
+
+    /// Overrides the cache geometry.
+    pub fn cache(mut self, cache: CacheParams) -> Self {
+        self.cache = cache;
+        self
+    }
+
+    /// Runs the all-double reference and returns the ready evaluator.
+    pub fn build<'b>(self, bench: &'b dyn Benchmark) -> Evaluator<'b> {
+        let ref_cfg = bench.program().config_all_double();
+        let (output, counts, stats) = run_config(bench, &ref_cfg, self.cache);
+        let ref_cost = self.cost_model.cost(&counts, Some(&stats));
+        Evaluator {
+            bench,
+            threshold: self.threshold,
+            budget: self.budget,
+            cost_model: self.cost_model,
+            cache: self.cache,
+            reference: output,
+            ref_cost,
+            evaluated: 0,
+            memo: HashMap::new(),
+            best: None,
+        }
+    }
+}
+
+/// Runs `bench` under `cfg` with a fresh cache hierarchy, returning the
+/// verification output, operation counts and cache statistics.
+pub fn run_config(
+    bench: &dyn Benchmark,
+    cfg: &PrecisionConfig,
+    cache: CacheParams,
+) -> (Vec<f64>, OpCounts, CacheStats) {
+    let mut hierarchy = Hierarchy::new(cache);
+    let mut ctx = ExecCtx::with_tracer(cfg, &mut hierarchy);
+    let output = bench.run(&mut ctx);
+    let counts = ctx.counts();
+    drop(ctx);
+    (output, counts, hierarchy.stats())
+}
+
+/// Evaluates configurations of one benchmark against one quality threshold,
+/// within one evaluation budget.
+///
+/// Repeated evaluations of an identical configuration are served from a memo
+/// and do not consume budget — mirroring CRAFT's configuration cache. The
+/// evaluator tracks the best *passing* configuration by speedup.
+pub struct Evaluator<'b> {
+    bench: &'b dyn Benchmark,
+    threshold: QualityThreshold,
+    budget: usize,
+    cost_model: CostModel,
+    cache: CacheParams,
+    reference: Vec<f64>,
+    ref_cost: f64,
+    evaluated: usize,
+    memo: HashMap<String, EvalRecord>,
+    best: Option<EvalRecord>,
+}
+
+impl<'b> fmt::Debug for Evaluator<'b> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Evaluator")
+            .field("bench", &self.bench.name())
+            .field("threshold", &self.threshold)
+            .field("budget", &self.budget)
+            .field("evaluated", &self.evaluated)
+            .finish()
+    }
+}
+
+impl<'b> Evaluator<'b> {
+    /// Shorthand for `EvaluatorBuilder::new(threshold).build(bench)`.
+    pub fn new(bench: &'b dyn Benchmark, threshold: QualityThreshold) -> Self {
+        EvaluatorBuilder::new(threshold).build(bench)
+    }
+
+    /// The benchmark under evaluation.
+    pub fn benchmark(&self) -> &dyn Benchmark {
+        self.bench
+    }
+
+    /// The benchmark's program model.
+    pub fn program(&self) -> &mixp_typedeps::ProgramModel {
+        self.bench.program()
+    }
+
+    /// The search space of the benchmark at the given granularity.
+    pub fn space(&self, granularity: Granularity) -> SearchSpace {
+        SearchSpace::new(self.bench.program(), granularity)
+    }
+
+    /// The active quality threshold.
+    pub fn threshold(&self) -> QualityThreshold {
+        self.threshold
+    }
+
+    /// Number of distinct configurations evaluated so far (the paper's EV
+    /// metric).
+    pub fn evaluated(&self) -> usize {
+        self.evaluated
+    }
+
+    /// Remaining evaluation budget.
+    pub fn budget_left(&self) -> usize {
+        self.budget - self.evaluated
+    }
+
+    /// The all-double reference output.
+    pub fn reference_output(&self) -> &[f64] {
+        &self.reference
+    }
+
+    /// The best passing configuration found so far, by speedup.
+    pub fn best(&self) -> Option<&EvalRecord> {
+        self.best.as_ref()
+    }
+
+    /// Evaluates `cfg`: validity check, numerical run, quality metric,
+    /// speedup estimate.
+    ///
+    /// Identical configurations are memoised and do not consume budget.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SearchBudgetExhausted`] when a *new* configuration is
+    /// submitted after the budget is used up.
+    pub fn evaluate(
+        &mut self,
+        cfg: &PrecisionConfig,
+    ) -> Result<EvalRecord, SearchBudgetExhausted> {
+        let key = cfg.key();
+        if let Some(hit) = self.memo.get(&key) {
+            return Ok(hit.clone());
+        }
+        if self.evaluated >= self.budget {
+            return Err(SearchBudgetExhausted);
+        }
+        self.evaluated += 1;
+
+        let record = if self.bench.program().validate(cfg).is_err() {
+            EvalRecord {
+                config: cfg.clone(),
+                compiled: false,
+                quality: f64::NAN,
+                speedup: 0.0,
+                passes: false,
+            }
+        } else {
+            let (output, counts, stats) = run_config(self.bench, cfg, self.cache);
+            let quality = self.bench.metric().compare(&self.reference, &output);
+            let cost = self.cost_model.cost(&counts, Some(&stats));
+            let speedup = if cost == 0.0 { 1.0 } else { self.ref_cost / cost };
+            let passes = self.threshold.accepts(quality);
+            EvalRecord {
+                config: cfg.clone(),
+                compiled: true,
+                quality,
+                speedup,
+                passes,
+            }
+        };
+
+        // The identity transformation (everything double) trivially passes
+        // but is not a mixed-precision result, so it never becomes "best".
+        if record.passes
+            && !record.config.is_all_double()
+            && self
+                .best
+                .as_ref()
+                .is_none_or(|b| record.speedup > b.speedup)
+        {
+            self.best = Some(record.clone());
+        }
+        self.memo.insert(key, record.clone());
+        Ok(record)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Benchmark, BenchmarkKind};
+    use mixp_float::VarId;
+    use mixp_typedeps::{ProgramBuilder, ProgramModel};
+    use mixp_verify::MetricKind;
+
+    /// A toy benchmark: y[i] = a * x[i] for a small vector, with x and y in
+    /// one cluster (bound) and `a` alone.
+    struct Axpy {
+        program: ProgramModel,
+        x: VarId,
+        y: VarId,
+        a: VarId,
+    }
+
+    impl Axpy {
+        fn new() -> Self {
+            let mut b = ProgramBuilder::new("axpy");
+            let m = b.module("main");
+            let f = b.function("axpy", m);
+            let x = b.array(f, "x");
+            let y = b.array(f, "y");
+            let a = b.scalar(f, "a");
+            b.bind(x, y);
+            let program = b.build();
+            Axpy { program, x, y, a }
+        }
+    }
+
+    impl Benchmark for Axpy {
+        fn name(&self) -> &str {
+            "axpy"
+        }
+        fn description(&self) -> &str {
+            "toy scaled copy"
+        }
+        fn kind(&self) -> BenchmarkKind {
+            BenchmarkKind::Kernel
+        }
+        fn program(&self) -> &ProgramModel {
+            &self.program
+        }
+        fn metric(&self) -> MetricKind {
+            MetricKind::Mae
+        }
+        fn run(&self, ctx: &mut ExecCtx<'_>) -> Vec<f64> {
+            let n = 64;
+            let x = mixp_float::MpVec::from_fn(ctx, self.x, n, |i| 0.1 + i as f64 * 0.01);
+            let mut y = ctx.alloc_vec(self.y, n);
+            let a = mixp_float::MpScalar::new(ctx, self.a, 1.5);
+            for i in 0..n {
+                let v = a.get() * x.get(ctx, i);
+                ctx.flop(self.y, &[self.a, self.x], 1);
+                y.set(ctx, i, v);
+            }
+            y.snapshot()
+        }
+    }
+
+    #[test]
+    fn reference_config_has_zero_error_and_unit_speedup() {
+        let b = Axpy::new();
+        let mut ev = Evaluator::new(&b, QualityThreshold::new(1e-8));
+        let rec = ev.evaluate(&b.program().config_all_double()).unwrap();
+        assert!(rec.compiled);
+        assert_eq!(rec.quality, 0.0);
+        assert!((rec.speedup - 1.0).abs() < 1e-12);
+        assert!(rec.passes);
+    }
+
+    #[test]
+    fn all_single_is_faster_but_less_accurate() {
+        let b = Axpy::new();
+        let mut ev = Evaluator::new(&b, QualityThreshold::new(1e-3));
+        let rec = ev.evaluate(&b.program().config_all_single()).unwrap();
+        assert!(rec.compiled);
+        assert!(rec.quality > 0.0, "rounding must be visible");
+        assert!(rec.speedup > 1.0, "single must be cheaper");
+        assert!(rec.passes);
+    }
+
+    #[test]
+    fn strict_threshold_rejects_all_single() {
+        let b = Axpy::new();
+        let mut ev = Evaluator::new(&b, QualityThreshold::new(1e-12));
+        let rec = ev.evaluate(&b.program().config_all_single()).unwrap();
+        assert!(!rec.passes);
+        assert!(ev.best().is_none());
+    }
+
+    #[test]
+    fn split_cluster_does_not_compile() {
+        let b = Axpy::new();
+        let mut ev = Evaluator::new(&b, QualityThreshold::new(1e-3));
+        let mut cfg = b.program().config_all_double();
+        cfg.set(b.x, mixp_float::Precision::Single); // y stays double
+        let rec = ev.evaluate(&cfg).unwrap();
+        assert!(!rec.compiled);
+        assert!(!rec.passes);
+        assert!(rec.quality.is_nan());
+        assert_eq!(rec.speedup, 0.0);
+        assert_eq!(ev.evaluated(), 1, "a failed compile still consumes budget");
+    }
+
+    #[test]
+    fn memoised_configs_do_not_consume_budget() {
+        let b = Axpy::new();
+        let mut ev = EvaluatorBuilder::new(QualityThreshold::new(1e-3))
+            .budget(1)
+            .build(&b);
+        let cfg = b.program().config_all_single();
+        ev.evaluate(&cfg).unwrap();
+        assert_eq!(ev.budget_left(), 0);
+        // Same config again: memo hit, no budget error.
+        ev.evaluate(&cfg).unwrap();
+        // A different config now exhausts the budget.
+        let other = b.program().config_all_double();
+        assert_eq!(ev.evaluate(&other).unwrap_err(), SearchBudgetExhausted);
+    }
+
+    #[test]
+    fn best_tracks_highest_passing_speedup() {
+        let b = Axpy::new();
+        let mut ev = Evaluator::new(&b, QualityThreshold::new(1e-3));
+        // The identity configuration passes but is never a result.
+        ev.evaluate(&b.program().config_all_double()).unwrap();
+        assert!(ev.best().is_none());
+        // Lowering only `a` is a real (if modest) mixed configuration.
+        let partial = mixp_float::PrecisionConfig::from_lowered(b.program().var_count(), [b.a]);
+        ev.evaluate(&partial).unwrap();
+        let first_best = ev.best().unwrap().speedup;
+        ev.evaluate(&b.program().config_all_single()).unwrap();
+        assert!(ev.best().unwrap().speedup > first_best);
+    }
+
+    #[test]
+    fn determinism_same_config_same_record() {
+        let b = Axpy::new();
+        let mut ev1 = Evaluator::new(&b, QualityThreshold::new(1e-3));
+        let mut ev2 = Evaluator::new(&b, QualityThreshold::new(1e-3));
+        let cfg = b.program().config_all_single();
+        let r1 = ev1.evaluate(&cfg).unwrap();
+        let r2 = ev2.evaluate(&cfg).unwrap();
+        assert_eq!(r1.quality, r2.quality);
+        assert_eq!(r1.speedup, r2.speedup);
+    }
+}

@@ -1,0 +1,42 @@
+//! Core abstractions of the HPC-MixPBench reproduction.
+//!
+//! This crate ties the substrates together into the interface the search
+//! algorithms and the harness consume:
+//!
+//! * [`Benchmark`] — implemented by every kernel and application. A
+//!   benchmark declares its program model (variables, dependence edges,
+//!   hierarchy) and runs its computation through an
+//!   [`ExecCtx`](mixp_float::ExecCtx) so that storage precision, operation
+//!   counts and memory traffic all follow the configuration under test.
+//! * [`SearchSpace`] — the units a search manipulates: individual variables
+//!   or Typeforge clusters, matching the granularities of the paper's six
+//!   algorithms.
+//! * [`Evaluator`] — runs one configuration end-to-end: validity check
+//!   ("does it compile"), numerical run, quality metric against the
+//!   all-double reference, cost-model speedup, budget accounting and
+//!   memoisation of repeated configurations.
+//!
+//! The crates `mixp-kernels` and `mixp-apps` provide the benchmarks,
+//! `mixp-search` the algorithms, and `mixp-harness` the YAML-driven driver.
+
+pub mod benchmark;
+pub mod evaluate;
+pub mod space;
+pub mod synth;
+
+pub use benchmark::{Benchmark, BenchmarkKind};
+pub use evaluate::{run_config, EvalRecord, Evaluator, EvaluatorBuilder, SearchBudgetExhausted};
+pub use space::{Granularity, SearchSpace, UnitId};
+
+// Re-export the substrate crates so downstream users need only depend on
+// `mixp-core`.
+pub use mixp_float as float;
+pub use mixp_perf as perf;
+pub use mixp_runtime as runtime;
+pub use mixp_typedeps as typedeps;
+pub use mixp_verify as verify;
+
+pub use mixp_float::{ExecCtx, OpCounts, Precision, PrecisionConfig, VarId};
+pub use mixp_perf::{CacheParams, CostModel};
+pub use mixp_typedeps::{ClusterId, ProgramBuilder, ProgramModel};
+pub use mixp_verify::{MetricKind, QualityThreshold};

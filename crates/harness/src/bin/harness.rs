@@ -1,0 +1,125 @@
+//! The HPC-MixPBench harness driver (§III-A.c).
+//!
+//! The paper's harness is invoked with a YAML configuration file and "runs
+//! the analysis …, compiles the application, executes the generated
+//! binaries, and performs the prescribed analysis and evaluation to
+//! quantify quality loss and to measure execution time". This binary is
+//! that entry point:
+//!
+//! ```sh
+//! cargo run --release --bin harness -- configs/kmeans.yaml
+//! cargo run --release --bin harness -- --scale small --workers 4 configs/*.yaml
+//! cargo run --release --bin harness -- --json configs/kmeans.yaml
+//! ```
+//!
+//! Each configuration file describes one benchmark analysis (Listing 4
+//! shape); multiple files are scheduled in parallel. `--json` emits the
+//! FloatSmith-style interchange document instead of the text report.
+
+use mixp_harness::config::AnalysisConfig;
+use mixp_harness::interchange;
+use mixp_harness::job::Job;
+use mixp_harness::report::{fmt_evaluated, fmt_quality, fmt_speedup, render_table};
+use mixp_harness::{run_jobs, Scale};
+
+struct Cli {
+    scale: Scale,
+    workers: usize,
+    json: bool,
+    files: Vec<String>,
+}
+
+fn parse_cli() -> Result<Cli, String> {
+    let mut cli = Cli {
+        scale: Scale::Paper,
+        workers: mixp_harness::scheduler::default_workers(),
+        json: false,
+        files: Vec::new(),
+    };
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--scale" => {
+                let v = args.next().ok_or("--scale needs a value")?;
+                cli.scale = match v.as_str() {
+                    "small" => Scale::Small,
+                    "paper" => Scale::Paper,
+                    other => return Err(format!("unknown scale `{other}`")),
+                };
+            }
+            "--workers" => {
+                let v = args.next().ok_or("--workers needs a value")?;
+                cli.workers = v.parse().map_err(|_| format!("bad worker count `{v}`"))?;
+            }
+            "--json" => cli.json = true,
+            flag if flag.starts_with("--") => return Err(format!("unknown flag `{flag}`")),
+            file => cli.files.push(file.to_string()),
+        }
+    }
+    if cli.files.is_empty() {
+        return Err("no configuration files given".to_string());
+    }
+    Ok(cli)
+}
+
+fn main() {
+    let cli = match parse_cli() {
+        Ok(c) => c,
+        Err(msg) => {
+            eprintln!("error: {msg}");
+            eprintln!("usage: harness [--scale small|paper] [--workers N] [--json] <config.yaml>...");
+            std::process::exit(2);
+        }
+    };
+
+    let mut jobs = Vec::new();
+    for file in &cli.files {
+        let text = match std::fs::read_to_string(file) {
+            Ok(t) => t,
+            Err(e) => {
+                eprintln!("error: cannot read {file}: {e}");
+                std::process::exit(2);
+            }
+        };
+        let cfg = match AnalysisConfig::from_yaml(&text) {
+            Ok(c) => c,
+            Err(e) => {
+                eprintln!("error: {file}: {e}");
+                std::process::exit(2);
+            }
+        };
+        let mut job = Job::new(&cfg.benchmark, &cfg.algorithm, cfg.threshold, cli.scale);
+        if let Some(budget) = cfg.budget {
+            job.budget = budget;
+        }
+        jobs.push(job);
+    }
+
+    let results = run_jobs(&jobs, cli.workers);
+
+    if cli.json {
+        println!("{}", interchange::results_to_json(&results));
+        return;
+    }
+
+    let rows: Vec<Vec<String>> = results
+        .iter()
+        .map(|r| {
+            vec![
+                r.benchmark.clone(),
+                r.algorithm.clone(),
+                format!("{:.0e}", r.threshold),
+                fmt_speedup(r.result.speedup()),
+                fmt_quality(r.result.quality()),
+                fmt_evaluated(r),
+            ]
+        })
+        .collect();
+    print!(
+        "{}",
+        render_table(
+            &["Benchmark", "Algorithm", "Threshold", "Speedup", "Quality", "Evaluated"],
+            &rows
+        )
+    );
+}

@@ -1,0 +1,12 @@
+//! Probe: all-single MAE/MCR of every benchmark at paper scale.
+use mixp_core::{run_config, Benchmark, CacheParams};
+fn main() {
+    let mut benches: Vec<Box<dyn Benchmark>> = mixp_kernels::all_kernels();
+    benches.extend(mixp_apps::all_applications());
+    for b in &benches {
+        let (ref_out, _, _) = run_config(b.as_ref(), &b.program().config_all_double(), CacheParams::default());
+        let (out, _, _) = run_config(b.as_ref(), &b.program().config_all_single(), CacheParams::default());
+        let q = b.metric().compare(&ref_out, &out);
+        println!("{:15} all-single {} = {:.3e}", b.name(), b.metric().name(), q);
+    }
+}

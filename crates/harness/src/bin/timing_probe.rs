@@ -1,0 +1,22 @@
+//! Quick probe: per-evaluation cost of each paper-scale benchmark.
+use mixp_core::{run_config, Benchmark, CacheParams, CostModel};
+fn main() {
+    let mut benches: Vec<Box<dyn Benchmark>> = mixp_kernels::all_kernels();
+    benches.extend(mixp_apps::all_applications());
+    let cm = CostModel::default();
+    for b in &benches {
+        let t0 = std::time::Instant::now();
+        let cfg_d = b.program().config_all_double();
+        let (_, cd, sd) = run_config(b.as_ref(), &cfg_d, CacheParams::default());
+        let t_ref = t0.elapsed();
+        let cfg_s = b.program().config_all_single();
+        let (out, cs, ss) = run_config(b.as_ref(), &cfg_s, CacheParams::default());
+        let cost_d = cm.cost(&cd, Some(&sd));
+        let cost_s = cm.cost(&cs, Some(&ss));
+        let nan = out.iter().any(|x| !x.is_finite());
+        println!(
+            "{:15} eval={:>8.1?} speedup={:.2} accesses={:>9} nan={}",
+            b.name(), t_ref, cost_d / cost_s, sd.accesses, nan
+        );
+    }
+}

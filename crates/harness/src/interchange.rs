@@ -1,0 +1,251 @@
+//! FloatSmith-style JSON interchange (§I / §II-A).
+//!
+//! FloatSmith "facilitates the integration of tools by providing a
+//! JSON-based interchange format": the search tool and the type-refactoring
+//! tool exchange *configurations* as JSON action lists
+//! (`change_var_basetype` entries), and analyses report their results as
+//! JSON documents. This module provides both directions:
+//!
+//! * [`config_to_json`] / [`config_from_json`] — a precision configuration
+//!   as an action list over the program's variable names, portable across
+//!   processes (round-trips by *name*, not by internal id).
+//! * [`results_to_json`] — a batch of analysis results (the `--json` output
+//!   of the `harness` binary).
+
+use crate::job::JobResult;
+use crate::json::{parse, Json, JsonError};
+use mixp_core::{Precision, PrecisionConfig, ProgramModel};
+use std::fmt;
+
+/// Version tag written into every interchange document.
+pub const FORMAT_VERSION: &str = "hpc-mixpbench-1";
+
+/// Serialises a configuration as a FloatSmith-style action list: one
+/// `change_var_basetype` action per variable lowered to single precision.
+pub fn config_to_json(program: &ProgramModel, cfg: &PrecisionConfig) -> String {
+    let actions: Vec<Json> = cfg
+        .iter()
+        .filter(|(_, p)| *p != Precision::Double)
+        .map(|(v, p)| {
+            let to_type = match p {
+                Precision::Half => "half",
+                Precision::Single => "float",
+                Precision::Double => unreachable!("filtered above"),
+            };
+            Json::Object(vec![
+                (
+                    "action".to_string(),
+                    Json::String("change_var_basetype".to_string()),
+                ),
+                (
+                    "name".to_string(),
+                    Json::String(program.registry().name(v).to_string()),
+                ),
+                ("to_type".to_string(), Json::String(to_type.to_string())),
+            ])
+        })
+        .collect();
+    Json::Object(vec![
+        (
+            "version".to_string(),
+            Json::String(FORMAT_VERSION.to_string()),
+        ),
+        (
+            "tool_id".to_string(),
+            Json::String(program.name().to_string()),
+        ),
+        ("actions".to_string(), Json::Array(actions)),
+    ])
+    .pretty()
+}
+
+/// Error raised when an interchange document does not describe a valid
+/// configuration of the given program.
+#[derive(Debug, Clone, PartialEq)]
+pub struct InterchangeError {
+    /// Human-readable reason.
+    pub message: String,
+}
+
+impl fmt::Display for InterchangeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "invalid interchange document: {}", self.message)
+    }
+}
+
+impl std::error::Error for InterchangeError {}
+
+impl From<JsonError> for InterchangeError {
+    fn from(err: JsonError) -> Self {
+        InterchangeError {
+            message: err.to_string(),
+        }
+    }
+}
+
+/// Parses a FloatSmith-style action list back into a configuration for
+/// `program`.
+///
+/// # Errors
+///
+/// Returns [`InterchangeError`] on malformed JSON, unknown variable names,
+/// unsupported actions or target types.
+pub fn config_from_json(
+    program: &ProgramModel,
+    text: &str,
+) -> Result<PrecisionConfig, InterchangeError> {
+    let doc = parse(text)?;
+    let actions = doc
+        .get("actions")
+        .and_then(Json::as_array)
+        .ok_or_else(|| InterchangeError {
+            message: "missing `actions` array".to_string(),
+        })?;
+    let mut cfg = program.config_all_double();
+    for action in actions {
+        let kind = action
+            .get("action")
+            .and_then(Json::as_str)
+            .ok_or_else(|| InterchangeError {
+                message: "action without `action` kind".to_string(),
+            })?;
+        if kind != "change_var_basetype" {
+            return Err(InterchangeError {
+                message: format!("unsupported action `{kind}`"),
+            });
+        }
+        let name = action
+            .get("name")
+            .and_then(Json::as_str)
+            .ok_or_else(|| InterchangeError {
+                message: "action without variable `name`".to_string(),
+            })?;
+        let to_type = action
+            .get("to_type")
+            .and_then(Json::as_str)
+            .unwrap_or("float");
+        let prec = match to_type {
+            "half" => Precision::Half,
+            "float" => Precision::Single,
+            "double" => Precision::Double,
+            other => {
+                return Err(InterchangeError {
+                    message: format!("unsupported target type `{other}`"),
+                })
+            }
+        };
+        let var = program.registry().find(name).ok_or_else(|| InterchangeError {
+            message: format!("unknown variable `{name}`"),
+        })?;
+        cfg.set(var, prec);
+    }
+    Ok(cfg)
+}
+
+/// Serialises a batch of analysis results (the `harness --json` output).
+pub fn results_to_json(results: &[JobResult]) -> String {
+    let items: Vec<Json> = results
+        .iter()
+        .map(|r| {
+            Json::Object(vec![
+                ("benchmark".to_string(), Json::String(r.benchmark.clone())),
+                ("algorithm".to_string(), Json::String(r.algorithm.clone())),
+                ("threshold".to_string(), Json::Number(r.threshold)),
+                ("clusters".to_string(), Json::Number(r.clusters as f64)),
+                ("variables".to_string(), Json::Number(r.variables as f64)),
+                (
+                    "evaluated".to_string(),
+                    Json::Number(r.result.evaluated as f64),
+                ),
+                ("dnf".to_string(), Json::Bool(r.result.dnf)),
+                (
+                    "speedup".to_string(),
+                    r.result.speedup().map_or(Json::Null, Json::Number),
+                ),
+                (
+                    "quality".to_string(),
+                    r.result.quality().map_or(Json::Null, Json::Number),
+                ),
+            ])
+        })
+        .collect();
+    Json::Object(vec![
+        (
+            "version".to_string(),
+            Json::String(FORMAT_VERSION.to_string()),
+        ),
+        ("results".to_string(), Json::Array(items)),
+    ])
+    .pretty()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::registry::{benchmark_by_name, Scale};
+
+    #[test]
+    fn config_round_trips_by_name() {
+        let bench = benchmark_by_name("eos", Scale::Small).unwrap();
+        let program = bench.program();
+        // Lower the array cluster of eos.
+        let x = program.registry().find("x").unwrap();
+        let cluster = program.clustering().cluster_of(x).unwrap();
+        let cfg = program.config_from_clusters([cluster]);
+        let text = config_to_json(program, &cfg);
+        let back = config_from_json(program, &text).unwrap();
+        assert_eq!(back.key(), cfg.key());
+    }
+
+    #[test]
+    fn all_double_is_an_empty_action_list() {
+        let bench = benchmark_by_name("tridiag", Scale::Small).unwrap();
+        let program = bench.program();
+        let text = config_to_json(program, &program.config_all_double());
+        assert!(text.contains("\"actions\": []"));
+        let back = config_from_json(program, &text).unwrap();
+        assert!(back.is_all_double());
+    }
+
+    #[test]
+    fn unknown_variables_are_rejected() {
+        let bench = benchmark_by_name("tridiag", Scale::Small).unwrap();
+        let text = r#"{"version":"hpc-mixpbench-1","actions":[
+            {"action":"change_var_basetype","name":"nope","to_type":"float"}]}"#;
+        let err = config_from_json(bench.program(), text).unwrap_err();
+        assert!(err.message.contains("nope"));
+    }
+
+    #[test]
+    fn unsupported_actions_are_rejected() {
+        let bench = benchmark_by_name("tridiag", Scale::Small).unwrap();
+        let text = r#"{"actions":[{"action":"replace_function","name":"x"}]}"#;
+        let err = config_from_json(bench.program(), text).unwrap_err();
+        assert!(err.message.contains("unsupported action"));
+    }
+
+    #[test]
+    fn results_json_shape() {
+        let job = crate::job::Job::new("tridiag", "DD", 1e-3, Scale::Small);
+        let result = job.run();
+        let text = results_to_json(std::slice::from_ref(&result));
+        let doc = crate::json::parse(&text).unwrap();
+        let items = doc.get("results").unwrap().as_array().unwrap();
+        assert_eq!(items.len(), 1);
+        assert_eq!(items[0].get("benchmark").unwrap().as_str(), Some("tridiag"));
+        assert_eq!(items[0].get("dnf"), Some(&crate::json::Json::Bool(false)));
+        assert!(items[0].get("speedup").unwrap().as_f64().is_some());
+    }
+
+    #[test]
+    fn explicit_double_actions_apply() {
+        let bench = benchmark_by_name("eos", Scale::Small).unwrap();
+        let program = bench.program();
+        // Lower x, then re-raise it in the same document: net all-double.
+        let text = r#"{"actions":[
+            {"action":"change_var_basetype","name":"x","to_type":"float"},
+            {"action":"change_var_basetype","name":"x","to_type":"double"}]}"#;
+        let cfg = config_from_json(program, text).unwrap();
+        assert!(cfg.is_all_double());
+    }
+}

@@ -1,0 +1,55 @@
+//! The HPC-MixPBench harness (§III-A.c).
+//!
+//! The paper's harness deploys and runs benchmark applications, guided by a
+//! user-provided YAML configuration file that describes how to build,
+//! execute and verify each application, and schedules analyses in parallel
+//! across a cluster. This crate is the Rust analogue:
+//!
+//! * [`yamlish`] — a small, dependency-free parser for the YAML subset the
+//!   configuration files use (nested maps, lists, scalars — Listing 4).
+//! * [`config`] — typed analysis configurations parsed from YAML.
+//! * [`json`]/[`interchange`] — the FloatSmith-style JSON interchange
+//!   format for configurations and analysis results.
+//! * [`registry`] — benchmark lookup by name at test/paper scale.
+//! * [`job`]/[`scheduler`] — analysis jobs (benchmark × algorithm ×
+//!   threshold × budget) fanned out over a thread pool, the stand-in for
+//!   the paper's SLURM cluster.
+//! * [`experiments`] — the data generators behind every table and figure of
+//!   the paper's evaluation (Tables I–V, Figures 2–3).
+//! * [`report`] — plain-text table rendering.
+//!
+//! # Example
+//!
+//! ```
+//! use mixp_harness::config::AnalysisConfig;
+//!
+//! let yaml = "
+//! kmeans:
+//!   build_dir: 'kmeans'
+//!   analysis:
+//!     floatsmith:
+//!       name: 'floatSmith'
+//!       extra_args:
+//!         algorithm: 'ddebug'
+//!   metric: 'MCR'
+//!   threshold: '1e-3'
+//! ";
+//! let cfg = AnalysisConfig::from_yaml(yaml).unwrap();
+//! assert_eq!(cfg.benchmark, "kmeans");
+//! assert_eq!(cfg.algorithm, "ddebug");
+//! ```
+
+pub mod config;
+pub mod experiments;
+pub mod interchange;
+pub mod job;
+pub mod json;
+pub mod registry;
+pub mod report;
+pub mod scheduler;
+pub mod yamlish;
+
+pub use config::AnalysisConfig;
+pub use job::{Job, JobResult};
+pub use registry::{benchmark_by_name, benchmark_names, Scale};
+pub use scheduler::run_jobs;

@@ -1,0 +1,192 @@
+//! Benchmark registry: lookup by name at a chosen scale.
+
+use mixp_core::Benchmark;
+
+/// Problem-size scale for instantiating benchmarks.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Scale {
+    /// Reduced sizes for unit/integration tests and quick runs.
+    Small,
+    /// The sizes used to regenerate the paper's tables.
+    Paper,
+}
+
+/// Names of all 17 benchmarks (10 kernels, then 7 applications), in the
+/// paper's Table II order.
+pub fn benchmark_names() -> Vec<&'static str> {
+    vec![
+        "banded-lin-eq",
+        "diff-predictor",
+        "eos",
+        "gen-lin-recur",
+        "hydro-1d",
+        "iccg",
+        "innerprod",
+        "int-predict",
+        "planckian",
+        "tridiag",
+        "blackscholes",
+        "cfd",
+        "hotspot",
+        "hpccg",
+        "kmeans",
+        "lavamd",
+        "srad",
+    ]
+}
+
+/// Instantiates a benchmark by name.
+///
+/// Returns `None` for unknown names. Accepts the canonical lowercase names
+/// of [`benchmark_names`].
+pub fn benchmark_by_name(name: &str, scale: Scale) -> Option<Box<dyn Benchmark>> {
+    use mixp_apps as apps;
+    use mixp_kernels as kernels;
+    let small = scale == Scale::Small;
+    Some(match name {
+        "banded-lin-eq" => {
+            if small {
+                Box::new(kernels::BandedLinEq::small()) as Box<dyn Benchmark>
+            } else {
+                Box::new(kernels::BandedLinEq::new())
+            }
+        }
+        "diff-predictor" => {
+            if small {
+                Box::new(kernels::DiffPredictor::small())
+            } else {
+                Box::new(kernels::DiffPredictor::new())
+            }
+        }
+        "eos" => {
+            if small {
+                Box::new(kernels::Eos::small())
+            } else {
+                Box::new(kernels::Eos::new())
+            }
+        }
+        "gen-lin-recur" => {
+            if small {
+                Box::new(kernels::GenLinRecur::small())
+            } else {
+                Box::new(kernels::GenLinRecur::new())
+            }
+        }
+        "hydro-1d" => {
+            if small {
+                Box::new(kernels::Hydro1d::small())
+            } else {
+                Box::new(kernels::Hydro1d::new())
+            }
+        }
+        "iccg" => {
+            if small {
+                Box::new(kernels::Iccg::small())
+            } else {
+                Box::new(kernels::Iccg::new())
+            }
+        }
+        "innerprod" => {
+            if small {
+                Box::new(kernels::InnerProd::small())
+            } else {
+                Box::new(kernels::InnerProd::new())
+            }
+        }
+        "int-predict" => {
+            if small {
+                Box::new(kernels::IntPredict::small())
+            } else {
+                Box::new(kernels::IntPredict::new())
+            }
+        }
+        "planckian" => {
+            if small {
+                Box::new(kernels::Planckian::small())
+            } else {
+                Box::new(kernels::Planckian::new())
+            }
+        }
+        "tridiag" => {
+            if small {
+                Box::new(kernels::Tridiag::small())
+            } else {
+                Box::new(kernels::Tridiag::new())
+            }
+        }
+        "blackscholes" => {
+            if small {
+                Box::new(apps::Blackscholes::small())
+            } else {
+                Box::new(apps::Blackscholes::new())
+            }
+        }
+        "cfd" => {
+            if small {
+                Box::new(apps::Cfd::small())
+            } else {
+                Box::new(apps::Cfd::new())
+            }
+        }
+        "hotspot" => {
+            if small {
+                Box::new(apps::Hotspot::small())
+            } else {
+                Box::new(apps::Hotspot::new())
+            }
+        }
+        "hpccg" => {
+            if small {
+                Box::new(apps::Hpccg::small())
+            } else {
+                Box::new(apps::Hpccg::new())
+            }
+        }
+        "kmeans" => {
+            if small {
+                Box::new(apps::Kmeans::small())
+            } else {
+                Box::new(apps::Kmeans::new())
+            }
+        }
+        "lavamd" => {
+            if small {
+                Box::new(apps::LavaMd::small())
+            } else {
+                Box::new(apps::LavaMd::new())
+            }
+        }
+        "srad" => {
+            if small {
+                Box::new(apps::Srad::small())
+            } else {
+                Box::new(apps::Srad::new())
+            }
+        }
+        _ => return None,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_listed_name_resolves() {
+        for name in benchmark_names() {
+            let b = benchmark_by_name(name, Scale::Small)
+                .unwrap_or_else(|| panic!("{name} must resolve"));
+            assert_eq!(b.name(), name);
+        }
+    }
+
+    #[test]
+    fn unknown_names_do_not_resolve() {
+        assert!(benchmark_by_name("not-a-benchmark", Scale::Small).is_none());
+    }
+
+    #[test]
+    fn seventeen_benchmarks() {
+        assert_eq!(benchmark_names().len(), 17);
+    }
+}

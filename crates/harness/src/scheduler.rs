@@ -1,0 +1,96 @@
+//! Parallel job scheduling — the stand-in for the paper's SLURM cluster.
+//!
+//! The paper offloads each (application, algorithm) search to a separate
+//! cluster node; here the jobs fan out over a thread pool via work
+//! stealing from a shared queue. Results are returned in the submission
+//! order of the jobs regardless of completion order.
+
+use crate::job::{Job, JobResult};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// Runs `jobs` on up to `workers` threads and returns their results in
+/// submission order.
+///
+/// # Panics
+///
+/// Panics if `workers == 0`, or if any job panics (unknown benchmark or
+/// algorithm name).
+pub fn run_jobs(jobs: &[Job], workers: usize) -> Vec<JobResult> {
+    assert!(workers > 0, "need at least one worker");
+    if jobs.is_empty() {
+        return Vec::new();
+    }
+    let next = AtomicUsize::new(0);
+    let slots: Vec<Mutex<Option<JobResult>>> =
+        jobs.iter().map(|_| Mutex::new(None)).collect();
+    let workers = workers.min(jobs.len());
+    std::thread::scope(|scope| {
+        for _ in 0..workers {
+            scope.spawn(|| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= jobs.len() {
+                    break;
+                }
+                let result = jobs[i].run();
+                *slots[i].lock().expect("result slot poisoned") = Some(result);
+            });
+        }
+    });
+    slots
+        .into_iter()
+        .map(|slot| {
+            slot.into_inner()
+                .expect("result slot poisoned")
+                .expect("every job ran")
+        })
+        .collect()
+}
+
+/// A sensible worker count for the current machine.
+pub fn default_workers() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(4)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::registry::Scale;
+
+    #[test]
+    fn results_preserve_submission_order() {
+        let jobs: Vec<Job> = ["tridiag", "innerprod", "eos", "hydro-1d"]
+            .iter()
+            .map(|b| Job::new(b, "DD", 1e-3, Scale::Small))
+            .collect();
+        let results = run_jobs(&jobs, 3);
+        let names: Vec<&str> = results.iter().map(|r| r.benchmark.as_str()).collect();
+        assert_eq!(names, vec!["tridiag", "innerprod", "eos", "hydro-1d"]);
+    }
+
+    #[test]
+    fn parallel_matches_serial() {
+        let jobs: Vec<Job> = ["tridiag", "eos"]
+            .iter()
+            .map(|b| Job::new(b, "CB", 1e-3, Scale::Small))
+            .collect();
+        let serial = run_jobs(&jobs, 1);
+        let parallel = run_jobs(&jobs, 2);
+        for (s, p) in serial.iter().zip(&parallel) {
+            assert_eq!(s.result.evaluated, p.result.evaluated);
+            assert_eq!(s.result.speedup(), p.result.speedup());
+        }
+    }
+
+    #[test]
+    fn empty_job_list_is_fine() {
+        assert!(run_jobs(&[], 4).is_empty());
+    }
+
+    #[test]
+    fn default_workers_positive() {
+        assert!(default_workers() > 0);
+    }
+}

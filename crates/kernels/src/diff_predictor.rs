@@ -1,0 +1,173 @@
+//! Difference predictor.
+
+use crate::common::init_data;
+use mixp_core::{
+    Benchmark, BenchmarkKind, ExecCtx, MetricKind, ProgramBuilder, ProgramModel, VarId,
+};
+use mixp_float::MpVec;
+
+/// Difference predictor (Table I) — the Livermore-style chained difference
+/// table: each predictor level is the running difference of the previous
+/// one, and the prediction combines all levels.
+///
+/// The five arrays (`cx` and four predictor levels `px0..px3`) flow through
+/// a common `double**` table parameter, so they form a single cluster
+/// (Table II: TV = 5, TC = 1). The loop is flop-dense over an L1-resident
+/// working set, giving the moderate (≈1.6×) all-single speedup of
+/// Table III.
+#[derive(Debug, Clone)]
+pub struct DiffPredictor {
+    program: ProgramModel,
+    cx: VarId,
+    px: [VarId; 4],
+    n: usize,
+    passes: usize,
+    cx_init: Vec<f64>,
+}
+
+impl DiffPredictor {
+    /// Paper-scale instance.
+    pub fn new() -> Self {
+        Self::with_params(512, 40)
+    }
+
+    /// Reduced instance for unit tests.
+    pub fn small() -> Self {
+        Self::with_params(64, 4)
+    }
+
+    /// Fully parameterised constructor.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n < 2` or `passes == 0`.
+    pub fn with_params(n: usize, passes: usize) -> Self {
+        assert!(n >= 2 && passes > 0);
+        let mut b = ProgramBuilder::new("diff-predictor");
+        let m = b.module("predictor");
+        let f = b.function("diff_predict", m);
+        let cx = b.array(f, "cx");
+        let px = [
+            b.array(f, "px0"),
+            b.array(f, "px1"),
+            b.array(f, "px2"),
+            b.array(f, "px3"),
+        ];
+        // All five arrays are rows of one double** predictor table.
+        for p in px {
+            b.bind(cx, p);
+        }
+        let program = b.build();
+        let cx_init = init_data("diff-predictor", 0, n, 0.01, 0.11);
+        DiffPredictor {
+            program,
+            cx,
+            px,
+            n,
+            passes,
+            cx_init,
+        }
+    }
+}
+
+impl Default for DiffPredictor {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Benchmark for DiffPredictor {
+    fn name(&self) -> &str {
+        "diff-predictor"
+    }
+
+    fn description(&self) -> &str {
+        "Difference predictor"
+    }
+
+    fn kind(&self) -> BenchmarkKind {
+        BenchmarkKind::Kernel
+    }
+
+    fn program(&self) -> &ProgramModel {
+        &self.program
+    }
+
+    fn metric(&self) -> MetricKind {
+        MetricKind::Mae
+    }
+
+    fn run(&self, ctx: &mut ExecCtx<'_>) -> Vec<f64> {
+        let mut cx = MpVec::from_values(ctx, self.cx, &self.cx_init);
+        let mut px: Vec<MpVec> = self
+            .px
+            .iter()
+            .map(|&v| ctx.alloc_vec(v, self.n))
+            .collect();
+        for _ in 0..self.passes {
+            // Build the difference table level by level.
+            for level in 0..4 {
+                for i in 1..self.n {
+                    let (prev_i, prev_im1) = if level == 0 {
+                        (cx.get(ctx, i), cx.get(ctx, i - 1))
+                    } else {
+                        (px[level - 1].get(ctx, i), px[level - 1].get(ctx, i - 1))
+                    };
+                    let d = prev_i - prev_im1;
+                    ctx.flop(self.px[level], &[self.cx], 3);
+                    px[level].set(ctx, i, d);
+                }
+            }
+            // Predict: cx[i] += sum of scaled difference levels. The scales
+            // are powers of two so the combination is numerically benign.
+            #[allow(clippy::needless_range_loop)] // mirrors the C loop shape
+            for i in 1..self.n {
+                let mut acc = cx.get(ctx, i);
+                // Small, halving weights keep the predictor contractive:
+                // the worst-case gain of the difference operator stays
+                // below one, so storage rounding cannot be amplified.
+                let mut w = 0.01;
+                for level in 0..4 {
+                    acc += w * px[level].get(ctx, i);
+                    w *= 0.5;
+                    ctx.flop(self.cx, &[self.px[level]], 4);
+                }
+                cx.set(ctx, i, acc * 0.5);
+                ctx.flop(self.cx, &[], 1);
+            }
+        }
+        cx.snapshot()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mixp_core::{Evaluator, QualityThreshold};
+
+    #[test]
+    fn reference_is_finite() {
+        let k = DiffPredictor::small();
+        let cfg = k.program().config_all_double();
+        let mut ctx = ExecCtx::new(&cfg);
+        let out = k.run(&mut ctx);
+        assert_eq!(out.len(), 64);
+        assert!(out.iter().all(|v| v.is_finite()));
+    }
+
+    #[test]
+    fn five_arrays_one_cluster() {
+        let k = DiffPredictor::small();
+        assert_eq!(k.program().total_variables(), 5);
+        assert_eq!(k.program().total_clusters(), 1);
+    }
+
+    #[test]
+    fn all_single_is_faster_with_small_error() {
+        let k = DiffPredictor::small();
+        let mut ev = Evaluator::new(&k, QualityThreshold::new(1e-3));
+        let rec = ev.evaluate(&k.program().config_all_single()).unwrap();
+        assert!(rec.speedup > 1.2, "speedup {}", rec.speedup);
+        assert!(rec.quality < 1e-6, "error {}", rec.quality);
+    }
+}

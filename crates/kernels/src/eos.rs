@@ -1,0 +1,191 @@
+//! Equation of state fragment.
+
+use crate::common::init_data;
+use mixp_core::{
+    Benchmark, BenchmarkKind, ExecCtx, MetricKind, ProgramBuilder, ProgramModel, VarId,
+};
+use mixp_float::MpVec;
+
+/// Equation of state fragment (Table I) — the Livermore loop 7 shape:
+/// a polynomial combination of several state arrays.
+///
+/// Program model (Table II): TV = 7, TC = 2. The five state arrays share a
+/// cluster (they flow through the fragment's `double*` parameters), the two
+/// rate scalars `q`/`r` share a second cluster (passed by pointer), and the
+/// time-step coefficient `t` is a *literal*, which Typeforge cannot
+/// transform. The literal keeps part of the arithmetic in double and inserts
+/// conversions in every lowered configuration, which is why the paper's
+/// Table III shows ≈1.0 speedup for this kernel.
+#[derive(Debug, Clone)]
+pub struct Eos {
+    program: ProgramModel,
+    x: VarId,
+    y: VarId,
+    z: VarId,
+    u: VarId,
+    w: VarId,
+    q: VarId,
+    r: VarId,
+    t_lit: VarId,
+    n: usize,
+    passes: usize,
+    y_init: Vec<f64>,
+    z_init: Vec<f64>,
+    u_init: Vec<f64>,
+}
+
+impl Eos {
+    /// Paper-scale instance.
+    pub fn new() -> Self {
+        Self::with_params(4096, 10)
+    }
+
+    /// Reduced instance for unit tests.
+    pub fn small() -> Self {
+        Self::with_params(128, 2)
+    }
+
+    /// Fully parameterised constructor.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n < 8` or `passes == 0`.
+    pub fn with_params(n: usize, passes: usize) -> Self {
+        assert!(n >= 8 && passes > 0);
+        let mut b = ProgramBuilder::new("eos");
+        let m = b.module("eos");
+        let f = b.function("state_frag", m);
+        let x = b.array(f, "x");
+        let y = b.array(f, "y");
+        let z = b.array(f, "z");
+        let u = b.array(f, "u");
+        let w = b.array(f, "w");
+        for a in [y, z, u, w] {
+            b.bind(x, a);
+        }
+        let q = b.scalar(f, "q");
+        let r = b.scalar(f, "r");
+        b.bind(q, r); // both passed through one `double*` rates pointer
+        let t_lit = b.literal(f, "t");
+        let program = b.build();
+        Eos {
+            program,
+            x,
+            y,
+            z,
+            u,
+            w,
+            q,
+            r,
+            t_lit,
+            n,
+            passes,
+            y_init: init_data("eos", 0, n, 0.01, 0.11),
+            z_init: init_data("eos", 1, n, 0.01, 0.11),
+            u_init: init_data("eos", 2, n, 0.01, 0.11),
+        }
+    }
+}
+
+impl Default for Eos {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Benchmark for Eos {
+    fn name(&self) -> &str {
+        "eos"
+    }
+
+    fn description(&self) -> &str {
+        "Equation of state fragment"
+    }
+
+    fn kind(&self) -> BenchmarkKind {
+        BenchmarkKind::Kernel
+    }
+
+    fn program(&self) -> &ProgramModel {
+        &self.program
+    }
+
+    fn metric(&self) -> MetricKind {
+        MetricKind::Mae
+    }
+
+    fn run(&self, ctx: &mut ExecCtx<'_>) -> Vec<f64> {
+        let y = MpVec::from_values(ctx, self.y, &self.y_init);
+        let z = MpVec::from_values(ctx, self.z, &self.z_init);
+        let u = MpVec::from_values(ctx, self.u, &self.u_init);
+        let mut x = ctx.alloc_vec(self.x, self.n);
+        let mut w = ctx.alloc_vec(self.w, self.n);
+        let q = mixp_float::MpScalar::new(ctx, self.q, 0.0625);
+        let r = mixp_float::MpScalar::new(ctx, self.r, 0.03125);
+        let t = 0.015625; // literal: always double
+        for _ in 0..self.passes {
+            for i in 0..self.n - 6 {
+                // Inner polynomial over arrays and the rate scalars.
+                let inner = u.get(ctx, i)
+                    + r.get() * (z.get(ctx, i) + r.get() * y.get(ctx, i));
+                ctx.flop(self.x, &[self.u, self.r, self.z, self.y], 4);
+                let hist = u.get(ctx, i + 3)
+                    + q.get() * (u.get(ctx, i + 2) + q.get() * u.get(ctx, i + 1));
+                ctx.flop(self.x, &[self.u, self.q], 4);
+                // The literal time step participates in the final combine:
+                // this op is always double and casts lowered operands.
+                let v = inner + t * hist;
+                ctx.flop(self.x, &[self.t_lit], 2);
+                x.set(ctx, i, v);
+                // Secondary state update, again through the literal.
+                let wv = x.get(ctx, i) * t + u.get(ctx, i);
+                ctx.flop(self.w, &[self.x, self.t_lit, self.u], 2);
+                w.set(ctx, i, wv);
+            }
+        }
+        let mut out = x.snapshot();
+        out.extend(w.snapshot());
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mixp_core::{Evaluator, Precision, QualityThreshold};
+
+    #[test]
+    fn model_matches_table2() {
+        let k = Eos::small();
+        assert_eq!(k.program().total_variables(), 7);
+        assert_eq!(k.program().total_clusters(), 2);
+    }
+
+    #[test]
+    fn literal_stays_double_in_all_single() {
+        let k = Eos::small();
+        let cfg = k.program().config_all_single();
+        assert_eq!(cfg.get(k.t_lit), Precision::Double);
+    }
+
+    #[test]
+    fn all_single_speedup_is_marginal() {
+        // The literal-induced casts erase most of the gain (Table III: ~1.0).
+        let k = Eos::small();
+        let mut ev = Evaluator::new(&k, QualityThreshold::new(1e-3));
+        let rec = ev.evaluate(&k.program().config_all_single()).unwrap();
+        assert!(
+            rec.speedup > 0.8 && rec.speedup < 1.4,
+            "expected near-1.0 speedup, got {}",
+            rec.speedup
+        );
+    }
+
+    #[test]
+    fn error_stays_tiny() {
+        let k = Eos::small();
+        let mut ev = Evaluator::new(&k, QualityThreshold::new(1e-3));
+        let rec = ev.evaluate(&k.program().config_all_single()).unwrap();
+        assert!(rec.quality < 1e-7, "error {}", rec.quality);
+    }
+}

@@ -1,0 +1,157 @@
+//! General linear recurrence equation.
+
+use crate::common::init_data;
+use mixp_core::{
+    Benchmark, BenchmarkKind, ExecCtx, MetricKind, ProgramBuilder, ProgramModel, VarId,
+};
+use mixp_float::MpVec;
+
+/// General linear recurrence equation (Table I) — the Livermore loop 6
+/// shape: a forward recurrence where every element depends on the previous
+/// partial result.
+///
+/// Program model (Table II): TV = 4, TC = 1 — all four arrays flow through
+/// the recurrence's pointer parameters.
+///
+/// The dependent chain cannot be vectorised, so its operations are
+/// latency-bound ([`ExecCtx::heavy`]) and the kernel gains essentially
+/// nothing from single precision (Table III: ≈1.0, and slightly *below*
+/// 1.0 for the suboptimal hierarchical configurations).
+#[derive(Debug, Clone)]
+pub struct GenLinRecur {
+    program: ProgramModel,
+    sa: VarId,
+    sb: VarId,
+    stb: VarId,
+    sx: VarId,
+    n: usize,
+    passes: usize,
+    sa_init: Vec<f64>,
+    sb_init: Vec<f64>,
+}
+
+impl GenLinRecur {
+    /// Paper-scale instance.
+    pub fn new() -> Self {
+        Self::with_params(4096, 10)
+    }
+
+    /// Reduced instance for unit tests.
+    pub fn small() -> Self {
+        Self::with_params(128, 2)
+    }
+
+    /// Fully parameterised constructor.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n < 2` or `passes == 0`.
+    pub fn with_params(n: usize, passes: usize) -> Self {
+        assert!(n >= 2 && passes > 0);
+        let mut b = ProgramBuilder::new("gen-lin-recur");
+        let m = b.module("recurrence");
+        let f = b.function("gen_lin_recur", m);
+        let sa = b.array(f, "sa");
+        let sb = b.array(f, "sb");
+        let stb = b.array(f, "stb");
+        let sx = b.array(f, "sx");
+        for a in [sb, stb, sx] {
+            b.bind(sa, a);
+        }
+        let program = b.build();
+        GenLinRecur {
+            program,
+            sa,
+            sb,
+            stb,
+            sx,
+            n,
+            passes,
+            sa_init: init_data("gen-lin-recur", 0, n, 0.01, 0.11),
+            sb_init: init_data("gen-lin-recur", 1, n, 0.01, 0.11),
+        }
+    }
+}
+
+impl Default for GenLinRecur {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Benchmark for GenLinRecur {
+    fn name(&self) -> &str {
+        "gen-lin-recur"
+    }
+
+    fn description(&self) -> &str {
+        "General linear recurrence equation"
+    }
+
+    fn kind(&self) -> BenchmarkKind {
+        BenchmarkKind::Kernel
+    }
+
+    fn program(&self) -> &ProgramModel {
+        &self.program
+    }
+
+    fn metric(&self) -> MetricKind {
+        MetricKind::Mae
+    }
+
+    fn run(&self, ctx: &mut ExecCtx<'_>) -> Vec<f64> {
+        let sa = MpVec::from_values(ctx, self.sa, &self.sa_init);
+        let sb = MpVec::from_values(ctx, self.sb, &self.sb_init);
+        let mut stb = ctx.alloc_vec(self.stb, self.n);
+        let mut sx = ctx.alloc_vec(self.sx, self.n);
+        for _ in 0..self.passes {
+            // stb[i] = sb[i] - stb[i-1]*sa[i]: a strict forward dependence.
+            for i in 1..self.n {
+                let v = sb.get(ctx, i) - stb.get(ctx, i - 1) * sa.get(ctx, i);
+                ctx.heavy(self.stb, &[self.sb, self.sa], 2);
+                stb.set(ctx, i, v);
+            }
+            // Backward accumulation, equally dependence-bound.
+            for i in (0..self.n - 1).rev() {
+                let v = stb.get(ctx, i) + sx.get(ctx, i + 1) * sa.get(ctx, i);
+                ctx.heavy(self.sx, &[self.stb, self.sa], 2);
+                sx.set(ctx, i, v);
+            }
+        }
+        sx.snapshot()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mixp_core::{Evaluator, QualityThreshold};
+
+    #[test]
+    fn model_matches_table2() {
+        let k = GenLinRecur::small();
+        assert_eq!(k.program().total_variables(), 4);
+        assert_eq!(k.program().total_clusters(), 1);
+    }
+
+    #[test]
+    fn reference_is_finite() {
+        let k = GenLinRecur::small();
+        let cfg = k.program().config_all_double();
+        let mut ctx = ExecCtx::new(&cfg);
+        assert!(k.run(&mut ctx).iter().all(|v| v.is_finite()));
+    }
+
+    #[test]
+    fn all_single_gains_little() {
+        let k = GenLinRecur::small();
+        let mut ev = Evaluator::new(&k, QualityThreshold::new(1e-3));
+        let rec = ev.evaluate(&k.program().config_all_single()).unwrap();
+        assert!(
+            rec.speedup > 0.85 && rec.speedup < 1.35,
+            "latency-bound recurrence should be ~1.0, got {}",
+            rec.speedup
+        );
+    }
+}

@@ -1,0 +1,161 @@
+//! Hydrodynamics fragment.
+
+use crate::common::init_data;
+use mixp_core::{
+    Benchmark, BenchmarkKind, ExecCtx, MetricKind, ProgramBuilder, ProgramModel, VarId,
+};
+use mixp_float::{MpScalar, MpVec};
+
+/// 1-D hydrodynamics fragment (Table I) — the Livermore loop 1 shape:
+/// `x[k] = q + y[k] * (r * z[k+10] + t * z[k+11])`.
+///
+/// Program model (Table II): TV = 6, TC = 2 — the three state arrays form
+/// one cluster, the three coefficient scalars (passed through a common
+/// `double*` coefficients pointer) form the second.
+///
+/// The loop is independent across `k` (fully vectorisable) and flop-dense,
+/// producing the moderate ≈1.7× all-single speedup of Table III.
+#[derive(Debug, Clone)]
+pub struct Hydro1d {
+    program: ProgramModel,
+    x: VarId,
+    y: VarId,
+    z: VarId,
+    q: VarId,
+    r: VarId,
+    t: VarId,
+    n: usize,
+    passes: usize,
+    y_init: Vec<f64>,
+    z_init: Vec<f64>,
+}
+
+impl Hydro1d {
+    /// Paper-scale instance.
+    pub fn new() -> Self {
+        Self::with_params(4096, 12)
+    }
+
+    /// Reduced instance for unit tests.
+    pub fn small() -> Self {
+        Self::with_params(128, 2)
+    }
+
+    /// Fully parameterised constructor.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n <= 11` or `passes == 0`.
+    pub fn with_params(n: usize, passes: usize) -> Self {
+        assert!(n > 11 && passes > 0);
+        let mut b = ProgramBuilder::new("hydro-1d");
+        let m = b.module("hydro");
+        let f = b.function("hydro_frag", m);
+        let x = b.array(f, "x");
+        let y = b.array(f, "y");
+        let z = b.array(f, "z");
+        b.bind(x, y);
+        b.bind(x, z);
+        let q = b.scalar(f, "q");
+        let r = b.scalar(f, "r");
+        let t = b.scalar(f, "t");
+        b.bind(q, r);
+        b.bind(q, t);
+        let program = b.build();
+        Hydro1d {
+            program,
+            x,
+            y,
+            z,
+            q,
+            r,
+            t,
+            n,
+            passes,
+            y_init: init_data("hydro-1d", 0, n, 0.01, 0.11),
+            z_init: init_data("hydro-1d", 1, n, 0.01, 0.11),
+        }
+    }
+}
+
+impl Default for Hydro1d {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Benchmark for Hydro1d {
+    fn name(&self) -> &str {
+        "hydro-1d"
+    }
+
+    fn description(&self) -> &str {
+        "Hydrodynamics fragment"
+    }
+
+    fn kind(&self) -> BenchmarkKind {
+        BenchmarkKind::Kernel
+    }
+
+    fn program(&self) -> &ProgramModel {
+        &self.program
+    }
+
+    fn metric(&self) -> MetricKind {
+        MetricKind::Mae
+    }
+
+    fn run(&self, ctx: &mut ExecCtx<'_>) -> Vec<f64> {
+        let y = MpVec::from_values(ctx, self.y, &self.y_init);
+        let z = MpVec::from_values(ctx, self.z, &self.z_init);
+        let mut x = ctx.alloc_vec(self.x, self.n);
+        let q = MpScalar::new(ctx, self.q, 0.05);
+        let r = MpScalar::new(ctx, self.r, 0.02);
+        let t = MpScalar::new(ctx, self.t, 0.01);
+        for _ in 0..self.passes {
+            for k in 0..self.n - 11 {
+                let v = q.get()
+                    + y.get(ctx, k) * (r.get() * z.get(ctx, k + 10) + t.get() * z.get(ctx, k + 11));
+                // 5 flops: 3 muls, 2 adds, all inside the two clusters.
+                ctx.flop(self.x, &[self.q, self.y, self.r, self.z, self.t], 7);
+                x.set(ctx, k, v);
+            }
+        }
+        x.snapshot()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mixp_core::{Evaluator, QualityThreshold};
+
+    #[test]
+    fn model_matches_table2() {
+        let k = Hydro1d::small();
+        assert_eq!(k.program().total_variables(), 6);
+        assert_eq!(k.program().total_clusters(), 2);
+    }
+
+    #[test]
+    fn all_single_speedup_is_moderate() {
+        let k = Hydro1d::small();
+        let mut ev = Evaluator::new(&k, QualityThreshold::new(1e-3));
+        let rec = ev.evaluate(&k.program().config_all_single()).unwrap();
+        assert!(rec.speedup > 1.3, "speedup {}", rec.speedup);
+        assert!(rec.quality < 1e-6);
+    }
+
+    #[test]
+    fn lowering_only_the_scalars_changes_little() {
+        let k = Hydro1d::small();
+        let mut ev = Evaluator::new(&k, QualityThreshold::new(1e-3));
+        // Lower the scalar cluster only: arrays stay double, ops stay f64,
+        // and each op casts the narrow scalar inputs.
+        let scalars = [k.q, k.r, k.t];
+        let cfg = mixp_core::PrecisionConfig::from_lowered(k.program().var_count(), scalars);
+        let rec = ev.evaluate(&cfg).unwrap();
+        assert!(rec.compiled);
+        assert!(rec.speedup < 1.05, "speedup {}", rec.speedup);
+    }
+}

@@ -1,0 +1,152 @@
+//! Incomplete Cholesky conjugate gradient fragment.
+
+use crate::common::init_data;
+use mixp_core::{
+    Benchmark, BenchmarkKind, ExecCtx, MetricKind, ProgramBuilder, ProgramModel, VarId,
+};
+use mixp_float::MpVec;
+
+/// Incomplete Cholesky conjugate gradient fragment (Table I) — the
+/// Livermore loop 2 shape: a butterfly-style reduction with halving strides,
+/// `x[ipnt+i] = x[ipnt+i] - v[i]*x[ipnt+i+1]`.
+///
+/// Program model (Table II): TV = 2, TC = 1 — `x` and `v` flow through the
+/// same solver pointer parameters.
+///
+/// The inner loop is independent at each level and flop-dense over a small
+/// working set, giving the ≈1.9× all-single speedup of Table III.
+#[derive(Debug, Clone)]
+pub struct Iccg {
+    program: ProgramModel,
+    x: VarId,
+    v: VarId,
+    n: usize,
+    passes: usize,
+    x_init: Vec<f64>,
+    v_init: Vec<f64>,
+}
+
+impl Iccg {
+    /// Paper-scale instance (`n` must be a power of two).
+    pub fn new() -> Self {
+        Self::with_params(4096, 16)
+    }
+
+    /// Reduced instance for unit tests.
+    pub fn small() -> Self {
+        Self::with_params(128, 2)
+    }
+
+    /// Fully parameterised constructor.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n < 4`, `n` is not a power of two, or `passes == 0`.
+    pub fn with_params(n: usize, passes: usize) -> Self {
+        assert!(n >= 4 && n.is_power_of_two() && passes > 0);
+        let mut b = ProgramBuilder::new("iccg");
+        let m = b.module("iccg");
+        let f = b.function("iccg_frag", m);
+        let x = b.array(f, "x");
+        let v = b.array(f, "v");
+        b.bind(x, v);
+        let program = b.build();
+        Iccg {
+            program,
+            x,
+            v,
+            n,
+            passes,
+            x_init: init_data("iccg", 0, 2 * n, 0.01, 0.11),
+            v_init: init_data("iccg", 1, 2 * n, 0.001, 0.011),
+        }
+    }
+}
+
+impl Default for Iccg {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Benchmark for Iccg {
+    fn name(&self) -> &str {
+        "iccg"
+    }
+
+    fn description(&self) -> &str {
+        "Incomplete Cholesky conjugate gradient"
+    }
+
+    fn kind(&self) -> BenchmarkKind {
+        BenchmarkKind::Kernel
+    }
+
+    fn program(&self) -> &ProgramModel {
+        &self.program
+    }
+
+    fn metric(&self) -> MetricKind {
+        MetricKind::Mae
+    }
+
+    fn run(&self, ctx: &mut ExecCtx<'_>) -> Vec<f64> {
+        let mut x = MpVec::from_values(ctx, self.x, &self.x_init);
+        let v = MpVec::from_values(ctx, self.v, &self.v_init);
+        for _ in 0..self.passes {
+            // Butterfly reduction: level sizes n/2, n/4, ..., 1.
+            let mut ii = self.n;
+            let mut ipntp = 0;
+            while ii > 1 {
+                let ipnt = ipntp;
+                ipntp += ii;
+                ii /= 2;
+                let mut i = ipntp;
+                #[allow(clippy::explicit_counter_loop)] // mirrors the C loop
+                for k in ((ipnt + 1)..(ipntp - 1)).step_by(2) {
+                    let val = x.get(ctx, k) - v.get(ctx, k) * x.get(ctx, k - 1)
+                        + v.get(ctx, k + 1) * x.get(ctx, k + 1);
+                    ctx.flop(self.x, &[self.v], 9);
+                    x.set(ctx, i, val);
+                    i += 1;
+                }
+            }
+        }
+        x.snapshot()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mixp_core::{Evaluator, QualityThreshold};
+
+    #[test]
+    fn model_matches_table2() {
+        let k = Iccg::small();
+        assert_eq!(k.program().total_variables(), 2);
+        assert_eq!(k.program().total_clusters(), 1);
+    }
+
+    #[test]
+    fn reference_is_finite() {
+        let k = Iccg::small();
+        let cfg = k.program().config_all_double();
+        let mut ctx = ExecCtx::new(&cfg);
+        assert!(k.run(&mut ctx).iter().all(|v| v.is_finite()));
+    }
+
+    #[test]
+    fn all_single_is_clearly_faster() {
+        let k = Iccg::small();
+        let mut ev = Evaluator::new(&k, QualityThreshold::new(1e-3));
+        let rec = ev.evaluate(&k.program().config_all_single()).unwrap();
+        assert!(rec.speedup > 1.3, "speedup {}", rec.speedup);
+    }
+
+    #[test]
+    #[should_panic]
+    fn non_power_of_two_rejected() {
+        Iccg::with_params(100, 1);
+    }
+}

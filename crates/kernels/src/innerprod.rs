@@ -1,0 +1,156 @@
+//! Inner product.
+
+use crate::common::init_data;
+use mixp_core::{
+    Benchmark, BenchmarkKind, ExecCtx, MetricKind, ProgramBuilder, ProgramModel, VarId,
+};
+use mixp_float::{MpScalar, MpVec};
+
+/// Inner product (Table I) — the Livermore loop 3 shape:
+/// `q += z[k] * x[k]`.
+///
+/// Program model (Table II): TV = 3, TC = 2 — the two streamed arrays share
+/// a cluster; the accumulator `q` is its own cluster.
+///
+/// The multiply is vectorisable, but the accumulation is a strict dependence
+/// chain whose latency is identical at either precision, and the arrays are
+/// streamed once per pass (cold misses at both widths). The result is the
+/// ≈1.0× speedup of Table III — lowering an inner product buys almost
+/// nothing.
+#[derive(Debug, Clone)]
+pub struct InnerProd {
+    program: ProgramModel,
+    z: VarId,
+    x: VarId,
+    q: VarId,
+    n: usize,
+    passes: usize,
+    z_init: Vec<f64>,
+    x_init: Vec<f64>,
+}
+
+impl InnerProd {
+    /// Paper-scale instance.
+    pub fn new() -> Self {
+        Self::with_params(8192, 8)
+    }
+
+    /// Reduced instance for unit tests.
+    pub fn small() -> Self {
+        Self::with_params(256, 2)
+    }
+
+    /// Fully parameterised constructor.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0` or `passes == 0`.
+    pub fn with_params(n: usize, passes: usize) -> Self {
+        assert!(n > 0 && passes > 0);
+        let mut b = ProgramBuilder::new("innerprod");
+        let m = b.module("innerprod");
+        let f = b.function("inner_prod", m);
+        let z = b.array(f, "z");
+        let x = b.array(f, "x");
+        b.bind(z, x);
+        let q = b.scalar(f, "q");
+        let program = b.build();
+        InnerProd {
+            program,
+            z,
+            x,
+            q,
+            n,
+            passes,
+            z_init: init_data("innerprod", 0, n, 0.001, 0.011),
+            x_init: init_data("innerprod", 1, n, 0.001, 0.011),
+        }
+    }
+}
+
+impl Default for InnerProd {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Benchmark for InnerProd {
+    fn name(&self) -> &str {
+        "innerprod"
+    }
+
+    fn description(&self) -> &str {
+        "Inner product"
+    }
+
+    fn kind(&self) -> BenchmarkKind {
+        BenchmarkKind::Kernel
+    }
+
+    fn program(&self) -> &ProgramModel {
+        &self.program
+    }
+
+    fn metric(&self) -> MetricKind {
+        MetricKind::Mae
+    }
+
+    fn run(&self, ctx: &mut ExecCtx<'_>) -> Vec<f64> {
+        let z = MpVec::from_values(ctx, self.z, &self.z_init);
+        let x = MpVec::from_values(ctx, self.x, &self.x_init);
+        let mut out = Vec::with_capacity(self.passes);
+        for p in 0..self.passes {
+            let mut q = MpScalar::new(ctx, self.q, 0.0);
+            for k in 0..self.n {
+                let prod = z.get(ctx, k) * x.get(ctx, k);
+                ctx.flop(self.q, &[self.z, self.x], 1);
+                // The accumulation is a serial dependence chain: its latency
+                // does not shrink at single precision.
+                q.set(ctx, q.get() + prod * (1.0 + p as f64 * 1e-6));
+                ctx.heavy(self.q, &[], 2);
+            }
+            out.push(q.get());
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mixp_core::{Evaluator, QualityThreshold};
+
+    #[test]
+    fn model_matches_table2() {
+        let k = InnerProd::small();
+        assert_eq!(k.program().total_variables(), 3);
+        assert_eq!(k.program().total_clusters(), 2);
+    }
+
+    #[test]
+    fn reference_matches_direct_dot_product() {
+        let k = InnerProd::with_params(64, 1);
+        let cfg = k.program().config_all_double();
+        let mut ctx = ExecCtx::new(&cfg);
+        let out = k.run(&mut ctx);
+        let expect: f64 = k
+            .z_init
+            .iter()
+            .zip(&k.x_init)
+            .map(|(a, b)| a * b)
+            .sum();
+        assert!((out[0] - expect).abs() < 1e-12);
+    }
+
+    #[test]
+    fn all_single_speedup_is_marginal() {
+        let k = InnerProd::small();
+        let mut ev = Evaluator::new(&k, QualityThreshold::new(1e-3));
+        let rec = ev.evaluate(&k.program().config_all_single()).unwrap();
+        assert!(
+            rec.speedup > 0.9 && rec.speedup < 1.4,
+            "dot product should gain little, got {}",
+            rec.speedup
+        );
+    }
+}

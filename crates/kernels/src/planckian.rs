@@ -1,0 +1,164 @@
+//! Planckian distribution.
+
+use crate::common::init_data;
+use mixp_core::{
+    Benchmark, BenchmarkKind, ExecCtx, MetricKind, ProgramBuilder, ProgramModel, VarId,
+};
+use mixp_float::{MpScalar, MpVec};
+
+/// Planckian distribution (Table I) — the Livermore loop 22 shape:
+/// `w[k] = x[k] / (exp(y[k] / v[k]) - 1)`.
+///
+/// Program model (Table II): TV = 6, TC = 2 — four arrays share a cluster;
+/// the two range scalars (`expmax` and the normalisation `u`), passed by
+/// pointer, form the second.
+///
+/// The loop is dominated by `exp` and divide — transcendental latency that
+/// does not shrink at single precision — so Table III shows ≈1.0×.
+#[derive(Debug, Clone)]
+pub struct Planckian {
+    program: ProgramModel,
+    w: VarId,
+    x: VarId,
+    y: VarId,
+    v: VarId,
+    expmax: VarId,
+    u: VarId,
+    n: usize,
+    passes: usize,
+    x_init: Vec<f64>,
+    y_init: Vec<f64>,
+    v_init: Vec<f64>,
+}
+
+impl Planckian {
+    /// Paper-scale instance.
+    pub fn new() -> Self {
+        Self::with_params(4096, 8)
+    }
+
+    /// Reduced instance for unit tests.
+    pub fn small() -> Self {
+        Self::with_params(128, 2)
+    }
+
+    /// Fully parameterised constructor.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0` or `passes == 0`.
+    pub fn with_params(n: usize, passes: usize) -> Self {
+        assert!(n > 0 && passes > 0);
+        let mut b = ProgramBuilder::new("planckian");
+        let m = b.module("planckian");
+        let f = b.function("planck", m);
+        let w = b.array(f, "w");
+        let x = b.array(f, "x");
+        let y = b.array(f, "y");
+        let v = b.array(f, "v");
+        for a in [x, y, v] {
+            b.bind(w, a);
+        }
+        let expmax = b.scalar(f, "expmax");
+        let u = b.scalar(f, "u");
+        b.bind(expmax, u);
+        let program = b.build();
+        Planckian {
+            program,
+            w,
+            x,
+            y,
+            v,
+            expmax,
+            u,
+            n,
+            passes,
+            x_init: init_data("planckian", 0, n, 0.01, 0.11),
+            y_init: init_data("planckian", 1, n, 0.5, 1.5),
+            v_init: init_data("planckian", 2, n, 0.5, 1.5),
+        }
+    }
+}
+
+impl Default for Planckian {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Benchmark for Planckian {
+    fn name(&self) -> &str {
+        "planckian"
+    }
+
+    fn description(&self) -> &str {
+        "Planckian distribution"
+    }
+
+    fn kind(&self) -> BenchmarkKind {
+        BenchmarkKind::Kernel
+    }
+
+    fn program(&self) -> &ProgramModel {
+        &self.program
+    }
+
+    fn metric(&self) -> MetricKind {
+        MetricKind::Mae
+    }
+
+    fn run(&self, ctx: &mut ExecCtx<'_>) -> Vec<f64> {
+        let x = MpVec::from_values(ctx, self.x, &self.x_init);
+        let y = MpVec::from_values(ctx, self.y, &self.y_init);
+        let v = MpVec::from_values(ctx, self.v, &self.v_init);
+        let mut w = ctx.alloc_vec(self.w, self.n);
+        let expmax = MpScalar::new(ctx, self.expmax, 20.0);
+        let u = MpScalar::new(ctx, self.u, 0.990);
+        for _ in 0..self.passes {
+            for k in 0..self.n {
+                let ratio = (y.get(ctx, k) / v.get(ctx, k)).min(expmax.get());
+                ctx.heavy(self.w, &[self.y, self.v, self.expmax], 1);
+                let denom = ratio.exp() - u.get();
+                ctx.heavy(self.w, &[self.u], 1);
+                let val = x.get(ctx, k) / denom;
+                ctx.heavy(self.w, &[self.x], 1);
+                w.set(ctx, k, val);
+            }
+        }
+        w.snapshot()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mixp_core::{Evaluator, QualityThreshold};
+
+    #[test]
+    fn model_matches_table2() {
+        let k = Planckian::small();
+        assert_eq!(k.program().total_variables(), 6);
+        assert_eq!(k.program().total_clusters(), 2);
+    }
+
+    #[test]
+    fn reference_is_finite_positive() {
+        let k = Planckian::small();
+        let cfg = k.program().config_all_double();
+        let mut ctx = ExecCtx::new(&cfg);
+        let out = k.run(&mut ctx);
+        assert!(out.iter().all(|v| v.is_finite() && *v > 0.0));
+    }
+
+    #[test]
+    fn transcendental_loop_gains_little() {
+        let k = Planckian::small();
+        let mut ev = Evaluator::new(&k, QualityThreshold::new(1e-3));
+        let rec = ev.evaluate(&k.program().config_all_single()).unwrap();
+        assert!(
+            rec.speedup > 0.9 && rec.speedup < 1.4,
+            "exp-bound loop should be ~1.0, got {}",
+            rec.speedup
+        );
+    }
+}

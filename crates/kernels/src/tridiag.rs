@@ -1,0 +1,150 @@
+//! Tridiagonal linear systems solution.
+
+use crate::common::init_data;
+use mixp_core::{
+    Benchmark, BenchmarkKind, ExecCtx, MetricKind, ProgramBuilder, ProgramModel, VarId,
+};
+use mixp_float::MpVec;
+
+/// Tridiagonal linear systems solution (Table I) — the Livermore loop 5
+/// shape: `x[i] = z[i] * (y[i] - x[i-1])`, a strict forward elimination.
+///
+/// Program model (Table II): TV = 3, TC = 1 — all three arrays flow through
+/// the solver's pointer parameters.
+///
+/// Like [`crate::GenLinRecur`], the loop is a serial dependence chain:
+/// latency-bound at either precision, so Table III shows ≈1.0×.
+#[derive(Debug, Clone)]
+pub struct Tridiag {
+    program: ProgramModel,
+    x: VarId,
+    y: VarId,
+    z: VarId,
+    n: usize,
+    passes: usize,
+    y_init: Vec<f64>,
+    z_init: Vec<f64>,
+}
+
+impl Tridiag {
+    /// Paper-scale instance.
+    pub fn new() -> Self {
+        Self::with_params(4096, 10)
+    }
+
+    /// Reduced instance for unit tests.
+    pub fn small() -> Self {
+        Self::with_params(128, 2)
+    }
+
+    /// Fully parameterised constructor.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n < 2` or `passes == 0`.
+    pub fn with_params(n: usize, passes: usize) -> Self {
+        assert!(n >= 2 && passes > 0);
+        let mut b = ProgramBuilder::new("tridiag");
+        let m = b.module("tridiag");
+        let f = b.function("tridiag_solve", m);
+        let x = b.array(f, "x");
+        let y = b.array(f, "y");
+        let z = b.array(f, "z");
+        b.bind(x, y);
+        b.bind(x, z);
+        let program = b.build();
+        Tridiag {
+            program,
+            x,
+            y,
+            z,
+            n,
+            passes,
+            y_init: init_data("tridiag", 0, n, 0.01, 0.11),
+            z_init: init_data("tridiag", 1, n, 0.1, 0.9),
+        }
+    }
+}
+
+impl Default for Tridiag {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Benchmark for Tridiag {
+    fn name(&self) -> &str {
+        "tridiag"
+    }
+
+    fn description(&self) -> &str {
+        "Tridiagonal linear systems solution"
+    }
+
+    fn kind(&self) -> BenchmarkKind {
+        BenchmarkKind::Kernel
+    }
+
+    fn program(&self) -> &ProgramModel {
+        &self.program
+    }
+
+    fn metric(&self) -> MetricKind {
+        MetricKind::Mae
+    }
+
+    fn run(&self, ctx: &mut ExecCtx<'_>) -> Vec<f64> {
+        let y = MpVec::from_values(ctx, self.y, &self.y_init);
+        let z = MpVec::from_values(ctx, self.z, &self.z_init);
+        let mut x = ctx.alloc_vec(self.x, self.n);
+        for _ in 0..self.passes {
+            for i in 1..self.n {
+                let v = z.get(ctx, i) * (y.get(ctx, i) - x.get(ctx, i - 1));
+                // Serial chain: each element waits on x[i-1].
+                ctx.heavy(self.x, &[self.z, self.y], 2);
+                x.set(ctx, i, v);
+            }
+        }
+        x.snapshot()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mixp_core::{Evaluator, QualityThreshold};
+
+    #[test]
+    fn model_matches_table2() {
+        let k = Tridiag::small();
+        assert_eq!(k.program().total_variables(), 3);
+        assert_eq!(k.program().total_clusters(), 1);
+    }
+
+    #[test]
+    fn forward_elimination_matches_direct_computation() {
+        let k = Tridiag::with_params(16, 1);
+        let cfg = k.program().config_all_double();
+        let mut ctx = ExecCtx::new(&cfg);
+        let out = k.run(&mut ctx);
+        let mut expect = vec![0.0f64; 16];
+        for i in 1..16 {
+            expect[i] = k.z_init[i] * (k.y_init[i] - expect[i - 1]);
+        }
+        for (o, e) in out.iter().zip(&expect) {
+            assert!((o - e).abs() < 1e-15);
+        }
+    }
+
+    #[test]
+    fn serial_chain_gains_little() {
+        let k = Tridiag::small();
+        let mut ev = Evaluator::new(&k, QualityThreshold::new(1e-3));
+        let rec = ev.evaluate(&k.program().config_all_single()).unwrap();
+        assert!(
+            rec.speedup > 0.9 && rec.speedup < 1.4,
+            "serial solve should be ~1.0, got {}",
+            rec.speedup
+        );
+    }
+}

@@ -1,0 +1,202 @@
+//! Precision configurations — the points of the mixed-precision search space.
+
+use crate::{Precision, VarId};
+use std::fmt;
+
+/// Assigns a storage precision to every tunable variable of a benchmark.
+///
+/// A configuration is the unit the search algorithms manipulate: the original
+/// program is [`PrecisionConfig::all_double`], the fully transformed program
+/// is [`PrecisionConfig::all_single`], and the search explores the lattice in
+/// between.
+///
+/// # Example
+///
+/// ```
+/// use mixp_float::{Precision, PrecisionConfig, VarId};
+///
+/// let mut cfg = PrecisionConfig::all_double(3);
+/// cfg.set(VarId::from_index(1), Precision::Single);
+/// assert_eq!(cfg.lowered_count(), 1);
+/// assert_eq!(cfg.get(VarId::from_index(0)), Precision::Double);
+/// assert_eq!(cfg.get(VarId::from_index(1)), Precision::Single);
+/// ```
+#[derive(Clone, PartialEq, Eq, Hash)]
+pub struct PrecisionConfig {
+    prec: Vec<Precision>,
+}
+
+impl PrecisionConfig {
+    /// A configuration with every variable at the given precision.
+    pub fn uniform(len: usize, prec: Precision) -> Self {
+        PrecisionConfig {
+            prec: vec![prec; len],
+        }
+    }
+
+    /// The original, untransformed program: everything `Double`.
+    pub fn all_double(len: usize) -> Self {
+        Self::uniform(len, Precision::Double)
+    }
+
+    /// The fully transformed program: everything `Single`.
+    pub fn all_single(len: usize) -> Self {
+        Self::uniform(len, Precision::Single)
+    }
+
+    /// Builds a configuration from the set of variables lowered to single
+    /// precision; all others stay double.
+    pub fn from_lowered(len: usize, lowered: impl IntoIterator<Item = VarId>) -> Self {
+        let mut cfg = Self::all_double(len);
+        for v in lowered {
+            cfg.set(v, Precision::Single);
+        }
+        cfg
+    }
+
+    /// The precision of variable `v`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v` is out of range for this configuration.
+    #[inline]
+    pub fn get(&self, v: VarId) -> Precision {
+        self.prec[v.index()]
+    }
+
+    /// Sets the precision of variable `v`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v` is out of range for this configuration.
+    #[inline]
+    pub fn set(&mut self, v: VarId, prec: Precision) {
+        self.prec[v.index()] = prec;
+    }
+
+    /// Number of variables covered by this configuration.
+    pub fn len(&self) -> usize {
+        self.prec.len()
+    }
+
+    /// Whether the configuration covers zero variables.
+    pub fn is_empty(&self) -> bool {
+        self.prec.is_empty()
+    }
+
+    /// How many variables are lowered below double precision.
+    pub fn lowered_count(&self) -> usize {
+        self.prec
+            .iter()
+            .filter(|p| **p != Precision::Double)
+            .count()
+    }
+
+    /// Ids of all variables currently lowered below double precision.
+    pub fn lowered_vars(&self) -> impl Iterator<Item = VarId> + '_ {
+        self.prec
+            .iter()
+            .enumerate()
+            .filter(|(_, p)| **p != Precision::Double)
+            .map(|(i, _)| VarId::from_index(i))
+    }
+
+    /// Iterates over `(var, precision)` pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (VarId, Precision)> + '_ {
+        self.prec
+            .iter()
+            .enumerate()
+            .map(|(i, p)| (VarId::from_index(i), *p))
+    }
+
+    /// Whether every variable is double (the identity transformation).
+    pub fn is_all_double(&self) -> bool {
+        self.prec.iter().all(|p| *p == Precision::Double)
+    }
+
+    /// Whether every variable is single.
+    pub fn is_all_single(&self) -> bool {
+        self.prec.iter().all(|p| *p == Precision::Single)
+    }
+
+    /// A compact bitstring key (`'s'`/`'d'` per variable) usable for
+    /// memoising evaluations of identical configurations.
+    pub fn key(&self) -> String {
+        self.prec
+            .iter()
+            .map(|p| match p {
+                Precision::Half => 'h',
+                Precision::Single => 's',
+                Precision::Double => 'd',
+            })
+            .collect()
+    }
+}
+
+impl fmt::Debug for PrecisionConfig {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "PrecisionConfig({})", self.key())
+    }
+}
+
+impl fmt::Display for PrecisionConfig {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.key())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_double_has_no_lowered() {
+        let cfg = PrecisionConfig::all_double(5);
+        assert_eq!(cfg.lowered_count(), 0);
+        assert!(cfg.is_all_double());
+        assert!(!cfg.is_all_single());
+    }
+
+    #[test]
+    fn all_single_lowers_everything() {
+        let cfg = PrecisionConfig::all_single(5);
+        assert_eq!(cfg.lowered_count(), 5);
+        assert!(cfg.is_all_single());
+    }
+
+    #[test]
+    fn from_lowered_sets_exactly_those() {
+        let cfg =
+            PrecisionConfig::from_lowered(4, [VarId::from_index(0), VarId::from_index(3)]);
+        assert_eq!(cfg.get(VarId::from_index(0)), Precision::Single);
+        assert_eq!(cfg.get(VarId::from_index(1)), Precision::Double);
+        assert_eq!(cfg.get(VarId::from_index(2)), Precision::Double);
+        assert_eq!(cfg.get(VarId::from_index(3)), Precision::Single);
+        let lowered: Vec<VarId> = cfg.lowered_vars().collect();
+        assert_eq!(lowered, vec![VarId::from_index(0), VarId::from_index(3)]);
+    }
+
+    #[test]
+    fn key_is_unique_per_assignment() {
+        let a = PrecisionConfig::from_lowered(3, [VarId::from_index(0)]);
+        let b = PrecisionConfig::from_lowered(3, [VarId::from_index(1)]);
+        assert_ne!(a.key(), b.key());
+        assert_eq!(a.key(), "sdd");
+        assert_eq!(b.key(), "dsd");
+    }
+
+    #[test]
+    fn empty_config_is_both_extremes() {
+        let cfg = PrecisionConfig::all_double(0);
+        assert!(cfg.is_empty());
+        assert!(cfg.is_all_double());
+        assert!(cfg.is_all_single());
+    }
+
+    #[test]
+    fn debug_contains_key() {
+        let cfg = PrecisionConfig::all_single(2);
+        assert_eq!(format!("{cfg:?}"), "PrecisionConfig(ss)");
+        assert_eq!(cfg.to_string(), "ss");
+    }
+}

@@ -1,0 +1,340 @@
+//! Execution context: the bridge between a benchmark's arithmetic and the
+//! active [`PrecisionConfig`].
+
+use crate::{OpCounts, Precision, PrecisionConfig, VarId};
+
+/// Receives the synthetic memory-access stream of a benchmark run.
+///
+/// Implemented by the cache simulator in `mixp-perf`; a run without a tracer
+/// still counts loads/stores in [`OpCounts`] but produces no cache
+/// statistics.
+pub trait MemoryTracer {
+    /// Records one access of `bytes` bytes at synthetic address `addr`.
+    fn access(&mut self, addr: u64, bytes: u8, write: bool);
+}
+
+/// Per-run execution context.
+///
+/// A benchmark run borrows the configuration under test, allocates its arrays
+/// through [`ExecCtx::alloc_vec`] (which assigns synthetic base addresses
+/// packed by the *configured* element width, so lowering an array genuinely
+/// halves its footprint), and reports arithmetic through [`ExecCtx::flop`].
+///
+/// # Example
+///
+/// ```
+/// use mixp_float::{ExecCtx, Precision, PrecisionConfig, VarRegistry};
+///
+/// let mut reg = VarRegistry::new();
+/// let a = reg.fresh("a");
+/// let b = reg.fresh("b");
+/// let mut cfg = PrecisionConfig::all_double(reg.len());
+/// cfg.set(b, Precision::Single);
+///
+/// let mut ctx = ExecCtx::new(&cfg);
+/// // One op mixing a double and a single operand: performed in double,
+/// // with one conversion for the single operand.
+/// ctx.flop(a, &[b], 1);
+/// assert_eq!(ctx.counts().flops_f64, 1);
+/// assert_eq!(ctx.counts().casts, 1);
+/// ```
+pub struct ExecCtx<'a> {
+    cfg: &'a PrecisionConfig,
+    counts: OpCounts,
+    tracer: Option<&'a mut dyn MemoryTracer>,
+    next_base: u64,
+    allocations: Vec<(VarId, u64, u64)>,
+}
+
+impl<'a> std::fmt::Debug for ExecCtx<'a> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ExecCtx")
+            .field("counts", &self.counts)
+            .field("traced", &self.tracer.is_some())
+            .field("next_base", &self.next_base)
+            .finish()
+    }
+}
+
+impl<'a> ExecCtx<'a> {
+    /// Creates a context with operation counting only (no memory tracing).
+    pub fn new(cfg: &'a PrecisionConfig) -> Self {
+        ExecCtx {
+            cfg,
+            counts: OpCounts::new(),
+            tracer: None,
+            next_base: 0x1000,
+            allocations: Vec::new(),
+        }
+    }
+
+    /// Creates a context that additionally streams array accesses to
+    /// `tracer`.
+    pub fn with_tracer(cfg: &'a PrecisionConfig, tracer: &'a mut dyn MemoryTracer) -> Self {
+        ExecCtx {
+            cfg,
+            counts: OpCounts::new(),
+            tracer: Some(tracer),
+            next_base: 0x1000,
+            allocations: Vec::new(),
+        }
+    }
+
+    /// The configuration this run executes under.
+    pub fn config(&self) -> &PrecisionConfig {
+        self.cfg
+    }
+
+    /// The storage precision of `var` under the active configuration.
+    #[inline]
+    pub fn precision_of(&self, var: VarId) -> Precision {
+        self.cfg.get(var)
+    }
+
+    /// Operation counters accumulated so far.
+    pub fn counts(&self) -> OpCounts {
+        self.counts
+    }
+
+    /// Reserves a synthetic address range of `len` elements for `var` at its
+    /// configured width and returns the 64-byte-aligned base address.
+    ///
+    /// Used by [`crate::MpVec`]; exposed for substrates that lay out their
+    /// own structures.
+    pub fn reserve(&mut self, var: VarId, len: usize) -> u64 {
+        let base = self.next_base;
+        let bytes = len as u64 * self.precision_of(var).bytes();
+        // Round the next base up to a cache line so arrays never share lines.
+        self.next_base = (base + bytes + 63) & !63;
+        self.allocations.push((var, base, bytes));
+        base
+    }
+
+    /// The synthetic allocations made so far: `(variable, base, bytes)`.
+    /// Consumed by the profiling substrate to attribute memory traffic to
+    /// program variables.
+    pub fn allocations(&self) -> &[(VarId, u64, u64)] {
+        &self.allocations
+    }
+
+    /// Allocates an `len`-element array for `var`, zero-initialised.
+    pub fn alloc_vec(&mut self, var: VarId, len: usize) -> crate::MpVec {
+        crate::MpVec::zeroed(self, var, len)
+    }
+
+    /// Records `count` floating-point operations whose destination is `dst`
+    /// and whose floating-point source variables are `srcs`.
+    ///
+    /// The operation executes at the widest precision among destination and
+    /// sources (the usual arithmetic conversions); every involved variable
+    /// stored at a narrower precision costs one conversion per operation.
+    pub fn flop(&mut self, dst: VarId, srcs: &[VarId], count: u64) {
+        let mut op_prec = self.precision_of(dst);
+        for &s in srcs {
+            op_prec = op_prec.widest(self.precision_of(s));
+        }
+        let mut narrow = 0u64;
+        if self.precision_of(dst) != op_prec {
+            narrow += 1;
+        }
+        for &s in srcs {
+            if self.precision_of(s) != op_prec {
+                narrow += 1;
+            }
+        }
+        match op_prec {
+            Precision::Half => self.counts.flops_f16 += count,
+            Precision::Single => self.counts.flops_f32 += count,
+            Precision::Double => self.counts.flops_f64 += count,
+        }
+        self.counts.casts += narrow * count;
+    }
+
+    /// Records `count` *heavy* operations (divide, sqrt, exp, log, pow, …)
+    /// whose destination is `dst` and floating-point sources are `srcs`.
+    ///
+    /// Conversion accounting follows [`ExecCtx::flop`]; the counts land in
+    /// the `heavy_*` counters, which the cost model charges (almost) equally
+    /// at both precisions.
+    pub fn heavy(&mut self, dst: VarId, srcs: &[VarId], count: u64) {
+        let mut op_prec = self.precision_of(dst);
+        for &s in srcs {
+            op_prec = op_prec.widest(self.precision_of(s));
+        }
+        let mut narrow = 0u64;
+        if self.precision_of(dst) != op_prec {
+            narrow += 1;
+        }
+        for &s in srcs {
+            if self.precision_of(s) != op_prec {
+                narrow += 1;
+            }
+        }
+        match op_prec {
+            Precision::Half => self.counts.heavy_f16 += count,
+            Precision::Single => self.counts.heavy_f32 += count,
+            Precision::Double => self.counts.heavy_f64 += count,
+        }
+        self.counts.casts += narrow * count;
+    }
+
+    /// Records `count` operations among variables that all share `var`'s
+    /// precision (a common shorthand for elementwise updates).
+    pub fn flop_uniform(&mut self, var: VarId, count: u64) {
+        match self.precision_of(var) {
+            Precision::Half => self.counts.flops_f16 += count,
+            Precision::Single => self.counts.flops_f32 += count,
+            Precision::Double => self.counts.flops_f64 += count,
+        }
+    }
+
+    /// Reserves a synthetic address range of `bytes` bytes for non-float
+    /// data (index arrays, neighbour lists) whose size does not depend on
+    /// the precision configuration.
+    pub fn reserve_untyped(&mut self, bytes: u64) -> u64 {
+        let base = self.next_base;
+        self.next_base = (base + bytes + 63) & !63;
+        base
+    }
+
+    /// Streams one access to non-float data to the tracer. Not counted in
+    /// [`OpCounts`] (those track floating-point traffic only), but it does
+    /// occupy cache — int index arrays compete with the float working set.
+    pub fn trace_untyped(&mut self, addr: u64, bytes: u8, write: bool) {
+        if let Some(tr) = self.tracer.as_deref_mut() {
+            tr.access(addr, bytes, write);
+        }
+    }
+
+    pub(crate) fn record_load(&mut self, var: VarId, base: u64, index: usize) {
+        let prec = self.precision_of(var);
+        match prec {
+            Precision::Half => self.counts.loads_f16 += 1,
+            Precision::Single => self.counts.loads_f32 += 1,
+            Precision::Double => self.counts.loads_f64 += 1,
+        }
+        if let Some(tr) = self.tracer.as_deref_mut() {
+            let b = prec.bytes();
+            tr.access(base + index as u64 * b, b as u8, false);
+        }
+    }
+
+    pub(crate) fn record_store(&mut self, var: VarId, base: u64, index: usize) {
+        let prec = self.precision_of(var);
+        match prec {
+            Precision::Half => self.counts.stores_f16 += 1,
+            Precision::Single => self.counts.stores_f32 += 1,
+            Precision::Double => self.counts.stores_f64 += 1,
+        }
+        if let Some(tr) = self.tracer.as_deref_mut() {
+            let b = prec.bytes();
+            tr.access(base + index as u64 * b, b as u8, true);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::VarRegistry;
+
+    struct Recorder(Vec<(u64, u8, bool)>);
+    impl MemoryTracer for Recorder {
+        fn access(&mut self, addr: u64, bytes: u8, write: bool) {
+            self.0.push((addr, bytes, write));
+        }
+    }
+
+    fn two_vars() -> (VarId, VarId) {
+        let mut reg = VarRegistry::new();
+        (reg.fresh("a"), reg.fresh("b"))
+    }
+
+    #[test]
+    fn flop_all_double() {
+        let (a, b) = two_vars();
+        let cfg = PrecisionConfig::all_double(2);
+        let mut ctx = ExecCtx::new(&cfg);
+        ctx.flop(a, &[b], 10);
+        assert_eq!(ctx.counts().flops_f64, 10);
+        assert_eq!(ctx.counts().flops_f32, 0);
+        assert_eq!(ctx.counts().casts, 0);
+    }
+
+    #[test]
+    fn flop_all_single() {
+        let (a, b) = two_vars();
+        let cfg = PrecisionConfig::all_single(2);
+        let mut ctx = ExecCtx::new(&cfg);
+        ctx.flop(a, &[b], 10);
+        assert_eq!(ctx.counts().flops_f32, 10);
+        assert_eq!(ctx.counts().casts, 0);
+    }
+
+    #[test]
+    fn flop_mixed_counts_casts() {
+        let (a, b) = two_vars();
+        let mut cfg = PrecisionConfig::all_double(2);
+        cfg.set(a, Precision::Single);
+        let mut ctx = ExecCtx::new(&cfg);
+        // dst single, src double: op in double, dst converts.
+        ctx.flop(a, &[b], 5);
+        assert_eq!(ctx.counts().flops_f64, 5);
+        assert_eq!(ctx.counts().casts, 5);
+    }
+
+    #[test]
+    fn reserve_packs_by_configured_width() {
+        let (a, b) = two_vars();
+        let mut cfg = PrecisionConfig::all_double(2);
+        cfg.set(a, Precision::Single);
+        let mut ctx = ExecCtx::new(&cfg);
+        let base_a = ctx.reserve(a, 16); // 16 * 4 = 64 bytes
+        let base_b = ctx.reserve(b, 16); // 16 * 8 = 128 bytes
+        assert_eq!(base_b - base_a, 64);
+        let after = ctx.reserve(a, 1);
+        assert_eq!(after - base_b, 128);
+    }
+
+    #[test]
+    fn reserve_aligns_to_cache_lines() {
+        let (a, b) = two_vars();
+        let cfg = PrecisionConfig::all_double(2);
+        let mut ctx = ExecCtx::new(&cfg);
+        let base_a = ctx.reserve(a, 1); // 8 bytes, rounds to 64
+        let base_b = ctx.reserve(b, 1);
+        assert_eq!(base_a % 64, 0);
+        assert_eq!(base_b % 64, 0);
+        assert_eq!(base_b - base_a, 64);
+    }
+
+    #[test]
+    fn tracer_sees_loads_and_stores() {
+        let (a, _) = two_vars();
+        let cfg = PrecisionConfig::all_double(2);
+        let mut rec = Recorder(Vec::new());
+        let mut ctx = ExecCtx::with_tracer(&cfg, &mut rec);
+        let mut v = ctx.alloc_vec(a, 4);
+        v.set(&mut ctx, 2, 1.0);
+        let _ = v.get(&mut ctx, 2);
+        drop(ctx);
+        assert_eq!(rec.0.len(), 2);
+        assert!(rec.0[0].2, "first access is a write");
+        assert!(!rec.0[1].2, "second access is a read");
+        assert_eq!(rec.0[0].0, rec.0[1].0, "same element, same address");
+        assert_eq!(rec.0[0].1, 8);
+    }
+
+    #[test]
+    fn single_precision_addresses_are_packed() {
+        let (a, _) = two_vars();
+        let cfg = PrecisionConfig::all_single(2);
+        let mut rec = Recorder(Vec::new());
+        let mut ctx = ExecCtx::with_tracer(&cfg, &mut rec);
+        let mut v = ctx.alloc_vec(a, 4);
+        v.set(&mut ctx, 0, 1.0);
+        v.set(&mut ctx, 1, 1.0);
+        drop(ctx);
+        assert_eq!(rec.0[1].0 - rec.0[0].0, 4, "4-byte stride when single");
+    }
+}

@@ -1,0 +1,206 @@
+//! IEEE-754 binary16 emulation.
+//!
+//! Rust has no stable `f16`, so half-precision storage is emulated at the
+//! bit level: [`f16_bits_from_f64`] performs a single correct
+//! round-to-nearest-even conversion from binary64 (no double rounding
+//! through `f32`), and [`f64_from_f16_bits`] widens back exactly.
+
+/// Converts a binary64 value to binary16 bits with round-to-nearest-even.
+///
+/// Overflow produces ±infinity, underflow produces (signed) zero, NaN maps
+/// to a quiet NaN.
+pub fn f16_bits_from_f64(v: f64) -> u16 {
+    let bits = v.to_bits();
+    let sign = ((bits >> 63) as u16) << 15;
+    let exp = ((bits >> 52) & 0x7ff) as i64;
+    let frac = bits & 0x000f_ffff_ffff_ffff;
+
+    // Infinity / NaN.
+    if exp == 0x7ff {
+        return if frac != 0 {
+            sign | 0x7e00 // quiet NaN
+        } else {
+            sign | 0x7c00
+        };
+    }
+    // ±0 (and f64 subnormals, which are far below the f16 range).
+    if exp == 0 {
+        return sign;
+    }
+
+    let unbiased = exp - 1023;
+    if unbiased > 15 {
+        return sign | 0x7c00; // overflow to infinity
+    }
+
+    // The full 53-bit significand (implicit leading one).
+    let sig = (1u64 << 52) | frac;
+
+    if unbiased >= -14 {
+        // Normal range: keep 10 mantissa bits, round the remaining 42.
+        let mantissa = rne_shift(sig, 42); // 11 bits: 0x400..=0x800
+        let mut e16 = (unbiased + 15) as u16;
+        let mut m16 = mantissa;
+        if m16 == 0x800 {
+            // Rounding carried into the hidden bit.
+            m16 = 0x400;
+            e16 += 1;
+        }
+        if e16 >= 31 {
+            return sign | 0x7c00;
+        }
+        sign | (e16 << 10) | ((m16 & 0x3ff) as u16)
+    } else {
+        // Subnormal target: value = round(v / 2^-24) units of the smallest
+        // subnormal. sig represents v * 2^(52 - unbiased); the unit is
+        // 2^-24, so shift by 52 - unbiased - 24 = 28 - unbiased.
+        let shift = (28 - unbiased) as u32;
+        if shift >= 64 {
+            return sign; // far below the subnormal range
+        }
+        let m = rne_shift(sig, shift);
+        if m >= 0x400 {
+            // Rounded up into the smallest normal.
+            sign | (1 << 10)
+        } else {
+            sign | m as u16
+        }
+    }
+}
+
+/// Widens binary16 bits to binary64 (exact).
+pub fn f64_from_f16_bits(h: u16) -> f64 {
+    let sign = if h & 0x8000 != 0 { -1.0 } else { 1.0 };
+    let exp = (h >> 10) & 0x1f;
+    let frac = (h & 0x3ff) as f64;
+    match exp {
+        0 => sign * frac * 2.0f64.powi(-24),
+        0x1f => {
+            if frac == 0.0 {
+                sign * f64::INFINITY
+            } else {
+                f64::NAN
+            }
+        }
+        e => sign * (1.0 + frac / 1024.0) * 2.0f64.powi(e as i32 - 15),
+    }
+}
+
+/// Rounds `v` through binary16 storage (the `Half` analogue of an `f32`
+/// round trip).
+pub fn round_f64_to_f16(v: f64) -> f64 {
+    f64_from_f16_bits(f16_bits_from_f64(v))
+}
+
+/// Right-shifts with round-to-nearest-even.
+fn rne_shift(x: u64, shift: u32) -> u64 {
+    if shift == 0 {
+        return x;
+    }
+    if shift > 63 {
+        return 0;
+    }
+    let main = x >> shift;
+    let rem = x & ((1u64 << shift) - 1);
+    let half = 1u64 << (shift - 1);
+    if rem > half || (rem == half && main & 1 == 1) {
+        main + 1
+    } else {
+        main
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn exact_small_values_survive() {
+        for v in [0.0, 1.0, -2.5, 0.5, 1024.0, -0.125, 65504.0] {
+            assert_eq!(round_f64_to_f16(v), v, "{v}");
+        }
+    }
+
+    #[test]
+    fn classic_rounding_cases() {
+        // 0.1 in binary16 is 0.0999755859375.
+        assert_eq!(round_f64_to_f16(0.1), 0.0999755859375);
+        // 1/3 in binary16.
+        assert_eq!(round_f64_to_f16(1.0 / 3.0), 0.333251953125);
+    }
+
+    #[test]
+    fn overflow_behaviour() {
+        // Max finite binary16 value is 65504; the rounding boundary to
+        // infinity is 65520 (ties-to-even rounds up to 2^16).
+        assert_eq!(round_f64_to_f16(65519.0), 65504.0);
+        assert!(round_f64_to_f16(65520.0).is_infinite());
+        assert!(round_f64_to_f16(1.0e5).is_infinite());
+        assert!(round_f64_to_f16(-1.0e5).is_infinite());
+        assert!(round_f64_to_f16(-1.0e5) < 0.0);
+    }
+
+    #[test]
+    fn subnormal_behaviour() {
+        let min_sub = 2.0f64.powi(-24);
+        assert_eq!(round_f64_to_f16(min_sub), min_sub);
+        // Half of the smallest subnormal ties to even → zero.
+        assert_eq!(round_f64_to_f16(min_sub / 2.0), 0.0);
+        // Three quarters rounds up to the smallest subnormal.
+        assert_eq!(round_f64_to_f16(min_sub * 0.75), min_sub);
+        // The largest subnormal.
+        let max_sub = 1023.0 * min_sub;
+        assert_eq!(round_f64_to_f16(max_sub), max_sub);
+        // Smallest normal.
+        let min_norm = 2.0f64.powi(-14);
+        assert_eq!(round_f64_to_f16(min_norm), min_norm);
+        // Just below the smallest normal rounds to it (RNE).
+        assert_eq!(round_f64_to_f16(min_norm * (1.0 - 1e-12)), min_norm);
+    }
+
+    #[test]
+    fn specials() {
+        assert!(round_f64_to_f16(f64::NAN).is_nan());
+        assert_eq!(round_f64_to_f16(f64::INFINITY), f64::INFINITY);
+        assert_eq!(round_f64_to_f16(f64::NEG_INFINITY), f64::NEG_INFINITY);
+        assert_eq!(round_f64_to_f16(-0.0).to_bits(), (-0.0f64).to_bits());
+    }
+
+    #[test]
+    fn all_f16_bit_patterns_round_trip() {
+        // Exhaustive: widening any finite half and re-rounding is identity.
+        for h in 0..=u16::MAX {
+            let exp = (h >> 10) & 0x1f;
+            if exp == 0x1f {
+                continue; // inf/NaN widen fine but NaN bits aren't unique
+            }
+            let v = f64_from_f16_bits(h);
+            assert_eq!(
+                f16_bits_from_f64(v),
+                h,
+                "bits {h:#06x} (value {v}) must round-trip"
+            );
+        }
+    }
+
+    proptest! {
+        /// Rounding is idempotent and monotone, and the error is bounded by
+        /// half an ulp (2^-11 relative) in the normal range.
+        #[test]
+        fn rounding_properties(v in -6.0e4f64..6.0e4) {
+            let r = round_f64_to_f16(v);
+            prop_assert_eq!(round_f64_to_f16(r), r, "idempotent");
+            if v.abs() > 6.2e-5 {
+                let rel = ((r - v) / v).abs();
+                prop_assert!(rel <= 4.9e-4, "rel err {} for {}", rel, v);
+            }
+        }
+
+        #[test]
+        fn rounding_is_monotone(a in -7.0e4f64..7.0e4, b in -7.0e4f64..7.0e4) {
+            let (lo, hi) = if a <= b { (a, b) } else { (b, a) };
+            prop_assert!(round_f64_to_f16(lo) <= round_f64_to_f16(hi));
+        }
+    }
+}

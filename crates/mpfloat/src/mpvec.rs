@@ -1,0 +1,362 @@
+//! Precision-switchable arrays and scalars.
+
+use crate::{round_to, ExecCtx, VarId};
+
+/// An array whose storage precision is dictated by the active
+/// [`crate::PrecisionConfig`].
+///
+/// Values are held as `f64` but every write rounds through the configured
+/// storage precision, so a `Single`-configured array behaves numerically
+/// exactly like a C `float*`. Every element access is counted and traced via
+/// the [`ExecCtx`].
+///
+/// # Example
+///
+/// ```
+/// use mixp_float::{ExecCtx, PrecisionConfig, VarRegistry};
+///
+/// let mut reg = VarRegistry::new();
+/// let a = reg.fresh("a");
+/// let cfg = PrecisionConfig::all_single(reg.len());
+/// let mut ctx = ExecCtx::new(&cfg);
+/// let mut v = ctx.alloc_vec(a, 2);
+/// v.set(&mut ctx, 0, 1.0 / 3.0);
+/// assert_eq!(v.get(&mut ctx, 0), (1.0f64 / 3.0) as f32 as f64);
+/// ```
+#[derive(Debug, Clone)]
+pub struct MpVec {
+    var: VarId,
+    base: u64,
+    data: Vec<f64>,
+}
+
+impl MpVec {
+    /// Allocates a zero-initialised array for `var`.
+    pub fn zeroed(ctx: &mut ExecCtx<'_>, var: VarId, len: usize) -> Self {
+        let base = ctx.reserve(var, len);
+        MpVec {
+            var,
+            base,
+            data: vec![0.0; len],
+        }
+    }
+
+    /// Allocates an array initialised from `values`, rounding each element
+    /// into the configured storage precision (as `mp_fread` does when the
+    /// file holds doubles but the destination is configured single).
+    ///
+    /// Initialisation models input loading, so it is neither counted as
+    /// kernel stores nor traced.
+    pub fn from_values(ctx: &mut ExecCtx<'_>, var: VarId, values: &[f64]) -> Self {
+        let base = ctx.reserve(var, values.len());
+        let prec = ctx.precision_of(var);
+        MpVec {
+            var,
+            base,
+            data: values.iter().map(|&v| round_to(prec, v)).collect(),
+        }
+    }
+
+    /// Allocates an array initialised by `f(i)`, rounded into storage.
+    pub fn from_fn(
+        ctx: &mut ExecCtx<'_>,
+        var: VarId,
+        len: usize,
+        mut f: impl FnMut(usize) -> f64,
+    ) -> Self {
+        let base = ctx.reserve(var, len);
+        let prec = ctx.precision_of(var);
+        MpVec {
+            var,
+            base,
+            data: (0..len).map(|i| round_to(prec, f(i))).collect(),
+        }
+    }
+
+    /// The variable this array belongs to.
+    pub fn var(&self) -> VarId {
+        self.var
+    }
+
+    /// Number of elements.
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// Whether the array holds zero elements.
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Reads element `i`, counting and tracing the load.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of bounds.
+    #[inline]
+    pub fn get(&self, ctx: &mut ExecCtx<'_>, i: usize) -> f64 {
+        ctx.record_load(self.var, self.base, i);
+        self.data[i]
+    }
+
+    /// Writes element `i`, rounding `v` into storage precision and counting
+    /// and tracing the store.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of bounds.
+    #[inline]
+    pub fn set(&mut self, ctx: &mut ExecCtx<'_>, i: usize, v: f64) {
+        ctx.record_store(self.var, self.base, i);
+        self.data[i] = round_to(ctx.precision_of(self.var), v);
+    }
+
+    /// Reads element `i` without accounting (for verification/output
+    /// extraction after the timed region).
+    #[inline]
+    pub fn peek(&self, i: usize) -> f64 {
+        self.data[i]
+    }
+
+    /// Copies the current contents out as plain `f64`s (for verification).
+    pub fn snapshot(&self) -> Vec<f64> {
+        self.data.clone()
+    }
+}
+
+/// A scalar variable whose storage precision is dictated by the active
+/// configuration.
+///
+/// Scalars model register-resident locals: writes round into storage but are
+/// not traced as memory traffic.
+#[derive(Debug, Clone, Copy)]
+pub struct MpScalar {
+    var: VarId,
+    val: f64,
+}
+
+impl MpScalar {
+    /// Creates the scalar with an initial value rounded into storage.
+    pub fn new(ctx: &ExecCtx<'_>, var: VarId, v: f64) -> Self {
+        MpScalar {
+            var,
+            val: round_to(ctx.precision_of(var), v),
+        }
+    }
+
+    /// The variable this scalar belongs to.
+    pub fn var(&self) -> VarId {
+        self.var
+    }
+
+    /// Current value.
+    #[inline]
+    pub fn get(&self) -> f64 {
+        self.val
+    }
+
+    /// Assigns `v`, rounding into the configured storage precision.
+    #[inline]
+    pub fn set(&mut self, ctx: &ExecCtx<'_>, v: f64) {
+        self.val = round_to(ctx.precision_of(self.var), v);
+    }
+}
+
+/// An integer index array (neighbour lists, cluster assignments, sparse
+/// column indices).
+///
+/// Index data is not tunable — its element width never changes with the
+/// precision configuration — but it *does* occupy cache, so reads and writes
+/// are traced as 4-byte accesses. This models the `int` arrays of the
+/// Rodinia/HPCCG applications that compete with the floating-point working
+/// set.
+#[derive(Debug, Clone)]
+pub struct IndexVec {
+    base: u64,
+    data: Vec<i64>,
+}
+
+impl IndexVec {
+    /// Allocates the index array with the given contents.
+    pub fn new(ctx: &mut ExecCtx<'_>, values: Vec<i64>) -> Self {
+        let base = ctx.reserve_untyped(values.len() as u64 * 4);
+        IndexVec { base, data: values }
+    }
+
+    /// Number of elements.
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// Whether the array holds zero elements.
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Reads element `i`, tracing the access.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of bounds.
+    #[inline]
+    pub fn get(&self, ctx: &mut ExecCtx<'_>, i: usize) -> i64 {
+        ctx.trace_untyped(self.base + i as u64 * 4, 4, false);
+        self.data[i]
+    }
+
+    /// Writes element `i`, tracing the access.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of bounds.
+    #[inline]
+    pub fn set(&mut self, ctx: &mut ExecCtx<'_>, i: usize, v: i64) {
+        ctx.trace_untyped(self.base + i as u64 * 4, 4, true);
+        self.data[i] = v;
+    }
+
+    /// Reads element `i` without tracing (output extraction).
+    #[inline]
+    pub fn peek(&self, i: usize) -> i64 {
+        self.data[i]
+    }
+
+    /// Copies the contents out as `f64` labels for metric comparison.
+    pub fn snapshot_f64(&self) -> Vec<f64> {
+        self.data.iter().map(|&v| v as f64).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Precision, PrecisionConfig, VarRegistry};
+
+    fn setup(prec: Precision) -> (VarId, PrecisionConfig) {
+        let mut reg = VarRegistry::new();
+        let a = reg.fresh("a");
+        (a, PrecisionConfig::uniform(reg.len(), prec))
+    }
+
+    #[test]
+    fn double_storage_is_exact() {
+        let (a, cfg) = setup(Precision::Double);
+        let mut ctx = ExecCtx::new(&cfg);
+        let mut v = ctx.alloc_vec(a, 1);
+        v.set(&mut ctx, 0, 0.1);
+        assert_eq!(v.get(&mut ctx, 0), 0.1);
+    }
+
+    #[test]
+    fn single_storage_rounds() {
+        let (a, cfg) = setup(Precision::Single);
+        let mut ctx = ExecCtx::new(&cfg);
+        let mut v = ctx.alloc_vec(a, 1);
+        v.set(&mut ctx, 0, 0.1);
+        assert_eq!(v.get(&mut ctx, 0), 0.1f32 as f64);
+    }
+
+    #[test]
+    fn from_values_rounds_on_input() {
+        let (a, cfg) = setup(Precision::Single);
+        let mut ctx = ExecCtx::new(&cfg);
+        let v = MpVec::from_values(&mut ctx, a, &[0.1, 0.2]);
+        assert_eq!(v.peek(0), 0.1f32 as f64);
+        assert_eq!(v.peek(1), 0.2f32 as f64);
+        // Initialisation is not counted as kernel traffic.
+        assert_eq!(ctx.counts().total_mem_ops(), 0);
+    }
+
+    #[test]
+    fn from_fn_initialises_in_order() {
+        let (a, cfg) = setup(Precision::Double);
+        let mut ctx = ExecCtx::new(&cfg);
+        let v = MpVec::from_fn(&mut ctx, a, 4, |i| i as f64 * 2.0);
+        assert_eq!(v.snapshot(), vec![0.0, 2.0, 4.0, 6.0]);
+    }
+
+    #[test]
+    fn accesses_are_counted_at_configured_width() {
+        let (a, cfg) = setup(Precision::Single);
+        let mut ctx = ExecCtx::new(&cfg);
+        let mut v = ctx.alloc_vec(a, 8);
+        for i in 0..8 {
+            v.set(&mut ctx, i, i as f64);
+        }
+        for i in 0..8 {
+            let _ = v.get(&mut ctx, i);
+        }
+        let c = ctx.counts();
+        assert_eq!(c.stores_f32, 8);
+        assert_eq!(c.loads_f32, 8);
+        assert_eq!(c.stores_f64, 0);
+        assert_eq!(c.loads_f64, 0);
+    }
+
+    #[test]
+    fn scalar_rounds_on_set() {
+        let (a, cfg) = setup(Precision::Single);
+        let ctx = ExecCtx::new(&cfg);
+        let mut s = MpScalar::new(&ctx, a, 0.0);
+        s.set(&ctx, 1.0 / 3.0);
+        assert_eq!(s.get(), (1.0f64 / 3.0) as f32 as f64);
+    }
+
+    #[test]
+    fn scalar_initial_value_rounds() {
+        let (a, cfg) = setup(Precision::Single);
+        let ctx = ExecCtx::new(&cfg);
+        let s = MpScalar::new(&ctx, a, 0.1);
+        assert_eq!(s.get(), 0.1f32 as f64);
+    }
+
+    #[test]
+    #[should_panic]
+    fn out_of_bounds_get_panics() {
+        let (a, cfg) = setup(Precision::Double);
+        let mut ctx = ExecCtx::new(&cfg);
+        let v = ctx.alloc_vec(a, 1);
+        let _ = v.get(&mut ctx, 1);
+    }
+}
+
+#[cfg(test)]
+mod index_tests {
+    use super::*;
+    use crate::{PrecisionConfig, VarRegistry};
+
+    #[test]
+    fn index_vec_round_trips() {
+        let mut reg = VarRegistry::new();
+        let _ = reg.fresh("pad");
+        let cfg = PrecisionConfig::all_double(reg.len());
+        let mut ctx = ExecCtx::new(&cfg);
+        let mut iv = IndexVec::new(&mut ctx, vec![3, 1, 4]);
+        assert_eq!(iv.get(&mut ctx, 0), 3);
+        iv.set(&mut ctx, 1, 9);
+        assert_eq!(iv.peek(1), 9);
+        assert_eq!(iv.snapshot_f64(), vec![3.0, 9.0, 4.0]);
+        assert_eq!(iv.len(), 3);
+    }
+
+    #[test]
+    fn index_vec_traces_four_byte_accesses() {
+        struct Rec(Vec<(u64, u8, bool)>);
+        impl crate::MemoryTracer for Rec {
+            fn access(&mut self, addr: u64, bytes: u8, write: bool) {
+                self.0.push((addr, bytes, write));
+            }
+        }
+        let mut reg = VarRegistry::new();
+        let _ = reg.fresh("pad");
+        let cfg = PrecisionConfig::all_double(reg.len());
+        let mut rec = Rec(Vec::new());
+        let mut ctx = ExecCtx::with_tracer(&cfg, &mut rec);
+        let iv = IndexVec::new(&mut ctx, vec![1, 2]);
+        let _ = iv.get(&mut ctx, 1);
+        drop(ctx);
+        assert_eq!(rec.0.len(), 1);
+        assert_eq!(rec.0[0].1, 4);
+        assert!(!rec.0[0].2);
+    }
+}

@@ -1,0 +1,151 @@
+//! Variable identities.
+//!
+//! A [`VarId`] names one tunable program location — a scalar variable, an
+//! array, or a function parameter — in the benchmark's program model. The
+//! id indexes into a [`crate::PrecisionConfig`].
+
+use std::fmt;
+
+/// Identifier of a tunable program location.
+///
+/// Ids are dense indices handed out by a [`VarRegistry`]; a
+/// [`crate::PrecisionConfig`] is a vector indexed by them.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct VarId(u32);
+
+impl VarId {
+    /// Creates a `VarId` from a raw dense index.
+    ///
+    /// Typically you obtain ids from [`VarRegistry::fresh`] instead; this is
+    /// for tables that store indices.
+    #[inline]
+    pub fn from_index(index: usize) -> Self {
+        VarId(u32::try_from(index).expect("more than u32::MAX variables"))
+    }
+
+    /// The dense index of this variable.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for VarId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "v{}", self.0)
+    }
+}
+
+/// Hands out dense [`VarId`]s and remembers their names.
+///
+/// # Example
+///
+/// ```
+/// use mixp_float::VarRegistry;
+///
+/// let mut reg = VarRegistry::new();
+/// let a = reg.fresh("a");
+/// let b = reg.fresh("b");
+/// assert_ne!(a, b);
+/// assert_eq!(reg.name(a), "a");
+/// assert_eq!(reg.len(), 2);
+/// ```
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct VarRegistry {
+    names: Vec<String>,
+}
+
+impl VarRegistry {
+    /// Creates an empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Registers a new variable and returns its id.
+    pub fn fresh(&mut self, name: impl Into<String>) -> VarId {
+        let id = VarId::from_index(self.names.len());
+        self.names.push(name.into());
+        id
+    }
+
+    /// The name a variable was registered with.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` was not issued by this registry.
+    pub fn name(&self, id: VarId) -> &str {
+        &self.names[id.index()]
+    }
+
+    /// Number of registered variables.
+    pub fn len(&self) -> usize {
+        self.names.len()
+    }
+
+    /// Whether no variables have been registered.
+    pub fn is_empty(&self) -> bool {
+        self.names.is_empty()
+    }
+
+    /// Iterates over `(id, name)` pairs in registration order.
+    pub fn iter(&self) -> impl Iterator<Item = (VarId, &str)> {
+        self.names
+            .iter()
+            .enumerate()
+            .map(|(i, n)| (VarId::from_index(i), n.as_str()))
+    }
+
+    /// Looks up a variable id by name (linear scan; intended for tests and
+    /// report generation, not hot paths).
+    pub fn find(&self, name: &str) -> Option<VarId> {
+        self.names
+            .iter()
+            .position(|n| n == name)
+            .map(VarId::from_index)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fresh_ids_are_dense() {
+        let mut reg = VarRegistry::new();
+        for i in 0..10 {
+            let id = reg.fresh(format!("x{i}"));
+            assert_eq!(id.index(), i);
+        }
+        assert_eq!(reg.len(), 10);
+    }
+
+    #[test]
+    fn find_locates_by_name() {
+        let mut reg = VarRegistry::new();
+        reg.fresh("alpha");
+        let beta = reg.fresh("beta");
+        assert_eq!(reg.find("beta"), Some(beta));
+        assert_eq!(reg.find("gamma"), None);
+    }
+
+    #[test]
+    fn iter_yields_registration_order() {
+        let mut reg = VarRegistry::new();
+        reg.fresh("a");
+        reg.fresh("b");
+        let names: Vec<&str> = reg.iter().map(|(_, n)| n).collect();
+        assert_eq!(names, vec!["a", "b"]);
+    }
+
+    #[test]
+    fn display_format() {
+        assert_eq!(VarId::from_index(7).to_string(), "v7");
+    }
+
+    #[test]
+    fn empty_registry() {
+        let reg = VarRegistry::new();
+        assert!(reg.is_empty());
+        assert_eq!(reg.len(), 0);
+    }
+}

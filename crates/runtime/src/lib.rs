@@ -1,0 +1,258 @@
+//! The HPC-MixPBench runtime library: precision-agnostic allocation and
+//! binary I/O.
+//!
+//! Source-level mixed-precision tools can retype variables but cannot retype
+//! the *world*: binary input files keep whatever element width they were
+//! written with, and `malloc(n * sizeof(double))` bakes the width into the
+//! allocation size. The paper's runtime library solves this with
+//! `mp_malloc`, `mp_fread` and `mp_fwrite` variants that convert between the
+//! file's declared element type and the variable's configured storage type
+//! (§III-A.a, Listings 2–3).
+//!
+//! This crate is the Rust analogue:
+//!
+//! * [`mp_fwrite`] writes `f64` values at a *declared* precision,
+//! * [`mp_fread`] reads values of a declared precision back as `f64`,
+//! * [`mp_read_vec`] is the `mp_malloc` + `mp_fread` combination: it
+//!   allocates an [`MpVec`] whose storage follows the active
+//!   [`PrecisionConfig`] and fills it from a stream of any declared
+//!   precision, converting as needed,
+//! * [`mp_write_vec`] writes an [`MpVec`]'s contents out at a declared
+//!   precision regardless of its configured storage.
+//!
+//! [`MpVec`]: mixp_float::MpVec
+//! [`PrecisionConfig`]: mixp_float::PrecisionConfig
+//!
+//! # Example
+//!
+//! ```
+//! use std::io::Cursor;
+//! use mixp_float::{ExecCtx, Precision, PrecisionConfig, VarRegistry};
+//! use mixp_runtime::{mp_fwrite, mp_read_vec};
+//!
+//! # fn main() -> std::io::Result<()> {
+//! // A data file written in double precision...
+//! let mut file = Vec::new();
+//! mp_fwrite(&mut file, Precision::Double, &[0.1, 0.2])?;
+//!
+//! // ...loaded into a variable configured *single*: the library converts.
+//! let mut reg = VarRegistry::new();
+//! let ptr = reg.fresh("ptr");
+//! let cfg = PrecisionConfig::all_single(reg.len());
+//! let mut ctx = ExecCtx::new(&cfg);
+//! let v = mp_read_vec(&mut ctx, ptr, &mut Cursor::new(file), Precision::Double, 2)?;
+//! assert_eq!(v.peek(0), 0.1f32 as f64);
+//! # Ok(())
+//! # }
+//! ```
+
+use mixp_float::{ExecCtx, MpVec, Precision, VarId};
+use std::io::{self, Read, Write};
+
+/// Writes `values` to `w` at the declared element precision, little-endian.
+///
+/// The declared precision describes the *file format*, independent of how
+/// the in-memory variable is configured — exactly like the `DOUBLE` tag in
+/// the paper's `mp_fwrite(ptr, DOUBLE, elements, fd)`.
+///
+/// # Errors
+///
+/// Propagates any I/O error from `w`.
+pub fn mp_fwrite<W: Write>(mut w: W, declared: Precision, values: &[f64]) -> io::Result<()> {
+    match declared {
+        Precision::Double => {
+            for &v in values {
+                w.write_all(&v.to_le_bytes())?;
+            }
+        }
+        Precision::Single => {
+            for &v in values {
+                w.write_all(&(v as f32).to_le_bytes())?;
+            }
+        }
+        Precision::Half => {
+            for &v in values {
+                w.write_all(&mixp_float::half::f16_bits_from_f64(v).to_le_bytes())?;
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Reads `count` elements of the declared precision from `r`, returning them
+/// widened to `f64`.
+///
+/// # Errors
+///
+/// Returns an error if `r` ends before `count` elements are read, or on any
+/// underlying I/O error.
+pub fn mp_fread<R: Read>(mut r: R, declared: Precision, count: usize) -> io::Result<Vec<f64>> {
+    let mut out = Vec::with_capacity(count);
+    match declared {
+        Precision::Double => {
+            let mut buf = [0u8; 8];
+            for _ in 0..count {
+                r.read_exact(&mut buf)?;
+                out.push(f64::from_le_bytes(buf));
+            }
+        }
+        Precision::Single => {
+            let mut buf = [0u8; 4];
+            for _ in 0..count {
+                r.read_exact(&mut buf)?;
+                out.push(f32::from_le_bytes(buf) as f64);
+            }
+        }
+        Precision::Half => {
+            let mut buf = [0u8; 2];
+            for _ in 0..count {
+                r.read_exact(&mut buf)?;
+                out.push(mixp_float::half::f64_from_f16_bits(u16::from_le_bytes(buf)));
+            }
+        }
+    }
+    Ok(out)
+}
+
+/// The `mp_malloc` + `mp_fread` combination: allocates storage for `var`
+/// at its *configured* precision and fills it from a stream of `declared`
+/// precision, converting transparently.
+///
+/// # Errors
+///
+/// Propagates I/O errors from `r` (including short reads).
+pub fn mp_read_vec<R: Read>(
+    ctx: &mut ExecCtx<'_>,
+    var: VarId,
+    r: R,
+    declared: Precision,
+    count: usize,
+) -> io::Result<MpVec> {
+    let values = mp_fread(r, declared, count)?;
+    Ok(MpVec::from_values(ctx, var, &values))
+}
+
+/// Writes the contents of `vec` to `w` at the declared precision,
+/// regardless of the vector's configured storage precision.
+///
+/// # Errors
+///
+/// Propagates any I/O error from `w`.
+pub fn mp_write_vec<W: Write>(w: W, declared: Precision, vec: &MpVec) -> io::Result<()> {
+    mp_fwrite(w, declared, &vec.snapshot())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mixp_float::{PrecisionConfig, VarRegistry};
+    use std::io::Cursor;
+
+    #[test]
+    fn double_round_trip_is_exact() {
+        let values = [0.1, -2.5, 1.0e300, f64::MIN_POSITIVE];
+        let mut buf = Vec::new();
+        mp_fwrite(&mut buf, Precision::Double, &values).unwrap();
+        assert_eq!(buf.len(), 32);
+        let back = mp_fread(Cursor::new(buf), Precision::Double, 4).unwrap();
+        assert_eq!(back, values);
+    }
+
+    #[test]
+    fn single_file_rounds_on_write() {
+        let mut buf = Vec::new();
+        mp_fwrite(&mut buf, Precision::Single, &[0.1]).unwrap();
+        assert_eq!(buf.len(), 4);
+        let back = mp_fread(Cursor::new(buf), Precision::Single, 1).unwrap();
+        assert_eq!(back[0], 0.1f32 as f64);
+    }
+
+    #[test]
+    fn short_read_errors() {
+        let buf = vec![0u8; 12]; // 1.5 doubles
+        let err = mp_fread(Cursor::new(buf), Precision::Double, 2).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::UnexpectedEof);
+    }
+
+    #[test]
+    fn read_vec_converts_double_file_into_single_storage() {
+        let mut file = Vec::new();
+        mp_fwrite(&mut file, Precision::Double, &[0.1, 0.2, 0.3]).unwrap();
+        let mut reg = VarRegistry::new();
+        let v = reg.fresh("ptr");
+        let cfg = PrecisionConfig::all_single(reg.len());
+        let mut ctx = ExecCtx::new(&cfg);
+        let vec = mp_read_vec(&mut ctx, v, Cursor::new(file), Precision::Double, 3).unwrap();
+        for (i, want) in [0.1f32, 0.2, 0.3].iter().enumerate() {
+            assert_eq!(vec.peek(i), *want as f64);
+        }
+    }
+
+    #[test]
+    fn read_vec_keeps_double_storage_exact() {
+        let mut file = Vec::new();
+        mp_fwrite(&mut file, Precision::Double, &[0.1]).unwrap();
+        let mut reg = VarRegistry::new();
+        let v = reg.fresh("ptr");
+        let cfg = PrecisionConfig::all_double(reg.len());
+        let mut ctx = ExecCtx::new(&cfg);
+        let vec = mp_read_vec(&mut ctx, v, Cursor::new(file), Precision::Double, 1).unwrap();
+        assert_eq!(vec.peek(0), 0.1);
+    }
+
+    #[test]
+    fn write_vec_declares_output_format() {
+        let mut reg = VarRegistry::new();
+        let v = reg.fresh("out");
+        let cfg = PrecisionConfig::all_single(reg.len());
+        let mut ctx = ExecCtx::new(&cfg);
+        let mut vec = ctx.alloc_vec(v, 2);
+        vec.set(&mut ctx, 0, 0.1);
+        vec.set(&mut ctx, 1, 0.2);
+        // Output file declared double: 16 bytes, values are the rounded ones.
+        let mut out = Vec::new();
+        mp_write_vec(&mut out, Precision::Double, &vec).unwrap();
+        assert_eq!(out.len(), 16);
+        let back = mp_fread(Cursor::new(out), Precision::Double, 2).unwrap();
+        assert_eq!(back[0], 0.1f32 as f64);
+    }
+
+    #[test]
+    fn file_round_trip_on_disk() {
+        let dir = std::env::temp_dir().join("mixp_runtime_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("data.bin");
+        let values: Vec<f64> = (0..100).map(|i| i as f64 * 0.25).collect();
+        mp_fwrite(
+            std::fs::File::create(&path).unwrap(),
+            Precision::Double,
+            &values,
+        )
+        .unwrap();
+        let back = mp_fread(std::fs::File::open(&path).unwrap(), Precision::Double, 100).unwrap();
+        assert_eq!(back, values);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn half_file_round_trips() {
+        let mut buf = Vec::new();
+        mp_fwrite(&mut buf, Precision::Half, &[0.1, 1.0, 65504.0]).unwrap();
+        assert_eq!(buf.len(), 6);
+        let back = mp_fread(Cursor::new(buf), Precision::Half, 3).unwrap();
+        assert_eq!(back[0], 0.0999755859375);
+        assert_eq!(back[1], 1.0);
+        assert_eq!(back[2], 65504.0);
+    }
+
+    #[test]
+    fn non_finite_values_round_trip() {
+        let values = [f64::INFINITY, f64::NEG_INFINITY, f64::NAN];
+        let mut buf = Vec::new();
+        mp_fwrite(&mut buf, Precision::Single, &values).unwrap();
+        let back = mp_fread(Cursor::new(buf), Precision::Single, 3).unwrap();
+        assert!(back[0].is_infinite() && back[0] > 0.0);
+        assert!(back[1].is_infinite() && back[1] < 0.0);
+        assert!(back[2].is_nan());
+    }
+}

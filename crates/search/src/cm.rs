@@ -1,0 +1,127 @@
+//! Compositional search.
+
+use crate::{finish, SearchAlgorithm, SearchResult};
+use mixp_core::{Evaluator, Granularity};
+use std::collections::BTreeSet;
+
+/// Compositional search (CM): replace each cluster individually, then
+/// repeatedly combine passing configurations until no compositions are left
+/// (§II-B).
+///
+/// The closure over compositions makes this strategy "as slow as the
+/// combinational strategy when many variables can be replaced" — on
+/// cluster-rich applications (Blackscholes has 50) it exhausts its budget
+/// and reports DNF, reproducing the grey boxes of Table V.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Compositional;
+
+impl Compositional {
+    /// Creates the algorithm.
+    pub fn new() -> Self {
+        Compositional
+    }
+}
+
+impl SearchAlgorithm for Compositional {
+    fn name(&self) -> &str {
+        "CM"
+    }
+
+    fn full_name(&self) -> &str {
+        "compositional"
+    }
+
+    fn search(&self, ev: &mut Evaluator<'_>) -> SearchResult {
+        let space = ev.space(Granularity::Clusters);
+        let program = ev.program().clone();
+        let n = space.len();
+        if n == 0 {
+            return finish(ev, false);
+        }
+
+        // Phase 1: every unit individually.
+        let mut passing: Vec<BTreeSet<usize>> = Vec::new();
+        for u in 0..n {
+            let cfg = space.config(&program, [u]);
+            match ev.evaluate(&cfg) {
+                Ok(rec) if rec.passes => {
+                    passing.push(BTreeSet::from([u]));
+                }
+                Ok(_) => {}
+                Err(_) => return finish(ev, true),
+            }
+        }
+
+        // Phase 2: compose pairs of passing sets (unions) until closure.
+        // `seen` caps re-deriving identical unions.
+        let mut seen: BTreeSet<BTreeSet<usize>> = passing.iter().cloned().collect();
+        let mut frontier = passing.clone();
+        while !frontier.is_empty() {
+            let mut next = Vec::new();
+            for f in &frontier {
+                for p in &passing {
+                    let union: BTreeSet<usize> = f.union(p).copied().collect();
+                    if union.len() == f.len() || seen.contains(&union) {
+                        continue;
+                    }
+                    seen.insert(union.clone());
+                    let cfg = space.config(&program, union.iter().copied());
+                    match ev.evaluate(&cfg) {
+                        Ok(rec) if rec.passes => next.push(union),
+                        Ok(_) => {}
+                        Err(_) => return finish(ev, true),
+                    }
+                }
+            }
+            passing.extend(next.iter().cloned());
+            frontier = next;
+        }
+        finish(ev, false)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mixp_core::{EvaluatorBuilder, QualityThreshold};
+    use mixp_kernels::{Eos, Hydro1d, Tridiag};
+
+    #[test]
+    fn single_cluster_kernel_is_one_evaluation() {
+        let k = Tridiag::small();
+        let mut ev = Evaluator::new(&k, QualityThreshold::new(1e-3));
+        let r = Compositional::new().search(&mut ev);
+        assert!(!r.dnf);
+        assert_eq!(r.evaluated, 1);
+        assert!(r.best.is_some());
+    }
+
+    #[test]
+    fn two_clusters_compose_when_both_pass() {
+        let k = Eos::small();
+        let mut ev = Evaluator::new(&k, QualityThreshold::new(1e-3));
+        let r = Compositional::new().search(&mut ev);
+        assert!(!r.dnf);
+        // 2 singles + 1 composition.
+        assert_eq!(r.evaluated, 3);
+    }
+
+    #[test]
+    fn finds_a_passing_configuration() {
+        let k = Hydro1d::small();
+        let mut ev = Evaluator::new(&k, QualityThreshold::new(1e-3));
+        let r = Compositional::new().search(&mut ev);
+        assert!(r.best.is_some());
+        assert!(r.best.unwrap().passes);
+    }
+
+    #[test]
+    fn tiny_budget_dnfs() {
+        let k = Eos::small();
+        let mut ev = EvaluatorBuilder::new(QualityThreshold::new(1e-3))
+            .budget(1)
+            .build(&k);
+        let r = Compositional::new().search(&mut ev);
+        assert!(r.dnf);
+    }
+}

@@ -1,0 +1,109 @@
+//! Hierarchical-compositional search.
+
+use crate::hr::{passing_components, try_lower};
+use crate::{finish, SearchAlgorithm, SearchResult};
+use mixp_core::{Evaluator, VarId};
+use std::collections::BTreeSet;
+
+/// Hierarchical-compositional search (HC): use the hierarchical descent to
+/// identify program components amenable to replacement, then combine those
+/// components compositionally to find inter-component mixed-precision
+/// configurations (§II-B).
+///
+/// The goal is to find multi-component configurations without starting from
+/// every individual variable. The search terminates when every passing
+/// configuration has been composed with every other (closure), or when the
+/// budget runs out.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct HierCompositional;
+
+impl HierCompositional {
+    /// Creates the algorithm.
+    pub fn new() -> Self {
+        HierCompositional
+    }
+}
+
+impl SearchAlgorithm for HierCompositional {
+    fn name(&self) -> &str {
+        "HC"
+    }
+
+    fn full_name(&self) -> &str {
+        "hierarchical-compositional"
+    }
+
+    fn search(&self, ev: &mut Evaluator<'_>) -> SearchResult {
+        // Phase 1: hierarchical identification of passing components.
+        let components = match passing_components(ev) {
+            Ok(c) => c,
+            Err(_) => return finish(ev, true),
+        };
+        if components.len() <= 1 {
+            // Nothing to compose: either the whole program passed, or at
+            // most one component did.
+            return finish(ev, false);
+        }
+
+        // Phase 2: compositional closure over the passing components.
+        let mut passing: Vec<BTreeSet<VarId>> = components;
+        let mut seen: BTreeSet<BTreeSet<VarId>> = passing.iter().cloned().collect();
+        let mut frontier = passing.clone();
+        while !frontier.is_empty() {
+            let mut next = Vec::new();
+            for f in &frontier {
+                for p in &passing {
+                    let union: BTreeSet<VarId> = f.union(p).copied().collect();
+                    if union.len() == f.len() || seen.contains(&union) {
+                        continue;
+                    }
+                    seen.insert(union.clone());
+                    match try_lower(ev, &union) {
+                        Ok(true) => next.push(union),
+                        Ok(false) => {}
+                        Err(_) => return finish(ev, true),
+                    }
+                }
+            }
+            passing.extend(next.iter().cloned());
+            frontier = next;
+        }
+        finish(ev, false)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mixp_core::QualityThreshold;
+    use mixp_kernels::{Eos, Tridiag};
+
+    #[test]
+    fn loose_threshold_terminates_like_hr() {
+        let k = Tridiag::small();
+        let mut ev = Evaluator::new(&k, QualityThreshold::new(1e-3));
+        let r = HierCompositional::new().search(&mut ev);
+        assert!(!r.dnf);
+        assert_eq!(r.evaluated, 1);
+        assert!(r.best.is_some());
+    }
+
+    #[test]
+    fn impossible_threshold_finds_nothing() {
+        let k = Eos::small();
+        let mut ev = Evaluator::new(&k, QualityThreshold::new(0.0));
+        let r = HierCompositional::new().search(&mut ev);
+        assert!(!r.dnf);
+        assert!(r.best.is_none());
+    }
+
+    #[test]
+    fn result_passes_when_found() {
+        let k = Eos::small();
+        let mut ev = Evaluator::new(&k, QualityThreshold::new(1e-3));
+        let r = HierCompositional::new().search(&mut ev);
+        if let Some(best) = r.best {
+            assert!(best.passes);
+        }
+    }
+}

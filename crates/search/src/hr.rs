@@ -1,0 +1,170 @@
+//! Hierarchical search.
+
+use crate::{finish, SearchAlgorithm, SearchResult};
+use mixp_core::{Evaluator, PrecisionConfig, SearchBudgetExhausted, VarId};
+use std::collections::BTreeSet;
+
+/// Hierarchical search (HR): use program structure — whole program, then
+/// modules, then functions, then individual variables — to find large
+/// groups of variables that can be lowered together (§II-B, CRAFT).
+///
+/// HR deliberately does **not** use cluster information (clusters may cross
+/// function and module boundaries), so at the function/variable level it
+/// routinely creates configurations that split a cluster and fail to
+/// compile; those evaluations are wasted budget, which is the paper's core
+/// criticism of the variable-granularity strategies.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Hierarchical;
+
+impl Hierarchical {
+    /// Creates the algorithm.
+    pub fn new() -> Self {
+        Hierarchical
+    }
+}
+
+/// Evaluates the configuration that lowers exactly `vars`; returns whether
+/// it passed.
+pub(crate) fn try_lower(
+    ev: &mut Evaluator<'_>,
+    vars: &BTreeSet<VarId>,
+) -> Result<bool, SearchBudgetExhausted> {
+    if vars.is_empty() {
+        return Ok(false);
+    }
+    let cfg = PrecisionConfig::from_lowered(ev.program().var_count(), vars.iter().copied());
+    Ok(ev.evaluate(&cfg)?.passes)
+}
+
+/// Descends the program hierarchy, returning every component (as a variable
+/// set) that passed in isolation at the coarsest level it passed.
+pub(crate) fn passing_components(
+    ev: &mut Evaluator<'_>,
+) -> Result<Vec<BTreeSet<VarId>>, SearchBudgetExhausted> {
+    let program = ev.program();
+    let all: BTreeSet<VarId> = program.tunable_vars().into_iter().collect();
+    if all.is_empty() {
+        return Ok(Vec::new());
+    }
+    // Level 0: the entire application.
+    if try_lower(ev, &all)? {
+        return Ok(vec![all]);
+    }
+    let mut accepted = Vec::new();
+    let modules: Vec<_> = ev.program().modules().map(|(id, _)| id).collect();
+    for module in modules {
+        let mvars: BTreeSet<VarId> = ev.program().vars_in_module(module).into_iter().collect();
+        if mvars.is_empty() {
+            continue;
+        }
+        if try_lower(ev, &mvars)? {
+            accepted.push(mvars);
+            continue;
+        }
+        // Fall back to the functions of this module.
+        let funcs: Vec<_> = ev
+            .program()
+            .functions()
+            .map(|(id, _)| id)
+            .filter(|f| ev.program().module_of(*f) == module)
+            .collect();
+        for func in funcs {
+            let fvars: BTreeSet<VarId> =
+                ev.program().vars_in_function(func).into_iter().collect();
+            if fvars.is_empty() {
+                continue;
+            }
+            if try_lower(ev, &fvars)? {
+                accepted.push(fvars);
+                continue;
+            }
+            // Finally, individual variables.
+            for v in fvars {
+                let single = BTreeSet::from([v]);
+                if try_lower(ev, &single)? {
+                    accepted.push(single);
+                }
+            }
+        }
+    }
+    Ok(accepted)
+}
+
+impl SearchAlgorithm for Hierarchical {
+    fn name(&self) -> &str {
+        "HR"
+    }
+
+    fn full_name(&self) -> &str {
+        "hierarchical"
+    }
+
+    fn search(&self, ev: &mut Evaluator<'_>) -> SearchResult {
+        let components = match passing_components(ev) {
+            Ok(c) => c,
+            Err(_) => return finish(ev, true),
+        };
+        // Greedily take the union of everything that passed in isolation and
+        // verify the combined configuration.
+        let union: BTreeSet<VarId> = components.into_iter().flatten().collect();
+        if !union.is_empty() && try_lower(ev, &union).is_err() {
+            return finish(ev, true);
+        }
+        finish(ev, false)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mixp_core::Benchmark;
+    use mixp_core::{Granularity, QualityThreshold};
+    use mixp_kernels::{Hydro1d, IntPredict, Tridiag};
+
+    #[test]
+    fn loose_threshold_terminates_at_the_whole_program() {
+        let k = Tridiag::small();
+        let mut ev = Evaluator::new(&k, QualityThreshold::new(1e-3));
+        let r = Hierarchical::new().search(&mut ev);
+        assert!(!r.dnf);
+        assert_eq!(r.evaluated, 1, "whole-program config passes immediately");
+        let best = r.best.unwrap();
+        assert_eq!(
+            best.config.lowered_count(),
+            k.program().total_variables(),
+            "everything tunable is lowered"
+        );
+    }
+
+    #[test]
+    fn variable_level_descent_wastes_evaluations_on_invalid_configs() {
+        // With an impossible threshold the whole-program config fails and HR
+        // descends to variables; single-variable configs split clusters and
+        // fail to compile — budget burned with nothing found.
+        let k = IntPredict::small();
+        let mut ev = Evaluator::new(&k, QualityThreshold::new(0.0));
+        let r = Hierarchical::new().search(&mut ev);
+        assert!(!r.dnf);
+        assert!(r.best.is_none());
+        let space = ev.space(Granularity::Variables);
+        // 1 evaluation for the whole program (module- and function-level
+        // configs are identical for a single-function kernel and hit the
+        // memo), plus one per variable.
+        assert_eq!(r.evaluated, 1 + space.len());
+    }
+
+    #[test]
+    fn hr_evaluates_more_than_dd_on_strict_thresholds() {
+        let k = Hydro1d::small();
+        let mut ev_hr = Evaluator::new(&k, QualityThreshold::new(1e-15));
+        let r_hr = Hierarchical::new().search(&mut ev_hr);
+        let mut ev_dd = Evaluator::new(&k, QualityThreshold::new(1e-15));
+        let r_dd = crate::DeltaDebug::new().search(&mut ev_dd);
+        assert!(
+            r_hr.evaluated >= r_dd.evaluated,
+            "HR {} vs DD {}",
+            r_hr.evaluated,
+            r_dd.evaluated
+        );
+    }
+}

@@ -1,0 +1,96 @@
+//! The search-algorithm interface and its result type.
+
+use mixp_core::{EvalRecord, Evaluator};
+use std::fmt;
+
+/// The outcome of one search run.
+#[derive(Debug, Clone)]
+pub struct SearchResult {
+    /// The best *passing* configuration found (highest speedup), if any.
+    pub best: Option<EvalRecord>,
+    /// Number of distinct configurations evaluated — the paper's EV metric.
+    pub evaluated: usize,
+    /// Whether the search ran out of budget before terminating naturally
+    /// (the paper's "did not produce results in 24 hours" grey box).
+    pub dnf: bool,
+}
+
+impl SearchResult {
+    /// Speedup of the best passing configuration (the paper's SU metric),
+    /// or `None` if nothing passed or the search did not finish.
+    pub fn speedup(&self) -> Option<f64> {
+        if self.dnf {
+            return None;
+        }
+        self.best.as_ref().map(|b| b.speedup)
+    }
+
+    /// Quality error of the best passing configuration (the paper's AC
+    /// metric), or `None` if nothing passed or the search did not finish.
+    pub fn quality(&self) -> Option<f64> {
+        if self.dnf {
+            return None;
+        }
+        self.best.as_ref().map(|b| b.quality)
+    }
+}
+
+impl fmt::Display for SearchResult {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.dnf {
+            write!(f, "DNF after {} configurations", self.evaluated)
+        } else {
+            match &self.best {
+                Some(b) => write!(
+                    f,
+                    "speedup {:.2} (quality {:.3e}) in {} configurations",
+                    b.speedup, b.quality, self.evaluated
+                ),
+                None => write!(f, "no passing configuration in {} tries", self.evaluated),
+            }
+        }
+    }
+}
+
+/// A mixed-precision search strategy.
+///
+/// Implementations must stop and report `dnf = true` when the evaluator's
+/// budget runs out ([`mixp_core::SearchBudgetExhausted`]).
+pub trait SearchAlgorithm: Send + Sync {
+    /// Two-letter short name used in the paper's tables (CB, CM, DD, HR,
+    /// HC, GA).
+    fn name(&self) -> &str;
+
+    /// Full descriptive name ("delta-debugging", …).
+    fn full_name(&self) -> &str;
+
+    /// Runs the search to completion (or budget exhaustion).
+    fn search(&self, ev: &mut Evaluator<'_>) -> SearchResult;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn dummy_result(dnf: bool) -> SearchResult {
+        SearchResult {
+            best: None,
+            evaluated: 7,
+            dnf,
+        }
+    }
+
+    #[test]
+    fn dnf_yields_no_metrics() {
+        let r = dummy_result(true);
+        assert_eq!(r.speedup(), None);
+        assert_eq!(r.quality(), None);
+        assert!(r.to_string().contains("DNF"));
+    }
+
+    #[test]
+    fn empty_result_formats() {
+        let r = dummy_result(false);
+        assert!(r.to_string().contains("no passing"));
+    }
+}

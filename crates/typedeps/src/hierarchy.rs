@@ -1,0 +1,55 @@
+//! Structural hierarchy identifiers (module / function), used by the
+//! hierarchical search strategies.
+
+use std::fmt;
+
+/// Identifier of a source module (translation unit) in the program model.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct ModuleId(pub(crate) u32);
+
+impl ModuleId {
+    /// Dense index of this module.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for ModuleId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "m{}", self.0)
+    }
+}
+
+/// Identifier of a function in the program model.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct FuncId(pub(crate) u32);
+
+impl FuncId {
+    /// Dense index of this function.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for FuncId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "f{}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_formats() {
+        assert_eq!(ModuleId(3).to_string(), "m3");
+        assert_eq!(FuncId(9).to_string(), "f9");
+    }
+
+    #[test]
+    fn indices_round_trip() {
+        assert_eq!(ModuleId(5).index(), 5);
+        assert_eq!(FuncId(0).index(), 0);
+    }
+}

@@ -1,0 +1,56 @@
+//! Type-dependence analysis and variable clustering — the Typeforge analogue.
+//!
+//! The paper's Typeforge performs an inter-procedural type-dependence
+//! analysis over C++ source: an entity `x` is type-dependent on `y` iff
+//! changing `y`'s type forces `x`'s type to change to keep the program
+//! compiling (pointer/array assignments and pointer-typed call bindings
+//! force equal base types; scalar assignments do not, because a cast can be
+//! inserted). The result is a *partition* of the tunable variables into
+//! clusters that must change type together.
+//!
+//! Our benchmarks are Rust, so there is no C++ AST to analyse; instead each
+//! benchmark *declares* its program model — modules, functions, variables and
+//! the dependence edges its pointer flows would induce — through
+//! [`ProgramBuilder`]. This crate computes the same outputs Typeforge hands
+//! to FloatSmith: the cluster partition (via union-find) and the structural
+//! hierarchy (program → module → function → variable) consumed by the
+//! hierarchical search strategies.
+//!
+//! # Example
+//!
+//! Listing 1 of the paper (`vect_mult`/`foo`) produces the partition
+//! `{arr, input}, {val, inout}, {scale}, {ratio}, {res}`:
+//!
+//! ```
+//! use mixp_typedeps::ProgramBuilder;
+//!
+//! let mut b = ProgramBuilder::new("listing1");
+//! let m = b.module("main");
+//! let vect_mult = b.function("vect_mult", m);
+//! let input = b.array(vect_mult, "input");
+//! let inout = b.array(vect_mult, "inout");
+//! let ratio = b.scalar(vect_mult, "ratio");
+//! let res = b.scalar(vect_mult, "res");
+//! let foo = b.function("foo", m);
+//! let arr = b.array(foo, "arr");
+//! let val = b.scalar(foo, "val");
+//! let scale = b.scalar(foo, "scale");
+//! // Call bindings: vect_mult(10, arr, &val, scale)
+//! b.bind(arr, input);   // pointer argument: base types must match
+//! b.bind(val, inout);   // address-of argument: base types must match
+//! // `scale -> ratio` is a scalar (by-value) binding: no edge.
+//! let _ = (ratio, res, scale);
+//! let pm = b.build();
+//! assert_eq!(pm.total_variables(), 7);
+//! assert_eq!(pm.total_clusters(), 5);
+//! ```
+
+mod cluster;
+mod hierarchy;
+mod model;
+mod unionfind;
+
+pub use cluster::{ClusterId, Clustering};
+pub use hierarchy::{FuncId, ModuleId};
+pub use model::{InvalidConfig, ProgramBuilder, ProgramModel, VarInfo, VarKind};
+pub use unionfind::UnionFind;

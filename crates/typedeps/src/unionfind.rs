@@ -1,0 +1,182 @@
+//! Disjoint-set forest used by the clustering pass.
+
+/// A union-find (disjoint-set) structure with path compression and union by
+/// rank.
+///
+/// # Example
+///
+/// ```
+/// use mixp_typedeps::UnionFind;
+///
+/// let mut uf = UnionFind::new(4);
+/// uf.union(0, 1);
+/// uf.union(2, 3);
+/// assert!(uf.same_set(0, 1));
+/// assert!(!uf.same_set(1, 2));
+/// assert_eq!(uf.set_count(), 2);
+/// ```
+#[derive(Debug, Clone)]
+pub struct UnionFind {
+    parent: Vec<usize>,
+    rank: Vec<u8>,
+    sets: usize,
+}
+
+impl UnionFind {
+    /// Creates `n` singleton sets.
+    pub fn new(n: usize) -> Self {
+        UnionFind {
+            parent: (0..n).collect(),
+            rank: vec![0; n],
+            sets: n,
+        }
+    }
+
+    /// Number of elements.
+    pub fn len(&self) -> usize {
+        self.parent.len()
+    }
+
+    /// Whether the structure covers zero elements.
+    pub fn is_empty(&self) -> bool {
+        self.parent.is_empty()
+    }
+
+    /// The representative of `x`'s set.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x >= len()`.
+    pub fn find(&mut self, x: usize) -> usize {
+        let mut root = x;
+        while self.parent[root] != root {
+            root = self.parent[root];
+        }
+        // Path compression.
+        let mut cur = x;
+        while self.parent[cur] != root {
+            let next = self.parent[cur];
+            self.parent[cur] = root;
+            cur = next;
+        }
+        root
+    }
+
+    /// Merges the sets of `a` and `b`. Returns `true` if they were distinct.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `a` or `b` is out of range.
+    pub fn union(&mut self, a: usize, b: usize) -> bool {
+        let (ra, rb) = (self.find(a), self.find(b));
+        if ra == rb {
+            return false;
+        }
+        let (hi, lo) = if self.rank[ra] >= self.rank[rb] {
+            (ra, rb)
+        } else {
+            (rb, ra)
+        };
+        self.parent[lo] = hi;
+        if self.rank[hi] == self.rank[lo] {
+            self.rank[hi] += 1;
+        }
+        self.sets -= 1;
+        true
+    }
+
+    /// Whether `a` and `b` are in the same set.
+    pub fn same_set(&mut self, a: usize, b: usize) -> bool {
+        self.find(a) == self.find(b)
+    }
+
+    /// Current number of disjoint sets.
+    pub fn set_count(&self) -> usize {
+        self.sets
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn singletons_are_disjoint() {
+        let mut uf = UnionFind::new(3);
+        assert_eq!(uf.set_count(), 3);
+        assert!(!uf.same_set(0, 2));
+        assert!(uf.same_set(1, 1));
+    }
+
+    #[test]
+    fn union_merges_transitively() {
+        let mut uf = UnionFind::new(5);
+        uf.union(0, 1);
+        uf.union(1, 2);
+        assert!(uf.same_set(0, 2));
+        assert_eq!(uf.set_count(), 3);
+    }
+
+    #[test]
+    fn double_union_is_idempotent() {
+        let mut uf = UnionFind::new(3);
+        assert!(uf.union(0, 1));
+        assert!(!uf.union(0, 1));
+        assert!(!uf.union(1, 0));
+        assert_eq!(uf.set_count(), 2);
+    }
+
+    #[test]
+    fn empty_is_empty() {
+        let uf = UnionFind::new(0);
+        assert!(uf.is_empty());
+        assert_eq!(uf.set_count(), 0);
+    }
+
+    proptest! {
+        /// After any sequence of unions, set_count equals the number of
+        /// distinct representatives, and same_set is an equivalence.
+        #[test]
+        fn set_count_matches_distinct_roots(
+            n in 1usize..40,
+            pairs in proptest::collection::vec((0usize..40, 0usize..40), 0..60),
+        ) {
+            let mut uf = UnionFind::new(n);
+            for (a, b) in pairs {
+                uf.union(a % n, b % n);
+            }
+            let mut roots = std::collections::HashSet::new();
+            for i in 0..n {
+                roots.insert(uf.find(i));
+            }
+            prop_assert_eq!(roots.len(), uf.set_count());
+            // Symmetry and reflexivity of same_set.
+            for i in 0..n {
+                prop_assert!(uf.same_set(i, i));
+                for j in 0..n {
+                    prop_assert_eq!(uf.same_set(i, j), uf.same_set(j, i));
+                }
+            }
+        }
+
+        /// Union never increases the number of sets and decreases by exactly
+        /// one when merging two distinct sets.
+        #[test]
+        fn union_decrements_or_keeps(
+            n in 2usize..30,
+            a in 0usize..30,
+            b in 0usize..30,
+        ) {
+            let mut uf = UnionFind::new(n);
+            let before = uf.set_count();
+            let merged = uf.union(a % n, b % n);
+            let after = uf.set_count();
+            if merged {
+                prop_assert_eq!(after, before - 1);
+            } else {
+                prop_assert_eq!(after, before);
+            }
+        }
+    }
+}

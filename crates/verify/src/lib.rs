@@ -1,0 +1,27 @@
+//! Verification library: quantifying the accuracy loss of an approximated
+//! run against the original, non-approximate execution.
+//!
+//! Implements the error metrics of HPC-MixPBench §III-A.b — Mean Absolute
+//! Error ([`mae`]), Root Mean Square Error ([`rmse`]), Mean Square Error
+//! ([`mse`]), coefficient of determination ([`r2`]) and Misclassification
+//! Rate ([`mcr`]) — plus the [`QualityThreshold`] acceptance check used by
+//! every search algorithm.
+//!
+//! # Example
+//!
+//! ```
+//! use mixp_verify::{MetricKind, QualityThreshold};
+//!
+//! let reference = [1.0, 2.0, 3.0];
+//! let approx = [1.0, 2.0, 3.5];
+//! let err = MetricKind::Mae.compare(&reference, &approx);
+//! assert!((err - 0.5 / 3.0).abs() < 1e-12);
+//! assert!(QualityThreshold::new(1.0).accepts(err));
+//! assert!(!QualityThreshold::new(0.1).accepts(err));
+//! ```
+
+mod metrics;
+mod threshold;
+
+pub use metrics::{mae, max_abs_error, mcr, mse, r2, relative_mae, rmse, MetricKind};
+pub use threshold::QualityThreshold;

@@ -1,0 +1,367 @@
+//! Error metrics comparing an approximated output against the reference.
+//!
+//! All metrics take the *reference* (original, all-double) output first and
+//! the approximated output second. If either output contains a non-finite
+//! value the continuous metrics return `NaN`, which fails every threshold —
+//! this is how SRAD's destroyed single-precision output manifests in the
+//! paper's Table IV.
+
+use std::fmt;
+
+fn check_lengths(reference: &[f64], approx: &[f64]) {
+    assert_eq!(
+        reference.len(),
+        approx.len(),
+        "reference and approximated outputs differ in length"
+    );
+    assert!(!reference.is_empty(), "outputs must be non-empty");
+}
+
+/// Mean Absolute Error: `mean(|ref_i - approx_i|)`.
+///
+/// The paper's default quality metric for every benchmark except K-means.
+///
+/// # Panics
+///
+/// Panics if the slices differ in length or are empty.
+pub fn mae(reference: &[f64], approx: &[f64]) -> f64 {
+    check_lengths(reference, approx);
+    let sum: f64 = reference
+        .iter()
+        .zip(approx)
+        .map(|(r, a)| (r - a).abs())
+        .sum();
+    sum / reference.len() as f64
+}
+
+/// Mean Square Error: `mean((ref_i - approx_i)^2)`.
+///
+/// # Panics
+///
+/// Panics if the slices differ in length or are empty.
+pub fn mse(reference: &[f64], approx: &[f64]) -> f64 {
+    check_lengths(reference, approx);
+    let sum: f64 = reference
+        .iter()
+        .zip(approx)
+        .map(|(r, a)| (r - a) * (r - a))
+        .sum();
+    sum / reference.len() as f64
+}
+
+/// Root Mean Square Error: `sqrt(mse)`. Penalises large errors more than
+/// [`mae`], which the paper recommends when large excursions in continuous
+/// outputs must be avoided.
+///
+/// # Panics
+///
+/// Panics if the slices differ in length or are empty.
+pub fn rmse(reference: &[f64], approx: &[f64]) -> f64 {
+    mse(reference, approx).sqrt()
+}
+
+/// Coefficient of determination R²: `1 - SS_res / SS_tot`.
+///
+/// Returns 1.0 for a perfect reproduction. When the reference is constant
+/// (`SS_tot == 0`), returns 1.0 if the approximation is exact and `-inf`
+/// otherwise.
+///
+/// # Panics
+///
+/// Panics if the slices differ in length or are empty.
+pub fn r2(reference: &[f64], approx: &[f64]) -> f64 {
+    check_lengths(reference, approx);
+    let mean = reference.iter().sum::<f64>() / reference.len() as f64;
+    let ss_tot: f64 = reference.iter().map(|r| (r - mean) * (r - mean)).sum();
+    let ss_res: f64 = reference
+        .iter()
+        .zip(approx)
+        .map(|(r, a)| (r - a) * (r - a))
+        .sum();
+    if ss_tot == 0.0 {
+        if ss_res == 0.0 {
+            1.0
+        } else {
+            f64::NEG_INFINITY
+        }
+    } else {
+        1.0 - ss_res / ss_tot
+    }
+}
+
+/// Misclassification Rate: the fraction of positions whose (rounded) class
+/// labels differ. Used for K-means, whose output is a cluster assignment.
+///
+/// Values are compared as integer labels after rounding; a non-finite entry
+/// on either side counts as misclassified.
+///
+/// # Panics
+///
+/// Panics if the slices differ in length or are empty.
+pub fn mcr(reference: &[f64], approx: &[f64]) -> f64 {
+    check_lengths(reference, approx);
+    let wrong = reference
+        .iter()
+        .zip(approx)
+        .filter(|(r, a)| {
+            if !r.is_finite() || !a.is_finite() {
+                true
+            } else {
+                r.round() as i64 != a.round() as i64
+            }
+        })
+        .count();
+    wrong as f64 / reference.len() as f64
+}
+
+/// Maximum absolute error: `max_i |ref_i - approx_i|` (L∞). A stricter
+/// companion to [`mae`] when single large excursions matter more than the
+/// average — one of the extension metrics the verification library is the
+/// "single point" for (§III-A.b).
+///
+/// # Panics
+///
+/// Panics if the slices differ in length or are empty.
+pub fn max_abs_error(reference: &[f64], approx: &[f64]) -> f64 {
+    check_lengths(reference, approx);
+    reference
+        .iter()
+        .zip(approx)
+        .map(|(r, a)| (r - a).abs())
+        .fold(0.0, f64::max)
+}
+
+/// Mean *relative* absolute error: `mean(|ref_i - approx_i| / max(|ref_i|, ε))`
+/// with `ε = 1e-300` guarding exact zeros. Useful when outputs span many
+/// orders of magnitude.
+///
+/// # Panics
+///
+/// Panics if the slices differ in length or are empty.
+pub fn relative_mae(reference: &[f64], approx: &[f64]) -> f64 {
+    check_lengths(reference, approx);
+    let sum: f64 = reference
+        .iter()
+        .zip(approx)
+        .map(|(r, a)| (r - a).abs() / r.abs().max(1e-300))
+        .sum();
+    sum / reference.len() as f64
+}
+
+/// Selects which error metric a benchmark's verification uses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum MetricKind {
+    /// Mean absolute error (default for continuous outputs).
+    Mae,
+    /// Maximum absolute error (L∞).
+    MaxAbs,
+    /// Mean relative absolute error.
+    RelMae,
+    /// Root mean square error.
+    Rmse,
+    /// Mean square error.
+    Mse,
+    /// Coefficient of determination. Note: *error* for thresholds is
+    /// reported as `1 - R²` so that 0 means perfect.
+    R2,
+    /// Misclassification rate (K-means).
+    Mcr,
+}
+
+impl MetricKind {
+    /// Computes the error of `approx` against `reference` under this metric.
+    ///
+    /// For [`MetricKind::R2`] the returned value is `1 - R²` so every metric
+    /// shares the "0 is perfect, larger is worse" orientation required by
+    /// [`crate::QualityThreshold`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if the slices differ in length or are empty.
+    pub fn compare(self, reference: &[f64], approx: &[f64]) -> f64 {
+        match self {
+            MetricKind::Mae => mae(reference, approx),
+            MetricKind::MaxAbs => max_abs_error(reference, approx),
+            MetricKind::RelMae => relative_mae(reference, approx),
+            MetricKind::Rmse => rmse(reference, approx),
+            MetricKind::Mse => mse(reference, approx),
+            MetricKind::R2 => 1.0 - r2(reference, approx),
+            MetricKind::Mcr => mcr(reference, approx),
+        }
+    }
+
+    /// Canonical uppercase name as used in the paper's tables.
+    pub fn name(self) -> &'static str {
+        match self {
+            MetricKind::Mae => "MAE",
+            MetricKind::MaxAbs => "MaxAbs",
+            MetricKind::RelMae => "RelMAE",
+            MetricKind::Rmse => "RMSE",
+            MetricKind::Mse => "MSE",
+            MetricKind::R2 => "R2",
+            MetricKind::Mcr => "MCR",
+        }
+    }
+}
+
+impl fmt::Display for MetricKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    const EPS: f64 = 1e-12;
+
+    #[test]
+    fn identical_outputs_have_zero_error() {
+        let x = [1.0, -2.0, 3.5];
+        assert_eq!(mae(&x, &x), 0.0);
+        assert_eq!(mse(&x, &x), 0.0);
+        assert_eq!(rmse(&x, &x), 0.0);
+        assert_eq!(mcr(&x, &x), 0.0);
+        assert_eq!(r2(&x, &x), 1.0);
+    }
+
+    #[test]
+    fn max_abs_error_known_value() {
+        assert_eq!(max_abs_error(&[0.0, 0.0], &[1.0, -3.0]), 3.0);
+        assert_eq!(max_abs_error(&[1.0], &[1.0]), 0.0);
+    }
+
+    #[test]
+    fn relative_mae_known_value() {
+        // Errors of 10% and 50%.
+        let r = relative_mae(&[10.0, 2.0], &[11.0, 3.0]);
+        assert!((r - 0.3).abs() < EPS);
+    }
+
+    #[test]
+    fn relative_mae_guards_zero_reference() {
+        assert!(relative_mae(&[0.0], &[1.0]).is_finite());
+    }
+
+    #[test]
+    fn max_abs_dominates_mae() {
+        let reference = [0.0, 0.0, 0.0];
+        let approx = [0.1, 0.2, 0.9];
+        assert!(max_abs_error(&reference, &approx) >= mae(&reference, &approx));
+    }
+
+    #[test]
+    fn mae_known_value() {
+        assert!((mae(&[0.0, 0.0], &[1.0, 3.0]) - 2.0).abs() < EPS);
+    }
+
+    #[test]
+    fn mse_and_rmse_known_values() {
+        let m = mse(&[0.0, 0.0], &[1.0, 3.0]);
+        assert!((m - 5.0).abs() < EPS);
+        assert!((rmse(&[0.0, 0.0], &[1.0, 3.0]) - 5.0f64.sqrt()).abs() < EPS);
+    }
+
+    #[test]
+    fn r2_half_variance_explained() {
+        // reference has variance; approx reproduces mean only.
+        let reference = [0.0, 2.0];
+        let approx = [1.0, 1.0];
+        assert!((r2(&reference, &approx) - 0.0).abs() < EPS);
+    }
+
+    #[test]
+    fn r2_constant_reference() {
+        assert_eq!(r2(&[1.0, 1.0], &[1.0, 1.0]), 1.0);
+        assert_eq!(r2(&[1.0, 1.0], &[1.0, 2.0]), f64::NEG_INFINITY);
+    }
+
+    #[test]
+    fn mcr_counts_label_flips() {
+        let reference = [0.0, 1.0, 2.0, 3.0];
+        let approx = [0.0, 1.0, 3.0, 2.0];
+        assert!((mcr(&reference, &approx) - 0.5).abs() < EPS);
+    }
+
+    #[test]
+    fn mcr_treats_nonfinite_as_wrong() {
+        assert_eq!(mcr(&[1.0], &[f64::NAN]), 1.0);
+        assert_eq!(mcr(&[1.0], &[f64::INFINITY]), 1.0);
+    }
+
+    #[test]
+    fn nan_output_poisons_continuous_metrics() {
+        let reference = [1.0, 2.0];
+        let approx = [1.0, f64::NAN];
+        assert!(mae(&reference, &approx).is_nan());
+        assert!(mse(&reference, &approx).is_nan());
+        assert!(rmse(&reference, &approx).is_nan());
+    }
+
+    #[test]
+    #[should_panic]
+    fn mismatched_lengths_panic() {
+        mae(&[1.0], &[1.0, 2.0]);
+    }
+
+    #[test]
+    #[should_panic]
+    fn empty_outputs_panic() {
+        mae(&[], &[]);
+    }
+
+    #[test]
+    fn compare_r2_is_one_minus_r2() {
+        let reference = [0.0, 2.0];
+        let approx = [1.0, 1.0];
+        assert!((MetricKind::R2.compare(&reference, &approx) - 1.0).abs() < EPS);
+    }
+
+    #[test]
+    fn metric_names() {
+        assert_eq!(MetricKind::Mae.to_string(), "MAE");
+        assert_eq!(MetricKind::Mcr.name(), "MCR");
+    }
+
+    proptest! {
+        /// MAE and RMSE are non-negative, symmetric in their arguments, and
+        /// RMSE >= MAE >= 0 (power-mean inequality); MSE = RMSE².
+        #[test]
+        fn metric_inequalities(
+            pairs in proptest::collection::vec((-1.0e3f64..1.0e3, -1.0e3f64..1.0e3), 1..50)
+        ) {
+            let reference: Vec<f64> = pairs.iter().map(|p| p.0).collect();
+            let approx: Vec<f64> = pairs.iter().map(|p| p.1).collect();
+            let a = mae(&reference, &approx);
+            let r = rmse(&reference, &approx);
+            let m = mse(&reference, &approx);
+            prop_assert!(a >= 0.0);
+            prop_assert!(r + 1e-9 >= a, "rmse {} < mae {}", r, a);
+            prop_assert!((m - r * r).abs() <= 1e-6 * m.max(1.0));
+            prop_assert_eq!(mae(&approx, &reference), a);
+        }
+
+        /// MCR is in [0, 1] and zero iff all rounded labels agree.
+        #[test]
+        fn mcr_is_a_rate(
+            labels in proptest::collection::vec((0i64..5, 0i64..5), 1..40)
+        ) {
+            let reference: Vec<f64> = labels.iter().map(|p| p.0 as f64).collect();
+            let approx: Vec<f64> = labels.iter().map(|p| p.1 as f64).collect();
+            let rate = mcr(&reference, &approx);
+            prop_assert!((0.0..=1.0).contains(&rate));
+            let all_agree = labels.iter().all(|p| p.0 == p.1);
+            prop_assert_eq!(rate == 0.0, all_agree);
+        }
+
+        /// R² of the exact reproduction is always 1.
+        #[test]
+        fn r2_perfect_is_one(
+            reference in proptest::collection::vec(-1.0e3f64..1.0e3, 1..40)
+        ) {
+            prop_assert_eq!(r2(&reference, &reference), 1.0);
+        }
+    }
+}

@@ -1,0 +1,134 @@
+//! Quality-threshold acceptance.
+
+use std::fmt;
+
+/// The user-specified quality bound a mixed-precision configuration must
+/// satisfy to be accepted by a search.
+///
+/// The paper's evaluation uses thresholds of `1e-3`, `1e-6` and `1e-8`.
+/// A configuration passes iff its error is finite and `error <= bound`;
+/// `NaN` errors (destroyed output) never pass.
+///
+/// # Example
+///
+/// ```
+/// use mixp_verify::QualityThreshold;
+///
+/// let t = QualityThreshold::new(1e-6);
+/// assert!(t.accepts(5e-7));
+/// assert!(t.accepts(0.0));
+/// assert!(!t.accepts(2e-6));
+/// assert!(!t.accepts(f64::NAN));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct QualityThreshold {
+    bound: f64,
+}
+
+impl QualityThreshold {
+    /// Creates a threshold with the given error bound.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bound` is negative or not finite.
+    pub fn new(bound: f64) -> Self {
+        assert!(
+            bound.is_finite() && bound >= 0.0,
+            "quality bound must be a finite non-negative number"
+        );
+        QualityThreshold { bound }
+    }
+
+    /// The error bound.
+    pub fn bound(&self) -> f64 {
+        self.bound
+    }
+
+    /// Whether an observed error satisfies the bound.
+    ///
+    /// Non-finite errors (NaN/±inf) are always rejected — they signal a
+    /// destroyed or diverged output, like SRAD's all-single run.
+    pub fn accepts(&self, error: f64) -> bool {
+        error.is_finite() && error <= self.bound
+    }
+
+    /// The paper's three evaluation thresholds, loosest first.
+    pub fn paper_thresholds() -> [QualityThreshold; 3] {
+        [
+            QualityThreshold::new(1e-3),
+            QualityThreshold::new(1e-6),
+            QualityThreshold::new(1e-8),
+        ]
+    }
+}
+
+impl fmt::Display for QualityThreshold {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:e}", self.bound)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn exact_bound_passes() {
+        assert!(QualityThreshold::new(1e-3).accepts(1e-3));
+    }
+
+    #[test]
+    fn infinity_rejected() {
+        let t = QualityThreshold::new(1e300);
+        assert!(!t.accepts(f64::INFINITY));
+        assert!(!t.accepts(f64::NEG_INFINITY));
+    }
+
+    #[test]
+    fn zero_bound_accepts_only_zero() {
+        let t = QualityThreshold::new(0.0);
+        assert!(t.accepts(0.0));
+        assert!(!t.accepts(f64::MIN_POSITIVE));
+    }
+
+    #[test]
+    #[should_panic]
+    fn negative_bound_panics() {
+        QualityThreshold::new(-1.0);
+    }
+
+    #[test]
+    #[should_panic]
+    fn nan_bound_panics() {
+        QualityThreshold::new(f64::NAN);
+    }
+
+    #[test]
+    fn paper_thresholds_are_ordered() {
+        let [a, b, c] = QualityThreshold::paper_thresholds();
+        assert!(a.bound() > b.bound() && b.bound() > c.bound());
+    }
+
+    #[test]
+    fn display_is_scientific() {
+        assert_eq!(QualityThreshold::new(1e-6).to_string(), "1e-6");
+    }
+
+    proptest! {
+        /// Acceptance is monotone: if a threshold accepts e, every looser
+        /// threshold accepts e too.
+        #[test]
+        fn acceptance_is_monotone(
+            bound in 0.0f64..1.0,
+            looser in 0.0f64..1.0,
+            err in 0.0f64..2.0,
+        ) {
+            let tight = QualityThreshold::new(bound.min(looser));
+            let loose = QualityThreshold::new(bound.max(looser));
+            if tight.accepts(err) {
+                prop_assert!(loose.accepts(err));
+            }
+        }
+    }
+}

@@ -1,0 +1,53 @@
+//! Comparing all six search algorithms on one kernel.
+//!
+//! ```sh
+//! cargo run --release --example compare_algorithms [kernel-name]
+//! ```
+//!
+//! Runs CB, CM, DD, HR, HC and GA on a kernel (default: `eos`) at the
+//! paper's kernel threshold (1e-8) and prints one Table III row. Kernels
+//! have tiny search spaces (Table II), so even the exhaustive CB baseline
+//! is instant — exactly why the paper recommends them for validating new
+//! tools.
+
+use mixp_core::{Evaluator, QualityThreshold};
+use mixp_harness::{benchmark_by_name, Scale};
+use mixp_search::all_algorithms;
+
+fn main() {
+    let name = std::env::args().nth(1).unwrap_or_else(|| "eos".to_string());
+    let probe = benchmark_by_name(&name, Scale::Paper).unwrap_or_else(|| {
+        eprintln!("unknown benchmark `{name}`; try one of:");
+        for n in mixp_harness::benchmark_names() {
+            eprintln!("  {n}");
+        }
+        std::process::exit(2);
+    });
+    println!(
+        "{} — {} ({} vars, {} clusters)\n",
+        probe.name(),
+        probe.description(),
+        probe.program().total_variables(),
+        probe.program().total_clusters()
+    );
+
+    println!("algorithm                   speedup  quality    evaluated");
+    for algo in all_algorithms() {
+        let bench = benchmark_by_name(&name, Scale::Paper).expect("checked above");
+        let mut ev = Evaluator::new(bench.as_ref(), QualityThreshold::new(1e-8));
+        let result = algo.search(&mut ev);
+        let speedup = result
+            .speedup()
+            .map_or("-".to_string(), |s| format!("{s:.2}"));
+        let quality = result
+            .quality()
+            .map_or("-".to_string(), |q| format!("{q:.2e}"));
+        println!(
+            "{:2}  {:22}  {speedup:<7}  {quality:<9}  {}{}",
+            algo.name(),
+            algo.full_name(),
+            result.evaluated,
+            if result.dnf { " (DNF)" } else { "" },
+        );
+    }
+}

@@ -1,0 +1,67 @@
+//! Three-level (half / single / double) mixed-precision search.
+//!
+//! ```sh
+//! cargo run --release --example three_level [kernel-name]
+//! ```
+//!
+//! The paper frames the search space as `p^loc` for an architecture with
+//! `p` precision levels — "p = 3 for an architecture that supports half,
+//! single, and double precision" (§II) — but evaluates two levels. This
+//! reproduction supports binary16 end-to-end (storage rounding, cost
+//! model, mp I/O), and this example enumerates the full three-level space
+//! of a kernel with `CB3`, then prints the accuracy/speedup frontier.
+
+use mixp_core::{Evaluator, Precision, QualityThreshold};
+use mixp_harness::{benchmark_by_name, Scale};
+use mixp_search::{MultiPrecisionExhaustive, SearchAlgorithm};
+
+fn main() {
+    let name = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "hydro-1d".to_string());
+    let bench = benchmark_by_name(&name, Scale::Paper).unwrap_or_else(|| {
+        eprintln!("unknown benchmark `{name}`");
+        std::process::exit(2);
+    });
+    let program = bench.program();
+    let clusters = program.total_clusters();
+    println!(
+        "{}: {} clusters → 3^{} = {} assignments\n",
+        bench.name(),
+        clusters,
+        clusters,
+        3u64.pow(clusters as u32)
+    );
+
+    // Enumerate the whole frontier at a relaxed threshold so every
+    // configuration's quality is visible.
+    let mut ev = Evaluator::new(bench.as_ref(), QualityThreshold::new(1e-1));
+    let result = MultiPrecisionExhaustive::new().search(&mut ev);
+    println!("CB3: {result}\n");
+
+    // Show the per-assignment landscape explicitly.
+    println!("assignment (per cluster)           speedup  quality");
+    let levels = [Precision::Half, Precision::Single, Precision::Double];
+    let total = 3u64.pow(clusters as u32);
+    let mut rows = Vec::new();
+    for mut code in 0..total {
+        let mut assignment = Vec::with_capacity(clusters);
+        for _ in 0..clusters {
+            assignment.push(levels[(code % 3) as usize]);
+            code /= 3;
+        }
+        let cfg = program.config_from_cluster_levels(&assignment);
+        let rec = ev.evaluate(&cfg).expect("memoised: no budget needed");
+        let label: Vec<&str> = assignment.iter().map(|p| p.name()).collect();
+        rows.push((label.join(","), rec.speedup, rec.quality));
+    }
+    rows.sort_by(|a, b| b.1.total_cmp(&a.1));
+    for (label, speedup, quality) in rows {
+        println!("{label:32}  {speedup:>6.2}   {quality:.2e}");
+    }
+
+    println!();
+    println!("Half-precision storage buys more speedup (4× SIMD width, half");
+    println!("the footprint again) at a much larger accuracy cost — the");
+    println!("three-level frontier the paper's p = 3 framing anticipates.");
+}

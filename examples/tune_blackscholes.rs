@@ -1,0 +1,50 @@
+//! Tuning one application across quality thresholds.
+//!
+//! ```sh
+//! cargo run --release --example tune_blackscholes
+//! ```
+//!
+//! Reproduces the per-application story of the paper's Table V for
+//! Blackscholes: run delta-debugging and the genetic search under the
+//! three thresholds (1e-3, 1e-6, 1e-8) and watch the achievable speedup
+//! and the search effort change as the quality requirement tightens.
+
+use mixp_core::{EvaluatorBuilder, QualityThreshold};
+use mixp_harness::{benchmark_by_name, Scale};
+use mixp_search::{DeltaDebug, Genetic, GeneticParams, SearchAlgorithm};
+
+fn main() {
+    let algorithms: Vec<Box<dyn SearchAlgorithm>> = vec![
+        Box::new(DeltaDebug::new()),
+        Box::new(Genetic::new(GeneticParams::default())),
+    ];
+
+    println!("threshold  algorithm  speedup  quality     evaluated");
+    for threshold in [1e-3, 1e-6, 1e-8] {
+        for algo in &algorithms {
+            // A fresh benchmark + evaluator per run: searches are
+            // independent analyses, like separate harness jobs.
+            let bench =
+                benchmark_by_name("blackscholes", Scale::Paper).expect("registry has blackscholes");
+            let mut ev = EvaluatorBuilder::new(QualityThreshold::new(threshold))
+                .budget(512)
+                .build(bench.as_ref());
+            let result = algo.search(&mut ev);
+            let (speedup, quality) = match (&result.speedup(), &result.quality()) {
+                (Some(s), Some(q)) => (format!("{s:.2}"), format!("{q:.2e}")),
+                _ => ("-".to_string(), "-".to_string()),
+            };
+            println!(
+                "{threshold:<9.0e}  {:<9}  {speedup:<7}  {quality:<10}  {}{}",
+                algo.name(),
+                result.evaluated,
+                if result.dnf { " (DNF)" } else { "" },
+            );
+        }
+    }
+
+    println!();
+    println!("Expected shape (paper §IV-B2): DD's evaluated-configuration count");
+    println!("grows sharply as the threshold tightens, while GA stays nearly");
+    println!("constant — but DD typically finds the faster configuration.");
+}

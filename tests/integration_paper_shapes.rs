@@ -1,0 +1,169 @@
+//! Shape tests against the paper's evaluation (small scale, so they run in
+//! CI time): who wins, what fails, where behaviour diverges as thresholds
+//! tighten. Absolute numbers are checked loosely; orderings and
+//! pass/fail/DNF structure are checked strictly.
+
+use mixp_core::{run_config, Benchmark, CacheParams, CostModel, Evaluator, QualityThreshold};
+use mixp_harness::experiments::{table4, TABLE5_THRESHOLDS};
+use mixp_harness::{benchmark_by_name, Scale};
+use mixp_search::{algorithm_by_name, DeltaDebug, Genetic, GeneticParams, SearchAlgorithm};
+
+fn single_speedup(name: &str, scale: Scale) -> (f64, f64) {
+    let b = benchmark_by_name(name, scale).unwrap();
+    let model = CostModel::default();
+    let cache = CacheParams::default();
+    let (ref_out, rc, rs) = run_config(b.as_ref(), &b.program().config_all_double(), cache);
+    let (out, c, s) = run_config(b.as_ref(), &b.program().config_all_single(), cache);
+    (
+        model.speedup((&rc, Some(&rs)), (&c, Some(&s))),
+        b.metric().compare(&ref_out, &out),
+    )
+}
+
+/// Table IV shapes: SRAD is destroyed, K-means is exactly preserved but not
+/// faster, LavaMD has the largest error among the finite ones.
+#[test]
+fn table4_extreme_cases() {
+    let rows = table4(Scale::Small);
+    let get = |n: &str| rows.iter().find(|r| r.name == n).unwrap();
+    assert!(get("srad").quality_loss.is_nan());
+    assert_eq!(get("kmeans").quality_loss, 0.0);
+    assert!(get("kmeans").speedup < 1.05);
+    let finite_max = rows
+        .iter()
+        .filter(|r| r.quality_loss.is_finite())
+        .max_by(|a, b| a.quality_loss.total_cmp(&b.quality_loss))
+        .unwrap();
+    assert_eq!(
+        finite_max.name, "lavamd",
+        "LavaMD accumulates the largest finite error"
+    );
+}
+
+/// Paper-scale Table IV ordering: LavaMD gets the largest speedup (the
+/// cache effect of §V), and kernels' banded-lin-eq beats every other
+/// kernel. This is the one paper-scale test in the suite; it runs two
+/// evaluations per benchmark involved.
+#[test]
+fn paper_scale_speedup_ordering() {
+    let (lavamd, _) = single_speedup("lavamd", Scale::Paper);
+    let (hotspot, _) = single_speedup("hotspot", Scale::Paper);
+    let (kmeans, _) = single_speedup("kmeans", Scale::Paper);
+    assert!(
+        lavamd > hotspot && hotspot > kmeans,
+        "lavamd {lavamd} > hotspot {hotspot} > kmeans {kmeans}"
+    );
+    let (banded, _) = single_speedup("banded-lin-eq", Scale::Paper);
+    for k in ["eos", "planckian", "tridiag", "iccg", "hydro-1d"] {
+        let (s, _) = single_speedup(k, Scale::Paper);
+        assert!(banded > s + 0.5, "banded {banded} should dwarf {k} {s}");
+    }
+}
+
+/// DD evaluates more configurations as the threshold tightens, while GA's
+/// evaluation count is bounded by its generation budget at every
+/// threshold — the Figure 2a contrast.
+#[test]
+fn figure2a_dd_grows_ga_stays_bounded() {
+    let params = GeneticParams::default();
+    let ga_cap = params.population * params.max_generations;
+    let mut dd_counts = Vec::new();
+    for t in TABLE5_THRESHOLDS {
+        let bench = benchmark_by_name("cfd", Scale::Small).unwrap();
+        let mut ev = Evaluator::new(bench.as_ref(), QualityThreshold::new(t));
+        let dd = DeltaDebug::new().search(&mut ev);
+        dd_counts.push(dd.evaluated);
+
+        let bench = benchmark_by_name("cfd", Scale::Small).unwrap();
+        let mut ev = Evaluator::new(bench.as_ref(), QualityThreshold::new(t));
+        let ga = Genetic::new(params).search(&mut ev);
+        assert!(ga.evaluated <= ga_cap, "GA bounded at {t:e}");
+    }
+    assert!(
+        dd_counts[2] >= dd_counts[0],
+        "DD at 1e-8 ({}) must not need fewer configs than at 1e-3 ({})",
+        dd_counts[2],
+        dd_counts[0]
+    );
+}
+
+/// The delta-debugging result is never slower than the genetic result by
+/// more than noise — "DD typically results in configurations providing the
+/// most speedup" (§V) — checked across several benchmarks.
+#[test]
+fn dd_at_least_matches_ga() {
+    for name in ["hydro-1d", "iccg", "banded-lin-eq", "cfd"] {
+        let bench = benchmark_by_name(name, Scale::Small).unwrap();
+        let mut ev = Evaluator::new(bench.as_ref(), QualityThreshold::new(1e-3));
+        let dd = DeltaDebug::new().search(&mut ev);
+        let bench = benchmark_by_name(name, Scale::Small).unwrap();
+        let mut ev = Evaluator::new(bench.as_ref(), QualityThreshold::new(1e-3));
+        let ga = Genetic::new(GeneticParams::default()).search(&mut ev);
+        if let (Some(d), Some(g)) = (dd.speedup(), ga.speedup()) {
+            assert!(d >= g * 0.95, "{name}: DD {d} vs GA {g}");
+        }
+    }
+}
+
+/// Hierarchical search wastes evaluations on configurations that do not
+/// compile once it descends to the variable level — §V's core criticism.
+#[test]
+fn hierarchical_wastes_budget_on_invalid_configs() {
+    // At an impossible threshold HR descends all the way down on an
+    // application whose clusters span functions.
+    let bench = benchmark_by_name("hpccg", Scale::Small).unwrap();
+    let hr = algorithm_by_name("HR").unwrap();
+    let mut ev = Evaluator::new(bench.as_ref(), QualityThreshold::new(0.0));
+    let result = hr.search(&mut ev);
+    // HR descends to the variable level: at least one evaluation per
+    // tunable variable, almost all of which split a CG cluster and cannot
+    // even compile — and none of which can pass.
+    let tv = bench.program().total_variables();
+    assert!(
+        result.evaluated > tv,
+        "HR evaluated {} ≤ TV {}",
+        result.evaluated,
+        tv
+    );
+    // At a zero threshold only no-op or exactly-representable clusters can
+    // pass — never a configuration touching the solver arithmetic.
+    if let Some(best) = result.best {
+        assert_eq!(best.quality, 0.0);
+    }
+}
+
+/// The compositional closure explodes on cluster-rich applications and
+/// hits the budget (the paper's grey DNF boxes), while DD and GA finish.
+#[test]
+fn cm_explodes_where_dd_and_ga_finish() {
+    use mixp_core::EvaluatorBuilder;
+    let budget = 60;
+    let mut outcomes = Vec::new();
+    for algo_name in ["CM", "DD", "GA"] {
+        let bench = benchmark_by_name("kmeans", Scale::Small).unwrap();
+        let algo = algorithm_by_name(algo_name).unwrap();
+        let mut ev = EvaluatorBuilder::new(QualityThreshold::new(1e-3))
+            .budget(budget)
+            .build(bench.as_ref());
+        outcomes.push((algo_name, algo.search(&mut ev).dnf));
+    }
+    assert_eq!(outcomes[0], ("CM", true), "CM must exhaust the budget");
+    assert_eq!(outcomes[1], ("DD", false));
+    assert_eq!(outcomes[2], ("GA", false));
+}
+
+/// Quality values reported by searches are never above their threshold:
+/// "the analysis will always respect the quality constraint" (§IV).
+#[test]
+fn reported_quality_respects_threshold() {
+    for name in ["blackscholes", "srad", "hotspot"] {
+        for t in TABLE5_THRESHOLDS {
+            let bench: Box<dyn Benchmark> = benchmark_by_name(name, Scale::Small).unwrap();
+            let mut ev = Evaluator::new(bench.as_ref(), QualityThreshold::new(t));
+            let r = DeltaDebug::new().search(&mut ev);
+            if let Some(q) = r.quality() {
+                assert!(q <= t, "{name}@{t:e}: quality {q}");
+            }
+        }
+    }
+}

@@ -1,0 +1,206 @@
+//! Generative property tests: random synthetic tunable programs are thrown
+//! at every search algorithm, and the core invariants must hold for all of
+//! them — not just for the 17 shipped benchmarks.
+
+use mixp_core::synth::SplitMix64;
+use mixp_core::{
+    Benchmark, BenchmarkKind, Evaluator, ExecCtx, MetricKind, ProgramBuilder, ProgramModel,
+    QualityThreshold, VarId,
+};
+use mixp_float::{MpScalar, MpVec};
+use mixp_search::all_algorithms;
+use proptest::prelude::*;
+
+/// A randomly-shaped but deterministic benchmark: `nvars` variables split
+/// over two functions, random dependence edges, and a computation in which
+/// every variable participates (arrays via element updates, scalars as
+/// coefficients).
+#[derive(Debug)]
+struct RandomBench {
+    program: ProgramModel,
+    arrays: Vec<VarId>,
+    scalars: Vec<VarId>,
+    n: usize,
+    seed: u64,
+}
+
+impl RandomBench {
+    fn new(nvars: usize, edges: &[(usize, usize)], seed: u64) -> Self {
+        let mut b = ProgramBuilder::new("random-bench");
+        let m = b.module("random.c");
+        let f1 = b.function("phase1", m);
+        let f2 = b.function("phase2", m);
+        let mut arrays = Vec::new();
+        let mut scalars = Vec::new();
+        let mut ids = Vec::new();
+        for i in 0..nvars {
+            let f = if i % 2 == 0 { f1 } else { f2 };
+            let id = if i % 3 == 0 {
+                let id = b.array(f, &format!("arr{i}"));
+                arrays.push(id);
+                id
+            } else {
+                let id = b.scalar(f, &format!("s{i}"));
+                scalars.push(id);
+                id
+            };
+            ids.push(id);
+        }
+        if arrays.is_empty() {
+            let id = b.array(f1, "arr_last");
+            arrays.push(id);
+            ids.push(id);
+        }
+        for &(a, e) in edges {
+            b.bind(ids[a % ids.len()], ids[e % ids.len()]);
+        }
+        let program = b.build();
+        RandomBench {
+            program,
+            arrays,
+            scalars,
+            n: 48,
+            seed,
+        }
+    }
+}
+
+impl Benchmark for RandomBench {
+    fn name(&self) -> &str {
+        "random-bench"
+    }
+    fn description(&self) -> &str {
+        "generated property-test program"
+    }
+    fn kind(&self) -> BenchmarkKind {
+        BenchmarkKind::Kernel
+    }
+    fn program(&self) -> &ProgramModel {
+        &self.program
+    }
+    fn metric(&self) -> MetricKind {
+        MetricKind::Rmse
+    }
+    fn run(&self, ctx: &mut ExecCtx<'_>) -> Vec<f64> {
+        let mut rng = SplitMix64::new(self.seed);
+        let scalars: Vec<MpScalar> = self
+            .scalars
+            .iter()
+            .map(|&v| MpScalar::new(ctx, v, rng.uniform(0.01, 0.2)))
+            .collect();
+        let mut arrays: Vec<MpVec> = self
+            .arrays
+            .iter()
+            .map(|&v| {
+                let init: Vec<f64> = (0..self.n).map(|_| rng.uniform(0.01, 0.11)).collect();
+                MpVec::from_values(ctx, v, &init)
+            })
+            .collect();
+        // Every array is updated from its predecessor with every scalar
+        // contributing as a coefficient somewhere.
+        for pass in 0..2 {
+            for ai in 0..arrays.len() {
+                let src = if ai == 0 { arrays.len() - 1 } else { ai - 1 };
+                for i in 1..self.n {
+                    let coeff = if scalars.is_empty() {
+                        0.125
+                    } else {
+                        scalars[(ai + i + pass) % scalars.len()].get()
+                    };
+                    let v = arrays[src].get(ctx, i - 1) * coeff + arrays[ai].get(ctx, i) * 0.5;
+                    let srcs: Vec<VarId> = if scalars.is_empty() {
+                        vec![self.arrays[src]]
+                    } else {
+                        vec![
+                            self.arrays[src],
+                            self.scalars[(ai + i + pass) % self.scalars.len()],
+                        ]
+                    };
+                    ctx.flop(self.arrays[ai], &srcs, 3);
+                    arrays[ai].set(ctx, i, v);
+                }
+            }
+        }
+        arrays.iter().flat_map(MpVec::snapshot).collect()
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// On arbitrary programs, every algorithm terminates, and whatever it
+    /// reports as best (a) compiles, (b) is not the identity, (c) meets the
+    /// threshold, and (d) reproduces its metrics when re-evaluated.
+    #[test]
+    fn all_algorithms_uphold_invariants_on_random_programs(
+        nvars in 2usize..9,
+        edges in proptest::collection::vec((0usize..9, 0usize..9), 0..6),
+        seed in 0u64..1000,
+    ) {
+        let bench = RandomBench::new(nvars, &edges, seed);
+        let threshold = 1e-5;
+        for algo in all_algorithms() {
+            let mut ev = Evaluator::new(&bench, QualityThreshold::new(threshold));
+            let result = algo.search(&mut ev);
+            prop_assert!(!result.dnf, "{} must terminate", algo.name());
+            if let Some(best) = &result.best {
+                prop_assert!(best.compiled, "{}: best must compile", algo.name());
+                prop_assert!(
+                    bench.program.validate(&best.config).is_ok(),
+                    "{}: best must validate",
+                    algo.name()
+                );
+                prop_assert!(!best.config.is_all_double());
+                prop_assert!(best.quality <= threshold);
+                let mut ev2 = Evaluator::new(&bench, QualityThreshold::new(threshold));
+                let re = ev2.evaluate(&best.config).unwrap();
+                prop_assert_eq!(re.quality, best.quality);
+                prop_assert_eq!(re.speedup, best.speedup);
+            }
+        }
+    }
+
+    /// Cluster counts never exceed variable counts, and expanding any
+    /// cluster subset of a random program yields a valid configuration.
+    #[test]
+    fn random_programs_have_sound_clusterings(
+        nvars in 2usize..12,
+        edges in proptest::collection::vec((0usize..12, 0usize..12), 0..10),
+        mask in proptest::collection::vec(any::<bool>(), 12),
+    ) {
+        let bench = RandomBench::new(nvars, &edges, 7);
+        let pm = bench.program();
+        prop_assert!(pm.total_clusters() <= pm.total_variables());
+        prop_assert!(pm.total_clusters() >= 1);
+        let lowered: Vec<_> = pm
+            .clustering()
+            .ids()
+            .filter(|c| mask[c.index() % mask.len()])
+            .collect();
+        let cfg = pm.config_from_clusters(lowered);
+        prop_assert!(pm.validate(&cfg).is_ok());
+    }
+
+    /// The evaluator's speedup and quality are invariant under evaluation
+    /// order (no hidden state leaks between evaluations).
+    #[test]
+    fn evaluation_order_does_not_matter(
+        seed in 0u64..500,
+    ) {
+        let bench = RandomBench::new(6, &[(0, 1), (2, 3)], seed);
+        let pm = bench.program();
+        let clusters: Vec<_> = pm.clustering().ids().collect();
+        let cfg_a = pm.config_from_clusters([clusters[0]]);
+        let cfg_b = pm.config_from_clusters(clusters.iter().copied());
+        let mut ev1 = Evaluator::new(&bench, QualityThreshold::new(1e-3));
+        let a1 = ev1.evaluate(&cfg_a).unwrap();
+        let b1 = ev1.evaluate(&cfg_b).unwrap();
+        let mut ev2 = Evaluator::new(&bench, QualityThreshold::new(1e-3));
+        let b2 = ev2.evaluate(&cfg_b).unwrap();
+        let a2 = ev2.evaluate(&cfg_a).unwrap();
+        prop_assert_eq!(a1.quality, a2.quality);
+        prop_assert_eq!(b1.quality, b2.quality);
+        prop_assert_eq!(a1.speedup, a2.speedup);
+        prop_assert_eq!(b1.speedup, b2.speedup);
+    }
+}
