@@ -1,17 +1,19 @@
 //! Table V / Figure 2–3 bench: application searches with DD and GA (the
 //! two algorithms that finish everywhere) at each threshold.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use mixp_core::perf::bench::{black_box, BenchGroup};
 use mixp_core::{EvaluatorBuilder, QualityThreshold};
 use mixp_harness::experiments::{application_names, TABLE5_THRESHOLDS};
 use mixp_harness::{benchmark_by_name, Scale};
 use mixp_search::algorithm_by_name;
+use std::time::Duration;
 
-fn app_searches(c: &mut Criterion) {
-    let mut group = c.benchmark_group("table5_app_search");
-    group.warm_up_time(std::time::Duration::from_millis(500));
-    group.measurement_time(std::time::Duration::from_secs(2));
-    group.sample_size(10);
+fn main() {
+    let mut group = BenchGroup::new("table5_app_search");
+    group
+        .warm_up_time(Duration::from_millis(500))
+        .measurement_time(Duration::from_secs(2))
+        .sample_size(10);
     for app in application_names() {
         for t in TABLE5_THRESHOLDS {
             for algo_name in ["DD", "GA"] {
@@ -22,7 +24,7 @@ fn app_searches(c: &mut Criterion) {
                         let mut ev = EvaluatorBuilder::new(QualityThreshold::new(t))
                             .budget(256)
                             .build(bench.as_ref());
-                        std::hint::black_box(algo.search(&mut ev).evaluated)
+                        black_box(algo.search(&mut ev).evaluated)
                     })
                 });
             }
@@ -30,6 +32,3 @@ fn app_searches(c: &mut Criterion) {
     }
     group.finish();
 }
-
-criterion_group!(benches, app_searches);
-criterion_main!(benches);

@@ -1,17 +1,19 @@
 //! Table III bench: a full search per (kernel, algorithm) cell at the
 //! paper's kernel threshold.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use mixp_core::perf::bench::{black_box, BenchGroup};
 use mixp_core::{Evaluator, QualityThreshold};
 use mixp_harness::experiments::{kernel_names, TABLE3_ALGOS, TABLE3_THRESHOLD};
 use mixp_harness::{benchmark_by_name, Scale};
 use mixp_search::algorithm_by_name;
+use std::time::Duration;
 
-fn kernel_searches(c: &mut Criterion) {
-    let mut group = c.benchmark_group("table3_kernel_search");
-    group.warm_up_time(std::time::Duration::from_millis(500));
-    group.measurement_time(std::time::Duration::from_secs(2));
-    group.sample_size(10);
+fn main() {
+    let mut group = BenchGroup::new("table3_kernel_search");
+    group
+        .warm_up_time(Duration::from_millis(500))
+        .measurement_time(Duration::from_secs(2))
+        .sample_size(10);
     for kernel in kernel_names() {
         for algo_name in TABLE3_ALGOS {
             let algo = algorithm_by_name(algo_name).unwrap();
@@ -22,13 +24,10 @@ fn kernel_searches(c: &mut Criterion) {
                         bench.as_ref(),
                         QualityThreshold::new(TABLE3_THRESHOLD),
                     );
-                    std::hint::black_box(algo.search(&mut ev).evaluated)
+                    black_box(algo.search(&mut ev).evaluated)
                 })
             });
         }
     }
     group.finish();
 }
-
-criterion_group!(benches, kernel_searches);
-criterion_main!(benches);

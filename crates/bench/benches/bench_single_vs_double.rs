@@ -1,16 +1,18 @@
 //! Table IV bench: one all-double and one all-single evaluation per
 //! application — the manual conversion experiment.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use mixp_core::perf::bench::{black_box, BenchGroup};
 use mixp_core::{run_config, CacheParams};
 use mixp_harness::experiments::application_names;
 use mixp_harness::{benchmark_by_name, Scale};
+use std::time::Duration;
 
-fn single_vs_double(c: &mut Criterion) {
-    let mut group = c.benchmark_group("table4_single_vs_double");
-    group.warm_up_time(std::time::Duration::from_millis(500));
-    group.measurement_time(std::time::Duration::from_secs(2));
-    group.sample_size(10);
+fn main() {
+    let mut group = BenchGroup::new("table4_single_vs_double");
+    group
+        .warm_up_time(Duration::from_millis(500))
+        .measurement_time(Duration::from_secs(2))
+        .sample_size(10);
     for name in application_names() {
         let bench = benchmark_by_name(name, Scale::Small).unwrap();
         group.bench_function(name, |b| {
@@ -25,12 +27,9 @@ fn single_vs_double(c: &mut Criterion) {
                     &bench.program().config_all_single(),
                     CacheParams::default(),
                 );
-                std::hint::black_box((d.1, s.1))
+                black_box((d.1, s.1))
             })
         });
     }
     group.finish();
 }
-
-criterion_group!(benches, single_vs_double);
-criterion_main!(benches);

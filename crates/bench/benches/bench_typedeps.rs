@@ -1,19 +1,21 @@
 //! Table II bench: the type-dependence clustering pass over every
 //! benchmark's program model (construction + union-find partition).
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use mixp_core::perf::bench::{black_box, BenchGroup};
 use mixp_harness::{benchmark_by_name, benchmark_names, Scale};
+use std::time::Duration;
 
-fn clustering(c: &mut Criterion) {
-    let mut group = c.benchmark_group("table2_typedeps");
-    group.warm_up_time(std::time::Duration::from_millis(500));
-    group.measurement_time(std::time::Duration::from_secs(2));
-    group.sample_size(20);
+fn main() {
+    let mut group = BenchGroup::new("table2_typedeps");
+    group
+        .warm_up_time(Duration::from_millis(500))
+        .measurement_time(Duration::from_secs(2))
+        .sample_size(20);
     for name in benchmark_names() {
         group.bench_function(name, |b| {
             b.iter(|| {
                 let bench = benchmark_by_name(name, Scale::Small).unwrap();
-                std::hint::black_box((
+                black_box((
                     bench.program().total_variables(),
                     bench.program().total_clusters(),
                 ))
@@ -22,6 +24,3 @@ fn clustering(c: &mut Criterion) {
     }
     group.finish();
 }
-
-criterion_group!(benches, clustering);
-criterion_main!(benches);

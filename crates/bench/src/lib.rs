@@ -1,4 +1,4 @@
-//! Table/figure regenerators and criterion benches for the HPC-MixPBench
+//! Table/figure regenerators and in-tree benches for the HPC-MixPBench
 //! reproduction.
 //!
 //! Each binary under `src/bin/` regenerates one artefact of the paper's

@@ -21,6 +21,7 @@
 
 pub mod benchmark;
 pub mod evaluate;
+pub mod prop;
 pub mod space;
 pub mod synth;
 

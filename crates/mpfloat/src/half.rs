@@ -113,7 +113,8 @@ fn rne_shift(x: u64, shift: u32) -> u64 {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use proptest::prelude::*;
+    use mixp_core::prop::f64s;
+    use mixp_core::{prop_assert, prop_assert_eq, prop_check};
 
     #[test]
     fn exact_small_values_survive() {
@@ -184,23 +185,25 @@ mod tests {
         }
     }
 
-    proptest! {
-        /// Rounding is idempotent and monotone, and the error is bounded by
-        /// half an ulp (2^-11 relative) in the normal range.
-        #[test]
-        fn rounding_properties(v in -6.0e4f64..6.0e4) {
+    /// Rounding is idempotent and monotone, and the error is bounded by
+    /// half an ulp (2^-11 relative) in the normal range.
+    #[test]
+    fn rounding_properties() {
+        prop_check!((v in f64s(-6.0e4..6.0e4)) => {
             let r = round_f64_to_f16(v);
             prop_assert_eq!(round_f64_to_f16(r), r, "idempotent");
             if v.abs() > 6.2e-5 {
                 let rel = ((r - v) / v).abs();
                 prop_assert!(rel <= 4.9e-4, "rel err {} for {}", rel, v);
             }
-        }
+        });
+    }
 
-        #[test]
-        fn rounding_is_monotone(a in -7.0e4f64..7.0e4, b in -7.0e4f64..7.0e4) {
+    #[test]
+    fn rounding_is_monotone() {
+        prop_check!((a in f64s(-7.0e4..7.0e4), b in f64s(-7.0e4..7.0e4)) => {
             let (lo, hi) = if a <= b { (a, b) } else { (b, a) };
             prop_assert!(round_f64_to_f16(lo) <= round_f64_to_f16(hi));
-        }
+        });
     }
 }

@@ -1,0 +1,234 @@
+//! Minimal in-tree benchmarking harness (the workspace's `criterion`
+//! replacement).
+//!
+//! Keeps the `[[bench]]` targets in `crates/bench` runnable via
+//! `cargo bench` with zero external dependencies: a warmup phase, N timed
+//! samples, and a median/p10/p90 summary per benchmark, with
+//! [`black_box`] re-exported so measured results cannot be optimised
+//! away.
+//!
+//! ```no_run
+//! use mixp_perf::bench::{black_box, BenchGroup};
+//!
+//! fn main() {
+//!     let mut group = BenchGroup::new("example");
+//!     group.sample_size(10);
+//!     group.bench_function("sum_1k", |b| {
+//!         b.iter(|| black_box((0..1000u64).sum::<u64>()))
+//!     });
+//!     group.finish();
+//! }
+//! ```
+//!
+//! Set `MIXP_BENCH_QUICK=1` to smoke-run every target with a single
+//! sample and no warmup (used by CI to verify the benches still run).
+
+pub use std::hint::black_box;
+
+use std::time::{Duration, Instant};
+
+/// A named group of benchmarks sharing warmup/sample settings.
+pub struct BenchGroup {
+    name: String,
+    sample_size: usize,
+    warm_up: Duration,
+    measurement: Duration,
+    quick: bool,
+}
+
+impl BenchGroup {
+    /// Creates a group with the defaults: 20 samples, 300 ms warmup,
+    /// 2 s measurement budget.
+    pub fn new(name: impl Into<String>) -> Self {
+        let quick = std::env::var("MIXP_BENCH_QUICK").map_or(false, |v| v != "0");
+        BenchGroup {
+            name: name.into(),
+            sample_size: 20,
+            warm_up: Duration::from_millis(300),
+            measurement: Duration::from_secs(2),
+            quick,
+        }
+    }
+
+    /// Sets the number of timed samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        assert!(n > 0, "sample size must be positive");
+        self.sample_size = n;
+        self
+    }
+
+    /// Sets the warmup duration (untimed iterations before sampling).
+    pub fn warm_up_time(&mut self, d: Duration) -> &mut Self {
+        self.warm_up = d;
+        self
+    }
+
+    /// Sets the measurement budget: sampling stops early once it is
+    /// exhausted (at least one sample is always taken).
+    pub fn measurement_time(&mut self, d: Duration) -> &mut Self {
+        self.measurement = d;
+        self
+    }
+
+    /// Runs one benchmark. The closure receives a [`Bencher`] and must
+    /// call [`Bencher::iter`] with the routine to measure.
+    pub fn bench_function<F>(&mut self, id: impl std::fmt::Display, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let (warm_up, sample_size, measurement) = if self.quick {
+            (Duration::ZERO, 1, Duration::from_millis(100))
+        } else {
+            (self.warm_up, self.sample_size, self.measurement)
+        };
+        let mut b = Bencher {
+            warm_up,
+            sample_size,
+            measurement,
+            samples: Vec::new(),
+        };
+        f(&mut b);
+        let stats = Stats::from_samples(&b.samples);
+        println!("{}/{id}  {stats}", self.name);
+        self
+    }
+
+    /// Ends the group (prints a separator line).
+    pub fn finish(&mut self) {
+        println!();
+    }
+}
+
+/// Times a single benchmark routine; handed to the
+/// [`BenchGroup::bench_function`] closure.
+pub struct Bencher {
+    warm_up: Duration,
+    sample_size: usize,
+    measurement: Duration,
+    samples: Vec<Duration>,
+}
+
+impl Bencher {
+    /// Warms up, then records one timed sample per routine invocation
+    /// until the sample count or the measurement budget is reached.
+    pub fn iter<T, R: FnMut() -> T>(&mut self, mut routine: R) {
+        let warm_start = Instant::now();
+        while warm_start.elapsed() < self.warm_up {
+            black_box(routine());
+        }
+        let measure_start = Instant::now();
+        for _ in 0..self.sample_size {
+            let t = Instant::now();
+            black_box(routine());
+            self.samples.push(t.elapsed());
+            if measure_start.elapsed() > self.measurement && !self.samples.is_empty() {
+                break;
+            }
+        }
+    }
+}
+
+/// Summary statistics over the recorded samples.
+struct Stats {
+    n: usize,
+    median: Duration,
+    p10: Duration,
+    p90: Duration,
+}
+
+impl Stats {
+    fn from_samples(samples: &[Duration]) -> Stats {
+        assert!(
+            !samples.is_empty(),
+            "bench_function closure never called Bencher::iter"
+        );
+        let mut sorted: Vec<Duration> = samples.to_vec();
+        sorted.sort();
+        let pick = |q: f64| {
+            let idx = ((sorted.len() - 1) as f64 * q).round() as usize;
+            sorted[idx]
+        };
+        Stats {
+            n: sorted.len(),
+            median: pick(0.5),
+            p10: pick(0.1),
+            p90: pick(0.9),
+        }
+    }
+}
+
+impl std::fmt::Display for Stats {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "median {}  p10 {}  p90 {}  ({} samples)",
+            fmt_duration(self.median),
+            fmt_duration(self.p10),
+            fmt_duration(self.p90),
+            self.n
+        )
+    }
+}
+
+/// Human-readable duration with an adaptive unit.
+fn fmt_duration(d: Duration) -> String {
+    let ns = d.as_nanos();
+    if ns < 1_000 {
+        format!("{ns} ns")
+    } else if ns < 1_000_000 {
+        format!("{:.2} µs", ns as f64 / 1_000.0)
+    } else if ns < 1_000_000_000 {
+        format!("{:.2} ms", ns as f64 / 1_000_000.0)
+    } else {
+        format!("{:.2} s", ns as f64 / 1_000_000_000.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stats_order_and_bounds() {
+        let samples: Vec<Duration> = (1..=100).map(Duration::from_micros).collect();
+        let s = Stats::from_samples(&samples);
+        assert_eq!(s.n, 100);
+        assert!(s.p10 <= s.median && s.median <= s.p90);
+        assert_eq!(s.median, Duration::from_micros(51));
+        assert_eq!(s.p10, Duration::from_micros(11));
+        assert_eq!(s.p90, Duration::from_micros(90));
+    }
+
+    #[test]
+    fn single_sample_stats_collapse() {
+        let s = Stats::from_samples(&[Duration::from_millis(3)]);
+        assert_eq!(s.median, s.p10);
+        assert_eq!(s.median, s.p90);
+        assert_eq!(s.n, 1);
+    }
+
+    #[test]
+    fn bencher_records_requested_samples() {
+        let mut b = Bencher {
+            warm_up: Duration::ZERO,
+            sample_size: 7,
+            measurement: Duration::from_secs(10),
+            samples: Vec::new(),
+        };
+        let mut calls = 0usize;
+        b.iter(|| {
+            calls += 1;
+            calls
+        });
+        assert_eq!(b.samples.len(), 7);
+        assert_eq!(calls, 7);
+    }
+
+    #[test]
+    fn duration_formatting_units() {
+        assert_eq!(fmt_duration(Duration::from_nanos(500)), "500 ns");
+        assert_eq!(fmt_duration(Duration::from_micros(2)), "2.00 µs");
+        assert_eq!(fmt_duration(Duration::from_millis(15)), "15.00 ms");
+        assert_eq!(fmt_duration(Duration::from_secs(3)), "3.00 s");
+    }
+}

@@ -245,7 +245,8 @@ impl MemoryTracer for Hierarchy {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use proptest::prelude::*;
+    use mixp_core::prop::{bools, u64s, usizes, vecs};
+    use mixp_core::{prop_assert_eq, prop_check};
 
     fn tiny() -> LevelParams {
         // 2 sets x 2 ways x 64B = 256 B
@@ -374,14 +375,14 @@ mod tests {
         assert_eq!(CacheStats::default().miss_rate(), 0.0);
     }
 
-    proptest! {
-        /// Accounting invariant: every access is exactly one of
-        /// l1-hit / l2-hit / miss.
-        #[test]
-        fn access_classes_partition(
-            addrs in proptest::collection::vec(0u64..1_000_000, 1..500),
-            writes in proptest::collection::vec(any::<bool>(), 500),
-        ) {
+    /// Accounting invariant: every access is exactly one of
+    /// l1-hit / l2-hit / miss.
+    #[test]
+    fn access_classes_partition() {
+        prop_check!((
+            addrs in vecs(u64s(0..1_000_000), 1..500),
+            writes in vecs(bools(), 500..501),
+        ) => {
             let mut h = Hierarchy::new(CacheParams {
                 l1: LevelParams { sets: 4, ways: 2, line: 64 },
                 l2: LevelParams { sets: 16, ways: 2, line: 64 },
@@ -392,12 +393,14 @@ mod tests {
             let s = h.stats();
             prop_assert_eq!(s.accesses as usize, addrs.len());
             prop_assert_eq!(s.l1_hits + s.l2_hits + s.misses, s.accesses);
-        }
+        });
+    }
 
-        /// Repeating a working set that fits in L1 produces only hits after
-        /// the first sweep.
-        #[test]
-        fn resident_set_hits_after_warmup(lines in 1usize..8) {
+    /// Repeating a working set that fits in L1 produces only hits after
+    /// the first sweep.
+    #[test]
+    fn resident_set_hits_after_warmup() {
+        prop_check!((lines in usizes(1..8)) => {
             let mut c = CacheSim::new(LevelParams { sets: 4, ways: 2, line: 64 });
             // `lines` distinct lines spread across sets: at most 2 per set.
             let addrs: Vec<u64> = (0..lines as u64).map(|i| i * 64).collect();
@@ -405,6 +408,6 @@ mod tests {
             let miss_before = c.misses();
             for &a in &addrs { c.touch(a, false); }
             prop_assert_eq!(c.misses(), miss_before, "second sweep all hits");
-        }
+        });
     }
 }

@@ -44,10 +44,12 @@
 //! assert!(cost > 0.0);
 //! ```
 
+pub mod bench;
 mod cache;
 mod cost;
 pub mod profile;
 
+pub use bench::{BenchGroup, Bencher};
 pub use cache::{CacheParams, CacheSim, CacheStats, Hierarchy, LevelParams};
 pub use cost::CostModel;
 pub use profile::{attribute, AccessProfiler, Tee, VarTraffic};

@@ -156,7 +156,8 @@ impl Clustering {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use proptest::prelude::*;
+    use mixp_core::prop::{bools, usizes, vecs};
+    use mixp_core::{prop_assert, prop_assert_eq, prop_check};
 
     fn v(i: usize) -> VarId {
         VarId::from_index(i)
@@ -225,15 +226,15 @@ mod tests {
         assert!(c.is_valid(&cfg));
     }
 
-    proptest! {
-        /// expand() always produces a valid configuration, and every cluster
-        /// is either fully lowered or fully double.
-        #[test]
-        fn expand_is_always_valid(
-            n in 1usize..20,
-            edges in proptest::collection::vec((0usize..20, 0usize..20), 0..15),
-            selector in proptest::collection::vec(any::<bool>(), 20),
-        ) {
+    /// expand() always produces a valid configuration, and every cluster
+    /// is either fully lowered or fully double.
+    #[test]
+    fn expand_is_always_valid() {
+        prop_check!((
+            n in usizes(1..20),
+            edges in vecs((usizes(0..20), usizes(0..20)), 0..15),
+            selector in vecs(bools(), 20..21),
+        ) => {
             let tunable = vec![true; n];
             let edges: Vec<(VarId, VarId)> =
                 edges.into_iter().map(|(a, b)| (v(a % n), v(b % n))).collect();
@@ -253,16 +254,18 @@ mod tests {
                     );
                 }
             }
-        }
+        });
+    }
 
-        /// Every tunable variable lands in exactly one cluster and the
-        /// clusters partition the tunable set.
-        #[test]
-        fn clusters_partition_tunables(
-            n in 1usize..20,
-            untunable_mask in proptest::collection::vec(any::<bool>(), 20),
-            edges in proptest::collection::vec((0usize..20, 0usize..20), 0..15),
-        ) {
+    /// Every tunable variable lands in exactly one cluster and the
+    /// clusters partition the tunable set.
+    #[test]
+    fn clusters_partition_tunables() {
+        prop_check!((
+            n in usizes(1..20),
+            untunable_mask in vecs(bools(), 20..21),
+            edges in vecs((usizes(0..20), usizes(0..20)), 0..15),
+        ) => {
             let tunable: Vec<bool> = (0..n).map(|i| !untunable_mask[i]).collect();
             let edges: Vec<(VarId, VarId)> =
                 edges.into_iter().map(|(a, b)| (v(a % n), v(b % n))).collect();
@@ -277,6 +280,6 @@ mod tests {
             }
             let tunable_count = tunable.iter().filter(|t| **t).count();
             prop_assert_eq!(seen.len(), tunable_count);
-        }
+        });
     }
 }

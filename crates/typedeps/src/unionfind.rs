@@ -99,7 +99,8 @@ impl UnionFind {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use proptest::prelude::*;
+    use mixp_core::prop::{usizes, vecs};
+    use mixp_core::{prop_assert, prop_assert_eq, prop_check};
 
     #[test]
     fn singletons_are_disjoint() {
@@ -134,14 +135,14 @@ mod tests {
         assert_eq!(uf.set_count(), 0);
     }
 
-    proptest! {
-        /// After any sequence of unions, set_count equals the number of
-        /// distinct representatives, and same_set is an equivalence.
-        #[test]
-        fn set_count_matches_distinct_roots(
-            n in 1usize..40,
-            pairs in proptest::collection::vec((0usize..40, 0usize..40), 0..60),
-        ) {
+    /// After any sequence of unions, set_count equals the number of
+    /// distinct representatives, and same_set is an equivalence.
+    #[test]
+    fn set_count_matches_distinct_roots() {
+        prop_check!((
+            n in usizes(1..40),
+            pairs in vecs((usizes(0..40), usizes(0..40)), 0..60),
+        ) => {
             let mut uf = UnionFind::new(n);
             for (a, b) in pairs {
                 uf.union(a % n, b % n);
@@ -158,16 +159,18 @@ mod tests {
                     prop_assert_eq!(uf.same_set(i, j), uf.same_set(j, i));
                 }
             }
-        }
+        });
+    }
 
-        /// Union never increases the number of sets and decreases by exactly
-        /// one when merging two distinct sets.
-        #[test]
-        fn union_decrements_or_keeps(
-            n in 2usize..30,
-            a in 0usize..30,
-            b in 0usize..30,
-        ) {
+    /// Union never increases the number of sets and decreases by exactly
+    /// one when merging two distinct sets.
+    #[test]
+    fn union_decrements_or_keeps() {
+        prop_check!((
+            n in usizes(2..30),
+            a in usizes(0..30),
+            b in usizes(0..30),
+        ) => {
             let mut uf = UnionFind::new(n);
             let before = uf.set_count();
             let merged = uf.union(a % n, b % n);
@@ -177,6 +180,6 @@ mod tests {
             } else {
                 prop_assert_eq!(after, before);
             }
-        }
+        });
     }
 }

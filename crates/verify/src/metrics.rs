@@ -213,7 +213,8 @@ impl fmt::Display for MetricKind {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use proptest::prelude::*;
+    use mixp_core::prop::{f64s, i64s, vecs};
+    use mixp_core::{prop_assert, prop_assert_eq, prop_check};
 
     const EPS: f64 = 1e-12;
 
@@ -325,13 +326,11 @@ mod tests {
         assert_eq!(MetricKind::Mcr.name(), "MCR");
     }
 
-    proptest! {
-        /// MAE and RMSE are non-negative, symmetric in their arguments, and
-        /// RMSE >= MAE >= 0 (power-mean inequality); MSE = RMSE².
-        #[test]
-        fn metric_inequalities(
-            pairs in proptest::collection::vec((-1.0e3f64..1.0e3, -1.0e3f64..1.0e3), 1..50)
-        ) {
+    /// MAE and RMSE are non-negative, symmetric in their arguments, and
+    /// RMSE >= MAE >= 0 (power-mean inequality); MSE = RMSE².
+    #[test]
+    fn metric_inequalities() {
+        prop_check!((pairs in vecs((f64s(-1.0e3..1.0e3), f64s(-1.0e3..1.0e3)), 1..50)) => {
             let reference: Vec<f64> = pairs.iter().map(|p| p.0).collect();
             let approx: Vec<f64> = pairs.iter().map(|p| p.1).collect();
             let a = mae(&reference, &approx);
@@ -341,27 +340,27 @@ mod tests {
             prop_assert!(r + 1e-9 >= a, "rmse {} < mae {}", r, a);
             prop_assert!((m - r * r).abs() <= 1e-6 * m.max(1.0));
             prop_assert_eq!(mae(&approx, &reference), a);
-        }
+        });
+    }
 
-        /// MCR is in [0, 1] and zero iff all rounded labels agree.
-        #[test]
-        fn mcr_is_a_rate(
-            labels in proptest::collection::vec((0i64..5, 0i64..5), 1..40)
-        ) {
+    /// MCR is in [0, 1] and zero iff all rounded labels agree.
+    #[test]
+    fn mcr_is_a_rate() {
+        prop_check!((labels in vecs((i64s(0..5), i64s(0..5)), 1..40)) => {
             let reference: Vec<f64> = labels.iter().map(|p| p.0 as f64).collect();
             let approx: Vec<f64> = labels.iter().map(|p| p.1 as f64).collect();
             let rate = mcr(&reference, &approx);
             prop_assert!((0.0..=1.0).contains(&rate));
             let all_agree = labels.iter().all(|p| p.0 == p.1);
             prop_assert_eq!(rate == 0.0, all_agree);
-        }
+        });
+    }
 
-        /// R² of the exact reproduction is always 1.
-        #[test]
-        fn r2_perfect_is_one(
-            reference in proptest::collection::vec(-1.0e3f64..1.0e3, 1..40)
-        ) {
+    /// R² of the exact reproduction is always 1.
+    #[test]
+    fn r2_perfect_is_one() {
+        prop_check!((reference in vecs(f64s(-1.0e3..1.0e3), 1..40)) => {
             prop_assert_eq!(r2(&reference, &reference), 1.0);
-        }
+        });
     }
 }

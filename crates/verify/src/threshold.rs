@@ -71,7 +71,8 @@ impl fmt::Display for QualityThreshold {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use proptest::prelude::*;
+    use mixp_core::prop::f64s;
+    use mixp_core::{prop_assert, prop_check};
 
     #[test]
     fn exact_bound_passes() {
@@ -115,20 +116,20 @@ mod tests {
         assert_eq!(QualityThreshold::new(1e-6).to_string(), "1e-6");
     }
 
-    proptest! {
-        /// Acceptance is monotone: if a threshold accepts e, every looser
-        /// threshold accepts e too.
-        #[test]
-        fn acceptance_is_monotone(
-            bound in 0.0f64..1.0,
-            looser in 0.0f64..1.0,
-            err in 0.0f64..2.0,
-        ) {
+    /// Acceptance is monotone: if a threshold accepts e, every looser
+    /// threshold accepts e too.
+    #[test]
+    fn acceptance_is_monotone() {
+        prop_check!((
+            bound in f64s(0.0..1.0),
+            looser in f64s(0.0..1.0),
+            err in f64s(0.0..2.0),
+        ) => {
             let tight = QualityThreshold::new(bound.min(looser));
             let loose = QualityThreshold::new(bound.max(looser));
             if tight.accepts(err) {
                 prop_assert!(loose.accepts(err));
             }
-        }
+        });
     }
 }

@@ -1,0 +1,44 @@
+#!/usr/bin/env bash
+# Hermetic-build gate for the HPC-MixPBench workspace.
+#
+# The workspace has a zero-external-dependency policy: every crate must be
+# buildable and testable fully offline, with an *empty* registry cache.
+# This script enforces both halves of that policy:
+#
+#   1. A grep guard that fails if any Cargo.toml declares a dependency that
+#      is not a path dependency (i.e. anything that would hit crates.io).
+#   2. `cargo build --release --offline && cargo test -q --offline` with
+#      CARGO_HOME pointed at a fresh empty directory, proving no cached
+#      registry state is being silently relied upon.
+#
+# Run from anywhere: scripts/check_hermetic.sh
+
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "== [1/2] grep guard: only path dependencies allowed =="
+violations=$(find . -name Cargo.toml -not -path './target/*' -print0 | xargs -0 awk '
+  FNR == 1 { section = "" }
+  /^\[/ { section = $0 }
+  section ~ /dependencies/ && /=/ && !/^[[:space:]]*#/ {
+    if ($0 !~ /path[[:space:]]*=/ && $0 !~ /workspace[[:space:]]*=[[:space:]]*true/)
+      printf "%s:%d: %s\n", FILENAME, FNR, $0
+  }
+')
+if [ -n "$violations" ]; then
+  echo "$violations"
+  echo "error: non-path dependencies found — the workspace must stay hermetic" >&2
+  exit 1
+fi
+echo "ok: no non-path dependencies"
+
+echo "== [2/2] offline build + test with an empty CARGO_HOME =="
+tmp=$(mktemp -d)
+trap 'rm -rf "$tmp"' EXIT
+export CARGO_HOME="$tmp/cargo_home"
+mkdir -p "$CARGO_HOME"
+
+cargo build --release --offline
+cargo test -q --offline
+
+echo "hermetic check passed"

@@ -2,14 +2,14 @@
 //! at every search algorithm, and the core invariants must hold for all of
 //! them — not just for the 17 shipped benchmarks.
 
+use mixp_core::prop::{bools, u64s, usizes, vecs};
 use mixp_core::synth::SplitMix64;
 use mixp_core::{
-    Benchmark, BenchmarkKind, Evaluator, ExecCtx, MetricKind, ProgramBuilder, ProgramModel,
-    QualityThreshold, VarId,
+    prop_assert, prop_assert_eq, prop_check, Benchmark, BenchmarkKind, Evaluator, ExecCtx,
+    MetricKind, ProgramBuilder, ProgramModel, QualityThreshold, VarId,
 };
 use mixp_float::{MpScalar, MpVec};
 use mixp_search::all_algorithms;
-use proptest::prelude::*;
 
 /// A randomly-shaped but deterministic benchmark: `nvars` variables split
 /// over two functions, random dependence edges, and a computation in which
@@ -125,18 +125,16 @@ impl Benchmark for RandomBench {
     }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(12))]
-
-    /// On arbitrary programs, every algorithm terminates, and whatever it
-    /// reports as best (a) compiles, (b) is not the identity, (c) meets the
-    /// threshold, and (d) reproduces its metrics when re-evaluated.
-    #[test]
-    fn all_algorithms_uphold_invariants_on_random_programs(
-        nvars in 2usize..9,
-        edges in proptest::collection::vec((0usize..9, 0usize..9), 0..6),
-        seed in 0u64..1000,
-    ) {
+/// On arbitrary programs, every algorithm terminates, and whatever it
+/// reports as best (a) compiles, (b) is not the identity, (c) meets the
+/// threshold, and (d) reproduces its metrics when re-evaluated.
+#[test]
+fn all_algorithms_uphold_invariants_on_random_programs() {
+    prop_check!((
+        nvars in usizes(2..9),
+        edges in vecs((usizes(0..9), usizes(0..9)), 0..6),
+        seed in u64s(0..1000),
+    ) => {
         let bench = RandomBench::new(nvars, &edges, seed);
         let threshold = 1e-5;
         for algo in all_algorithms() {
@@ -158,16 +156,18 @@ proptest! {
                 prop_assert_eq!(re.speedup, best.speedup);
             }
         }
-    }
+    });
+}
 
-    /// Cluster counts never exceed variable counts, and expanding any
-    /// cluster subset of a random program yields a valid configuration.
-    #[test]
-    fn random_programs_have_sound_clusterings(
-        nvars in 2usize..12,
-        edges in proptest::collection::vec((0usize..12, 0usize..12), 0..10),
-        mask in proptest::collection::vec(any::<bool>(), 12),
-    ) {
+/// Cluster counts never exceed variable counts, and expanding any
+/// cluster subset of a random program yields a valid configuration.
+#[test]
+fn random_programs_have_sound_clusterings() {
+    prop_check!((
+        nvars in usizes(2..12),
+        edges in vecs((usizes(0..12), usizes(0..12)), 0..10),
+        mask in vecs(bools(), 12..13),
+    ) => {
         let bench = RandomBench::new(nvars, &edges, 7);
         let pm = bench.program();
         prop_assert!(pm.total_clusters() <= pm.total_variables());
@@ -179,14 +179,14 @@ proptest! {
             .collect();
         let cfg = pm.config_from_clusters(lowered);
         prop_assert!(pm.validate(&cfg).is_ok());
-    }
+    });
+}
 
-    /// The evaluator's speedup and quality are invariant under evaluation
-    /// order (no hidden state leaks between evaluations).
-    #[test]
-    fn evaluation_order_does_not_matter(
-        seed in 0u64..500,
-    ) {
+/// The evaluator's speedup and quality are invariant under evaluation
+/// order (no hidden state leaks between evaluations).
+#[test]
+fn evaluation_order_does_not_matter() {
+    prop_check!((seed in u64s(0..500)) => {
         let bench = RandomBench::new(6, &[(0, 1), (2, 3)], seed);
         let pm = bench.program();
         let clusters: Vec<_> = pm.clustering().ids().collect();
@@ -202,5 +202,5 @@ proptest! {
         prop_assert_eq!(b1.quality, b2.quality);
         prop_assert_eq!(a1.speedup, a2.speedup);
         prop_assert_eq!(b1.speedup, b2.speedup);
-    }
+    });
 }
