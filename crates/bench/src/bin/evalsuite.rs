@@ -36,7 +36,14 @@ fn main() {
         let groups = table5(threshold, opts.scale, opts.workers);
         print!("{}", render_grouped(&groups, &TABLE5_ALGOS));
         println!();
-        all.extend(groups.into_iter().flatten());
+        // Failed cells already render as FAILED(reason) in the table; the
+        // CSV series plot completed cells only.
+        all.extend(
+            groups
+                .into_iter()
+                .flatten()
+                .filter_map(|o| o.outcome.ok()),
+        );
     }
 
     println!("\nFigure 2 series (DD vs GA; benchmark,algorithm,threshold,clusters,evaluated,speedup):");

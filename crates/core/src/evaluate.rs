@@ -6,20 +6,36 @@ use mixp_perf::{CacheParams, CacheStats, CostModel, Hierarchy};
 use mixp_verify::QualityThreshold;
 use std::collections::HashMap;
 use std::fmt;
+use std::time::{Duration, Instant};
 
-/// Error returned once a search has used up its evaluation budget — the
-/// deterministic analogue of the paper's 24-hour wall-clock limit. A search
-/// receiving this must stop and report "did not finish".
+/// Why the evaluator refused to run a new configuration.
+///
+/// A search receiving any of these must stop and report "did not finish";
+/// the harness inspects [`Evaluator::stop_reason`] afterwards to classify
+/// the cell (DNF versus a typed job failure).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub struct SearchBudgetExhausted;
+pub enum EvalError {
+    /// The evaluation budget is used up — the deterministic analogue of the
+    /// paper's 24-hour wall-clock limit.
+    BudgetExhausted,
+    /// The wall-clock deadline passed. Enforced cooperatively: the check
+    /// runs at each new (non-memoised) evaluation, so a single evaluation
+    /// never gets interrupted mid-run.
+    DeadlineExceeded,
+}
 
-impl fmt::Display for SearchBudgetExhausted {
+impl fmt::Display for EvalError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        f.write_str("search budget exhausted (the 24-hour limit analogue)")
+        match self {
+            EvalError::BudgetExhausted => {
+                f.write_str("search budget exhausted (the 24-hour limit analogue)")
+            }
+            EvalError::DeadlineExceeded => f.write_str("wall-clock deadline exceeded"),
+        }
     }
 }
 
-impl std::error::Error for SearchBudgetExhausted {}
+impl std::error::Error for EvalError {}
 
 /// The outcome of evaluating one configuration.
 #[derive(Debug, Clone)]
@@ -59,17 +75,19 @@ pub struct EvalRecord {
 pub struct EvaluatorBuilder {
     threshold: QualityThreshold,
     budget: usize,
+    deadline: Option<Duration>,
     cost_model: CostModel,
     cache: CacheParams,
 }
 
 impl EvaluatorBuilder {
     /// Starts a builder with the given quality threshold, an unlimited
-    /// budget and default cost/cache models.
+    /// budget, no deadline and default cost/cache models.
     pub fn new(threshold: QualityThreshold) -> Self {
         EvaluatorBuilder {
             threshold,
             budget: usize::MAX,
+            deadline: None,
             cost_model: CostModel::default(),
             cache: CacheParams::default(),
         }
@@ -78,6 +96,15 @@ impl EvaluatorBuilder {
     /// Limits the number of configurations the search may evaluate.
     pub fn budget(mut self, budget: usize) -> Self {
         self.budget = budget;
+        self
+    }
+
+    /// Limits the wall-clock time of the search, measured from
+    /// [`EvaluatorBuilder::build`]. Enforced cooperatively at each new
+    /// evaluation; without it evaluations are purely budget-bounded and
+    /// fully deterministic.
+    pub fn deadline(mut self, deadline: Duration) -> Self {
+        self.deadline = Some(deadline);
         self
     }
 
@@ -102,6 +129,9 @@ impl EvaluatorBuilder {
             bench,
             threshold: self.threshold,
             budget: self.budget,
+            deadline: self.deadline,
+            started: Instant::now(),
+            stop_reason: None,
             cost_model: self.cost_model,
             cache: self.cache,
             reference: output,
@@ -138,6 +168,9 @@ pub struct Evaluator<'b> {
     bench: &'b dyn Benchmark,
     threshold: QualityThreshold,
     budget: usize,
+    deadline: Option<Duration>,
+    started: Instant,
+    stop_reason: Option<EvalError>,
     cost_model: CostModel,
     cache: CacheParams,
     reference: Vec<f64>,
@@ -205,6 +238,12 @@ impl<'b> Evaluator<'b> {
         self.best.as_ref()
     }
 
+    /// The first limit this evaluator hit, if any. Lets the harness tell a
+    /// budget DNF apart from a deadline timeout after the search returns.
+    pub fn stop_reason(&self) -> Option<EvalError> {
+        self.stop_reason
+    }
+
     /// Evaluates `cfg`: validity check, numerical run, quality metric,
     /// speedup estimate.
     ///
@@ -212,18 +251,24 @@ impl<'b> Evaluator<'b> {
     ///
     /// # Errors
     ///
-    /// Returns [`SearchBudgetExhausted`] when a *new* configuration is
-    /// submitted after the budget is used up.
-    pub fn evaluate(
-        &mut self,
-        cfg: &PrecisionConfig,
-    ) -> Result<EvalRecord, SearchBudgetExhausted> {
+    /// Returns [`EvalError::BudgetExhausted`] when a *new* configuration is
+    /// submitted after the budget is used up, and
+    /// [`EvalError::DeadlineExceeded`] once the wall-clock deadline (if one
+    /// was set) has passed.
+    pub fn evaluate(&mut self, cfg: &PrecisionConfig) -> Result<EvalRecord, EvalError> {
         let key = cfg.key();
         if let Some(hit) = self.memo.get(&key) {
             return Ok(hit.clone());
         }
+        if let Some(deadline) = self.deadline {
+            if self.started.elapsed() >= deadline {
+                self.stop_reason.get_or_insert(EvalError::DeadlineExceeded);
+                return Err(EvalError::DeadlineExceeded);
+            }
+        }
         if self.evaluated >= self.budget {
-            return Err(SearchBudgetExhausted);
+            self.stop_reason.get_or_insert(EvalError::BudgetExhausted);
+            return Err(EvalError::BudgetExhausted);
         }
         self.evaluated += 1;
 
@@ -385,7 +430,28 @@ mod tests {
         ev.evaluate(&cfg).unwrap();
         // A different config now exhausts the budget.
         let other = b.program().config_all_double();
-        assert_eq!(ev.evaluate(&other).unwrap_err(), SearchBudgetExhausted);
+        assert_eq!(ev.evaluate(&other).unwrap_err(), EvalError::BudgetExhausted);
+        assert_eq!(ev.stop_reason(), Some(EvalError::BudgetExhausted));
+    }
+
+    #[test]
+    fn zero_deadline_stops_before_any_evaluation() {
+        let b = Axpy::new();
+        let mut ev = EvaluatorBuilder::new(QualityThreshold::new(1e-3))
+            .deadline(Duration::ZERO)
+            .build(&b);
+        let err = ev.evaluate(&b.program().config_all_single()).unwrap_err();
+        assert_eq!(err, EvalError::DeadlineExceeded);
+        assert_eq!(ev.evaluated(), 0);
+        assert_eq!(ev.stop_reason(), Some(EvalError::DeadlineExceeded));
+    }
+
+    #[test]
+    fn no_deadline_means_no_timeout() {
+        let b = Axpy::new();
+        let mut ev = Evaluator::new(&b, QualityThreshold::new(1e-3));
+        assert!(ev.evaluate(&b.program().config_all_single()).is_ok());
+        assert_eq!(ev.stop_reason(), None);
     }
 
     #[test]

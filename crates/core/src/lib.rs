@@ -26,7 +26,7 @@ pub mod space;
 pub mod synth;
 
 pub use benchmark::{Benchmark, BenchmarkKind};
-pub use evaluate::{run_config, EvalRecord, Evaluator, EvaluatorBuilder, SearchBudgetExhausted};
+pub use evaluate::{run_config, EvalError, EvalRecord, Evaluator, EvaluatorBuilder};
 pub use space::{Granularity, SearchSpace, UnitId};
 
 // Re-export the substrate crates so downstream users need only depend on

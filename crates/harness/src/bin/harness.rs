@@ -10,22 +10,34 @@
 //! cargo run --release --bin harness -- configs/kmeans.yaml
 //! cargo run --release --bin harness -- --scale small --workers 4 configs/*.yaml
 //! cargo run --release --bin harness -- --json configs/kmeans.yaml
+//! cargo run --release --bin harness -- --deadline-ms 60000 --retries 3 \
+//!     --checkpoint run-state.jsonl configs/*.yaml
 //! ```
 //!
 //! Each configuration file describes one benchmark analysis (Listing 4
 //! shape); multiple files are scheduled in parallel. `--json` emits the
 //! FloatSmith-style interchange document instead of the text report.
+//! Failed cells are rendered as `FAILED(reason)` rows and the process
+//! exits with status 3 (so scripts can distinguish "campaign finished
+//! with failures" from usage errors); a `--checkpoint` file makes the
+//! campaign resumable after a kill.
 
 use mixp_harness::config::AnalysisConfig;
 use mixp_harness::interchange;
 use mixp_harness::job::Job;
-use mixp_harness::report::{fmt_evaluated, fmt_quality, fmt_speedup, render_table};
-use mixp_harness::{run_jobs, Scale};
+use mixp_harness::report::{fmt_evaluated, fmt_failed, fmt_quality, fmt_speedup, render_table};
+use mixp_harness::{run_campaign, CampaignOptions, RetryPolicy, Scale};
+use std::path::PathBuf;
+use std::time::Duration;
 
 struct Cli {
     scale: Scale,
     workers: usize,
     json: bool,
+    deadline: Option<Duration>,
+    retries: u32,
+    backoff: Duration,
+    checkpoint: Option<PathBuf>,
     files: Vec<String>,
 }
 
@@ -34,6 +46,10 @@ fn parse_cli() -> Result<Cli, String> {
         scale: Scale::Paper,
         workers: mixp_harness::scheduler::default_workers(),
         json: false,
+        deadline: None,
+        retries: 1,
+        backoff: Duration::ZERO,
+        checkpoint: None,
         files: Vec::new(),
     };
     let mut args = std::env::args().skip(1);
@@ -51,6 +67,25 @@ fn parse_cli() -> Result<Cli, String> {
                 let v = args.next().ok_or("--workers needs a value")?;
                 cli.workers = v.parse().map_err(|_| format!("bad worker count `{v}`"))?;
             }
+            "--deadline-ms" => {
+                let v = args.next().ok_or("--deadline-ms needs a value")?;
+                let ms: u64 = v.parse().map_err(|_| format!("bad deadline `{v}`"))?;
+                cli.deadline = Some(Duration::from_millis(ms));
+            }
+            "--retries" => {
+                let v = args.next().ok_or("--retries needs a value")?;
+                let n: u32 = v.parse().map_err(|_| format!("bad retry count `{v}`"))?;
+                cli.retries = n.max(1);
+            }
+            "--backoff-ms" => {
+                let v = args.next().ok_or("--backoff-ms needs a value")?;
+                let ms: u64 = v.parse().map_err(|_| format!("bad backoff `{v}`"))?;
+                cli.backoff = Duration::from_millis(ms);
+            }
+            "--checkpoint" => {
+                let v = args.next().ok_or("--checkpoint needs a path")?;
+                cli.checkpoint = Some(PathBuf::from(v));
+            }
             "--json" => cli.json = true,
             flag if flag.starts_with("--") => return Err(format!("unknown flag `{flag}`")),
             file => cli.files.push(file.to_string()),
@@ -67,7 +102,11 @@ fn main() {
         Ok(c) => c,
         Err(msg) => {
             eprintln!("error: {msg}");
-            eprintln!("usage: harness [--scale small|paper] [--workers N] [--json] <config.yaml>...");
+            eprintln!(
+                "usage: harness [--scale small|paper] [--workers N] [--json] \
+                 [--deadline-ms MS] [--retries N] [--backoff-ms MS] \
+                 [--checkpoint FILE] <config.yaml>..."
+            );
             std::process::exit(2);
         }
     };
@@ -95,31 +134,62 @@ fn main() {
         jobs.push(job);
     }
 
-    let results = run_jobs(&jobs, cli.workers);
+    let opts = CampaignOptions {
+        workers: cli.workers,
+        deadline: cli.deadline,
+        retry: RetryPolicy {
+            max_attempts: cli.retries,
+            backoff: cli.backoff,
+        },
+        checkpoint: cli.checkpoint.clone(),
+        ..CampaignOptions::default()
+    };
+    let outcomes = run_campaign(&jobs, &opts);
+    let failures = outcomes.iter().filter(|o| o.outcome.is_err()).count();
 
     if cli.json {
-        println!("{}", interchange::results_to_json(&results));
-        return;
+        println!("{}", interchange::outcomes_to_json(&outcomes));
+    } else {
+        let rows: Vec<Vec<String>> = outcomes
+            .iter()
+            .map(|o| match &o.outcome {
+                Ok(r) => vec![
+                    r.benchmark.clone(),
+                    r.algorithm.clone(),
+                    format!("{:.0e}", r.threshold),
+                    fmt_speedup(r.result.speedup()),
+                    fmt_quality(r.result.quality()),
+                    fmt_evaluated(r),
+                ],
+                Err(_) => vec![
+                    o.job.benchmark.clone(),
+                    o.job.algorithm.clone(),
+                    format!("{:.0e}", o.job.threshold),
+                    fmt_failed(o).unwrap_or_default(),
+                    "-".to_string(),
+                    "-".to_string(),
+                ],
+            })
+            .collect();
+        print!(
+            "{}",
+            render_table(
+                &["Benchmark", "Algorithm", "Threshold", "Speedup", "Quality", "Evaluated"],
+                &rows
+            )
+        );
+        for o in &outcomes {
+            if let Err(e) = &o.outcome {
+                eprintln!(
+                    "failed: {} / {} after {} attempt(s): {e}",
+                    o.job.benchmark, o.job.algorithm, o.attempts
+                );
+            }
+        }
     }
 
-    let rows: Vec<Vec<String>> = results
-        .iter()
-        .map(|r| {
-            vec![
-                r.benchmark.clone(),
-                r.algorithm.clone(),
-                format!("{:.0e}", r.threshold),
-                fmt_speedup(r.result.speedup()),
-                fmt_quality(r.result.quality()),
-                fmt_evaluated(r),
-            ]
-        })
-        .collect();
-    print!(
-        "{}",
-        render_table(
-            &["Benchmark", "Algorithm", "Threshold", "Speedup", "Quality", "Evaluated"],
-            &rows
-        )
-    );
+    if failures > 0 {
+        eprintln!("{failures} of {} cells failed", outcomes.len());
+        std::process::exit(3);
+    }
 }

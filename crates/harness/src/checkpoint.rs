@@ -1,0 +1,435 @@
+//! Campaign run-state journaling: checkpoint and resume.
+//!
+//! The paper's cluster campaigns lose everything when a job array is
+//! killed; this module makes the stand-in scheduler resumable. Completed
+//! [`JobResult`]s are journaled to an append-only JSON-lines file — one
+//! header line naming the format version and a fingerprint of the job
+//! list, then one line per completed cell. A resumed campaign with the
+//! *same* job list loads the journal and re-executes only the unfinished
+//! cells; a journal written for a different campaign (fingerprint
+//! mismatch) is ignored and restarted, and torn trailing lines — the
+//! normal aftermath of a kill mid-write — are skipped.
+//!
+//! The format is deliberately simple enough to inspect by eye:
+//!
+//! ```text
+//! {"version": "mixp-run-state-1", "fingerprint": "9a3bd2c41e77f052", "jobs": 6}
+//! {"job": 0, "benchmark": "tridiag", "algorithm": "DD", "threshold": 0.001,
+//!  "clusters": 1, "variables": 3, "evaluated": 1, "dnf": false,
+//!  "best": {"quality": 2.1e-7, "speedup": 1.42,
+//!           "lowered": [{"name": "x", "to_type": "float"}]}}
+//! ```
+//!
+//! The best configuration is stored by *variable name* (like the
+//! FloatSmith interchange format), so the journal survives process
+//! restarts and does not depend on internal variable ids.
+
+use crate::job::{Job, JobResult};
+use crate::json::{parse, Json};
+use crate::registry::{benchmark_by_name, Scale};
+use mixp_core::{EvalRecord, Precision};
+use mixp_search::SearchResult;
+use std::collections::BTreeMap;
+use std::fs::{File, OpenOptions};
+use std::io::Write;
+use std::path::Path;
+
+/// Version tag of the run-state format.
+pub const STATE_VERSION: &str = "mixp-run-state-1";
+
+/// FNV-1a fingerprint of a campaign's job list. Two campaigns share a
+/// journal only if every job field matches, in order.
+pub fn fingerprint(jobs: &[Job]) -> String {
+    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+    let mut eat = |bytes: &[u8]| {
+        for b in bytes {
+            hash ^= u64::from(*b);
+            hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+    };
+    for job in jobs {
+        eat(job.benchmark.as_bytes());
+        eat(b"|");
+        eat(job.algorithm.as_bytes());
+        eat(b"|");
+        eat(&job.threshold.to_bits().to_le_bytes());
+        eat(&(job.budget as u64).to_le_bytes());
+        eat(match job.scale {
+            Scale::Small => b"s",
+            Scale::Paper => b"p",
+        });
+        eat(b";");
+    }
+    format!("{hash:016x}")
+}
+
+/// Results recovered from a journal, keyed by job index.
+#[derive(Debug, Default)]
+pub struct RunState {
+    /// Completed cells, ready to be reused without re-running.
+    pub completed: BTreeMap<usize, JobResult>,
+}
+
+fn precision_name(p: Precision) -> &'static str {
+    match p {
+        Precision::Half => "half",
+        Precision::Single => "float",
+        Precision::Double => "double",
+    }
+}
+
+fn precision_from_name(name: &str) -> Option<Precision> {
+    match name {
+        "half" => Some(Precision::Half),
+        "float" => Some(Precision::Single),
+        "double" => Some(Precision::Double),
+        _ => None,
+    }
+}
+
+/// Serialises one completed cell as a single JSON line (no internal
+/// newlines, so a torn write is detectable as a bad final line).
+fn result_line(index: usize, job: &Job, result: &JobResult) -> String {
+    let best = match &result.result.best {
+        None => Json::Null,
+        Some(rec) => {
+            let lowered: Vec<Json> = benchmark_by_name(&result.benchmark, job.scale)
+                .map(|bench| {
+                    let registry = bench.program().registry();
+                    rec.config
+                        .iter()
+                        .filter(|(_, p)| *p != Precision::Double)
+                        .map(|(v, p)| {
+                            Json::Object(vec![
+                                (
+                                    "name".to_string(),
+                                    Json::String(registry.name(v).to_string()),
+                                ),
+                                (
+                                    "to_type".to_string(),
+                                    Json::String(precision_name(p).to_string()),
+                                ),
+                            ])
+                        })
+                        .collect()
+                })
+                .unwrap_or_default();
+            Json::Object(vec![
+                ("quality".to_string(), Json::Number(rec.quality)),
+                ("speedup".to_string(), Json::Number(rec.speedup)),
+                ("lowered".to_string(), Json::Array(lowered)),
+            ])
+        }
+    };
+    let doc = Json::Object(vec![
+        ("job".to_string(), Json::Number(index as f64)),
+        (
+            "benchmark".to_string(),
+            Json::String(result.benchmark.clone()),
+        ),
+        (
+            "algorithm".to_string(),
+            Json::String(result.algorithm.clone()),
+        ),
+        ("threshold".to_string(), Json::Number(result.threshold)),
+        ("clusters".to_string(), Json::Number(result.clusters as f64)),
+        (
+            "variables".to_string(),
+            Json::Number(result.variables as f64),
+        ),
+        (
+            "evaluated".to_string(),
+            Json::Number(result.result.evaluated as f64),
+        ),
+        ("dnf".to_string(), Json::Bool(result.result.dnf)),
+        ("best".to_string(), best),
+    ]);
+    compact(&doc)
+}
+
+/// One-line JSON rendering (the pretty writer inserts newlines, which the
+/// journal format forbids).
+fn compact(doc: &Json) -> String {
+    match doc {
+        Json::Null => "null".to_string(),
+        Json::Bool(b) => if *b { "true" } else { "false" }.to_string(),
+        Json::Number(n) => {
+            if n.is_finite() {
+                format!("{n}")
+            } else {
+                "null".to_string()
+            }
+        }
+        Json::String(s) => {
+            // Reuse the escaping of the pretty writer: a lone string has no
+            // indentation, so pretty == compact here.
+            Json::String(s.clone()).pretty()
+        }
+        Json::Array(items) => {
+            let inner: Vec<String> = items.iter().map(compact).collect();
+            format!("[{}]", inner.join(","))
+        }
+        Json::Object(members) => {
+            let inner: Vec<String> = members
+                .iter()
+                .map(|(k, v)| format!("{}:{}", Json::String(k.clone()).pretty(), compact(v)))
+                .collect();
+            format!("{{{}}}", inner.join(","))
+        }
+    }
+}
+
+/// Rebuilds a [`JobResult`] from one journal line, validating it against
+/// the job it claims to belong to. Returns `None` (skip the line — the
+/// cell re-runs) rather than failing on any mismatch.
+fn result_from_line(doc: &Json, jobs: &[Job]) -> Option<(usize, JobResult)> {
+    let index = doc.get("job")?.as_f64()? as usize;
+    let job = jobs.get(index)?;
+    let benchmark = doc.get("benchmark")?.as_str()?;
+    if benchmark != job.benchmark {
+        return None;
+    }
+    let threshold = doc.get("threshold")?.as_f64()?;
+    if threshold.to_bits() != job.threshold.to_bits() {
+        return None;
+    }
+    let algorithm = doc.get("algorithm")?.as_str()?.to_string();
+    let clusters = doc.get("clusters")?.as_f64()? as usize;
+    let variables = doc.get("variables")?.as_f64()? as usize;
+    let evaluated = doc.get("evaluated")?.as_f64()? as usize;
+    let dnf = matches!(doc.get("dnf")?, Json::Bool(true));
+    let best = match doc.get("best")? {
+        Json::Null => None,
+        entry => {
+            let bench = benchmark_by_name(benchmark, job.scale)?;
+            let program = bench.program();
+            let mut config = program.config_all_double();
+            for action in entry.get("lowered")?.as_array()? {
+                let name = action.get("name")?.as_str()?;
+                let prec = precision_from_name(action.get("to_type")?.as_str()?)?;
+                let var = program.registry().find(name)?;
+                config.set(var, prec);
+            }
+            Some(EvalRecord {
+                config,
+                compiled: true,
+                quality: entry.get("quality")?.as_f64()?,
+                speedup: entry.get("speedup")?.as_f64()?,
+                passes: true,
+            })
+        }
+    };
+    Some((
+        index,
+        JobResult {
+            benchmark: benchmark.to_string(),
+            algorithm,
+            threshold,
+            clusters,
+            variables,
+            result: SearchResult {
+                best,
+                evaluated,
+                dnf,
+            },
+        },
+    ))
+}
+
+/// Parses an existing journal against `jobs`. An unreadable file, a bad or
+/// mismatched header, and torn/foreign lines all degrade to "nothing
+/// recovered" — resume never aborts a campaign.
+pub fn load(path: &Path, jobs: &[Job]) -> RunState {
+    let mut state = RunState::default();
+    let Ok(text) = std::fs::read_to_string(path) else {
+        return state;
+    };
+    let mut lines = text.lines();
+    let Some(header) = lines.next().and_then(|l| parse(l).ok()) else {
+        return state;
+    };
+    let version_ok = header.get("version").and_then(Json::as_str) == Some(STATE_VERSION);
+    let fp_ok =
+        header.get("fingerprint").and_then(Json::as_str) == Some(fingerprint(jobs).as_str());
+    if !version_ok || !fp_ok {
+        return state;
+    }
+    for line in lines {
+        let Ok(doc) = parse(line) else {
+            continue; // torn trailing line from a kill mid-write
+        };
+        if let Some((index, result)) = result_from_line(&doc, jobs) {
+            state.completed.insert(index, result);
+        }
+    }
+    state
+}
+
+/// An open, append-mode journal for one campaign.
+#[derive(Debug)]
+pub struct Journal {
+    file: File,
+}
+
+impl Journal {
+    /// Opens (or creates) the journal at `path` for this campaign and
+    /// recovers any prior state.
+    ///
+    /// If the file already holds a valid journal for the *same* job list,
+    /// its completed cells are returned and new completions are appended
+    /// after them. Anything else — no file, another campaign's journal, a
+    /// corrupt header — starts the journal afresh.
+    ///
+    /// # Errors
+    ///
+    /// Returns the underlying I/O error if the file cannot be created or
+    /// written.
+    pub fn open(path: &Path, jobs: &[Job]) -> std::io::Result<(Journal, RunState)> {
+        let state = load(path, jobs);
+        let fresh = state.completed.is_empty() && !journal_matches(path, jobs);
+        let mut file = if fresh {
+            File::create(path)?
+        } else {
+            OpenOptions::new().append(true).open(path)?
+        };
+        if fresh {
+            let header = Json::Object(vec![
+                (
+                    "version".to_string(),
+                    Json::String(STATE_VERSION.to_string()),
+                ),
+                (
+                    "fingerprint".to_string(),
+                    Json::String(fingerprint(jobs)),
+                ),
+                ("jobs".to_string(), Json::Number(jobs.len() as f64)),
+            ]);
+            writeln!(file, "{}", compact(&header))?;
+            file.flush()?;
+        }
+        Ok((Journal { file }, state))
+    }
+
+    /// Appends one completed cell. Each record is a single `write` of one
+    /// full line, so a kill can tear at most the final line.
+    ///
+    /// # Errors
+    ///
+    /// Returns the underlying I/O error on a failed append.
+    pub fn record(&mut self, index: usize, job: &Job, result: &JobResult) -> std::io::Result<()> {
+        let mut line = result_line(index, job, result);
+        line.push('\n');
+        self.file.write_all(line.as_bytes())?;
+        self.file.flush()
+    }
+}
+
+/// Whether `path` holds a journal whose header matches this campaign.
+fn journal_matches(path: &Path, jobs: &[Job]) -> bool {
+    let Ok(text) = std::fs::read_to_string(path) else {
+        return false;
+    };
+    let Some(header) = text.lines().next().and_then(|l| parse(l).ok()) else {
+        return false;
+    };
+    header.get("version").and_then(Json::as_str) == Some(STATE_VERSION)
+        && header.get("fingerprint").and_then(Json::as_str)
+            == Some(fingerprint(jobs).as_str())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmpfile(name: &str) -> std::path::PathBuf {
+        let mut p = std::env::temp_dir();
+        p.push(format!("mixp-checkpoint-{name}-{}", std::process::id()));
+        p
+    }
+
+    fn sample_jobs() -> Vec<Job> {
+        vec![
+            Job::new("tridiag", "DD", 1e-3, Scale::Small),
+            Job::new("innerprod", "CM", 1e-3, Scale::Small),
+        ]
+    }
+
+    #[test]
+    fn fingerprint_is_order_and_field_sensitive() {
+        let jobs = sample_jobs();
+        let mut reversed = jobs.clone();
+        reversed.reverse();
+        assert_ne!(fingerprint(&jobs), fingerprint(&reversed));
+        let mut rethresholded = jobs.clone();
+        rethresholded[0].threshold = 1e-6;
+        assert_ne!(fingerprint(&jobs), fingerprint(&rethresholded));
+        assert_eq!(fingerprint(&jobs), fingerprint(&sample_jobs()));
+    }
+
+    #[test]
+    fn journal_round_trips_results() {
+        let path = tmpfile("roundtrip");
+        let jobs = sample_jobs();
+        let r0 = jobs[0].execute(None, None).unwrap();
+        {
+            let (mut journal, state) = Journal::open(&path, &jobs).unwrap();
+            assert!(state.completed.is_empty());
+            journal.record(0, &jobs[0], &r0).unwrap();
+        }
+        let state = load(&path, &jobs);
+        assert_eq!(state.completed.len(), 1);
+        let back = &state.completed[&0];
+        assert_eq!(back.benchmark, r0.benchmark);
+        assert_eq!(back.result.evaluated, r0.result.evaluated);
+        assert_eq!(back.result.dnf, r0.result.dnf);
+        let (orig, rec) = (r0.result.best.unwrap(), back.result.best.clone().unwrap());
+        assert_eq!(orig.speedup, rec.speedup);
+        assert_eq!(orig.quality, rec.quality);
+        assert_eq!(orig.config.key(), rec.config.key());
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn mismatched_fingerprint_discards_journal() {
+        let path = tmpfile("mismatch");
+        let jobs = sample_jobs();
+        let r0 = jobs[0].execute(None, None).unwrap();
+        {
+            let (mut journal, _) = Journal::open(&path, &jobs).unwrap();
+            journal.record(0, &jobs[0], &r0).unwrap();
+        }
+        let other = vec![Job::new("eos", "GA", 1e-6, Scale::Small)];
+        let state = load(&path, &other);
+        assert!(state.completed.is_empty());
+        // Opening for the other campaign restarts the journal.
+        let (_, state) = Journal::open(&path, &other).unwrap();
+        assert!(state.completed.is_empty());
+        let text = std::fs::read_to_string(&path).unwrap();
+        assert!(text.contains(&fingerprint(&other)));
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn torn_final_line_is_skipped() {
+        let path = tmpfile("torn");
+        let jobs = sample_jobs();
+        let r0 = jobs[0].execute(None, None).unwrap();
+        {
+            let (mut journal, _) = Journal::open(&path, &jobs).unwrap();
+            journal.record(0, &jobs[0], &r0).unwrap();
+        }
+        // Simulate a kill mid-append: a truncated JSON line at the end.
+        let mut text = std::fs::read_to_string(&path).unwrap();
+        text.push_str("{\"job\":1,\"benchmark\":\"inner");
+        std::fs::write(&path, &text).unwrap();
+        let state = load(&path, &jobs);
+        assert_eq!(state.completed.len(), 1, "good line kept, torn line dropped");
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn missing_file_is_empty_state() {
+        let state = load(Path::new("/nonexistent/mixp-run-state"), &sample_jobs());
+        assert!(state.completed.is_empty());
+    }
+}

@@ -30,11 +30,40 @@ pub struct AnalysisConfig {
 pub struct ConfigError {
     /// Human-readable reason.
     pub message: String,
+    /// The configuration key the error is about, when one is known.
+    pub key: Option<String>,
+    /// 1-based input line, when the underlying YAML parser reported one.
+    pub line: Option<usize>,
+}
+
+impl ConfigError {
+    fn new(message: impl Into<String>) -> Self {
+        ConfigError {
+            message: message.into(),
+            key: None,
+            line: None,
+        }
+    }
+
+    fn for_key(key: &str, message: impl Into<String>) -> Self {
+        ConfigError {
+            message: message.into(),
+            key: Some(key.to_string()),
+            line: None,
+        }
+    }
 }
 
 impl fmt::Display for ConfigError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "invalid analysis configuration: {}", self.message)
+        write!(f, "invalid analysis configuration: {}", self.message)?;
+        if let Some(key) = &self.key {
+            write!(f, " (key `{key}`)")?;
+        }
+        if let Some(line) = self.line {
+            write!(f, " at line {line}")?;
+        }
+        Ok(())
     }
 }
 
@@ -43,7 +72,9 @@ impl std::error::Error for ConfigError {}
 impl From<yamlish::ParseError> for ConfigError {
     fn from(err: yamlish::ParseError) -> Self {
         ConfigError {
-            message: err.to_string(),
+            message: err.message.clone(),
+            key: err.key,
+            line: Some(err.line),
         }
     }
 }
@@ -65,39 +96,39 @@ impl AnalysisConfig {
     /// malformed threshold.
     pub fn from_yaml(text: &str) -> Result<Self, ConfigError> {
         let root = yamlish::parse(text)?;
-        let entries = root.entries().ok_or_else(|| ConfigError {
-            message: "document root must be a map".to_string(),
-        })?;
-        let (benchmark, body) = entries.first().ok_or_else(|| ConfigError {
-            message: "document must contain one benchmark entry".to_string(),
-        })?;
+        let entries = root
+            .entries()
+            .ok_or_else(|| ConfigError::new("document root must be a map"))?;
+        let (benchmark, body) = entries
+            .first()
+            .ok_or_else(|| ConfigError::new("document must contain one benchmark entry"))?;
 
         // The analysis clause names the tool; we need its algorithm.
-        let analysis = body.get("analysis").ok_or_else(|| ConfigError {
-            message: "missing `analysis` clause".to_string(),
-        })?;
-        let tool_entries = analysis.entries().ok_or_else(|| ConfigError {
-            message: "`analysis` must be a map of tools".to_string(),
-        })?;
-        let (_, tool_body) = tool_entries.first().ok_or_else(|| ConfigError {
-            message: "`analysis` must name a tool".to_string(),
-        })?;
+        let analysis = body
+            .get("analysis")
+            .ok_or_else(|| ConfigError::for_key("analysis", "missing `analysis` clause"))?;
+        let tool_entries = analysis
+            .entries()
+            .ok_or_else(|| ConfigError::for_key("analysis", "`analysis` must be a map of tools"))?;
+        let (_, tool_body) = tool_entries
+            .first()
+            .ok_or_else(|| ConfigError::for_key("analysis", "`analysis` must name a tool"))?;
         let algorithm = str_at(tool_body, &["extra_args", "algorithm"])
-            .ok_or_else(|| ConfigError {
-                message: "missing `extra_args.algorithm`".to_string(),
+            .ok_or_else(|| {
+                ConfigError::for_key("extra_args.algorithm", "missing `extra_args.algorithm`")
             })?
             .to_string();
 
         let threshold = match str_at(body, &["threshold"]) {
             None => 1e-8,
-            Some(raw) => raw.parse::<f64>().map_err(|_| ConfigError {
-                message: format!("malformed threshold `{raw}`"),
+            Some(raw) => raw.parse::<f64>().map_err(|_| {
+                ConfigError::for_key("threshold", format!("malformed threshold `{raw}`"))
             })?,
         };
         let budget = match str_at(body, &["budget"]) {
             None => None,
-            Some(raw) => Some(raw.parse::<usize>().map_err(|_| ConfigError {
-                message: format!("malformed budget `{raw}`"),
+            Some(raw) => Some(raw.parse::<usize>().map_err(|_| {
+                ConfigError::for_key("budget", format!("malformed budget `{raw}`"))
             })?),
         };
 
@@ -166,6 +197,8 @@ kmeans:
         let err =
             AnalysisConfig::from_yaml("x:\n  analysis:\n    fs:\n      name: 'f'\n").unwrap_err();
         assert!(err.message.contains("algorithm"));
+        assert_eq!(err.key.as_deref(), Some("extra_args.algorithm"));
+        assert!(err.to_string().contains("`extra_args.algorithm`"));
     }
 
     #[test]
@@ -175,11 +208,41 @@ kmeans:
         )
         .unwrap_err();
         assert!(err.message.contains("threshold"));
+        assert_eq!(err.key.as_deref(), Some("threshold"));
+    }
+
+    #[test]
+    fn malformed_budget_is_an_error() {
+        let err = AnalysisConfig::from_yaml(
+            "x:\n  budget: '-3'\n  analysis:\n    fs:\n      extra_args:\n        algorithm: 'dd'\n",
+        )
+        .unwrap_err();
+        assert!(err.message.contains("budget"));
+        assert_eq!(err.key.as_deref(), Some("budget"));
     }
 
     #[test]
     fn missing_analysis_is_an_error() {
         let err = AnalysisConfig::from_yaml("x:\n  metric: 'MAE'\n").unwrap_err();
         assert!(err.message.contains("analysis"));
+        assert_eq!(err.key.as_deref(), Some("analysis"));
+    }
+
+    #[test]
+    fn yaml_errors_surface_line_and_key_context() {
+        let err = AnalysisConfig::from_yaml("x:\n  analysis:\n    not a mapping\n").unwrap_err();
+        assert_eq!(err.line, Some(3));
+        assert_eq!(err.key.as_deref(), Some("analysis"));
+        let text = err.to_string();
+        assert!(text.contains("line 3"), "{text}");
+        assert!(text.contains("`analysis`"), "{text}");
+    }
+
+    #[test]
+    fn root_errors_have_no_key_or_line() {
+        let err = AnalysisConfig::from_yaml("# empty\n").unwrap_err();
+        assert_eq!(err.key, None);
+        assert_eq!(err.line, None);
+        assert!(err.message.contains("benchmark entry"));
     }
 }

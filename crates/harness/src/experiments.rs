@@ -12,7 +12,7 @@
 
 use crate::job::{Job, JobResult};
 use crate::registry::{benchmark_by_name, benchmark_names, Scale};
-use crate::scheduler::run_jobs;
+use crate::scheduler::{run_jobs, JobOutcome};
 use mixp_core::{run_config, BenchmarkKind, CacheParams, CostModel};
 
 /// The names of the 10 kernels, in Table I order.
@@ -89,8 +89,9 @@ pub const TABLE3_THRESHOLD: f64 = 1e-8;
 
 /// Regenerates Table III: every kernel × all six algorithms at the 1e-8
 /// threshold. Results are grouped per kernel, algorithms in
-/// [`TABLE3_ALGOS`] order.
-pub fn table3(scale: Scale, workers: usize) -> Vec<Vec<JobResult>> {
+/// [`TABLE3_ALGOS`] order. Failed cells carry their typed error in the
+/// outcome instead of aborting the table.
+pub fn table3(scale: Scale, workers: usize) -> Vec<Vec<JobOutcome>> {
     let jobs: Vec<Job> = kernel_names()
         .iter()
         .flat_map(|k| {
@@ -102,7 +103,7 @@ pub fn table3(scale: Scale, workers: usize) -> Vec<Vec<JobResult>> {
     let results = run_jobs(&jobs, workers);
     results
         .chunks(TABLE3_ALGOS.len())
-        .map(<[JobResult]>::to_vec)
+        .map(<[JobOutcome]>::to_vec)
         .collect()
 }
 
@@ -148,8 +149,10 @@ pub fn table4(scale: Scale) -> Vec<Table4Row> {
 }
 
 /// Regenerates Table V: every application × the five algorithms of
-/// [`TABLE5_ALGOS`] at one threshold. Results are grouped per application.
-pub fn table5(threshold: f64, scale: Scale, workers: usize) -> Vec<Vec<JobResult>> {
+/// [`TABLE5_ALGOS`] at one threshold. Results are grouped per application;
+/// failed cells carry their typed error in the outcome instead of
+/// aborting the table.
+pub fn table5(threshold: f64, scale: Scale, workers: usize) -> Vec<Vec<JobOutcome>> {
     let jobs: Vec<Job> = application_names()
         .iter()
         .flat_map(|b| {
@@ -161,7 +164,7 @@ pub fn table5(threshold: f64, scale: Scale, workers: usize) -> Vec<Vec<JobResult
     let results = run_jobs(&jobs, workers);
     results
         .chunks(TABLE5_ALGOS.len())
-        .map(<[JobResult]>::to_vec)
+        .map(<[JobOutcome]>::to_vec)
         .collect()
 }
 
@@ -196,6 +199,15 @@ impl FigPoint {
     }
 }
 
+/// A figure plots completed cells only: failed outcomes have no point.
+fn points_of(outcomes: &[JobOutcome]) -> Vec<FigPoint> {
+    outcomes
+        .iter()
+        .filter_map(JobOutcome::result)
+        .map(FigPoint::from_result)
+        .collect()
+}
+
 /// Regenerates the Figure 2a/2b series: DD and GA over all applications and
 /// all three thresholds, correlating application complexity (clusters) with
 /// evaluated configurations (2a) and achieved speedup (2b).
@@ -208,10 +220,7 @@ pub fn figure2_points(scale: Scale, workers: usize) -> Vec<FigPoint> {
             })
         })
         .collect();
-    run_jobs(&jobs, workers)
-        .iter()
-        .map(FigPoint::from_result)
-        .collect()
+    points_of(&run_jobs(&jobs, workers))
 }
 
 /// Regenerates the Figure 3 scatter: speedup versus the number of tested
@@ -221,10 +230,10 @@ pub fn figure3_points(scale: Scale, workers: usize) -> Vec<FigPoint> {
     TABLE5_THRESHOLDS
         .iter()
         .flat_map(|t| {
-            table5(*t, scale, workers)
-                .into_iter()
-                .flatten()
-                .map(|r| FigPoint::from_result(&r))
+            let groups = table5(*t, scale, workers);
+            groups
+                .iter()
+                .flat_map(|group| points_of(group))
                 .collect::<Vec<_>>()
         })
         .collect()
@@ -272,7 +281,8 @@ mod tests {
         for row in &rows {
             assert_eq!(row.len(), 6);
             // CB at kernel scale always terminates.
-            assert!(!row[0].result.dnf, "{}", row[0].benchmark);
+            let cb = row[0].result().expect("kernel cells succeed");
+            assert!(!cb.result.dnf, "{}", cb.benchmark);
         }
     }
 

@@ -14,6 +14,7 @@
 
 use crate::job::JobResult;
 use crate::json::{parse, Json, JsonError};
+use crate::scheduler::JobOutcome;
 use mixp_core::{Precision, PrecisionConfig, ProgramModel};
 use std::fmt;
 
@@ -142,31 +143,87 @@ pub fn config_from_json(
     Ok(cfg)
 }
 
+fn result_members(r: &JobResult) -> Vec<(String, Json)> {
+    vec![
+        ("benchmark".to_string(), Json::String(r.benchmark.clone())),
+        ("algorithm".to_string(), Json::String(r.algorithm.clone())),
+        ("threshold".to_string(), Json::Number(r.threshold)),
+        ("clusters".to_string(), Json::Number(r.clusters as f64)),
+        ("variables".to_string(), Json::Number(r.variables as f64)),
+        (
+            "evaluated".to_string(),
+            Json::Number(r.result.evaluated as f64),
+        ),
+        ("dnf".to_string(), Json::Bool(r.result.dnf)),
+        (
+            "speedup".to_string(),
+            r.result.speedup().map_or(Json::Null, Json::Number),
+        ),
+        (
+            "quality".to_string(),
+            r.result.quality().map_or(Json::Null, Json::Number),
+        ),
+    ]
+}
+
 /// Serialises a batch of analysis results (the `harness --json` output).
 pub fn results_to_json(results: &[JobResult]) -> String {
     let items: Vec<Json> = results
         .iter()
-        .map(|r| {
-            Json::Object(vec![
-                ("benchmark".to_string(), Json::String(r.benchmark.clone())),
-                ("algorithm".to_string(), Json::String(r.algorithm.clone())),
-                ("threshold".to_string(), Json::Number(r.threshold)),
-                ("clusters".to_string(), Json::Number(r.clusters as f64)),
-                ("variables".to_string(), Json::Number(r.variables as f64)),
-                (
-                    "evaluated".to_string(),
-                    Json::Number(r.result.evaluated as f64),
-                ),
-                ("dnf".to_string(), Json::Bool(r.result.dnf)),
-                (
-                    "speedup".to_string(),
-                    r.result.speedup().map_or(Json::Null, Json::Number),
-                ),
-                (
-                    "quality".to_string(),
-                    r.result.quality().map_or(Json::Null, Json::Number),
-                ),
-            ])
+        .map(|r| Json::Object(result_members(r)))
+        .collect();
+    Json::Object(vec![
+        (
+            "version".to_string(),
+            Json::String(FORMAT_VERSION.to_string()),
+        ),
+        ("results".to_string(), Json::Array(items)),
+    ])
+    .pretty()
+}
+
+/// Serialises a batch of campaign outcomes, including failed cells: each
+/// entry carries a `status` of `"ok"` or `"failed"`, and failed entries
+/// report their typed error instead of metrics.
+pub fn outcomes_to_json(outcomes: &[JobOutcome]) -> String {
+    let items: Vec<Json> = outcomes
+        .iter()
+        .map(|o| {
+            let mut members = match &o.outcome {
+                Ok(r) => {
+                    let mut m = vec![(
+                        "status".to_string(),
+                        Json::String("ok".to_string()),
+                    )];
+                    m.extend(result_members(r));
+                    m
+                }
+                Err(e) => vec![
+                    ("status".to_string(), Json::String("failed".to_string())),
+                    (
+                        "benchmark".to_string(),
+                        Json::String(o.job.benchmark.clone()),
+                    ),
+                    (
+                        "algorithm".to_string(),
+                        Json::String(o.job.algorithm.clone()),
+                    ),
+                    ("threshold".to_string(), Json::Number(o.job.threshold)),
+                    (
+                        "error".to_string(),
+                        Json::Object(vec![
+                            ("code".to_string(), Json::String(e.code().to_string())),
+                            ("message".to_string(), Json::String(e.to_string())),
+                        ]),
+                    ),
+                ],
+            };
+            members.push(("attempts".to_string(), Json::Number(f64::from(o.attempts))));
+            members.push((
+                "from_checkpoint".to_string(),
+                Json::Bool(o.from_checkpoint),
+            ));
+            Json::Object(members)
         })
         .collect();
     Json::Object(vec![
@@ -227,7 +284,7 @@ mod tests {
     #[test]
     fn results_json_shape() {
         let job = crate::job::Job::new("tridiag", "DD", 1e-3, Scale::Small);
-        let result = job.run();
+        let result = job.execute(None, None).unwrap();
         let text = results_to_json(std::slice::from_ref(&result));
         let doc = crate::json::parse(&text).unwrap();
         let items = doc.get("results").unwrap().as_array().unwrap();
@@ -235,6 +292,39 @@ mod tests {
         assert_eq!(items[0].get("benchmark").unwrap().as_str(), Some("tridiag"));
         assert_eq!(items[0].get("dnf"), Some(&crate::json::Json::Bool(false)));
         assert!(items[0].get("speedup").unwrap().as_f64().is_some());
+    }
+
+    #[test]
+    fn outcomes_json_reports_failures() {
+        use crate::job::{Job, JobError};
+        let job = Job::new("tridiag", "DD", 1e-3, Scale::Small);
+        let ok = JobOutcome {
+            job: job.clone(),
+            attempts: 1,
+            from_checkpoint: false,
+            outcome: job.execute(None, None),
+        };
+        let failed = JobOutcome {
+            job: Job::new("tridiag", "HC", 1e-3, Scale::Small),
+            attempts: 3,
+            from_checkpoint: false,
+            outcome: Err(JobError::DeadlineExceeded { limit_ms: 250 }),
+        };
+        let text = outcomes_to_json(&[ok, failed]);
+        let doc = crate::json::parse(&text).unwrap();
+        let items = doc.get("results").unwrap().as_array().unwrap();
+        assert_eq!(items.len(), 2);
+        assert_eq!(items[0].get("status").unwrap().as_str(), Some("ok"));
+        assert_eq!(items[1].get("status").unwrap().as_str(), Some("failed"));
+        let error = items[1].get("error").unwrap();
+        assert_eq!(error.get("code").unwrap().as_str(), Some("deadline"));
+        assert!(error
+            .get("message")
+            .unwrap()
+            .as_str()
+            .unwrap()
+            .contains("250"));
+        assert_eq!(items[1].get("attempts").unwrap().as_f64(), Some(3.0));
     }
 
     #[test]

@@ -1,9 +1,17 @@
 //! Analysis jobs: one benchmark × one algorithm × one threshold.
+//!
+//! [`Job::execute`] is the fault-isolated entry point: every failure mode a
+//! campaign can meet — unresolved names, panicking variant runs, wall-clock
+//! timeouts, budget starvation, non-finite quality — comes back as a typed
+//! [`JobError`] instead of unwinding into the scheduler.
 
+use crate::faultplan::{Fault, FaultyBenchmark};
 use crate::registry::{benchmark_by_name, Scale};
-use mixp_core::{EvaluatorBuilder, QualityThreshold};
+use mixp_core::{Benchmark, EvalError, EvaluatorBuilder, QualityThreshold};
 use mixp_search::{algorithm_by_name, SearchResult};
 use std::fmt;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::time::Duration;
 
 /// One analysis to run: the unit the scheduler fans out, corresponding to
 /// one (application, algorithm) cell of the paper's evaluation at one
@@ -20,6 +28,92 @@ pub struct Job {
     pub budget: usize,
     /// Problem scale.
     pub scale: Scale,
+}
+
+/// Why one job failed. The taxonomy mirrors what the paper's cluster runs
+/// actually die of: bad configurations, crashing variants, the 24-hour
+/// limit, queue starvation, and numerically destroyed outputs.
+#[derive(Debug, Clone, PartialEq)]
+pub enum JobError {
+    /// The benchmark name does not resolve in the registry.
+    UnknownBenchmark(String),
+    /// The algorithm name does not resolve.
+    UnknownAlgorithm(String),
+    /// The search (or a variant run inside it) panicked; the payload
+    /// message is preserved.
+    Panicked(String),
+    /// The wall-clock deadline fired before the search terminated.
+    DeadlineExceeded {
+        /// The deadline that was exceeded, in milliseconds.
+        limit_ms: u128,
+    },
+    /// The evaluation budget was exhausted before even one configuration
+    /// could be evaluated — complete starvation. (A search that evaluates
+    /// at least one configuration before running out is reported as a DNF
+    /// *result*, like the paper's grey boxes, not as a failure.)
+    BudgetExhausted {
+        /// The budget the job was starved under.
+        budget: usize,
+    },
+    /// The reference run or the best passing record produced non-finite
+    /// quality/speedup, so no meaningful comparison exists.
+    NonFiniteQuality,
+}
+
+impl JobError {
+    /// Short stable code used in report cells: `FAILED(code)`.
+    pub fn code(&self) -> &'static str {
+        match self {
+            JobError::UnknownBenchmark(_) => "unknown-benchmark",
+            JobError::UnknownAlgorithm(_) => "unknown-algorithm",
+            JobError::Panicked(_) => "panic",
+            JobError::DeadlineExceeded { .. } => "deadline",
+            JobError::BudgetExhausted { .. } => "budget",
+            JobError::NonFiniteQuality => "non-finite",
+        }
+    }
+
+    /// Whether a retry could plausibly succeed. Name-resolution and
+    /// budget/quality failures are deterministic; crashes and timeouts are
+    /// environment-shaped, as on a real cluster.
+    pub fn is_transient(&self) -> bool {
+        matches!(
+            self,
+            JobError::Panicked(_) | JobError::DeadlineExceeded { .. }
+        )
+    }
+}
+
+impl fmt::Display for JobError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            JobError::UnknownBenchmark(name) => write!(f, "unknown benchmark `{name}`"),
+            JobError::UnknownAlgorithm(name) => write!(f, "unknown algorithm `{name}`"),
+            JobError::Panicked(msg) => write!(f, "job panicked: {msg}"),
+            JobError::DeadlineExceeded { limit_ms } => {
+                write!(f, "wall-clock deadline of {limit_ms} ms exceeded")
+            }
+            JobError::BudgetExhausted { budget } => {
+                write!(f, "budget of {budget} exhausted before any evaluation")
+            }
+            JobError::NonFiniteQuality => {
+                write!(f, "non-finite quality: output destroyed")
+            }
+        }
+    }
+}
+
+impl std::error::Error for JobError {}
+
+/// Extracts a human-readable message from a panic payload.
+fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
 }
 
 impl Job {
@@ -41,28 +135,82 @@ impl Job {
         }
     }
 
-    /// Runs this job to completion on the current thread.
+    /// Runs this job to completion on the current thread, with full fault
+    /// isolation.
     ///
-    /// # Panics
+    /// `deadline` bounds the search's wall clock (enforced cooperatively by
+    /// the evaluator); `fault` optionally injects a failure mode (used by
+    /// the robustness tests — production campaigns pass `None`). Panics
+    /// anywhere inside the evaluation pipeline are caught and reported as
+    /// [`JobError::Panicked`]; nothing unwinds out of this method.
     ///
-    /// Panics if the benchmark or algorithm name does not resolve — jobs
-    /// are constructed from validated configurations.
-    pub fn run(&self) -> JobResult {
+    /// # Errors
+    ///
+    /// Returns a [`JobError`] describing which leg of the taxonomy the job
+    /// died on; see the enum docs for the exact semantics of each.
+    pub fn execute(
+        &self,
+        deadline: Option<Duration>,
+        fault: Option<Fault>,
+    ) -> Result<JobResult, JobError> {
         let bench = benchmark_by_name(&self.benchmark, self.scale)
-            .unwrap_or_else(|| panic!("unknown benchmark `{}`", self.benchmark));
+            .ok_or_else(|| JobError::UnknownBenchmark(self.benchmark.clone()))?;
         let algo = algorithm_by_name(&self.algorithm)
-            .unwrap_or_else(|| panic!("unknown algorithm `{}`", self.algorithm));
-        let mut ev = EvaluatorBuilder::new(QualityThreshold::new(self.threshold))
-            .budget(self.budget)
-            .build(bench.as_ref());
-        let result = algo.search(&mut ev);
-        JobResult {
-            benchmark: self.benchmark.clone(),
-            algorithm: algo.name().to_string(),
-            threshold: self.threshold,
-            clusters: bench.program().total_clusters(),
-            variables: bench.program().total_variables(),
-            result,
+            .ok_or_else(|| JobError::UnknownAlgorithm(self.algorithm.clone()))?;
+
+        let mut budget = self.budget;
+        let mut deadline = deadline;
+        let bench: Box<dyn Benchmark> = match fault {
+            Some(Fault::StarveBudget) => {
+                budget = 0;
+                bench
+            }
+            Some(Fault::ZeroDeadline) => {
+                deadline = Some(Duration::ZERO);
+                bench
+            }
+            Some(f @ (Fault::Panic { .. } | Fault::NanOutput { .. })) => {
+                Box::new(FaultyBenchmark::new(bench, f))
+            }
+            None => bench,
+        };
+
+        let run = catch_unwind(AssertUnwindSafe(|| {
+            let mut builder =
+                EvaluatorBuilder::new(QualityThreshold::new(self.threshold)).budget(budget);
+            if let Some(d) = deadline {
+                builder = builder.deadline(d);
+            }
+            let mut ev = builder.build(bench.as_ref());
+            if !ev.reference_output().iter().all(|v| v.is_finite()) {
+                return Err(JobError::NonFiniteQuality);
+            }
+            let result = algo.search(&mut ev);
+            if ev.stop_reason() == Some(EvalError::DeadlineExceeded) {
+                return Err(JobError::DeadlineExceeded {
+                    limit_ms: deadline.map_or(0, |d| d.as_millis()),
+                });
+            }
+            if result.dnf && result.evaluated == 0 {
+                return Err(JobError::BudgetExhausted { budget });
+            }
+            if let Some(best) = &result.best {
+                if !best.quality.is_finite() || !best.speedup.is_finite() {
+                    return Err(JobError::NonFiniteQuality);
+                }
+            }
+            Ok(JobResult {
+                benchmark: self.benchmark.clone(),
+                algorithm: algo.name().to_string(),
+                threshold: self.threshold,
+                clusters: bench.program().total_clusters(),
+                variables: bench.program().total_variables(),
+                result,
+            })
+        }));
+        match run {
+            Ok(outcome) => outcome,
+            Err(payload) => Err(JobError::Panicked(panic_message(payload))),
         }
     }
 }
@@ -101,7 +249,7 @@ mod tests {
     #[test]
     fn job_runs_end_to_end() {
         let job = Job::new("tridiag", "DD", 1e-3, Scale::Small);
-        let res = job.run();
+        let res = job.execute(None, None).unwrap();
         assert_eq!(res.benchmark, "tridiag");
         assert_eq!(res.algorithm, "DD");
         assert!(!res.result.dnf);
@@ -113,13 +261,87 @@ mod tests {
     #[test]
     fn display_mentions_all_parts() {
         let job = Job::new("innerprod", "GA", 1e-3, Scale::Small);
-        let s = job.run().to_string();
+        let s = job.execute(None, None).unwrap().to_string();
         assert!(s.contains("innerprod") && s.contains("GA"));
     }
 
     #[test]
-    #[should_panic]
-    fn unknown_benchmark_panics() {
-        Job::new("nope", "DD", 1e-3, Scale::Small).run();
+    fn unknown_names_are_typed_errors() {
+        let err = Job::new("nope", "DD", 1e-3, Scale::Small)
+            .execute(None, None)
+            .unwrap_err();
+        assert_eq!(err, JobError::UnknownBenchmark("nope".to_string()));
+        assert_eq!(err.code(), "unknown-benchmark");
+        assert!(!err.is_transient());
+
+        let err = Job::new("tridiag", "nope", 1e-3, Scale::Small)
+            .execute(None, None)
+            .unwrap_err();
+        assert_eq!(err, JobError::UnknownAlgorithm("nope".to_string()));
+    }
+
+    #[test]
+    fn injected_panic_is_isolated() {
+        let job = Job::new("tridiag", "DD", 1e-3, Scale::Small);
+        let err = job
+            .execute(None, Some(Fault::Panic { at_eval: 0 }))
+            .unwrap_err();
+        match &err {
+            JobError::Panicked(msg) => assert!(msg.contains("injected fault")),
+            other => panic!("expected Panicked, got {other:?}"),
+        }
+        assert!(err.is_transient());
+    }
+
+    #[test]
+    fn zero_deadline_is_a_deadline_error() {
+        let job = Job::new("tridiag", "DD", 1e-3, Scale::Small);
+        let err = job
+            .execute(None, Some(Fault::ZeroDeadline))
+            .unwrap_err();
+        assert_eq!(err, JobError::DeadlineExceeded { limit_ms: 0 });
+        assert!(err.is_transient());
+    }
+
+    #[test]
+    fn starved_budget_is_a_budget_error() {
+        let job = Job::new("tridiag", "DD", 1e-3, Scale::Small);
+        let err = job.execute(None, Some(Fault::StarveBudget)).unwrap_err();
+        assert_eq!(err, JobError::BudgetExhausted { budget: 0 });
+        assert!(!err.is_transient());
+    }
+
+    #[test]
+    fn nan_reference_is_non_finite_quality() {
+        let job = Job::new("tridiag", "DD", 1e-3, Scale::Small);
+        let err = job
+            .execute(None, Some(Fault::NanOutput { from_eval: 0 }))
+            .unwrap_err();
+        assert_eq!(err, JobError::NonFiniteQuality);
+    }
+
+    #[test]
+    fn generous_deadline_does_not_fire() {
+        let job = Job::new("tridiag", "DD", 1e-3, Scale::Small);
+        let res = job
+            .execute(Some(Duration::from_secs(3600)), None)
+            .unwrap();
+        assert!(!res.result.dnf);
+    }
+
+    #[test]
+    fn error_displays_are_informative() {
+        for (err, needle) in [
+            (
+                JobError::UnknownBenchmark("x".into()),
+                "unknown benchmark",
+            ),
+            (JobError::Panicked("boom".into()), "boom"),
+            (JobError::DeadlineExceeded { limit_ms: 7 }, "7 ms"),
+            (JobError::BudgetExhausted { budget: 0 }, "budget"),
+            (JobError::NonFiniteQuality, "non-finite"),
+        ] {
+            assert!(err.to_string().contains(needle), "{err}");
+        }
     }
 }

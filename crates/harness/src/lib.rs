@@ -13,7 +13,12 @@
 //! * [`registry`] — benchmark lookup by name at test/paper scale.
 //! * [`job`]/[`scheduler`] — analysis jobs (benchmark × algorithm ×
 //!   threshold × budget) fanned out over a thread pool, the stand-in for
-//!   the paper's SLURM cluster.
+//!   the paper's SLURM cluster, with panic isolation, per-job deadlines
+//!   and bounded retry.
+//! * [`faultplan`] — deterministic fault injection (panics, NaN output,
+//!   budget starvation, zero deadlines) for robustness testing.
+//! * [`checkpoint`] — append-only run-state journal so a killed campaign
+//!   resumes without re-running finished cells.
 //! * [`experiments`] — the data generators behind every table and figure of
 //!   the paper's evaluation (Tables I–V, Figures 2–3).
 //! * [`report`] — plain-text table rendering.
@@ -39,8 +44,10 @@
 //! assert_eq!(cfg.algorithm, "ddebug");
 //! ```
 
+pub mod checkpoint;
 pub mod config;
 pub mod experiments;
+pub mod faultplan;
 pub mod interchange;
 pub mod job;
 pub mod json;
@@ -50,6 +57,9 @@ pub mod scheduler;
 pub mod yamlish;
 
 pub use config::AnalysisConfig;
-pub use job::{Job, JobResult};
+pub use faultplan::{Fault, FaultPlan};
+pub use job::{Job, JobError, JobResult};
 pub use registry::{benchmark_by_name, benchmark_names, Scale};
-pub use scheduler::run_jobs;
+pub use scheduler::{
+    default_workers, run_campaign, run_jobs, CampaignOptions, JobOutcome, RetryPolicy,
+};

@@ -1,6 +1,7 @@
 //! Plain-text table rendering for the regenerated paper artefacts.
 
 use crate::job::JobResult;
+use crate::scheduler::JobOutcome;
 
 /// Renders a fixed-width text table. The first row of `rows` is not
 /// special; pass column names via `headers`.
@@ -72,9 +73,21 @@ pub fn fmt_evaluated(r: &JobResult) -> String {
     }
 }
 
+/// Formats a failed cell the way the campaign tables print it: the
+/// paper's grey DNF boxes become explicit `FAILED(reason)` entries.
+pub fn fmt_failed(outcome: &JobOutcome) -> Option<String> {
+    outcome
+        .outcome
+        .as_ref()
+        .err()
+        .map(|e| format!("FAILED({})", e.code()))
+}
+
 /// Renders one grouped table (Table III or Table V layout): per benchmark,
-/// a speedup / evaluated / quality triple for each algorithm.
-pub fn render_grouped(groups: &[Vec<JobResult>], algos: &[&str]) -> String {
+/// a speedup / evaluated / quality triple for each algorithm. Cells whose
+/// job failed render as `FAILED(reason)` in the SU column (with `-`
+/// elsewhere) instead of aborting the table.
+pub fn render_grouped(groups: &[Vec<JobOutcome>], algos: &[&str]) -> String {
     let mut headers: Vec<String> = vec!["Application".to_string()];
     for metric in ["SU", "EV", "Quality"] {
         for a in algos {
@@ -87,11 +100,20 @@ pub fn render_grouped(groups: &[Vec<JobResult>], algos: &[&str]) -> String {
         .map(|group| {
             let mut row = vec![group
                 .first()
-                .map(|r| r.benchmark.clone())
+                .map(|o| o.job.benchmark.clone())
                 .unwrap_or_default()];
-            row.extend(group.iter().map(|r| fmt_speedup(r.result.speedup())));
-            row.extend(group.iter().map(fmt_evaluated));
-            row.extend(group.iter().map(|r| fmt_quality(r.result.quality())));
+            row.extend(group.iter().map(|o| match o.result() {
+                Some(r) => fmt_speedup(r.result.speedup()),
+                None => fmt_failed(o).unwrap_or_default(),
+            }));
+            row.extend(group.iter().map(|o| match o.result() {
+                Some(r) => fmt_evaluated(r),
+                None => "-".to_string(),
+            }));
+            row.extend(group.iter().map(|o| match o.result() {
+                Some(r) => fmt_quality(r.result.quality()),
+                None => "-".to_string(),
+            }));
             row
         })
         .collect();
@@ -135,5 +157,27 @@ mod tests {
     fn speedup_formats() {
         assert_eq!(fmt_speedup(None), "-");
         assert_eq!(fmt_speedup(Some(1.5)), "1.50");
+    }
+
+    #[test]
+    fn failed_cells_render_reason_without_aborting() {
+        use crate::job::{Job, JobError};
+        use crate::registry::Scale;
+        let job = Job::new("tridiag", "DD", 1e-3, Scale::Small);
+        let ok = JobOutcome {
+            job: job.clone(),
+            attempts: 1,
+            from_checkpoint: false,
+            outcome: job.execute(None, None),
+        };
+        let failed = JobOutcome {
+            job: Job::new("tridiag", "HC", 1e-3, Scale::Small),
+            attempts: 2,
+            from_checkpoint: false,
+            outcome: Err(JobError::Panicked("boom".to_string())),
+        };
+        let table = render_grouped(&[vec![ok, failed]], &["DD", "HC"]);
+        assert!(table.contains("FAILED(panic)"), "{table}");
+        assert!(table.contains("tridiag"));
     }
 }

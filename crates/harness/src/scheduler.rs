@@ -1,30 +1,164 @@
-//! Parallel job scheduling — the stand-in for the paper's SLURM cluster.
+//! Fault-tolerant parallel campaign execution — the stand-in for the
+//! paper's SLURM cluster.
 //!
 //! The paper offloads each (application, algorithm) search to a separate
 //! cluster node; here the jobs fan out over a thread pool via work
-//! stealing from a shared queue. Results are returned in the submission
-//! order of the jobs regardless of completion order.
+//! stealing from a shared queue. One crashed cell must never take down
+//! the campaign, so every job runs behind panic isolation
+//! ([`Job::execute`]), transient failures are retried under a bounded
+//! [`RetryPolicy`], and completed cells can be journaled to a run-state
+//! file ([`crate::checkpoint`]) so a killed campaign resumes where it
+//! stopped. Results are returned in the submission order of the jobs
+//! regardless of completion order.
 
-use crate::job::{Job, JobResult};
+use crate::checkpoint::Journal;
+use crate::faultplan::FaultPlan;
+use crate::job::{Job, JobError, JobResult};
+use std::path::PathBuf;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
+use std::time::Duration;
 
-/// Runs `jobs` on up to `workers` threads and returns their results in
-/// submission order.
-///
-/// # Panics
-///
-/// Panics if `workers == 0`, or if any job panics (unknown benchmark or
-/// algorithm name).
-pub fn run_jobs(jobs: &[Job], workers: usize) -> Vec<JobResult> {
-    assert!(workers > 0, "need at least one worker");
+/// Bounded retry for transient job failures (panics and deadline
+/// timeouts; see [`JobError::is_transient`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RetryPolicy {
+    /// Total attempts per job, including the first (so `1` = no retry).
+    pub max_attempts: u32,
+    /// Base backoff slept before attempt n+1, doubled per retry
+    /// (deterministic exponential backoff, no jitter).
+    pub backoff: Duration,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy {
+            max_attempts: 1,
+            backoff: Duration::ZERO,
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// A policy allowing `max_attempts` total attempts with no backoff.
+    pub fn attempts(max_attempts: u32) -> Self {
+        RetryPolicy {
+            max_attempts: max_attempts.max(1),
+            backoff: Duration::ZERO,
+        }
+    }
+}
+
+/// Everything that shapes a campaign run beyond the job list itself.
+#[derive(Debug, Clone, Default)]
+pub struct CampaignOptions {
+    /// Worker threads; `0` means [`default_workers`].
+    pub workers: usize,
+    /// Per-job wall-clock deadline, enforced cooperatively by the
+    /// evaluator (the analogue of the paper's 24-hour cluster limit).
+    pub deadline: Option<Duration>,
+    /// Retry policy for transient failures.
+    pub retry: RetryPolicy,
+    /// Deterministic fault injections, for robustness testing.
+    pub faults: FaultPlan,
+    /// Run-state journal path; when set, completed cells are checkpointed
+    /// there and a matching existing journal is resumed.
+    pub checkpoint: Option<PathBuf>,
+}
+
+/// The final fate of one campaign cell.
+#[derive(Debug, Clone)]
+pub struct JobOutcome {
+    /// The job as submitted.
+    pub job: Job,
+    /// How many attempts were spent (0 when restored from a checkpoint).
+    pub attempts: u32,
+    /// Whether the result was restored from the run-state journal instead
+    /// of being executed.
+    pub from_checkpoint: bool,
+    /// The result, or the typed error of the *last* attempt.
+    pub outcome: Result<JobResult, JobError>,
+}
+
+impl JobOutcome {
+    /// Convenience accessor for the successful result, if any.
+    pub fn result(&self) -> Option<&JobResult> {
+        self.outcome.as_ref().ok()
+    }
+}
+
+/// Locks a mutex, recovering the data if a previous holder panicked. The
+/// slot values are plain `Option`s written in one step, so a poisoned
+/// lock cannot hold a torn value.
+fn lock_recovering<T>(mutex: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
+    mutex.lock().unwrap_or_else(|poisoned| poisoned.into_inner())
+}
+
+/// Runs one job to completion under the campaign's retry policy.
+fn run_with_retry(index: usize, job: &Job, opts: &CampaignOptions) -> (u32, Result<JobResult, JobError>) {
+    let max = opts.retry.max_attempts.max(1);
+    let mut attempt = 0;
+    loop {
+        attempt += 1;
+        let fault = opts.faults.fault_for(index, attempt);
+        let outcome = job.execute(opts.deadline, fault);
+        let retry = match &outcome {
+            Ok(_) => false,
+            Err(e) => e.is_transient() && attempt < max,
+        };
+        if !retry {
+            return (attempt, outcome);
+        }
+        if !opts.retry.backoff.is_zero() {
+            // Deterministic exponential backoff: base * 2^(attempt-1).
+            let factor = 1u32 << (attempt - 1).min(16);
+            std::thread::sleep(opts.retry.backoff * factor);
+        }
+    }
+}
+
+/// Runs a campaign: `jobs` fanned out over a thread pool with panic
+/// isolation, deadlines, retry, optional fault injection and optional
+/// checkpoint/resume. Returns one [`JobOutcome`] per job, in submission
+/// order — failed cells are reported, never dropped, and a failure in one
+/// cell never aborts the rest of the campaign.
+pub fn run_campaign(jobs: &[Job], opts: &CampaignOptions) -> Vec<JobOutcome> {
     if jobs.is_empty() {
         return Vec::new();
     }
+    let mut restored: Vec<Option<JobResult>> = vec![None; jobs.len()];
+    let journal = match &opts.checkpoint {
+        None => None,
+        Some(path) => match Journal::open(path, jobs) {
+            Ok((journal, state)) => {
+                for (index, result) in state.completed {
+                    restored[index] = Some(result);
+                }
+                Some(Mutex::new(journal))
+            }
+            Err(err) => {
+                eprintln!(
+                    "warning: cannot open run-state journal {}: {err}; continuing without checkpointing",
+                    path.display()
+                );
+                None
+            }
+        },
+    };
+
+    let workers = if opts.workers == 0 {
+        default_workers()
+    } else {
+        opts.workers
+    }
+    .min(jobs.len())
+    .max(1);
+
     let next = AtomicUsize::new(0);
-    let slots: Vec<Mutex<Option<JobResult>>> =
+    let slots: Vec<Mutex<Option<(u32, Result<JobResult, JobError>)>>> =
         jobs.iter().map(|_| Mutex::new(None)).collect();
-    let workers = workers.min(jobs.len());
+    let restored = &restored;
+    let journal = journal.as_ref();
     std::thread::scope(|scope| {
         for _ in 0..workers {
             scope.spawn(|| loop {
@@ -32,23 +166,79 @@ pub fn run_jobs(jobs: &[Job], workers: usize) -> Vec<JobResult> {
                 if i >= jobs.len() {
                     break;
                 }
-                let result = jobs[i].run();
-                *slots[i].lock().expect("result slot poisoned") = Some(result);
+                if restored[i].is_some() {
+                    continue; // already completed in a previous run
+                }
+                let (attempts, outcome) = run_with_retry(i, &jobs[i], opts);
+                if let (Some(journal), Ok(result)) = (journal, &outcome) {
+                    if let Err(err) = lock_recovering(journal).record(i, &jobs[i], result) {
+                        eprintln!("warning: run-state journal write failed: {err}");
+                    }
+                }
+                *lock_recovering(&slots[i]) = Some((attempts, outcome));
             });
         }
     });
-    slots
-        .into_iter()
-        .map(|slot| {
-            slot.into_inner()
-                .expect("result slot poisoned")
-                .expect("every job ran")
+
+    jobs.iter()
+        .enumerate()
+        .map(|(i, job)| {
+            if let Some(result) = restored[i].clone() {
+                return JobOutcome {
+                    job: job.clone(),
+                    attempts: 0,
+                    from_checkpoint: true,
+                    outcome: Ok(result),
+                };
+            }
+            let slot = lock_recovering(&slots[i]).take();
+            // A missing slot means the worker thread died between claiming
+            // the index and storing the outcome — degrade to a typed error
+            // rather than bringing the campaign down.
+            let (attempts, outcome) = slot.unwrap_or_else(|| {
+                (
+                    0,
+                    Err(JobError::Panicked(
+                        "worker thread lost before storing a result".to_string(),
+                    )),
+                )
+            });
+            JobOutcome {
+                job: job.clone(),
+                attempts,
+                from_checkpoint: false,
+                outcome,
+            }
         })
         .collect()
 }
 
-/// A sensible worker count for the current machine.
+/// Runs `jobs` on up to `workers` threads with default campaign options
+/// (no deadline, no retry, no faults, no checkpoint) and returns their
+/// outcomes in submission order. `workers == 0` picks
+/// [`default_workers`].
+pub fn run_jobs(jobs: &[Job], workers: usize) -> Vec<JobOutcome> {
+    run_campaign(
+        jobs,
+        &CampaignOptions {
+            workers,
+            ..CampaignOptions::default()
+        },
+    )
+}
+
+/// A sensible worker count for the current machine: the `MIXP_WORKERS`
+/// environment variable when set to a positive integer, otherwise the
+/// machine's available parallelism.
 pub fn default_workers() -> usize {
+    if let Ok(raw) = std::env::var("MIXP_WORKERS") {
+        if let Ok(n) = raw.trim().parse::<usize>() {
+            if n > 0 {
+                return n;
+            }
+        }
+        eprintln!("warning: ignoring invalid MIXP_WORKERS value {raw:?} (want a positive integer)");
+    }
     std::thread::available_parallelism()
         .map(|n| n.get())
         .unwrap_or(4)
@@ -57,28 +247,33 @@ pub fn default_workers() -> usize {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::faultplan::Fault;
     use crate::registry::Scale;
+
+    fn small_jobs(names: &[&str], algo: &str) -> Vec<Job> {
+        names
+            .iter()
+            .map(|b| Job::new(b, algo, 1e-3, Scale::Small))
+            .collect()
+    }
 
     #[test]
     fn results_preserve_submission_order() {
-        let jobs: Vec<Job> = ["tridiag", "innerprod", "eos", "hydro-1d"]
-            .iter()
-            .map(|b| Job::new(b, "DD", 1e-3, Scale::Small))
-            .collect();
+        let jobs = small_jobs(&["tridiag", "innerprod", "eos", "hydro-1d"], "DD");
         let results = run_jobs(&jobs, 3);
-        let names: Vec<&str> = results.iter().map(|r| r.benchmark.as_str()).collect();
+        let names: Vec<&str> = results.iter().map(|r| r.job.benchmark.as_str()).collect();
         assert_eq!(names, vec!["tridiag", "innerprod", "eos", "hydro-1d"]);
+        assert!(results.iter().all(|o| o.outcome.is_ok()));
+        assert!(results.iter().all(|o| o.attempts == 1));
     }
 
     #[test]
     fn parallel_matches_serial() {
-        let jobs: Vec<Job> = ["tridiag", "eos"]
-            .iter()
-            .map(|b| Job::new(b, "CB", 1e-3, Scale::Small))
-            .collect();
+        let jobs = small_jobs(&["tridiag", "eos"], "CB");
         let serial = run_jobs(&jobs, 1);
         let parallel = run_jobs(&jobs, 2);
         for (s, p) in serial.iter().zip(&parallel) {
+            let (s, p) = (s.result().unwrap(), p.result().unwrap());
             assert_eq!(s.result.evaluated, p.result.evaluated);
             assert_eq!(s.result.speedup(), p.result.speedup());
         }
@@ -87,10 +282,144 @@ mod tests {
     #[test]
     fn empty_job_list_is_fine() {
         assert!(run_jobs(&[], 4).is_empty());
+        assert!(run_campaign(&[], &CampaignOptions::default()).is_empty());
+    }
+
+    #[test]
+    fn zero_workers_falls_back_to_default() {
+        let jobs = small_jobs(&["tridiag"], "CM");
+        let results = run_jobs(&jobs, 0);
+        assert_eq!(results.len(), 1);
+        assert!(results[0].outcome.is_ok());
     }
 
     #[test]
     fn default_workers_positive() {
         assert!(default_workers() > 0);
+    }
+
+    #[test]
+    fn faulted_job_fails_without_sinking_campaign() {
+        let jobs = small_jobs(&["tridiag", "innerprod", "eos"], "DD");
+        let opts = CampaignOptions {
+            workers: 2,
+            faults: FaultPlan::new().inject(1, Fault::Panic { at_eval: 0 }, u32::MAX),
+            ..CampaignOptions::default()
+        };
+        let results = run_campaign(&jobs, &opts);
+        assert!(results[0].outcome.is_ok());
+        assert!(matches!(results[1].outcome, Err(JobError::Panicked(_))));
+        assert!(results[2].outcome.is_ok());
+    }
+
+    #[test]
+    fn transient_failures_are_retried_to_success() {
+        let jobs = small_jobs(&["tridiag"], "DD");
+        // Fault fires on attempt 1 only; retry budget allows a second try.
+        let opts = CampaignOptions {
+            workers: 1,
+            retry: RetryPolicy::attempts(2),
+            faults: FaultPlan::new().inject(0, Fault::Panic { at_eval: 0 }, 1),
+            ..CampaignOptions::default()
+        };
+        let results = run_campaign(&jobs, &opts);
+        assert_eq!(results[0].attempts, 2);
+        assert!(results[0].outcome.is_ok(), "second attempt must succeed");
+    }
+
+    #[test]
+    fn permanent_errors_are_not_retried() {
+        let jobs = vec![Job::new("no-such-bench", "DD", 1e-3, Scale::Small)];
+        let opts = CampaignOptions {
+            workers: 1,
+            retry: RetryPolicy::attempts(5),
+            ..CampaignOptions::default()
+        };
+        let results = run_campaign(&jobs, &opts);
+        assert_eq!(results[0].attempts, 1, "unknown benchmark is permanent");
+        assert!(matches!(
+            results[0].outcome,
+            Err(JobError::UnknownBenchmark(_))
+        ));
+    }
+
+    #[test]
+    fn starved_budget_is_typed_not_retried() {
+        let jobs = small_jobs(&["tridiag"], "DD");
+        let opts = CampaignOptions {
+            workers: 1,
+            retry: RetryPolicy::attempts(3),
+            faults: FaultPlan::new().inject(0, Fault::StarveBudget, u32::MAX),
+            ..CampaignOptions::default()
+        };
+        let results = run_campaign(&jobs, &opts);
+        assert_eq!(results[0].attempts, 1);
+        assert!(matches!(
+            results[0].outcome,
+            Err(JobError::BudgetExhausted { .. })
+        ));
+    }
+
+    #[test]
+    fn checkpoint_resume_skips_completed_cells() {
+        let mut path = std::env::temp_dir();
+        path.push(format!("mixp-sched-ckpt-{}", std::process::id()));
+        std::fs::remove_file(&path).ok();
+        let jobs = small_jobs(&["tridiag", "innerprod"], "DD");
+        let first = run_campaign(
+            &jobs,
+            &CampaignOptions {
+                workers: 2,
+                checkpoint: Some(path.clone()),
+                ..CampaignOptions::default()
+            },
+        );
+        assert!(first.iter().all(|o| o.outcome.is_ok()));
+        assert!(first.iter().all(|o| !o.from_checkpoint));
+        let second = run_campaign(
+            &jobs,
+            &CampaignOptions {
+                workers: 2,
+                checkpoint: Some(path.clone()),
+                ..CampaignOptions::default()
+            },
+        );
+        assert!(second.iter().all(|o| o.from_checkpoint));
+        assert!(second.iter().all(|o| o.attempts == 0));
+        for (a, b) in first.iter().zip(&second) {
+            assert_eq!(
+                a.result().unwrap().result.evaluated,
+                b.result().unwrap().result.evaluated
+            );
+        }
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn failed_cells_are_not_checkpointed_and_rerun_on_resume() {
+        let mut path = std::env::temp_dir();
+        path.push(format!("mixp-sched-ckpt-fail-{}", std::process::id()));
+        std::fs::remove_file(&path).ok();
+        let jobs = small_jobs(&["tridiag", "innerprod"], "DD");
+        let faulty = CampaignOptions {
+            workers: 1,
+            faults: FaultPlan::new().inject(1, Fault::Panic { at_eval: 0 }, u32::MAX),
+            checkpoint: Some(path.clone()),
+            ..CampaignOptions::default()
+        };
+        let first = run_campaign(&jobs, &faulty);
+        assert!(first[0].outcome.is_ok());
+        assert!(first[1].outcome.is_err());
+        // Resume without the fault: cell 0 restores, cell 1 re-runs clean.
+        let clean = CampaignOptions {
+            workers: 1,
+            checkpoint: Some(path.clone()),
+            ..CampaignOptions::default()
+        };
+        let second = run_campaign(&jobs, &clean);
+        assert!(second[0].from_checkpoint);
+        assert!(!second[1].from_checkpoint);
+        assert!(second[1].outcome.is_ok());
+        std::fs::remove_file(&path).ok();
     }
 }

@@ -69,13 +69,42 @@ impl Value {
 pub struct ParseError {
     /// 1-based line number of the offending input line.
     pub line: usize,
+    /// Innermost enclosing map key, when the error occurred inside a
+    /// nested block (so `analysis:\n  garbage` reports `analysis`).
+    pub key: Option<String>,
     /// What went wrong.
     pub message: String,
 }
 
+impl ParseError {
+    fn at(line: usize, message: String) -> Self {
+        ParseError {
+            line,
+            key: None,
+            message,
+        }
+    }
+
+    /// Attaches the enclosing key, keeping the innermost one on the way
+    /// out of nested blocks.
+    fn under(mut self, key: &str) -> Self {
+        if self.key.is_none() {
+            self.key = Some(key.to_string());
+        }
+        self
+    }
+}
+
 impl fmt::Display for ParseError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "yaml parse error at line {}: {}", self.line, self.message)
+        match &self.key {
+            Some(key) => write!(
+                f,
+                "yaml parse error at line {} (under `{key}`): {}",
+                self.line, self.message
+            ),
+            None => write!(f, "yaml parse error at line {}: {}", self.line, self.message),
+        }
     }
 }
 
@@ -135,10 +164,7 @@ fn parse_flow_list(s: &str, line: usize) -> Result<Value, ParseError> {
         .trim()
         .strip_prefix('[')
         .and_then(|rest| rest.strip_suffix(']'))
-        .ok_or_else(|| ParseError {
-            line,
-            message: "malformed flow list".to_string(),
-        })?;
+        .ok_or_else(|| ParseError::at(line, "malformed flow list".to_string()))?;
     let items: Vec<Value> = split_flow_items(inner)
         .into_iter()
         .filter(|item| !item.trim().is_empty())
@@ -178,10 +204,10 @@ pub fn parse(input: &str) -> Result<Value, ParseError> {
     let lines = significant_lines(input);
     let (value, consumed) = parse_block(&lines, 0, 0)?;
     if consumed != lines.len() {
-        return Err(ParseError {
-            line: lines[consumed].number,
-            message: "unexpected dedent/indent structure".to_string(),
-        });
+        return Err(ParseError::at(
+            lines[consumed].number,
+            "unexpected dedent/indent structure".to_string(),
+        ));
     }
     Ok(value)
 }
@@ -212,10 +238,10 @@ fn parse_list_block(
         };
         let rest = rest.trim();
         if rest.is_empty() {
-            return Err(ParseError {
-                line: line.number,
-                message: "nested block sequences are not supported".to_string(),
-            });
+            return Err(ParseError::at(
+                line.number,
+                "nested block sequences are not supported".to_string(),
+            ));
         }
         items.push(Value::Scalar(unquote(rest)));
         i += 1;
@@ -236,30 +262,31 @@ fn parse_map_block(
             break;
         }
         if line.indent > indent {
-            return Err(ParseError {
-                line: line.number,
-                message: "unexpected indentation".to_string(),
-            });
+            return Err(ParseError::at(
+                line.number,
+                "unexpected indentation".to_string(),
+            ));
         }
         let Some(colon) = find_key_colon(&line.content) else {
-            return Err(ParseError {
-                line: line.number,
-                message: format!("expected `key:`, found `{}`", line.content),
-            });
+            return Err(ParseError::at(
+                line.number,
+                format!("expected `key:`, found `{}`", line.content),
+            ));
         };
         let key = unquote(&line.content[..colon]);
         if entries.iter().any(|(k, _)| *k == key) {
-            return Err(ParseError {
-                line: line.number,
-                message: format!("duplicate key `{key}`"),
-            });
+            return Err(ParseError::at(
+                line.number,
+                format!("duplicate key `{key}`"),
+            ));
         }
         let rest = line.content[colon + 1..].trim();
         if rest.is_empty() {
             // Nested block follows (or an empty value).
             if i + 1 < lines.len() && lines[i + 1].indent > indent {
                 let child_indent = lines[i + 1].indent;
-                let (child, next) = parse_block(lines, i + 1, child_indent)?;
+                let (child, next) =
+                    parse_block(lines, i + 1, child_indent).map_err(|e| e.under(&key))?;
                 entries.push((key, child));
                 i = next;
             } else {
@@ -267,7 +294,10 @@ fn parse_map_block(
                 i += 1;
             }
         } else if rest.starts_with('[') {
-            entries.push((key, parse_flow_list(rest, line.number)?));
+            entries.push((
+                key.clone(),
+                parse_flow_list(rest, line.number).map_err(|e| e.under(&key))?,
+            ));
             i += 1;
         } else {
             entries.push((key, Value::Scalar(unquote(rest))));
@@ -410,5 +440,42 @@ kmeans:
     fn display_of_error_mentions_line() {
         let err = parse("x\n").unwrap_err();
         assert!(err.to_string().contains("line 1"));
+    }
+
+    #[test]
+    fn nested_error_names_enclosing_key_and_line() {
+        let err = parse("analysis:\n  just a line\n").unwrap_err();
+        assert_eq!(err.line, 2);
+        assert_eq!(err.key.as_deref(), Some("analysis"));
+        assert!(err.to_string().contains("`analysis`"), "{err}");
+        assert!(err.to_string().contains("line 2"), "{err}");
+    }
+
+    #[test]
+    fn innermost_enclosing_key_wins() {
+        let err = parse("a:\n  b:\n    broken line\n").unwrap_err();
+        assert_eq!(err.key.as_deref(), Some("b"));
+        assert_eq!(err.line, 3);
+    }
+
+    #[test]
+    fn malformed_flow_list_names_its_key() {
+        let err = parse("build: [ 'make'\n").unwrap_err();
+        assert_eq!(err.key.as_deref(), Some("build"));
+        assert!(err.message.contains("flow list"));
+        assert_eq!(err.line, 1);
+    }
+
+    #[test]
+    fn duplicate_key_error_carries_line() {
+        let err = parse("a: 1\nb: 2\na: 3\n").unwrap_err();
+        assert_eq!(err.line, 3);
+        assert!(err.message.contains("duplicate key `a`"));
+    }
+
+    #[test]
+    fn top_level_errors_have_no_key_context() {
+        let err = parse("just a line\n").unwrap_err();
+        assert_eq!(err.key, None);
     }
 }

@@ -1,7 +1,7 @@
 //! Delta-debugging search.
 
 use crate::{finish, SearchAlgorithm, SearchResult};
-use mixp_core::{Evaluator, Granularity, SearchBudgetExhausted, SearchSpace};
+use mixp_core::{EvalError, Evaluator, Granularity, SearchSpace};
 use std::collections::BTreeSet;
 
 /// Delta-debugging search (DD): a modified binary search over the cluster
@@ -69,7 +69,7 @@ impl SearchAlgorithm for DeltaDebug {
         let test = |ev: &mut Evaluator<'_>,
                     space: &SearchSpace,
                     high: &BTreeSet<usize>|
-         -> Result<bool, SearchBudgetExhausted> {
+         -> Result<bool, EvalError> {
             let lowered: Vec<usize> = universe.difference(high).copied().collect();
             if lowered.is_empty() {
                 // All-double is the reference: passes by definition, and is

@@ -1,7 +1,7 @@
 //! Variable-granularity delta debugging — the cluster-ignorant baseline.
 
 use crate::{finish, SearchAlgorithm, SearchResult};
-use mixp_core::{Evaluator, Granularity, SearchBudgetExhausted, SearchSpace};
+use mixp_core::{EvalError, Evaluator, Granularity, SearchSpace};
 use std::collections::BTreeSet;
 
 /// Delta-debugging over raw *variables* (DDV): the same ddmin refinement as
@@ -64,7 +64,7 @@ impl SearchAlgorithm for VariableDeltaDebug {
         let test = |ev: &mut Evaluator<'_>,
                     space: &SearchSpace,
                     high: &BTreeSet<usize>|
-         -> Result<bool, SearchBudgetExhausted> {
+         -> Result<bool, EvalError> {
             let lowered: Vec<usize> = universe.difference(high).copied().collect();
             if lowered.is_empty() {
                 return Ok(true);

@@ -1,7 +1,7 @@
 //! Hierarchical search.
 
 use crate::{finish, SearchAlgorithm, SearchResult};
-use mixp_core::{Evaluator, PrecisionConfig, SearchBudgetExhausted, VarId};
+use mixp_core::{EvalError, Evaluator, PrecisionConfig, VarId};
 use std::collections::BTreeSet;
 
 /// Hierarchical search (HR): use program structure — whole program, then
@@ -28,7 +28,7 @@ impl Hierarchical {
 pub(crate) fn try_lower(
     ev: &mut Evaluator<'_>,
     vars: &BTreeSet<VarId>,
-) -> Result<bool, SearchBudgetExhausted> {
+) -> Result<bool, EvalError> {
     if vars.is_empty() {
         return Ok(false);
     }
@@ -40,7 +40,7 @@ pub(crate) fn try_lower(
 /// set) that passed in isolation at the coarsest level it passed.
 pub(crate) fn passing_components(
     ev: &mut Evaluator<'_>,
-) -> Result<Vec<BTreeSet<VarId>>, SearchBudgetExhausted> {
+) -> Result<Vec<BTreeSet<VarId>>, EvalError> {
     let program = ev.program();
     let all: BTreeSet<VarId> = program.tunable_vars().into_iter().collect();
     if all.is_empty() {

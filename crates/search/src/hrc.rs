@@ -1,7 +1,7 @@
 //! Cluster-aware hierarchical search — the redesign the paper recommends.
 
 use crate::{finish, SearchAlgorithm, SearchResult};
-use mixp_core::{Evaluator, PrecisionConfig, SearchBudgetExhausted, VarId};
+use mixp_core::{EvalError, Evaluator, PrecisionConfig, VarId};
 use std::collections::BTreeSet;
 
 /// Cluster-aware hierarchical search (HR+): the paper's §V recommendation,
@@ -47,7 +47,7 @@ fn close_over_clusters(ev: &Evaluator<'_>, vars: &BTreeSet<VarId>) -> BTreeSet<V
 fn try_lower_closed(
     ev: &mut Evaluator<'_>,
     vars: &BTreeSet<VarId>,
-) -> Result<bool, SearchBudgetExhausted> {
+) -> Result<bool, EvalError> {
     let closed = close_over_clusters(ev, vars);
     if closed.is_empty() {
         return Ok(false);

@@ -54,8 +54,11 @@ impl fmt::Display for SearchResult {
 
 /// A mixed-precision search strategy.
 ///
-/// Implementations must stop and report `dnf = true` when the evaluator's
-/// budget runs out ([`mixp_core::SearchBudgetExhausted`]).
+/// Implementations must stop and report `dnf = true` whenever the evaluator
+/// refuses a new configuration ([`mixp_core::EvalError`]) — budget
+/// exhaustion and deadline timeouts both end the search the same way; the
+/// harness distinguishes them afterwards via
+/// [`mixp_core::Evaluator::stop_reason`].
 pub trait SearchAlgorithm: Send + Sync {
     /// Two-letter short name used in the paper's tables (CB, CM, DD, HR,
     /// HC, GA).

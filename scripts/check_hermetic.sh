@@ -16,7 +16,7 @@
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-echo "== [1/2] grep guard: only path dependencies allowed =="
+echo "== [1/3] grep guard: only path dependencies allowed =="
 violations=$(find . -name Cargo.toml -not -path './target/*' -print0 | xargs -0 awk '
   FNR == 1 { section = "" }
   /^\[/ { section = $0 }
@@ -32,7 +32,32 @@ if [ -n "$violations" ]; then
 fi
 echo "ok: no non-path dependencies"
 
-echo "== [2/2] offline build + test with an empty CARGO_HOME =="
+echo "== [2/3] panic guard: fault-tolerant harness paths must not panic =="
+# The campaign execution path promises typed errors instead of aborts:
+# no unwrap()/expect()/panic! in non-test code of the scheduler, job,
+# checkpoint and faultplan modules. Test modules (below the #[cfg(test)]
+# marker) are exempt, as is the deliberate `injected fault` panic that
+# the fault injector uses to *simulate* a crashing benchmark.
+panic_violations=$(for f in crates/harness/src/job.rs \
+                            crates/harness/src/scheduler.rs \
+                            crates/harness/src/checkpoint.rs \
+                            crates/harness/src/faultplan.rs; do
+  awk -v file="$f" '
+    /#\[cfg\(test\)\]/ { exit }
+    /\.unwrap\(\)|\.expect\(|panic!\(|unreachable!\(/ {
+      if ($0 !~ /injected fault/)
+        printf "%s:%d: %s\n", file, FNR, $0
+    }
+  ' "$f"
+done)
+if [ -n "$panic_violations" ]; then
+  echo "$panic_violations"
+  echo "error: panicking call in a fault-isolated code path — return a JobError instead" >&2
+  exit 1
+fi
+echo "ok: campaign execution paths are panic-free"
+
+echo "== [3/3] offline build + test with an empty CARGO_HOME =="
 tmp=$(mktemp -d)
 trap 'rm -rf "$tmp"' EXIT
 export CARGO_HOME="$tmp/cargo_home"

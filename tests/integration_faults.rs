@@ -1,0 +1,194 @@
+//! Integration tests for fault-tolerant campaign execution: a campaign
+//! containing jobs that panic, return NaN quality, starve their budget and
+//! exceed their deadline completes with typed per-cell failures, renders
+//! as FAILED(reason) rows, and a killed-then-resumed run re-executes only
+//! the unfinished cells.
+
+use mixp_harness::faultplan::Fault;
+use mixp_harness::job::JobError;
+use mixp_harness::report::render_grouped;
+use mixp_harness::scheduler::{run_campaign, CampaignOptions, RetryPolicy};
+use mixp_harness::{FaultPlan, Job, Scale};
+
+fn jobs(names: &[&str]) -> Vec<Job> {
+    names
+        .iter()
+        .map(|b| Job::new(b, "DD", 1e-3, Scale::Small))
+        .collect()
+}
+
+fn temp_path(tag: &str) -> std::path::PathBuf {
+    let mut p = std::env::temp_dir();
+    p.push(format!("mixp-itest-{tag}-{}", std::process::id()));
+    std::fs::remove_file(&p).ok();
+    p
+}
+
+/// The acceptance scenario of the fault-tolerance work: one campaign with
+/// a panicking cell, a NaN-quality cell, a starved cell and a
+/// deadline-exceeded cell still completes, reporting each failure with its
+/// typed reason while healthy cells produce normal results.
+#[test]
+fn mixed_fault_campaign_completes_with_typed_reasons() {
+    let jobs = jobs(&["tridiag", "innerprod", "eos", "hydro-1d", "iccg"]);
+    let opts = CampaignOptions {
+        workers: 2,
+        faults: FaultPlan::new()
+            .inject(1, Fault::Panic { at_eval: 0 }, u32::MAX)
+            .inject(2, Fault::NanOutput { from_eval: 0 }, u32::MAX)
+            .inject(3, Fault::StarveBudget, u32::MAX)
+            .inject(4, Fault::ZeroDeadline, u32::MAX),
+        ..CampaignOptions::default()
+    };
+    let outcomes = run_campaign(&jobs, &opts);
+    assert_eq!(outcomes.len(), 5);
+    assert!(outcomes[0].outcome.is_ok(), "healthy cell unaffected");
+    assert!(matches!(outcomes[1].outcome, Err(JobError::Panicked(_))));
+    assert!(matches!(outcomes[2].outcome, Err(JobError::NonFiniteQuality)));
+    assert!(matches!(
+        outcomes[3].outcome,
+        Err(JobError::BudgetExhausted { .. })
+    ));
+    assert!(matches!(
+        outcomes[4].outcome,
+        Err(JobError::DeadlineExceeded { .. })
+    ));
+
+    // The report renders the failures instead of aborting.
+    let groups: Vec<Vec<_>> = outcomes.chunks(1).map(<[_]>::to_vec).collect();
+    let table = render_grouped(&groups, &["DD"]);
+    assert!(table.contains("FAILED(panic)"), "{table}");
+    assert!(table.contains("FAILED(non-finite)"), "{table}");
+    assert!(table.contains("FAILED(budget)"), "{table}");
+    assert!(table.contains("FAILED(deadline)"), "{table}");
+}
+
+/// A transient fault that clears after the first attempt is healed by the
+/// retry policy; a permanent one still fails after exhausting attempts.
+#[test]
+fn retry_heals_transient_faults_only() {
+    let jobs = jobs(&["tridiag", "innerprod"]);
+    let opts = CampaignOptions {
+        workers: 1,
+        retry: RetryPolicy::attempts(3),
+        faults: FaultPlan::new()
+            .inject(0, Fault::Panic { at_eval: 0 }, 2) // clears on attempt 3
+            .inject(1, Fault::Panic { at_eval: 0 }, u32::MAX),
+        ..CampaignOptions::default()
+    };
+    let outcomes = run_campaign(&jobs, &opts);
+    assert_eq!(outcomes[0].attempts, 3);
+    assert!(outcomes[0].outcome.is_ok(), "fault cleared within budget");
+    assert_eq!(outcomes[1].attempts, 3, "permanent fault exhausts retries");
+    assert!(outcomes[1].outcome.is_err());
+}
+
+/// Checkpoint/resume across "kills": the first (faulty) run checkpoints
+/// its successes; the resumed run restores them without re-execution and
+/// re-runs only the previously failed cells.
+#[test]
+fn killed_campaign_resumes_without_rerunning_finished_cells() {
+    let path = temp_path("resume");
+    let jobs = jobs(&["tridiag", "innerprod", "eos"]);
+
+    // First run: the middle cell panics, the others complete and are
+    // journaled. This stands in for a campaign killed partway through.
+    let first = run_campaign(
+        &jobs,
+        &CampaignOptions {
+            workers: 1,
+            faults: FaultPlan::new().inject(1, Fault::Panic { at_eval: 0 }, u32::MAX),
+            checkpoint: Some(path.clone()),
+            ..CampaignOptions::default()
+        },
+    );
+    assert!(first[0].outcome.is_ok());
+    assert!(first[1].outcome.is_err());
+    assert!(first[2].outcome.is_ok());
+
+    // Resume without the fault: finished cells come back from the journal
+    // (attempts == 0), only the failed cell is executed.
+    let second = run_campaign(
+        &jobs,
+        &CampaignOptions {
+            workers: 2,
+            checkpoint: Some(path.clone()),
+            ..CampaignOptions::default()
+        },
+    );
+    assert!(second[0].from_checkpoint && second[0].attempts == 0);
+    assert!(second[2].from_checkpoint && second[2].attempts == 0);
+    assert!(!second[1].from_checkpoint);
+    assert!(second[1].outcome.is_ok(), "failed cell re-ran clean");
+
+    // Restored results are bit-identical in the metrics that matter.
+    for i in [0usize, 2] {
+        let (a, b) = (first[i].result().unwrap(), second[i].result().unwrap());
+        assert_eq!(a.result.evaluated, b.result.evaluated);
+        assert_eq!(a.result.speedup(), b.result.speedup());
+        assert_eq!(a.result.quality(), b.result.quality());
+    }
+
+    // A third run finds everything checkpointed.
+    let third = run_campaign(
+        &jobs,
+        &CampaignOptions {
+            workers: 2,
+            checkpoint: Some(path.clone()),
+            ..CampaignOptions::default()
+        },
+    );
+    assert!(third.iter().all(|o| o.from_checkpoint));
+    std::fs::remove_file(&path).ok();
+}
+
+/// Deadlines propagate from the campaign options into the evaluator: a
+/// zero deadline times every cell out, a generous one lets them finish.
+#[test]
+fn campaign_deadline_is_enforced_per_job() {
+    let jobs = jobs(&["tridiag", "eos"]);
+    let strict = run_campaign(
+        &jobs,
+        &CampaignOptions {
+            workers: 2,
+            deadline: Some(std::time::Duration::ZERO),
+            ..CampaignOptions::default()
+        },
+    );
+    assert!(strict
+        .iter()
+        .all(|o| matches!(o.outcome, Err(JobError::DeadlineExceeded { .. }))));
+
+    let generous = run_campaign(
+        &jobs,
+        &CampaignOptions {
+            workers: 2,
+            deadline: Some(std::time::Duration::from_secs(3600)),
+            ..CampaignOptions::default()
+        },
+    );
+    assert!(generous.iter().all(|o| o.outcome.is_ok()));
+}
+
+/// Seeded fault plans drive a whole campaign deterministically: the same
+/// seed yields the same set of failed cells on every run.
+#[test]
+fn seeded_fault_campaigns_are_reproducible() {
+    let jobs = jobs(&["tridiag", "innerprod", "eos", "hydro-1d", "iccg", "planckian"]);
+    let fates = |seed: u64| -> Vec<Option<&'static str>> {
+        let opts = CampaignOptions {
+            workers: 2,
+            faults: FaultPlan::seeded(seed, jobs.len(), 50),
+            ..CampaignOptions::default()
+        };
+        run_campaign(&jobs, &opts)
+            .iter()
+            .map(|o| o.outcome.as_ref().err().map(JobError::code))
+            .collect()
+    };
+    assert_eq!(fates(7), fates(7), "same seed, same fates");
+    assert!(
+        fates(7).iter().any(Option::is_some),
+        "50% fault rate over 6 jobs should fail something"
+    );
+}

@@ -31,7 +31,7 @@ kmeans:
     if let Some(budget) = cfg.budget {
         job.budget = budget;
     }
-    let result = job.run();
+    let result = job.execute(None, None).expect("kmeans analysis succeeds");
     assert_eq!(result.benchmark, "kmeans");
     assert_eq!(result.algorithm, "DD");
     assert!(!result.result.dnf);
@@ -53,6 +53,7 @@ fn scheduler_and_report_round_trip() {
         .collect();
     let results = run_jobs(&jobs, 2);
     assert_eq!(results.len(), 6);
+    assert!(results.iter().all(|o| o.outcome.is_ok()));
     let groups: Vec<Vec<_>> = results.chunks(2).map(<[_]>::to_vec).collect();
     let table = render_grouped(&groups, &["DD", "GA"]);
     assert!(table.contains("tridiag"));
