@@ -1,0 +1,69 @@
+//! Evaluator fan-out bench: the same candidate frontier evaluated
+//! sequentially (`workers = 1`) vs fanned out across 4 workers with
+//! `evaluate_batch`. Guards the parallel-speedup acceptance bar (the
+//! 4-worker batch should be at least ~2x faster than the sequential
+//! loop); the committed baseline lives in `BENCH_evaluator.json`.
+
+use mixp_core::perf::bench::{black_box, BenchGroup};
+use mixp_core::{Benchmark, EvaluatorBuilder, PrecisionConfig, QualityThreshold};
+use mixp_harness::{benchmark_by_name, Scale};
+use std::time::Duration;
+
+const THRESHOLD: f64 = 1e-3;
+
+/// The CB-style candidate frontier the searches actually submit: every
+/// cluster lowered alone, plus every adjacent pair of clusters.
+fn frontier(bench: &dyn Benchmark) -> Vec<PrecisionConfig> {
+    let pm = bench.program();
+    let clusters: Vec<_> = pm.clustering().ids().collect();
+    let mut cfgs: Vec<PrecisionConfig> = clusters
+        .iter()
+        .map(|&c| pm.config_from_clusters([c]))
+        .collect();
+    for pair in clusters.windows(2) {
+        cfgs.push(pm.config_from_clusters(pair.iter().copied()));
+    }
+    cfgs
+}
+
+fn main() {
+    let mut group = BenchGroup::new("evaluator_batch");
+    group
+        .warm_up_time(Duration::from_millis(500))
+        .measurement_time(Duration::from_secs(3))
+        .sample_size(10);
+    for name in ["eos", "hydro-1d", "iccg"] {
+        group.bench_function(format!("{name}/sequential-1w"), |b| {
+            b.iter(|| {
+                // Fresh evaluator per iteration so the per-config memo
+                // never serves a hit and every config really runs.
+                let bench = benchmark_by_name(name, Scale::Paper).unwrap();
+                let cfgs = frontier(bench.as_ref());
+                let mut ev = EvaluatorBuilder::new(QualityThreshold::new(THRESHOLD))
+                    .workers(1)
+                    .build(bench.as_ref());
+                black_box(
+                    cfgs.iter()
+                        .filter(|c| ev.evaluate(c).is_ok())
+                        .count(),
+                )
+            })
+        });
+        group.bench_function(format!("{name}/batch-4w"), |b| {
+            b.iter(|| {
+                let bench = benchmark_by_name(name, Scale::Paper).unwrap();
+                let cfgs = frontier(bench.as_ref());
+                let mut ev = EvaluatorBuilder::new(QualityThreshold::new(THRESHOLD))
+                    .workers(4)
+                    .build(bench.as_ref());
+                black_box(
+                    ev.evaluate_batch(&cfgs)
+                        .iter()
+                        .filter(|r| r.is_ok())
+                        .count(),
+                )
+            })
+        });
+    }
+    group.finish();
+}

@@ -1,11 +1,13 @@
 //! Configuration evaluation: run, verify, price.
 
 use crate::{Benchmark, Granularity, SearchSpace};
-use mixp_float::{ExecCtx, OpCounts, PrecisionConfig};
+use mixp_float::{ConfigKey, ExecCtx, OpCounts, PrecisionConfig};
 use mixp_perf::{CacheParams, CacheStats, CostModel, Hierarchy};
 use mixp_verify::QualityThreshold;
 use std::collections::HashMap;
 use std::fmt;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 
 /// Why the evaluator refused to run a new configuration.
@@ -36,6 +38,52 @@ impl fmt::Display for EvalError {
 }
 
 impl std::error::Error for EvalError {}
+
+/// The threshold-independent part of one compiled configuration's outcome,
+/// as stored in a shared (cross-evaluator) cache.
+///
+/// Quality and speedup are deterministic functions of (benchmark, scale,
+/// configuration, cost model), so evaluators with *different* thresholds can
+/// share these values and recompute `passes` locally. Non-compiling
+/// configurations are never cached — their check is a cheap static
+/// validation, not a run.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CachedEval {
+    /// Verification error against the all-double reference.
+    pub quality: f64,
+    /// Estimated speedup over the all-double reference.
+    pub speedup: f64,
+}
+
+/// A campaign-wide evaluation cache shared between evaluators of the same
+/// benchmark (at the same scale and cost model).
+///
+/// A hit replaces the numerical run but is otherwise indistinguishable from
+/// running: it still consumes budget, still counts toward `evaluated`, and
+/// yields bit-identical records (the cached floats are exactly what a run
+/// would recompute). The cache is therefore a pure wall-clock optimisation
+/// with zero effect on search trajectories or reported results.
+pub trait EvalCache: Send + Sync {
+    /// Looks up a previously computed outcome for `key`.
+    fn get(&self, key: &ConfigKey) -> Option<CachedEval>;
+    /// Stores the outcome of a freshly run configuration.
+    fn put(&self, key: &ConfigKey, value: CachedEval);
+}
+
+/// The in-search evaluation worker count implied by the environment:
+/// `MIXP_WORKERS` when set to a positive integer, else 1 (sequential).
+///
+/// Defaulting to 1 — not the machine's parallelism — keeps plain runs
+/// bit-identical to the historical sequential evaluator; fan-out is opt-in
+/// per process (`MIXP_WORKERS=4 cargo run …`) or per evaluator
+/// ([`EvaluatorBuilder::workers`]).
+pub fn env_eval_workers() -> usize {
+    std::env::var("MIXP_WORKERS")
+        .ok()
+        .and_then(|v| v.trim().parse::<usize>().ok())
+        .filter(|n| *n > 0)
+        .unwrap_or(1)
+}
 
 /// The outcome of evaluating one configuration.
 #[derive(Debug, Clone)]
@@ -71,18 +119,33 @@ pub struct EvalRecord {
 ///     .budget(500)
 ///     .build(bench.as_ref());
 /// ```
-#[derive(Debug, Clone)]
+#[derive(Clone)]
 pub struct EvaluatorBuilder {
     threshold: QualityThreshold,
     budget: usize,
     deadline: Option<Duration>,
     cost_model: CostModel,
     cache: CacheParams,
+    workers: usize,
+    shared: Option<Arc<dyn EvalCache>>,
+}
+
+impl fmt::Debug for EvaluatorBuilder {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("EvaluatorBuilder")
+            .field("threshold", &self.threshold)
+            .field("budget", &self.budget)
+            .field("deadline", &self.deadline)
+            .field("workers", &self.workers)
+            .field("shared", &self.shared.is_some())
+            .finish()
+    }
 }
 
 impl EvaluatorBuilder {
     /// Starts a builder with the given quality threshold, an unlimited
-    /// budget, no deadline and default cost/cache models.
+    /// budget, no deadline, default cost/cache models, and the
+    /// environment-derived worker count ([`env_eval_workers`]).
     pub fn new(threshold: QualityThreshold) -> Self {
         EvaluatorBuilder {
             threshold,
@@ -90,6 +153,8 @@ impl EvaluatorBuilder {
             deadline: None,
             cost_model: CostModel::default(),
             cache: CacheParams::default(),
+            workers: env_eval_workers(),
+            shared: None,
         }
     }
 
@@ -120,6 +185,30 @@ impl EvaluatorBuilder {
         self
     }
 
+    /// Sets the worker count used by [`Evaluator::evaluate_batch`] to fan
+    /// out independent runs. `0` restores the environment default
+    /// ([`env_eval_workers`]); `1` forces fully sequential evaluation.
+    ///
+    /// Results never depend on this value — batches are charged and
+    /// committed in submission order regardless of how many threads run
+    /// them.
+    pub fn workers(mut self, workers: usize) -> Self {
+        self.workers = if workers == 0 {
+            env_eval_workers()
+        } else {
+            workers
+        };
+        self
+    }
+
+    /// Attaches a shared (campaign-wide) evaluation cache. See
+    /// [`EvalCache`] for the exact semantics: hits skip the run but still
+    /// consume budget and count as evaluated.
+    pub fn shared_cache(mut self, cache: Arc<dyn EvalCache>) -> Self {
+        self.shared = Some(cache);
+        self
+    }
+
     /// Runs the all-double reference and returns the ready evaluator.
     pub fn build<'b>(self, bench: &'b dyn Benchmark) -> Evaluator<'b> {
         let ref_cfg = bench.program().config_all_double();
@@ -134,6 +223,8 @@ impl EvaluatorBuilder {
             stop_reason: None,
             cost_model: self.cost_model,
             cache: self.cache,
+            workers: self.workers.max(1),
+            shared: self.shared,
             reference: output,
             ref_cost,
             evaluated: 0,
@@ -173,10 +264,12 @@ pub struct Evaluator<'b> {
     stop_reason: Option<EvalError>,
     cost_model: CostModel,
     cache: CacheParams,
+    workers: usize,
+    shared: Option<Arc<dyn EvalCache>>,
     reference: Vec<f64>,
     ref_cost: f64,
     evaluated: usize,
-    memo: HashMap<String, EvalRecord>,
+    memo: HashMap<ConfigKey, EvalRecord>,
     best: Option<EvalRecord>,
 }
 
@@ -244,22 +337,16 @@ impl<'b> Evaluator<'b> {
         self.stop_reason
     }
 
-    /// Evaluates `cfg`: validity check, numerical run, quality metric,
-    /// speedup estimate.
-    ///
-    /// Identical configurations are memoised and do not consume budget.
-    ///
-    /// # Errors
-    ///
-    /// Returns [`EvalError::BudgetExhausted`] when a *new* configuration is
-    /// submitted after the budget is used up, and
-    /// [`EvalError::DeadlineExceeded`] once the wall-clock deadline (if one
-    /// was set) has passed.
-    pub fn evaluate(&mut self, cfg: &PrecisionConfig) -> Result<EvalRecord, EvalError> {
-        let key = cfg.key();
-        if let Some(hit) = self.memo.get(&key) {
-            return Ok(hit.clone());
-        }
+    /// The worker count [`Self::evaluate_batch`] fans runs across. Searches
+    /// use this to size speculative lookahead batches: at `1` every batch
+    /// degenerates to the historical sequential loop.
+    pub fn workers(&self) -> usize {
+        self.workers
+    }
+
+    /// Admits one *new* (non-memoised) configuration: deadline check, budget
+    /// check, budget charge — in exactly the historical sequential order.
+    fn admit(&mut self) -> Result<(), EvalError> {
         if let Some(deadline) = self.deadline {
             if self.started.elapsed() >= deadline {
                 self.stop_reason.get_or_insert(EvalError::DeadlineExceeded);
@@ -271,30 +358,62 @@ impl<'b> Evaluator<'b> {
             return Err(EvalError::BudgetExhausted);
         }
         self.evaluated += 1;
+        Ok(())
+    }
 
-        let record = if self.bench.program().validate(cfg).is_err() {
-            EvalRecord {
-                config: cfg.clone(),
-                compiled: false,
-                quality: f64::NAN,
-                speedup: 0.0,
-                passes: false,
-            }
-        } else {
-            let (output, counts, stats) = run_config(self.bench, cfg, self.cache);
-            let quality = self.bench.metric().compare(&self.reference, &output);
-            let cost = self.cost_model.cost(&counts, Some(&stats));
-            let speedup = if cost == 0.0 { 1.0 } else { self.ref_cost / cost };
-            let passes = self.threshold.accepts(quality);
-            EvalRecord {
-                config: cfg.clone(),
-                compiled: true,
-                quality,
-                speedup,
-                passes,
-            }
-        };
+    /// The record for a configuration that failed static validation.
+    fn uncompiled_record(cfg: &PrecisionConfig) -> EvalRecord {
+        EvalRecord {
+            config: cfg.clone(),
+            compiled: false,
+            quality: f64::NAN,
+            speedup: 0.0,
+            passes: false,
+        }
+    }
 
+    /// Scores a completed run (or shared-cache hit) into a record, feeding
+    /// the shared cache when the values were freshly computed.
+    fn score(
+        &self,
+        cfg: &PrecisionConfig,
+        key: &ConfigKey,
+        run: (Vec<f64>, OpCounts, CacheStats),
+    ) -> EvalRecord {
+        let (output, counts, stats) = run;
+        let quality = self.bench.metric().compare(&self.reference, &output);
+        let cost = self.cost_model.cost(&counts, Some(&stats));
+        let speedup = if cost == 0.0 { 1.0 } else { self.ref_cost / cost };
+        if let Some(shared) = &self.shared {
+            shared.put(key, CachedEval { quality, speedup });
+        }
+        EvalRecord {
+            config: cfg.clone(),
+            compiled: true,
+            quality,
+            speedup,
+            passes: self.threshold.accepts(quality),
+        }
+    }
+
+    /// Resolves a freshly admitted configuration without running it, if
+    /// possible: static validation failure, or a shared-cache hit.
+    fn resolve_without_run(&self, cfg: &PrecisionConfig, key: &ConfigKey) -> Option<EvalRecord> {
+        if self.bench.program().validate(cfg).is_err() {
+            return Some(Self::uncompiled_record(cfg));
+        }
+        let hit = self.shared.as_ref()?.get(key)?;
+        Some(EvalRecord {
+            config: cfg.clone(),
+            compiled: true,
+            quality: hit.quality,
+            speedup: hit.speedup,
+            passes: self.threshold.accepts(hit.quality),
+        })
+    }
+
+    /// Updates the running best and the memo with a finished record.
+    fn commit(&mut self, key: ConfigKey, record: &EvalRecord) {
         // The identity transformation (everything double) trivially passes
         // but is not a mixed-precision result, so it never becomes "best".
         if record.passes
@@ -307,7 +426,157 @@ impl<'b> Evaluator<'b> {
             self.best = Some(record.clone());
         }
         self.memo.insert(key, record.clone());
+    }
+
+    /// Evaluates `cfg`: validity check, numerical run, quality metric,
+    /// speedup estimate.
+    ///
+    /// Identical configurations are memoised and do not consume budget.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EvalError::BudgetExhausted`] when a *new* configuration is
+    /// submitted after the budget is used up, and
+    /// [`EvalError::DeadlineExceeded`] once the wall-clock deadline (if one
+    /// was set) has passed.
+    pub fn evaluate(&mut self, cfg: &PrecisionConfig) -> Result<EvalRecord, EvalError> {
+        let key = cfg.fingerprint();
+        if let Some(hit) = self.memo.get(&key) {
+            return Ok(hit.clone());
+        }
+        self.admit()?;
+        let record = match self.resolve_without_run(cfg, &key) {
+            Some(record) => record,
+            None => self.score(cfg, &key, run_config(self.bench, cfg, self.cache)),
+        };
+        self.commit(key, &record);
         Ok(record)
+    }
+
+    /// Evaluates a batch of configurations, fanning the independent
+    /// numerical runs across up to [`Self::workers`] scoped threads.
+    ///
+    /// **Determinism rule:** budget and deadline are charged in submission
+    /// order, and records are scored, memoised and best-tracked in
+    /// submission order — so for any worker count the returned vector, the
+    /// budget accounting, `stop_reason`, `best` and the memo are
+    /// bit-identical to calling [`Self::evaluate`] on each configuration in
+    /// turn. Threads only change *when* the runs execute, never what they
+    /// produce (each run is a pure function of its configuration).
+    ///
+    /// Duplicates within a batch are served like sequential memo hits: the
+    /// first occurrence runs, later ones are free clones of its record.
+    pub fn evaluate_batch(
+        &mut self,
+        cfgs: &[PrecisionConfig],
+    ) -> Vec<Result<EvalRecord, EvalError>> {
+        /// Phase-1 disposition of one submitted configuration.
+        enum Slot {
+            /// Served from the memo (or refused): final already.
+            Done(Result<EvalRecord, EvalError>),
+            /// Admitted and resolved without a run (validation failure or
+            /// shared-cache hit); committed in phase 3.
+            Resolved(ConfigKey, EvalRecord),
+            /// Admitted; needs the numerical run at `pending[i]`.
+            Runs(ConfigKey, usize),
+            /// Duplicate of the earlier batch slot `i`.
+            Alias(usize),
+        }
+
+        // Phase 1 — sequential admission in submission order. Memo hits are
+        // free; everything else passes through the same deadline/budget
+        // gate as the sequential path.
+        let mut slots: Vec<Slot> = Vec::with_capacity(cfgs.len());
+        let mut pending: Vec<usize> = Vec::new(); // indices into `cfgs`
+        let mut first_slot_of: HashMap<ConfigKey, usize> = HashMap::new();
+        for (i, cfg) in cfgs.iter().enumerate() {
+            let key = cfg.fingerprint();
+            if let Some(hit) = self.memo.get(&key) {
+                slots.push(Slot::Done(Ok(hit.clone())));
+                continue;
+            }
+            if let Some(&earlier) = first_slot_of.get(&key) {
+                slots.push(Slot::Alias(earlier));
+                continue;
+            }
+            if let Err(e) = self.admit() {
+                slots.push(Slot::Done(Err(e)));
+                continue;
+            }
+            first_slot_of.insert(key.clone(), i);
+            match self.resolve_without_run(cfg, &key) {
+                Some(record) => slots.push(Slot::Resolved(key, record)),
+                None => {
+                    pending.push(i);
+                    slots.push(Slot::Runs(key, pending.len() - 1));
+                }
+            }
+        }
+
+        // Phase 2 — fan the admitted runs across scoped workers. Work is
+        // claimed via an atomic cursor; each result lands in its own slot,
+        // so the only synchronisation is the claim itself. A panicking run
+        // propagates at scope exit (the caller's catch_unwind sees it).
+        let workers = self.workers.min(pending.len());
+        let mut runs: Vec<Option<(Vec<f64>, OpCounts, CacheStats)>> = Vec::new();
+        if workers <= 1 {
+            runs.extend(
+                pending
+                    .iter()
+                    .map(|&i| Some(run_config(self.bench, &cfgs[i], self.cache))),
+            );
+        } else {
+            let out: Vec<Mutex<Option<(Vec<f64>, OpCounts, CacheStats)>>> =
+                pending.iter().map(|_| Mutex::new(None)).collect();
+            let cursor = AtomicUsize::new(0);
+            let bench = self.bench;
+            let cache = self.cache;
+            std::thread::scope(|s| {
+                for _ in 0..workers {
+                    s.spawn(|| loop {
+                        let t = cursor.fetch_add(1, Ordering::Relaxed);
+                        let Some(&i) = pending.get(t) else { break };
+                        let run = run_config(bench, &cfgs[i], cache);
+                        match out[t].lock() {
+                            Ok(mut slot) => *slot = Some(run),
+                            Err(poisoned) => *poisoned.into_inner() = Some(run),
+                        }
+                    });
+                }
+            });
+            runs.extend(out.into_iter().map(|m| match m.into_inner() {
+                Ok(run) => run,
+                Err(poisoned) => poisoned.into_inner(),
+            }));
+        }
+
+        // Phase 3 — score and commit in submission order, exactly as the
+        // sequential loop would have.
+        let mut results: Vec<Result<EvalRecord, EvalError>> = Vec::with_capacity(cfgs.len());
+        for (i, slot) in slots.into_iter().enumerate() {
+            match slot {
+                Slot::Done(res) => results.push(res),
+                Slot::Resolved(key, record) => {
+                    self.commit(key, &record);
+                    results.push(Ok(record));
+                }
+                Slot::Runs(key, p) => {
+                    // Slot invariant: phase 2 filled every pending run.
+                    let run = runs[p].take().unwrap_or_else(|| {
+                        run_config(self.bench, &cfgs[i], self.cache)
+                    });
+                    let record = self.score(&cfgs[i], &key, run);
+                    self.commit(key, &record);
+                    results.push(Ok(record));
+                }
+                Slot::Alias(earlier) => {
+                    // An alias always points at an earlier record-producing
+                    // slot, already committed above.
+                    results.push(results[earlier].clone());
+                }
+            }
+        }
+        results
     }
 }
 
@@ -479,5 +748,174 @@ mod tests {
         let r2 = ev2.evaluate(&cfg).unwrap();
         assert_eq!(r1.quality, r2.quality);
         assert_eq!(r1.speedup, r2.speedup);
+    }
+
+    /// Every interesting configuration of the Axpy toy: the two uniforms,
+    /// each single-variable lowering (one of which splits the x/y cluster
+    /// and fails to compile), and a pair lowering.
+    fn axpy_batch(b: &Axpy) -> Vec<PrecisionConfig> {
+        let n = b.program().var_count();
+        vec![
+            b.program().config_all_double(),
+            PrecisionConfig::from_lowered(n, [b.a]),
+            PrecisionConfig::from_lowered(n, [b.x]), // split cluster: no compile
+            PrecisionConfig::from_lowered(n, [b.x, b.y]),
+            b.program().config_all_single(),
+            PrecisionConfig::from_lowered(n, [b.a]), // duplicate of slot 1
+        ]
+    }
+
+    fn assert_same_outcome(
+        batch: &[Result<EvalRecord, EvalError>],
+        seq: &[Result<EvalRecord, EvalError>],
+    ) {
+        assert_eq!(batch.len(), seq.len());
+        for (i, (a, b)) in batch.iter().zip(seq).enumerate() {
+            match (a, b) {
+                (Ok(ra), Ok(rb)) => {
+                    assert_eq!(ra.config, rb.config, "slot {i}");
+                    assert_eq!(ra.compiled, rb.compiled, "slot {i}");
+                    assert_eq!(ra.quality.to_bits(), rb.quality.to_bits(), "slot {i}");
+                    assert_eq!(ra.speedup.to_bits(), rb.speedup.to_bits(), "slot {i}");
+                    assert_eq!(ra.passes, rb.passes, "slot {i}");
+                }
+                (Err(ea), Err(eb)) => assert_eq!(ea, eb, "slot {i}"),
+                _ => panic!("slot {i}: batch/sequential disagree on Ok vs Err"),
+            }
+        }
+    }
+
+    #[test]
+    fn batch_matches_sequential_for_all_worker_counts() {
+        let b = Axpy::new();
+        let cfgs = axpy_batch(&b);
+        let mut seq_ev = EvaluatorBuilder::new(QualityThreshold::new(1e-3))
+            .workers(1)
+            .build(&b);
+        let seq: Vec<_> = cfgs.iter().map(|c| seq_ev.evaluate(c)).collect();
+        for workers in [1, 2, 3, 8] {
+            let mut ev = EvaluatorBuilder::new(QualityThreshold::new(1e-3))
+                .workers(workers)
+                .build(&b);
+            let batch = ev.evaluate_batch(&cfgs);
+            assert_same_outcome(&batch, &seq);
+            assert_eq!(ev.evaluated(), seq_ev.evaluated(), "workers={workers}");
+            assert_eq!(
+                ev.best().map(|r| r.config.clone()),
+                seq_ev.best().map(|r| r.config.clone()),
+                "workers={workers}"
+            );
+        }
+    }
+
+    #[test]
+    fn batch_duplicates_consume_budget_once() {
+        let b = Axpy::new();
+        let mut ev = EvaluatorBuilder::new(QualityThreshold::new(1e-3))
+            .workers(4)
+            .build(&b);
+        let cfg = b.program().config_all_single();
+        let results = ev.evaluate_batch(&[cfg.clone(), cfg.clone(), cfg]);
+        assert!(results.iter().all(|r| r.is_ok()));
+        assert_eq!(ev.evaluated(), 1, "duplicates are memo-style hits");
+    }
+
+    #[test]
+    fn batch_budget_exhaustion_mid_batch_matches_sequential() {
+        let b = Axpy::new();
+        let n = b.program().var_count();
+        let cfgs = vec![
+            b.program().config_all_single(),
+            PrecisionConfig::from_lowered(n, [b.a]),
+            PrecisionConfig::from_lowered(n, [b.x, b.y]),
+            b.program().config_all_single(), // memo hit, served after the error
+        ];
+        let mut ev = EvaluatorBuilder::new(QualityThreshold::new(1e-3))
+            .budget(2)
+            .workers(4)
+            .build(&b);
+        let results = ev.evaluate_batch(&cfgs);
+        assert!(results[0].is_ok());
+        assert!(results[1].is_ok());
+        assert_eq!(results[2].as_ref().unwrap_err(), &EvalError::BudgetExhausted);
+        assert!(results[3].is_ok(), "memo hits are served past exhaustion");
+        assert_eq!(ev.evaluated(), 2);
+        assert_eq!(ev.stop_reason(), Some(EvalError::BudgetExhausted));
+    }
+
+    #[test]
+    fn batch_with_more_workers_than_configs() {
+        let b = Axpy::new();
+        let mut ev = EvaluatorBuilder::new(QualityThreshold::new(1e-3))
+            .workers(16)
+            .build(&b);
+        let results = ev.evaluate_batch(&[b.program().config_all_single()]);
+        assert_eq!(results.len(), 1);
+        assert!(results[0].as_ref().unwrap().passes);
+    }
+
+    #[test]
+    fn empty_batch_is_a_no_op() {
+        let b = Axpy::new();
+        let mut ev = Evaluator::new(&b, QualityThreshold::new(1e-3));
+        assert!(ev.evaluate_batch(&[]).is_empty());
+        assert_eq!(ev.evaluated(), 0);
+    }
+
+    /// A shared cache that records its traffic, for asserting the budget
+    /// semantics of hits.
+    #[derive(Default)]
+    struct CountingCache {
+        map: Mutex<HashMap<ConfigKey, CachedEval>>,
+        hits: AtomicUsize,
+        misses: AtomicUsize,
+    }
+
+    impl EvalCache for CountingCache {
+        fn get(&self, key: &ConfigKey) -> Option<CachedEval> {
+            let hit = self.map.lock().unwrap().get(key).copied();
+            if hit.is_some() {
+                self.hits.fetch_add(1, Ordering::Relaxed);
+            } else {
+                self.misses.fetch_add(1, Ordering::Relaxed);
+            }
+            hit
+        }
+        fn put(&self, key: &ConfigKey, value: CachedEval) {
+            self.map.lock().unwrap().insert(key.clone(), value);
+        }
+    }
+
+    #[test]
+    fn shared_cache_hits_still_consume_budget_and_match_fresh_runs() {
+        let b = Axpy::new();
+        let shared: Arc<CountingCache> = Arc::new(CountingCache::default());
+        let cfg = b.program().config_all_single();
+
+        let mut ev1 = EvaluatorBuilder::new(QualityThreshold::new(1e-3))
+            .shared_cache(shared.clone())
+            .build(&b);
+        let fresh = ev1.evaluate(&cfg).unwrap();
+        assert_eq!(shared.hits.load(Ordering::Relaxed), 0);
+
+        // A second evaluator over the same benchmark hits the shared cache,
+        // still pays budget, and reproduces the record bit-for-bit.
+        let mut ev2 = EvaluatorBuilder::new(QualityThreshold::new(1e-3))
+            .shared_cache(shared.clone())
+            .build(&b);
+        let cached = ev2.evaluate(&cfg).unwrap();
+        assert_eq!(shared.hits.load(Ordering::Relaxed), 1);
+        assert_eq!(ev2.evaluated(), 1, "shared hits are not budget-free");
+        assert_eq!(cached.quality.to_bits(), fresh.quality.to_bits());
+        assert_eq!(cached.speedup.to_bits(), fresh.speedup.to_bits());
+
+        // A stricter-threshold evaluator reuses the values but re-derives
+        // `passes` locally.
+        let mut ev3 = EvaluatorBuilder::new(QualityThreshold::new(1e-12))
+            .shared_cache(shared.clone())
+            .build(&b);
+        let strict = ev3.evaluate(&cfg).unwrap();
+        assert_eq!(strict.quality.to_bits(), fresh.quality.to_bits());
+        assert!(!strict.passes);
     }
 }

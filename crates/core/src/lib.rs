@@ -26,7 +26,10 @@ pub mod space;
 pub mod synth;
 
 pub use benchmark::{Benchmark, BenchmarkKind};
-pub use evaluate::{run_config, EvalError, EvalRecord, Evaluator, EvaluatorBuilder};
+pub use evaluate::{
+    env_eval_workers, run_config, CachedEval, EvalCache, EvalError, EvalRecord, Evaluator,
+    EvaluatorBuilder,
+};
 pub use space::{Granularity, SearchSpace, UnitId};
 
 // Re-export the substrate crates so downstream users need only depend on
@@ -37,7 +40,7 @@ pub use mixp_runtime as runtime;
 pub use mixp_typedeps as typedeps;
 pub use mixp_verify as verify;
 
-pub use mixp_float::{ExecCtx, OpCounts, Precision, PrecisionConfig, VarId};
+pub use mixp_float::{ConfigKey, ExecCtx, OpCounts, Precision, PrecisionConfig, VarId};
 pub use mixp_perf::{CacheParams, CostModel};
 pub use mixp_typedeps::{ClusterId, ProgramBuilder, ProgramModel};
 pub use mixp_verify::{MetricKind, QualityThreshold};

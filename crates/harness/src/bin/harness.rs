@@ -26,7 +26,7 @@ use mixp_harness::config::AnalysisConfig;
 use mixp_harness::interchange;
 use mixp_harness::job::Job;
 use mixp_harness::report::{fmt_evaluated, fmt_failed, fmt_quality, fmt_speedup, render_table};
-use mixp_harness::{run_campaign, CampaignOptions, RetryPolicy, Scale};
+use mixp_harness::{run_campaign_with_stats, CampaignOptions, RetryPolicy, Scale};
 use std::path::PathBuf;
 use std::time::Duration;
 
@@ -144,11 +144,14 @@ fn main() {
         checkpoint: cli.checkpoint.clone(),
         ..CampaignOptions::default()
     };
-    let outcomes = run_campaign(&jobs, &opts);
+    let (outcomes, stats) = run_campaign_with_stats(&jobs, &opts);
     let failures = outcomes.iter().filter(|o| o.outcome.is_err()).count();
 
     if cli.json {
-        println!("{}", interchange::outcomes_to_json(&outcomes));
+        println!(
+            "{}",
+            interchange::outcomes_to_json_with_stats(&outcomes, &stats)
+        );
     } else {
         let rows: Vec<Vec<String>> = outcomes
             .iter()
@@ -177,6 +180,10 @@ fn main() {
                 &["Benchmark", "Algorithm", "Threshold", "Speedup", "Quality", "Evaluated"],
                 &rows
             )
+        );
+        println!(
+            "shared evaluation cache: {} hits, {} misses",
+            stats.shared_cache_hits, stats.shared_cache_misses
         );
         for o in &outcomes {
             if let Err(e) = &o.outcome {

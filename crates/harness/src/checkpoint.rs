@@ -23,8 +23,20 @@
 //! The best configuration is stored by *variable name* (like the
 //! FloatSmith interchange format), so the journal survives process
 //! restarts and does not depend on internal variable ids.
+//!
+//! *Permanent* failures are journaled too, as `"status": "failed"` lines
+//! carrying the typed error code, so a resumed campaign reports the
+//! historical FAILED cell instead of re-running a deterministic failure:
+//!
+//! ```text
+//! {"job": 3, "status": "failed", "benchmark": "nope", "algorithm": "DD",
+//!  "threshold": 0.001, "code": "unknown-benchmark", "detail": "nope"}
+//! ```
+//!
+//! Transient failures (panics, deadline timeouts) are deliberately *not*
+//! journaled — they deserve a fresh attempt on resume.
 
-use crate::job::{Job, JobResult};
+use crate::job::{Job, JobError, JobResult};
 use crate::json::{parse, Json};
 use crate::registry::{benchmark_by_name, Scale};
 use mixp_core::{EvalRecord, Precision};
@@ -68,6 +80,9 @@ pub fn fingerprint(jobs: &[Job]) -> String {
 pub struct RunState {
     /// Completed cells, ready to be reused without re-running.
     pub completed: BTreeMap<usize, JobResult>,
+    /// Permanently failed cells (non-transient typed errors), reportable
+    /// without re-running.
+    pub failed: BTreeMap<usize, JobError>,
 }
 
 fn precision_name(p: Precision) -> &'static str {
@@ -179,6 +194,69 @@ fn compact(doc: &Json) -> String {
     }
 }
 
+/// Serialises one permanently failed cell as a single JSON line. The typed
+/// error is stored by its stable `code` plus whatever payload it needs to
+/// round-trip ([`failure_from_line`] rebuilds it).
+fn failure_line(index: usize, job: &Job, error: &JobError) -> String {
+    let mut members = vec![
+        ("job".to_string(), Json::Number(index as f64)),
+        ("status".to_string(), Json::String("failed".to_string())),
+        (
+            "benchmark".to_string(),
+            Json::String(job.benchmark.clone()),
+        ),
+        (
+            "algorithm".to_string(),
+            Json::String(job.algorithm.clone()),
+        ),
+        ("threshold".to_string(), Json::Number(job.threshold)),
+        (
+            "code".to_string(),
+            Json::String(error.code().to_string()),
+        ),
+        ("message".to_string(), Json::String(error.to_string())),
+    ];
+    match error {
+        JobError::UnknownBenchmark(name) | JobError::UnknownAlgorithm(name) => {
+            members.push(("detail".to_string(), Json::String(name.clone())));
+        }
+        JobError::BudgetExhausted { budget } => {
+            members.push(("budget".to_string(), Json::Number(*budget as f64)));
+        }
+        _ => {}
+    }
+    compact(&Json::Object(members))
+}
+
+/// Rebuilds a [`JobError`] from one `"status": "failed"` journal line,
+/// validating it against the job it claims to belong to. Transient error
+/// codes (which should never be journaled) and anything malformed return
+/// `None`, so the cell re-runs.
+fn failure_from_line(doc: &Json, jobs: &[Job]) -> Option<(usize, JobError)> {
+    let index = doc.get("job")?.as_f64()? as usize;
+    let job = jobs.get(index)?;
+    if doc.get("benchmark")?.as_str()? != job.benchmark
+        || doc.get("algorithm")?.as_str()? != job.algorithm
+        || doc.get("threshold")?.as_f64()?.to_bits() != job.threshold.to_bits()
+    {
+        return None;
+    }
+    let error = match doc.get("code")?.as_str()? {
+        "unknown-benchmark" => {
+            JobError::UnknownBenchmark(doc.get("detail")?.as_str()?.to_string())
+        }
+        "unknown-algorithm" => {
+            JobError::UnknownAlgorithm(doc.get("detail")?.as_str()?.to_string())
+        }
+        "budget" => JobError::BudgetExhausted {
+            budget: doc.get("budget")?.as_f64()? as usize,
+        },
+        "non-finite" => JobError::NonFiniteQuality,
+        _ => return None,
+    };
+    Some((index, error))
+}
+
 /// Rebuilds a [`JobResult`] from one journal line, validating it against
 /// the job it claims to belong to. Returns `None` (skip the line — the
 /// cell re-runs) rather than failing on any mismatch.
@@ -258,7 +336,11 @@ pub fn load(path: &Path, jobs: &[Job]) -> RunState {
         let Ok(doc) = parse(line) else {
             continue; // torn trailing line from a kill mid-write
         };
-        if let Some((index, result)) = result_from_line(&doc, jobs) {
+        if doc.get("status").and_then(Json::as_str) == Some("failed") {
+            if let Some((index, error)) = failure_from_line(&doc, jobs) {
+                state.failed.insert(index, error);
+            }
+        } else if let Some((index, result)) = result_from_line(&doc, jobs) {
             state.completed.insert(index, result);
         }
     }
@@ -318,6 +400,25 @@ impl Journal {
     /// Returns the underlying I/O error on a failed append.
     pub fn record(&mut self, index: usize, job: &Job, result: &JobResult) -> std::io::Result<()> {
         let mut line = result_line(index, job, result);
+        line.push('\n');
+        self.file.write_all(line.as_bytes())?;
+        self.file.flush()
+    }
+
+    /// Appends one permanently failed cell. Callers should only journal
+    /// non-transient errors ([`JobError::is_transient`] is `false`) — a
+    /// transient crash or timeout deserves a fresh attempt on resume.
+    ///
+    /// # Errors
+    ///
+    /// Returns the underlying I/O error on a failed append.
+    pub fn record_failure(
+        &mut self,
+        index: usize,
+        job: &Job,
+        error: &JobError,
+    ) -> std::io::Result<()> {
+        let mut line = failure_line(index, job, error);
         line.push('\n');
         self.file.write_all(line.as_bytes())?;
         self.file.flush()
@@ -431,5 +532,81 @@ mod tests {
     fn missing_file_is_empty_state() {
         let state = load(Path::new("/nonexistent/mixp-run-state"), &sample_jobs());
         assert!(state.completed.is_empty());
+        assert!(state.failed.is_empty());
+    }
+
+    #[test]
+    fn permanent_failures_round_trip() {
+        let path = tmpfile("fail-roundtrip");
+        let jobs = vec![
+            Job::new("no-such-bench", "DD", 1e-3, Scale::Small),
+            Job::new("tridiag", "nope", 1e-3, Scale::Small),
+            Job::new("tridiag", "DD", 1e-3, Scale::Small),
+            Job::new("innerprod", "CM", 1e-3, Scale::Small),
+        ];
+        let errors = [
+            JobError::UnknownBenchmark("no-such-bench".to_string()),
+            JobError::UnknownAlgorithm("nope".to_string()),
+            JobError::BudgetExhausted { budget: 0 },
+            JobError::NonFiniteQuality,
+        ];
+        {
+            let (mut journal, state) = Journal::open(&path, &jobs).unwrap();
+            assert!(state.failed.is_empty());
+            for (i, e) in errors.iter().enumerate() {
+                journal.record_failure(i, &jobs[i], e).unwrap();
+            }
+        }
+        let state = load(&path, &jobs);
+        assert!(state.completed.is_empty());
+        assert_eq!(state.failed.len(), errors.len());
+        for (i, e) in errors.iter().enumerate() {
+            assert_eq!(&state.failed[&i], e, "error {i} must round-trip");
+        }
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn transient_failure_lines_are_ignored_on_load() {
+        // A journal should never contain transient failures, but a line
+        // with a transient code (e.g. written by a future version) must be
+        // skipped so the cell re-runs.
+        let path = tmpfile("fail-transient");
+        let jobs = sample_jobs();
+        {
+            let (_journal, _) = Journal::open(&path, &jobs).unwrap();
+        }
+        let mut text = std::fs::read_to_string(&path).unwrap();
+        text.push_str(
+            "{\"job\":0,\"status\":\"failed\",\"benchmark\":\"tridiag\",\
+             \"algorithm\":\"DD\",\"threshold\":0.001,\"code\":\"panic\",\
+             \"message\":\"boom\"}\n",
+        );
+        std::fs::write(&path, &text).unwrap();
+        let state = load(&path, &jobs);
+        assert!(state.failed.is_empty(), "transient codes must not restore");
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn failure_lines_for_mismatched_jobs_are_skipped() {
+        let path = tmpfile("fail-mismatch");
+        let jobs = sample_jobs();
+        let err = JobError::NonFiniteQuality;
+        {
+            let (mut journal, _) = Journal::open(&path, &jobs).unwrap();
+            journal.record_failure(0, &jobs[0], &err).unwrap();
+        }
+        // Same fingerprint loads it; a job list whose cell 0 differs in
+        // threshold would have another fingerprint and discard the file
+        // wholesale — so tamper with the stored line instead to simulate a
+        // benchmark mismatch.
+        let text = std::fs::read_to_string(&path)
+            .unwrap()
+            .replace("\"benchmark\":\"tridiag\"", "\"benchmark\":\"eos\"");
+        std::fs::write(&path, &text).unwrap();
+        let state = load(&path, &jobs);
+        assert!(state.failed.is_empty());
+        std::fs::remove_file(&path).ok();
     }
 }

@@ -1,0 +1,267 @@
+//! Campaign-wide shared evaluation cache — the cross-job memo.
+//!
+//! Different search algorithms probe overlapping regions of the same
+//! benchmark's configuration space: every algorithm of a table row starts
+//! from the all-lowered configuration, and the hierarchical/compositional
+//! family re-derives many of the same cluster subsets. The per-evaluator
+//! memo cannot see across jobs, so a campaign re-runs those configurations
+//! once per cell. This module provides the campaign-wide complement: a
+//! process-wide, thread-safe cache keyed by *(benchmark scope, packed
+//! configuration fingerprint)* that the scheduler attaches to every
+//! non-faulted job.
+//!
+//! Sharing is a pure wall-clock optimisation. A shared-cache hit still
+//! consumes evaluation budget and still counts toward `evaluated` (see
+//! [`mixp_core::EvalCache`]), and the cached floats are exactly what a
+//! fresh run would recompute — so campaign results are bit-identical with
+//! the cache on or off. Hit/miss counters are surfaced in the campaign
+//! report ([`crate::scheduler::CampaignStats`]).
+
+use crate::registry::Scale;
+use mixp_core::{CachedEval, ConfigKey, EvalCache};
+use std::collections::hash_map::DefaultHasher;
+use std::collections::HashMap;
+use std::hash::{Hash, Hasher};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, MutexGuard};
+
+/// Shard count: enough to keep contention negligible for the scheduler's
+/// worker counts while staying cheap to allocate per campaign.
+const SHARD_COUNT: usize = 16;
+
+type Shard = HashMap<String, HashMap<ConfigKey, CachedEval>>;
+
+/// The campaign-wide evaluation cache: one instance per campaign, shared by
+/// every job through [`SharedEvalCache::scoped`] handles.
+///
+/// Internally sharded by the hash of *(scope, fingerprint)* so concurrent
+/// jobs rarely contend on the same lock. Entries are never evicted — a
+/// campaign's distinct configurations are bounded by its total evaluation
+/// budget, and each entry is two floats plus a packed fingerprint.
+pub struct SharedEvalCache {
+    shards: Vec<Mutex<Shard>>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+impl std::fmt::Debug for SharedEvalCache {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SharedEvalCache")
+            .field("entries", &self.len())
+            .field("hits", &self.hits())
+            .field("misses", &self.misses())
+            .finish()
+    }
+}
+
+impl Default for SharedEvalCache {
+    fn default() -> Self {
+        SharedEvalCache::new()
+    }
+}
+
+/// Locks a shard, recovering the data if a previous holder panicked — the
+/// cache holds plain values written in one step, so a poisoned lock cannot
+/// hold a torn entry.
+fn lock_recovering<T>(mutex: &Mutex<T>) -> MutexGuard<'_, T> {
+    mutex.lock().unwrap_or_else(|poisoned| poisoned.into_inner())
+}
+
+impl SharedEvalCache {
+    /// Creates an empty cache.
+    pub fn new() -> Self {
+        SharedEvalCache {
+            shards: (0..SHARD_COUNT).map(|_| Mutex::new(Shard::new())).collect(),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+        }
+    }
+
+    /// A handle scoped to one benchmark at one scale, usable as an
+    /// evaluator's shared cache. Jobs over different benchmarks (or the
+    /// same benchmark at different scales) can never observe each other's
+    /// entries — quality and speedup are only portable within a scope.
+    pub fn scoped(self: &Arc<Self>, benchmark: &str, scale: Scale) -> Arc<ScopedEvalCache> {
+        let tag = match scale {
+            Scale::Small => "small",
+            Scale::Paper => "paper",
+        };
+        Arc::new(ScopedEvalCache {
+            shared: Arc::clone(self),
+            scope: format!("{benchmark}@{tag}"),
+        })
+    }
+
+    /// Lookups that found an entry.
+    pub fn hits(&self) -> u64 {
+        self.hits.load(Ordering::Relaxed)
+    }
+
+    /// Lookups that found nothing (each typically followed by a fresh run
+    /// and a [`EvalCache::put`]).
+    pub fn misses(&self) -> u64 {
+        self.misses.load(Ordering::Relaxed)
+    }
+
+    /// Total cached configurations across all scopes.
+    pub fn len(&self) -> usize {
+        self.shards
+            .iter()
+            .map(|s| lock_recovering(s).values().map(HashMap::len).sum::<usize>())
+            .sum()
+    }
+
+    /// Whether nothing has been cached yet.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    fn shard(&self, scope: &str, key: &ConfigKey) -> &Mutex<Shard> {
+        let mut hasher = DefaultHasher::new();
+        scope.hash(&mut hasher);
+        key.hash(&mut hasher);
+        &self.shards[(hasher.finish() as usize) % SHARD_COUNT]
+    }
+
+    fn get_scoped(&self, scope: &str, key: &ConfigKey) -> Option<CachedEval> {
+        let found = lock_recovering(self.shard(scope, key))
+            .get(scope)
+            .and_then(|m| m.get(key))
+            .copied();
+        let counter = if found.is_some() { &self.hits } else { &self.misses };
+        counter.fetch_add(1, Ordering::Relaxed);
+        found
+    }
+
+    fn put_scoped(&self, scope: &str, key: &ConfigKey, value: CachedEval) {
+        lock_recovering(self.shard(scope, key))
+            .entry(scope.to_string())
+            .or_default()
+            .insert(key.clone(), value);
+    }
+}
+
+/// A [`SharedEvalCache`] handle bound to one *(benchmark, scale)* scope;
+/// this is what actually implements [`EvalCache`] for the evaluator.
+#[derive(Debug, Clone)]
+pub struct ScopedEvalCache {
+    shared: Arc<SharedEvalCache>,
+    scope: String,
+}
+
+impl ScopedEvalCache {
+    /// The scope string, `benchmark@scale`.
+    pub fn scope(&self) -> &str {
+        &self.scope
+    }
+}
+
+impl EvalCache for ScopedEvalCache {
+    fn get(&self, key: &ConfigKey) -> Option<CachedEval> {
+        self.shared.get_scoped(&self.scope, key)
+    }
+
+    fn put(&self, key: &ConfigKey, value: CachedEval) {
+        self.shared.put_scoped(&self.scope, key, value);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mixp_core::PrecisionConfig;
+
+    fn key_of(bits: &[u8]) -> ConfigKey {
+        use mixp_core::Precision;
+        let mut cfg = PrecisionConfig::all_double(bits.len());
+        for (i, b) in bits.iter().enumerate() {
+            if *b != 0 {
+                cfg.set(mixp_core::VarId::from_index(i), Precision::Single);
+            }
+        }
+        cfg.fingerprint()
+    }
+
+    #[test]
+    fn get_put_round_trips_within_a_scope() {
+        let cache = Arc::new(SharedEvalCache::new());
+        let scoped = cache.scoped("tridiag", Scale::Small);
+        let key = key_of(&[1, 0, 1]);
+        assert!(scoped.get(&key).is_none());
+        scoped.put(
+            &key,
+            CachedEval {
+                quality: 1.5e-7,
+                speedup: 1.25,
+            },
+        );
+        let back = scoped.get(&key).expect("entry stored");
+        assert_eq!(back.quality, 1.5e-7);
+        assert_eq!(back.speedup, 1.25);
+        assert_eq!(cache.hits(), 1);
+        assert_eq!(cache.misses(), 1);
+        assert_eq!(cache.len(), 1);
+    }
+
+    #[test]
+    fn scopes_are_isolated() {
+        let cache = Arc::new(SharedEvalCache::new());
+        let a = cache.scoped("tridiag", Scale::Small);
+        let b = cache.scoped("innerprod", Scale::Small);
+        let c = cache.scoped("tridiag", Scale::Paper);
+        let key = key_of(&[1, 1, 0]);
+        a.put(
+            &key,
+            CachedEval {
+                quality: 0.0,
+                speedup: 2.0,
+            },
+        );
+        assert!(b.get(&key).is_none(), "different benchmark");
+        assert!(c.get(&key).is_none(), "different scale");
+        assert!(a.get(&key).is_some());
+    }
+
+    #[test]
+    fn two_handles_to_the_same_scope_share_entries() {
+        let cache = Arc::new(SharedEvalCache::new());
+        let first = cache.scoped("eos", Scale::Small);
+        let second = cache.scoped("eos", Scale::Small);
+        let key = key_of(&[0, 1]);
+        first.put(
+            &key,
+            CachedEval {
+                quality: 3.0,
+                speedup: 1.0,
+            },
+        );
+        assert!(second.get(&key).is_some());
+        assert_eq!(cache.hits(), 1);
+    }
+
+    #[test]
+    fn concurrent_puts_and_gets_are_safe() {
+        let cache = Arc::new(SharedEvalCache::new());
+        std::thread::scope(|scope| {
+            for t in 0..4 {
+                let cache = Arc::clone(&cache);
+                scope.spawn(move || {
+                    let handle = cache.scoped("hydro-1d", Scale::Small);
+                    for i in 0..64u8 {
+                        let key = key_of(&[t, i, i.wrapping_mul(3)]);
+                        handle.put(
+                            &key,
+                            CachedEval {
+                                quality: f64::from(i),
+                                speedup: 1.0,
+                            },
+                        );
+                        assert!(handle.get(&key).is_some());
+                    }
+                });
+            }
+        });
+        assert!(cache.len() > 0);
+        assert_eq!(cache.misses(), 0, "every get follows its own put");
+    }
+}

@@ -14,7 +14,7 @@
 
 use crate::job::JobResult;
 use crate::json::{parse, Json, JsonError};
-use crate::scheduler::JobOutcome;
+use crate::scheduler::{CampaignStats, JobOutcome};
 use mixp_core::{Precision, PrecisionConfig, ProgramModel};
 use std::fmt;
 
@@ -186,6 +186,16 @@ pub fn results_to_json(results: &[JobResult]) -> String {
 /// entry carries a `status` of `"ok"` or `"failed"`, and failed entries
 /// report their typed error instead of metrics.
 pub fn outcomes_to_json(outcomes: &[JobOutcome]) -> String {
+    outcomes_doc(outcomes, None)
+}
+
+/// [`outcomes_to_json`] plus the campaign's shared-cache counters, emitted
+/// as a top-level `shared_cache` object (`{"hits": …, "misses": …}`).
+pub fn outcomes_to_json_with_stats(outcomes: &[JobOutcome], stats: &CampaignStats) -> String {
+    outcomes_doc(outcomes, Some(stats))
+}
+
+fn outcomes_doc(outcomes: &[JobOutcome], stats: Option<&CampaignStats>) -> String {
     let items: Vec<Json> = outcomes
         .iter()
         .map(|o| {
@@ -226,14 +236,29 @@ pub fn outcomes_to_json(outcomes: &[JobOutcome]) -> String {
             Json::Object(members)
         })
         .collect();
-    Json::Object(vec![
+    let mut doc = vec![
         (
             "version".to_string(),
             Json::String(FORMAT_VERSION.to_string()),
         ),
         ("results".to_string(), Json::Array(items)),
-    ])
-    .pretty()
+    ];
+    if let Some(stats) = stats {
+        doc.push((
+            "shared_cache".to_string(),
+            Json::Object(vec![
+                (
+                    "hits".to_string(),
+                    Json::Number(stats.shared_cache_hits as f64),
+                ),
+                (
+                    "misses".to_string(),
+                    Json::Number(stats.shared_cache_misses as f64),
+                ),
+            ]),
+        ));
+    }
+    Json::Object(doc).pretty()
 }
 
 #[cfg(test)]

@@ -5,12 +5,14 @@
 //! timeouts, budget starvation, non-finite quality — comes back as a typed
 //! [`JobError`] instead of unwinding into the scheduler.
 
+use crate::evalcache::SharedEvalCache;
 use crate::faultplan::{Fault, FaultyBenchmark};
 use crate::registry::{benchmark_by_name, Scale};
 use mixp_core::{Benchmark, EvalError, EvaluatorBuilder, QualityThreshold};
 use mixp_search::{algorithm_by_name, SearchResult};
 use std::fmt;
 use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::Arc;
 use std::time::Duration;
 
 /// One analysis to run: the unit the scheduler fans out, corresponding to
@@ -153,6 +155,29 @@ impl Job {
         deadline: Option<Duration>,
         fault: Option<Fault>,
     ) -> Result<JobResult, JobError> {
+        self.execute_with(deadline, fault, None)
+    }
+
+    /// [`Job::execute`] with an optional campaign-wide evaluation cache.
+    ///
+    /// When `shared` is given and no fault is injected, the evaluator is
+    /// built with a [`SharedEvalCache`] handle scoped to this job's
+    /// benchmark and scale, so configurations already run by sibling jobs
+    /// are served from the cache instead of re-running. A faulted job never
+    /// attaches the cache: injected faults corrupt run outputs, which must
+    /// not leak into (or be masked by) the cross-job cache.
+    ///
+    /// # Errors
+    ///
+    /// Identical to [`Job::execute`] — the cache changes wall-clock only,
+    /// never outcomes.
+    pub fn execute_with(
+        &self,
+        deadline: Option<Duration>,
+        fault: Option<Fault>,
+        shared: Option<&Arc<SharedEvalCache>>,
+    ) -> Result<JobResult, JobError> {
+        let shared = if fault.is_none() { shared } else { None };
         let bench = benchmark_by_name(&self.benchmark, self.scale)
             .ok_or_else(|| JobError::UnknownBenchmark(self.benchmark.clone()))?;
         let algo = algorithm_by_name(&self.algorithm)
@@ -180,6 +205,9 @@ impl Job {
                 EvaluatorBuilder::new(QualityThreshold::new(self.threshold)).budget(budget);
             if let Some(d) = deadline {
                 builder = builder.deadline(d);
+            }
+            if let Some(cache) = shared {
+                builder = builder.shared_cache(cache.scoped(&self.benchmark, self.scale));
             }
             let mut ev = builder.build(bench.as_ref());
             if !ev.reference_output().iter().all(|v| v.is_finite()) {

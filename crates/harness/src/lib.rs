@@ -15,10 +15,13 @@
 //!   threshold × budget) fanned out over a thread pool, the stand-in for
 //!   the paper's SLURM cluster, with panic isolation, per-job deadlines
 //!   and bounded retry.
+//! * [`evalcache`] — the campaign-wide shared evaluation cache, so sibling
+//!   jobs over the same benchmark never re-run a configuration.
 //! * [`faultplan`] — deterministic fault injection (panics, NaN output,
 //!   budget starvation, zero deadlines) for robustness testing.
 //! * [`checkpoint`] — append-only run-state journal so a killed campaign
-//!   resumes without re-running finished cells.
+//!   resumes without re-running finished cells (failed cells are journaled
+//!   too and reported on resume).
 //! * [`experiments`] — the data generators behind every table and figure of
 //!   the paper's evaluation (Tables I–V, Figures 2–3).
 //! * [`report`] — plain-text table rendering.
@@ -46,6 +49,7 @@
 
 pub mod checkpoint;
 pub mod config;
+pub mod evalcache;
 pub mod experiments;
 pub mod faultplan;
 pub mod interchange;
@@ -57,9 +61,11 @@ pub mod scheduler;
 pub mod yamlish;
 
 pub use config::AnalysisConfig;
+pub use evalcache::{ScopedEvalCache, SharedEvalCache};
 pub use faultplan::{Fault, FaultPlan};
 pub use job::{Job, JobError, JobResult};
 pub use registry::{benchmark_by_name, benchmark_names, Scale};
 pub use scheduler::{
-    default_workers, run_campaign, run_jobs, CampaignOptions, JobOutcome, RetryPolicy,
+    default_workers, run_campaign, run_campaign_with_stats, run_jobs, CampaignOptions,
+    CampaignStats, JobOutcome, RetryPolicy,
 };

@@ -12,11 +12,12 @@
 //! regardless of completion order.
 
 use crate::checkpoint::Journal;
+use crate::evalcache::SharedEvalCache;
 use crate::faultplan::FaultPlan;
 use crate::job::{Job, JobError, JobResult};
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::Mutex;
+use std::sync::{Arc, Mutex};
 use std::time::Duration;
 
 /// Bounded retry for transient job failures (panics and deadline
@@ -50,7 +51,7 @@ impl RetryPolicy {
 }
 
 /// Everything that shapes a campaign run beyond the job list itself.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone)]
 pub struct CampaignOptions {
     /// Worker threads; `0` means [`default_workers`].
     pub workers: usize,
@@ -64,6 +65,35 @@ pub struct CampaignOptions {
     /// Run-state journal path; when set, completed cells are checkpointed
     /// there and a matching existing journal is resumed.
     pub checkpoint: Option<PathBuf>,
+    /// Whether jobs share a campaign-wide evaluation cache
+    /// ([`SharedEvalCache`]), so configurations already run by one cell are
+    /// not re-run by another. On by default — hits are bit-identical to
+    /// fresh runs and still consume budget, so this changes wall-clock
+    /// only, never results.
+    pub shared_cache: bool,
+}
+
+impl Default for CampaignOptions {
+    fn default() -> Self {
+        CampaignOptions {
+            workers: 0,
+            deadline: None,
+            retry: RetryPolicy::default(),
+            faults: FaultPlan::default(),
+            checkpoint: None,
+            shared_cache: true,
+        }
+    }
+}
+
+/// Campaign-wide counters reported alongside the outcomes.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CampaignStats {
+    /// Evaluations served from the shared cache instead of being re-run.
+    pub shared_cache_hits: u64,
+    /// Shared-cache lookups that missed (each typically followed by a
+    /// fresh run that then populates the cache).
+    pub shared_cache_misses: u64,
 }
 
 /// The final fate of one campaign cell.
@@ -95,13 +125,18 @@ fn lock_recovering<T>(mutex: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
 }
 
 /// Runs one job to completion under the campaign's retry policy.
-fn run_with_retry(index: usize, job: &Job, opts: &CampaignOptions) -> (u32, Result<JobResult, JobError>) {
+fn run_with_retry(
+    index: usize,
+    job: &Job,
+    opts: &CampaignOptions,
+    shared: Option<&Arc<SharedEvalCache>>,
+) -> (u32, Result<JobResult, JobError>) {
     let max = opts.retry.max_attempts.max(1);
     let mut attempt = 0;
     loop {
         attempt += 1;
         let fault = opts.faults.fault_for(index, attempt);
-        let outcome = job.execute(opts.deadline, fault);
+        let outcome = job.execute_with(opts.deadline, fault, shared);
         let retry = match &outcome {
             Ok(_) => false,
             Err(e) => e.is_transient() && attempt < max,
@@ -123,16 +158,34 @@ fn run_with_retry(index: usize, job: &Job, opts: &CampaignOptions) -> (u32, Resu
 /// order — failed cells are reported, never dropped, and a failure in one
 /// cell never aborts the rest of the campaign.
 pub fn run_campaign(jobs: &[Job], opts: &CampaignOptions) -> Vec<JobOutcome> {
+    run_campaign_with_stats(jobs, opts).0
+}
+
+/// [`run_campaign`] plus campaign-wide counters: shared-cache hit/miss
+/// totals for the report. The outcomes are identical to [`run_campaign`]'s.
+pub fn run_campaign_with_stats(
+    jobs: &[Job],
+    opts: &CampaignOptions,
+) -> (Vec<JobOutcome>, CampaignStats) {
     if jobs.is_empty() {
-        return Vec::new();
+        return (Vec::new(), CampaignStats::default());
     }
-    let mut restored: Vec<Option<JobResult>> = vec![None; jobs.len()];
+    let mut restored: Vec<Option<Result<JobResult, JobError>>> = vec![None; jobs.len()];
     let journal = match &opts.checkpoint {
         None => None,
         Some(path) => match Journal::open(path, jobs) {
             Ok((journal, state)) => {
                 for (index, result) in state.completed {
-                    restored[index] = Some(result);
+                    restored[index] = Some(Ok(result));
+                }
+                // Permanent failures are restored too: a resumed campaign
+                // reports the historical FAILED cell instead of burning a
+                // cluster slot on a deterministic failure. (Transient
+                // failures are never journaled and re-run.)
+                for (index, error) in state.failed {
+                    if restored[index].is_none() {
+                        restored[index] = Some(Err(error));
+                    }
                 }
                 Some(Mutex::new(journal))
             }
@@ -144,6 +197,12 @@ pub fn run_campaign(jobs: &[Job], opts: &CampaignOptions) -> Vec<JobOutcome> {
                 None
             }
         },
+    };
+
+    let cache = if opts.shared_cache {
+        Some(Arc::new(SharedEvalCache::new()))
+    } else {
+        None
     };
 
     let workers = if opts.workers == 0 {
@@ -159,6 +218,7 @@ pub fn run_campaign(jobs: &[Job], opts: &CampaignOptions) -> Vec<JobOutcome> {
         jobs.iter().map(|_| Mutex::new(None)).collect();
     let restored = &restored;
     let journal = journal.as_ref();
+    let cache = cache.as_ref();
     std::thread::scope(|scope| {
         for _ in 0..workers {
             scope.spawn(|| loop {
@@ -169,9 +229,19 @@ pub fn run_campaign(jobs: &[Job], opts: &CampaignOptions) -> Vec<JobOutcome> {
                 if restored[i].is_some() {
                     continue; // already completed in a previous run
                 }
-                let (attempts, outcome) = run_with_retry(i, &jobs[i], opts);
-                if let (Some(journal), Ok(result)) = (journal, &outcome) {
-                    if let Err(err) = lock_recovering(journal).record(i, &jobs[i], result) {
+                let (attempts, outcome) = run_with_retry(i, &jobs[i], opts, cache);
+                if let Some(journal) = journal {
+                    let written = match &outcome {
+                        Ok(result) => lock_recovering(journal).record(i, &jobs[i], result),
+                        // Only permanent failures are journaled — a
+                        // transient crash or timeout deserves a fresh try
+                        // on resume.
+                        Err(e) if !e.is_transient() => {
+                            lock_recovering(journal).record_failure(i, &jobs[i], e)
+                        }
+                        Err(_) => Ok(()),
+                    };
+                    if let Err(err) = written {
                         eprintln!("warning: run-state journal write failed: {err}");
                     }
                 }
@@ -180,15 +250,20 @@ pub fn run_campaign(jobs: &[Job], opts: &CampaignOptions) -> Vec<JobOutcome> {
         }
     });
 
-    jobs.iter()
+    let stats = CampaignStats {
+        shared_cache_hits: cache.map_or(0, |c| c.hits()),
+        shared_cache_misses: cache.map_or(0, |c| c.misses()),
+    };
+    let outcomes = jobs
+        .iter()
         .enumerate()
         .map(|(i, job)| {
-            if let Some(result) = restored[i].clone() {
+            if let Some(outcome) = restored[i].clone() {
                 return JobOutcome {
                     job: job.clone(),
                     attempts: 0,
                     from_checkpoint: true,
-                    outcome: Ok(result),
+                    outcome,
                 };
             }
             let slot = lock_recovering(&slots[i]).take();
@@ -210,7 +285,8 @@ pub fn run_campaign(jobs: &[Job], opts: &CampaignOptions) -> Vec<JobOutcome> {
                 outcome,
             }
         })
-        .collect()
+        .collect();
+    (outcomes, stats)
 }
 
 /// Runs `jobs` on up to `workers` threads with default campaign options
@@ -391,6 +467,82 @@ mod tests {
                 a.result().unwrap().result.evaluated,
                 b.result().unwrap().result.evaluated
             );
+        }
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn shared_cache_hits_across_algorithms_without_changing_results() {
+        // Six algorithms over one benchmark probe overlapping configs; the
+        // campaign cache must convert those overlaps into hits while the
+        // reported results stay bit-identical to a cache-less campaign.
+        let jobs: Vec<Job> = ["CB", "CM", "DD", "HR", "HC", "GA"]
+            .iter()
+            .map(|a| Job::new("eos", a, 1e-3, Scale::Small))
+            .collect();
+        let (cached, stats) = run_campaign_with_stats(
+            &jobs,
+            &CampaignOptions {
+                workers: 2,
+                ..CampaignOptions::default()
+            },
+        );
+        assert!(
+            stats.shared_cache_hits > 0,
+            "expected cross-algorithm hits, got {stats:?}"
+        );
+        let (plain, off_stats) = run_campaign_with_stats(
+            &jobs,
+            &CampaignOptions {
+                workers: 2,
+                shared_cache: false,
+                ..CampaignOptions::default()
+            },
+        );
+        assert_eq!(off_stats, CampaignStats::default());
+        for (a, b) in cached.iter().zip(&plain) {
+            let (a, b) = (a.result().unwrap(), b.result().unwrap());
+            assert_eq!(a.result.evaluated, b.result.evaluated);
+            assert_eq!(
+                a.result.speedup().map(f64::to_bits),
+                b.result.speedup().map(f64::to_bits)
+            );
+            assert_eq!(
+                a.result.quality().map(f64::to_bits),
+                b.result.quality().map(f64::to_bits)
+            );
+        }
+    }
+
+    #[test]
+    fn permanent_failures_are_journaled_and_restored_on_resume() {
+        let mut path = std::env::temp_dir();
+        path.push(format!("mixp-sched-ckpt-perm-{}", std::process::id()));
+        std::fs::remove_file(&path).ok();
+        let jobs = vec![
+            Job::new("tridiag", "DD", 1e-3, Scale::Small),
+            Job::new("no-such-bench", "DD", 1e-3, Scale::Small),
+        ];
+        let opts = CampaignOptions {
+            workers: 1,
+            checkpoint: Some(path.clone()),
+            ..CampaignOptions::default()
+        };
+        let first = run_campaign(&jobs, &opts);
+        assert!(first[0].outcome.is_ok());
+        assert!(matches!(
+            first[1].outcome,
+            Err(JobError::UnknownBenchmark(_))
+        ));
+        // Resume: both cells restore from the journal — the deterministic
+        // failure is reported, not re-run.
+        let second = run_campaign(&jobs, &opts);
+        assert!(second.iter().all(|o| o.from_checkpoint));
+        assert!(second.iter().all(|o| o.attempts == 0));
+        assert!(second[0].outcome.is_ok());
+        match &second[1].outcome {
+            Err(JobError::UnknownBenchmark(name)) => assert_eq!(name, "no-such-bench"),
+            other => panic!("expected restored UnknownBenchmark, got {other:?}"),
         }
         std::fs::remove_file(&path).ok();
     }

@@ -131,6 +131,84 @@ impl PrecisionConfig {
             })
             .collect()
     }
+
+    /// The packed [`ConfigKey`] fingerprint of this configuration: two bits
+    /// per variable, 32 variables per `u64` word. Unlike [`Self::key`] it
+    /// allocates one word per 32 variables instead of one byte per variable,
+    /// which makes it the preferred memo/cache key on hot paths.
+    pub fn fingerprint(&self) -> ConfigKey {
+        let mut words = vec![0u64; self.prec.len().div_ceil(ConfigKey::VARS_PER_WORD)];
+        for (i, p) in self.prec.iter().enumerate() {
+            let code = match p {
+                Precision::Double => 0u64,
+                Precision::Single => 1u64,
+                Precision::Half => 2u64,
+            };
+            words[i / ConfigKey::VARS_PER_WORD] |= code << (2 * (i % ConfigKey::VARS_PER_WORD));
+        }
+        ConfigKey {
+            len: self.prec.len() as u32,
+            words,
+        }
+    }
+}
+
+/// A packed fingerprint of a [`PrecisionConfig`]: two bits per variable
+/// (`00` double, `01` single, `10` half), 32 variables per `u64` word.
+///
+/// Two configurations compare equal iff their fingerprints do, so the key is
+/// safe for memoisation and cross-evaluator caches. It is ~4× smaller than
+/// the `String` key and hashes word-at-a-time.
+#[derive(Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct ConfigKey {
+    len: u32,
+    words: Vec<u64>,
+}
+
+impl ConfigKey {
+    /// Variables packed into each `u64` word (2 bits per variable).
+    pub const VARS_PER_WORD: usize = 32;
+
+    /// Number of variables the fingerprinted configuration covered.
+    pub fn len(&self) -> usize {
+        self.len as usize
+    }
+
+    /// Whether the fingerprinted configuration covered zero variables.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// The packed words, low variable indices in low bits of `words[0]`.
+    pub fn words(&self) -> &[u64] {
+        &self.words
+    }
+
+    /// Reconstructs the per-variable precisions (mainly for debugging).
+    pub fn unpack(&self) -> Vec<Precision> {
+        (0..self.len())
+            .map(|i| {
+                let code = (self.words[i / Self::VARS_PER_WORD]
+                    >> (2 * (i % Self::VARS_PER_WORD)))
+                    & 0b11;
+                match code {
+                    0 => Precision::Double,
+                    1 => Precision::Single,
+                    _ => Precision::Half,
+                }
+            })
+            .collect()
+    }
+}
+
+impl fmt::Debug for ConfigKey {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "ConfigKey(len={}, ", self.len)?;
+        for w in &self.words {
+            write!(f, "{w:016x}")?;
+        }
+        f.write_str(")")
+    }
 }
 
 impl fmt::Debug for PrecisionConfig {
@@ -198,5 +276,40 @@ mod tests {
         let cfg = PrecisionConfig::all_single(2);
         assert_eq!(format!("{cfg:?}"), "PrecisionConfig(ss)");
         assert_eq!(cfg.to_string(), "ss");
+    }
+
+    #[test]
+    fn fingerprint_distinguishes_assignments() {
+        let a = PrecisionConfig::from_lowered(3, [VarId::from_index(0)]);
+        let b = PrecisionConfig::from_lowered(3, [VarId::from_index(1)]);
+        assert_ne!(a.fingerprint(), b.fingerprint());
+        assert_eq!(a.fingerprint(), a.clone().fingerprint());
+    }
+
+    #[test]
+    fn fingerprint_roundtrips_across_word_boundary() {
+        // 70 variables spans three packed words.
+        let mut cfg = PrecisionConfig::all_double(70);
+        cfg.set(VarId::from_index(0), Precision::Single);
+        cfg.set(VarId::from_index(31), Precision::Half);
+        cfg.set(VarId::from_index(32), Precision::Single);
+        cfg.set(VarId::from_index(69), Precision::Half);
+        let key = cfg.fingerprint();
+        assert_eq!(key.len(), 70);
+        assert_eq!(key.words().len(), 3);
+        let unpacked = key.unpack();
+        for i in 0..70 {
+            assert_eq!(unpacked[i], cfg.get(VarId::from_index(i)), "var {i}");
+        }
+    }
+
+    #[test]
+    fn fingerprint_length_disambiguates_padding() {
+        // "d" and "dd" pack to identical words; the stored length must
+        // keep them distinct.
+        let one = PrecisionConfig::all_double(1).fingerprint();
+        let two = PrecisionConfig::all_double(2).fingerprint();
+        assert_ne!(one, two);
+        assert!(PrecisionConfig::all_double(0).fingerprint().is_empty());
     }
 }

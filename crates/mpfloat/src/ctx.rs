@@ -200,12 +200,14 @@ impl<'a> ExecCtx<'a> {
     /// Streams one access to non-float data to the tracer. Not counted in
     /// [`OpCounts`] (those track floating-point traffic only), but it does
     /// occupy cache — int index arrays compete with the float working set.
+    #[inline]
     pub fn trace_untyped(&mut self, addr: u64, bytes: u8, write: bool) {
         if let Some(tr) = self.tracer.as_deref_mut() {
             tr.access(addr, bytes, write);
         }
     }
 
+    #[inline]
     pub(crate) fn record_load(&mut self, var: VarId, base: u64, index: usize) {
         let prec = self.precision_of(var);
         match prec {
@@ -219,6 +221,7 @@ impl<'a> ExecCtx<'a> {
         }
     }
 
+    #[inline]
     pub(crate) fn record_store(&mut self, var: VarId, base: u64, index: usize) {
         let prec = self.precision_of(var);
         match prec {

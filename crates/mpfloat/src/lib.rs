@@ -37,7 +37,7 @@ mod mpvec;
 mod precision;
 mod var;
 
-pub use config::PrecisionConfig;
+pub use config::{ConfigKey, PrecisionConfig};
 pub use counts::OpCounts;
 pub use ctx::{ExecCtx, MemoryTracer};
 pub use mpvec::{IndexVec, MpScalar, MpVec};

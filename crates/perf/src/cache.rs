@@ -90,6 +90,12 @@ struct Line {
 #[derive(Debug, Clone)]
 pub struct CacheSim {
     params: LevelParams,
+    // Address-decomposition constants, hoisted out of the per-access hot
+    // path: `touch` runs once per traced load/store, so recomputing these
+    // shift/mask values from the geometry on every call is measurable.
+    line_shift: u32,
+    set_mask: usize,
+    tag_shift: u32,
     lines: Vec<Line>,
     clock: u64,
     hits: u64,
@@ -117,6 +123,9 @@ impl CacheSim {
         assert!(params.ways > 0, "ways must be positive");
         CacheSim {
             params,
+            line_shift: params.line.trailing_zeros(),
+            set_mask: params.sets - 1,
+            tag_shift: params.sets.trailing_zeros(),
             lines: vec![Line::default(); params.sets * params.ways],
             clock: 0,
             hits: 0,
@@ -145,12 +154,12 @@ impl CacheSim {
         self.writebacks
     }
 
+    #[inline]
     fn touch(&mut self, addr: u64, write: bool) -> Access {
         self.clock += 1;
-        let line_bits = self.params.line.trailing_zeros();
-        let block = addr >> line_bits;
-        let set = (block as usize) & (self.params.sets - 1);
-        let tag = block >> self.params.sets.trailing_zeros();
+        let block = addr >> self.line_shift;
+        let set = (block as usize) & self.set_mask;
+        let tag = block >> self.tag_shift;
         let ways = self.params.ways;
         let base = set * ways;
         let set_lines = &mut self.lines[base..base + ways];
@@ -183,6 +192,7 @@ impl CacheSim {
 }
 
 impl MemoryTracer for CacheSim {
+    #[inline]
     fn access(&mut self, addr: u64, _bytes: u8, write: bool) {
         let _ = self.touch(addr, write);
     }
@@ -217,6 +227,7 @@ impl Hierarchy {
 }
 
 impl MemoryTracer for Hierarchy {
+    #[inline]
     fn access(&mut self, addr: u64, _bytes: u8, write: bool) {
         self.stats.accesses += 1;
         match self.l1.touch(addr, write) {

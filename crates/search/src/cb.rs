@@ -1,7 +1,7 @@
 //! Combinational (brute-force) search.
 
-use crate::{finish, SearchAlgorithm, SearchResult};
-use mixp_core::{Evaluator, Granularity};
+use crate::{batch_passes, enumeration_width, finish, SearchAlgorithm, SearchResult};
+use mixp_core::{Evaluator, Granularity, PrecisionConfig};
 
 /// Combinational search (CB): try *all* combinations of clusters — the
 /// exhaustive approach (§II-B).
@@ -41,12 +41,15 @@ impl SearchAlgorithm for Combinational {
         // Beyond 2^24 subsets the enumeration itself is hopeless; charge the
         // budget by evaluating what we can, then report DNF like the paper's
         // timed-out runs.
+        let width = enumeration_width(ev);
         if n >= 24 {
             let program = ev.program().clone();
-            // Evaluate single-cluster configs until the budget runs out.
-            for u in 0..n {
-                let cfg = space.config(&program, [u]);
-                if ev.evaluate(&cfg).is_err() {
+            // Evaluate single-cluster configs until the budget runs out,
+            // fanning each chunk across the evaluator's workers.
+            let cfgs: Vec<PrecisionConfig> =
+                (0..n).map(|u| space.config(&program, [u])).collect();
+            for chunk in cfgs.chunks(width) {
+                if batch_passes(ev, chunk).is_err() {
                     break;
                 }
             }
@@ -57,10 +60,17 @@ impl SearchAlgorithm for Combinational {
         // Largest subsets first: sort masks by descending popcount.
         let mut masks: Vec<u64> = (1..total).collect();
         masks.sort_by_key(|m| std::cmp::Reverse(m.count_ones()));
-        for mask in masks {
-            let lowered = (0..n).filter(|i| mask >> i & 1 == 1);
-            let cfg = space.config(&program, lowered);
-            if ev.evaluate(&cfg).is_err() {
+        // Enumeration chunks are the search's natural frontier: no member
+        // depends on another, so fan-out is sequence-identical.
+        for group in masks.chunks(width) {
+            let cfgs: Vec<PrecisionConfig> = group
+                .iter()
+                .map(|&mask| {
+                    let lowered = (0..n).filter(move |i| mask >> i & 1 == 1);
+                    space.config(&program, lowered)
+                })
+                .collect();
+            if batch_passes(ev, &cfgs).is_err() {
                 return finish(ev, true);
             }
         }

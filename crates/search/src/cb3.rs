@@ -1,7 +1,7 @@
 //! Multi-level (p = 3) exhaustive search.
 
-use crate::{finish, SearchAlgorithm, SearchResult};
-use mixp_core::{Evaluator, Precision};
+use crate::{batch_passes, enumeration_width, finish, SearchAlgorithm, SearchResult};
+use mixp_core::{Evaluator, Precision, PrecisionConfig};
 
 /// Multi-precision exhaustive search (CB3): enumerates every assignment of
 /// a precision *level* — half, single or double — to every cluster.
@@ -46,14 +46,28 @@ impl SearchAlgorithm for MultiPrecisionExhaustive {
             return finish(ev, true);
         }
         let total: u64 = 3u64.pow(n as u32);
+        let width = enumeration_width(ev);
         let mut levels = vec![Precision::Double; n];
-        for mut code in 0..total {
-            for slot in levels.iter_mut() {
-                *slot = Self::LEVELS[(code % 3) as usize];
-                code /= 3;
+        let mut codes = 0..total;
+        // Chunked enumeration: decode `width` assignments, fan them out,
+        // repeat. No early exit between assignments, so any chunking is
+        // sequence-identical to the historical per-code loop.
+        loop {
+            let cfgs: Vec<PrecisionConfig> = codes
+                .by_ref()
+                .take(width)
+                .map(|mut code| {
+                    for slot in levels.iter_mut() {
+                        *slot = Self::LEVELS[(code % 3) as usize];
+                        code /= 3;
+                    }
+                    program.config_from_cluster_levels(&levels)
+                })
+                .collect();
+            if cfgs.is_empty() {
+                break;
             }
-            let cfg = program.config_from_cluster_levels(&levels);
-            if ev.evaluate(&cfg).is_err() {
+            if batch_passes(ev, &cfgs).is_err() {
                 return finish(ev, true);
             }
         }

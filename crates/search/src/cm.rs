@@ -1,7 +1,7 @@
 //! Compositional search.
 
-use crate::{finish, SearchAlgorithm, SearchResult};
-use mixp_core::{Evaluator, Granularity};
+use crate::{batch_passes, finish, SearchAlgorithm, SearchResult};
+use mixp_core::{Evaluator, Granularity, PrecisionConfig};
 use std::collections::BTreeSet;
 
 /// Compositional search (CM): replace each cluster individually, then
@@ -39,25 +39,30 @@ impl SearchAlgorithm for Compositional {
             return finish(ev, false);
         }
 
-        // Phase 1: every unit individually.
+        // Phase 1: every unit individually — one independent batch, since
+        // no trial depends on another's outcome.
+        let unit_cfgs: Vec<PrecisionConfig> =
+            (0..n).map(|u| space.config(&program, [u])).collect();
         let mut passing: Vec<BTreeSet<usize>> = Vec::new();
-        for u in 0..n {
-            let cfg = space.config(&program, [u]);
-            match ev.evaluate(&cfg) {
-                Ok(rec) if rec.passes => {
-                    passing.push(BTreeSet::from([u]));
+        match batch_passes(ev, &unit_cfgs) {
+            Ok(flags) => {
+                for (u, passed) in flags.into_iter().enumerate() {
+                    if passed {
+                        passing.push(BTreeSet::from([u]));
+                    }
                 }
-                Ok(_) => {}
-                Err(_) => return finish(ev, true),
             }
+            Err(_) => return finish(ev, true),
         }
 
         // Phase 2: compose pairs of passing sets (unions) until closure.
-        // `seen` caps re-deriving identical unions.
+        // `seen` caps re-deriving identical unions. Each wave's candidate
+        // list depends only on the previous wave (`passing` is extended
+        // after the wave), so the whole wave is one independent batch.
         let mut seen: BTreeSet<BTreeSet<usize>> = passing.iter().cloned().collect();
         let mut frontier = passing.clone();
         while !frontier.is_empty() {
-            let mut next = Vec::new();
+            let mut candidates: Vec<BTreeSet<usize>> = Vec::new();
             for f in &frontier {
                 for p in &passing {
                     let union: BTreeSet<usize> = f.union(p).copied().collect();
@@ -65,14 +70,22 @@ impl SearchAlgorithm for Compositional {
                         continue;
                     }
                     seen.insert(union.clone());
-                    let cfg = space.config(&program, union.iter().copied());
-                    match ev.evaluate(&cfg) {
-                        Ok(rec) if rec.passes => next.push(union),
-                        Ok(_) => {}
-                        Err(_) => return finish(ev, true),
-                    }
+                    candidates.push(union);
                 }
             }
+            let cfgs: Vec<PrecisionConfig> = candidates
+                .iter()
+                .map(|u| space.config(&program, u.iter().copied()))
+                .collect();
+            let flags = match batch_passes(ev, &cfgs) {
+                Ok(f) => f,
+                Err(_) => return finish(ev, true),
+            };
+            let next: Vec<BTreeSet<usize>> = candidates
+                .into_iter()
+                .zip(flags)
+                .filter_map(|(u, passed)| passed.then_some(u))
+                .collect();
             passing.extend(next.iter().cloned());
             frontier = next;
         }

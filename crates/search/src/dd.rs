@@ -1,7 +1,7 @@
 //! Delta-debugging search.
 
-use crate::{finish, SearchAlgorithm, SearchResult};
-use mixp_core::{EvalError, Evaluator, Granularity, SearchSpace};
+use crate::{finish, first_passing, SearchAlgorithm, SearchResult};
+use mixp_core::{Evaluator, Granularity, PrecisionConfig};
 use std::collections::BTreeSet;
 
 /// Delta-debugging search (DD): a modified binary search over the cluster
@@ -58,78 +58,65 @@ impl SearchAlgorithm for DeltaDebug {
 
     fn search(&self, ev: &mut Evaluator<'_>) -> SearchResult {
         let space = ev.space(Granularity::Clusters);
+        let program = ev.program().clone();
         let total = space.len();
         if total == 0 {
             return finish(ev, false);
         }
         let universe: BTreeSet<usize> = (0..total).collect();
 
-        // `test(high)`: does the configuration that keeps `high` double and
-        // lowers everything else pass verification?
-        let test = |ev: &mut Evaluator<'_>,
-                    space: &SearchSpace,
-                    high: &BTreeSet<usize>|
-         -> Result<bool, EvalError> {
-            let lowered: Vec<usize> = universe.difference(high).copied().collect();
-            if lowered.is_empty() {
-                // All-double is the reference: passes by definition, and is
-                // not an interesting configuration to evaluate.
-                return Ok(true);
-            }
-            let cfg = space.config(ev.program(), lowered);
-            Ok(ev.evaluate(&cfg)?.passes)
+        // `config_for(high)`: the configuration that keeps `high` double and
+        // lowers everything else. In every probe below `high` is a proper
+        // subset of `universe`, so the lowered set is never empty.
+        let config_for = |high: &BTreeSet<usize>| -> PrecisionConfig {
+            space.config(&program, universe.difference(high).copied())
         };
 
         // Start from the empty high-precision set (lower everything).
-        match test(ev, &space, &BTreeSet::new()) {
-            Ok(true) => return finish(ev, false),
-            Ok(false) => {}
+        match ev.evaluate(&config_for(&BTreeSet::new())) {
+            Ok(rec) if rec.passes => return finish(ev, false),
+            Ok(_) => {}
             Err(_) => return finish(ev, true),
         }
 
-        // ddmin over the set of clusters kept double.
+        // ddmin over the set of clusters kept double. Each round's partition
+        // probes are the natural frontier: `first_passing` fans them out in
+        // worker-width lookahead groups while preserving the historical
+        // first-match semantics.
         let mut high = universe.clone();
         let mut n = 2usize;
         while high.len() >= 2 {
             let chunks = split(&high, n);
-            let mut reduced = false;
 
             // Try each chunk as the new high set.
-            for c in &chunks {
-                match test(ev, &space, c) {
-                    Ok(true) => {
-                        high = c.clone();
-                        n = 2;
-                        reduced = true;
-                        break;
-                    }
-                    Ok(false) => {}
-                    Err(_) => return finish(ev, true),
+            let cfgs: Vec<PrecisionConfig> = chunks.iter().map(&config_for).collect();
+            match first_passing(ev, &cfgs) {
+                Ok(Some(i)) => {
+                    high = chunks[i].clone();
+                    n = 2;
+                    continue;
                 }
-            }
-            if reduced {
-                continue;
+                Ok(None) => {}
+                Err(_) => return finish(ev, true),
             }
 
             // Try each complement.
             if n > 2 {
-                for c in &chunks {
-                    let complement: BTreeSet<usize> =
-                        high.difference(c).copied().collect();
-                    match test(ev, &space, &complement) {
-                        Ok(true) => {
-                            high = complement;
-                            n = (n - 1).max(2);
-                            reduced = true;
-                            break;
-                        }
-                        Ok(false) => {}
-                        Err(_) => return finish(ev, true),
+                let complements: Vec<BTreeSet<usize>> = chunks
+                    .iter()
+                    .map(|c| high.difference(c).copied().collect())
+                    .collect();
+                let cfgs: Vec<PrecisionConfig> =
+                    complements.iter().map(&config_for).collect();
+                match first_passing(ev, &cfgs) {
+                    Ok(Some(i)) => {
+                        high = complements[i].clone();
+                        n = (n - 1).max(2);
+                        continue;
                     }
+                    Ok(None) => {}
+                    Err(_) => return finish(ev, true),
                 }
-            }
-            if reduced {
-                continue;
             }
 
             // Refine granularity or stop at the local minimum.

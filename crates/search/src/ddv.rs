@@ -1,7 +1,7 @@
 //! Variable-granularity delta debugging — the cluster-ignorant baseline.
 
-use crate::{finish, SearchAlgorithm, SearchResult};
-use mixp_core::{EvalError, Evaluator, Granularity, SearchSpace};
+use crate::{finish, first_passing, SearchAlgorithm, SearchResult};
+use mixp_core::{Evaluator, Granularity, PrecisionConfig};
 use std::collections::BTreeSet;
 
 /// Delta-debugging over raw *variables* (DDV): the same ddmin refinement as
@@ -55,29 +55,24 @@ impl SearchAlgorithm for VariableDeltaDebug {
 
     fn search(&self, ev: &mut Evaluator<'_>) -> SearchResult {
         let space = ev.space(Granularity::Variables);
+        let program = ev.program().clone();
         let total = space.len();
         if total == 0 {
             return finish(ev, false);
         }
         let universe: BTreeSet<usize> = (0..total).collect();
 
-        let test = |ev: &mut Evaluator<'_>,
-                    space: &SearchSpace,
-                    high: &BTreeSet<usize>|
-         -> Result<bool, EvalError> {
-            let lowered: Vec<usize> = universe.difference(high).copied().collect();
-            if lowered.is_empty() {
-                return Ok(true);
-            }
-            let cfg = space.config(ev.program(), lowered);
-            // Configurations that split a cluster simply fail verification
-            // (they do not compile) — DDV cannot tell why.
-            Ok(ev.evaluate(&cfg)?.passes)
+        // Configurations that split a cluster simply fail verification
+        // (they do not compile) — DDV cannot tell why. As in DD, every
+        // probed `high` is a proper subset, so the lowered set is never
+        // empty.
+        let config_for = |high: &BTreeSet<usize>| -> PrecisionConfig {
+            space.config(&program, universe.difference(high).copied())
         };
 
-        match test(ev, &space, &BTreeSet::new()) {
-            Ok(true) => return finish(ev, false),
-            Ok(false) => {}
+        match ev.evaluate(&config_for(&BTreeSet::new())) {
+            Ok(rec) if rec.passes => return finish(ev, false),
+            Ok(_) => {}
             Err(_) => return finish(ev, true),
         }
 
@@ -85,36 +80,32 @@ impl SearchAlgorithm for VariableDeltaDebug {
         let mut n = 2usize;
         while high.len() >= 2 {
             let chunks = split(&high, n);
-            let mut reduced = false;
-            for c in &chunks {
-                match test(ev, &space, c) {
-                    Ok(true) => {
-                        high = c.clone();
-                        n = 2;
-                        reduced = true;
-                        break;
+            let cfgs: Vec<PrecisionConfig> = chunks.iter().map(&config_for).collect();
+            match first_passing(ev, &cfgs) {
+                Ok(Some(i)) => {
+                    high = chunks[i].clone();
+                    n = 2;
+                    continue;
+                }
+                Ok(None) => {}
+                Err(_) => return finish(ev, true),
+            }
+            if n > 2 {
+                let complements: Vec<BTreeSet<usize>> = chunks
+                    .iter()
+                    .map(|c| high.difference(c).copied().collect())
+                    .collect();
+                let cfgs: Vec<PrecisionConfig> =
+                    complements.iter().map(&config_for).collect();
+                match first_passing(ev, &cfgs) {
+                    Ok(Some(i)) => {
+                        high = complements[i].clone();
+                        n = (n - 1).max(2);
+                        continue;
                     }
-                    Ok(false) => {}
+                    Ok(None) => {}
                     Err(_) => return finish(ev, true),
                 }
-            }
-            if !reduced && n > 2 {
-                for c in &chunks {
-                    let complement: BTreeSet<usize> = high.difference(c).copied().collect();
-                    match test(ev, &space, &complement) {
-                        Ok(true) => {
-                            high = complement;
-                            n = (n - 1).max(2);
-                            reduced = true;
-                            break;
-                        }
-                        Ok(false) => {}
-                        Err(_) => return finish(ev, true),
-                    }
-                }
-            }
-            if reduced {
-                continue;
             }
             if n < high.len() {
                 n = (2 * n).min(high.len());

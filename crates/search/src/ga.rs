@@ -106,26 +106,33 @@ impl SearchAlgorithm for Genetic {
         let p = self.params;
         let mut rng = SplitMix64::new(p.seed);
 
-        // Fitness of one individual; `None` propagates budget exhaustion.
-        let fitness = |ev: &mut Evaluator<'_>, ind: &Individual| -> Option<f64> {
-            let cfg = space.config_from_mask(ev.program(), ind);
-            match ev.evaluate(&cfg) {
-                Ok(rec) if rec.passes => Some(rec.speedup),
-                Ok(_) => Some(0.0),
-                Err(_) => None,
-            }
-        };
+        // Scores a whole generation in one batch — the GA's natural
+        // frontier, since fitness values are only consumed after the full
+        // generation is evaluated. `None` propagates budget exhaustion.
+        let score_generation =
+            |ev: &mut Evaluator<'_>, pop: &[Individual]| -> Option<Vec<f64>> {
+                let cfgs: Vec<_> = pop
+                    .iter()
+                    .map(|ind| space.config_from_mask(ev.program(), ind))
+                    .collect();
+                let mut scores = Vec::with_capacity(pop.len());
+                for res in ev.evaluate_batch(&cfgs) {
+                    match res {
+                        Ok(rec) if rec.passes => scores.push(rec.speedup),
+                        Ok(_) => scores.push(0.0),
+                        Err(_) => return None,
+                    }
+                }
+                Some(scores)
+            };
 
         let mut population: Vec<Individual> = (0..p.population)
             .map(|_| random_individual(&mut rng, n))
             .collect();
-        let mut scores = Vec::with_capacity(p.population);
-        for ind in &population {
-            match fitness(ev, ind) {
-                Some(s) => scores.push(s),
-                None => return finish(ev, true),
-            }
-        }
+        let mut scores = match score_generation(ev, &population) {
+            Some(s) => s,
+            None => return finish(ev, true),
+        };
 
         let mut best_score = scores.iter().copied().fold(0.0, f64::max);
         let mut stall = 0usize;
@@ -159,13 +166,10 @@ impl SearchAlgorithm for Genetic {
                 next_pop.push(child);
             }
             population = next_pop;
-            scores.clear();
-            for ind in &population {
-                match fitness(ev, ind) {
-                    Some(s) => scores.push(s),
-                    None => return finish(ev, true),
-                }
-            }
+            scores = match score_generation(ev, &population) {
+                Some(s) => s,
+                None => return finish(ev, true),
+            };
             let gen_best = scores.iter().copied().fold(0.0, f64::max);
             if gen_best > best_score + 1e-12 {
                 best_score = gen_best;

@@ -1,6 +1,6 @@
 //! Hierarchical-compositional search.
 
-use crate::hr::{passing_components, try_lower};
+use crate::hr::{passing_components, try_lower_batch};
 use crate::{finish, SearchAlgorithm, SearchResult};
 use mixp_core::{Evaluator, VarId};
 use std::collections::BTreeSet;
@@ -45,12 +45,14 @@ impl SearchAlgorithm for HierCompositional {
             return finish(ev, false);
         }
 
-        // Phase 2: compositional closure over the passing components.
+        // Phase 2: compositional closure over the passing components. As in
+        // CM, a wave's candidate unions depend only on the previous wave,
+        // so each wave is one independent batch.
         let mut passing: Vec<BTreeSet<VarId>> = components;
         let mut seen: BTreeSet<BTreeSet<VarId>> = passing.iter().cloned().collect();
         let mut frontier = passing.clone();
         while !frontier.is_empty() {
-            let mut next = Vec::new();
+            let mut candidates: Vec<BTreeSet<VarId>> = Vec::new();
             for f in &frontier {
                 for p in &passing {
                     let union: BTreeSet<VarId> = f.union(p).copied().collect();
@@ -58,13 +60,18 @@ impl SearchAlgorithm for HierCompositional {
                         continue;
                     }
                     seen.insert(union.clone());
-                    match try_lower(ev, &union) {
-                        Ok(true) => next.push(union),
-                        Ok(false) => {}
-                        Err(_) => return finish(ev, true),
-                    }
+                    candidates.push(union);
                 }
             }
+            let flags = match try_lower_batch(ev, &candidates) {
+                Ok(f) => f,
+                Err(_) => return finish(ev, true),
+            };
+            let next: Vec<BTreeSet<VarId>> = candidates
+                .into_iter()
+                .zip(flags)
+                .filter_map(|(u, passed)| passed.then_some(u))
+                .collect();
             passing.extend(next.iter().cloned());
             frontier = next;
         }

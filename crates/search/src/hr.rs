@@ -36,8 +36,37 @@ pub(crate) fn try_lower(
     Ok(ev.evaluate(&cfg)?.passes)
 }
 
+/// Batch counterpart of [`try_lower`]: evaluates the lowering of every set
+/// through the evaluator's fan-out and returns per-set pass flags. Empty
+/// sets never pass and are not evaluated, mirroring the scalar helper.
+pub(crate) fn try_lower_batch(
+    ev: &mut Evaluator<'_>,
+    sets: &[BTreeSet<VarId>],
+) -> Result<Vec<bool>, EvalError> {
+    let var_count = ev.program().var_count();
+    let nonempty: Vec<usize> = sets
+        .iter()
+        .enumerate()
+        .filter(|(_, s)| !s.is_empty())
+        .map(|(i, _)| i)
+        .collect();
+    let cfgs: Vec<PrecisionConfig> = nonempty
+        .iter()
+        .map(|&i| PrecisionConfig::from_lowered(var_count, sets[i].iter().copied()))
+        .collect();
+    let mut passes = vec![false; sets.len()];
+    for (&i, res) in nonempty.iter().zip(ev.evaluate_batch(&cfgs)) {
+        passes[i] = res?.passes;
+    }
+    Ok(passes)
+}
+
 /// Descends the program hierarchy, returning every component (as a variable
 /// set) that passed in isolation at the coarsest level it passed.
+///
+/// Sibling components at each level are probed in lookahead groups of the
+/// evaluator's worker width (the hierarchical search's natural frontier);
+/// at width 1 this is exactly the historical depth-first order.
 pub(crate) fn passing_components(
     ev: &mut Evaluator<'_>,
 ) -> Result<Vec<BTreeSet<VarId>>, EvalError> {
@@ -50,39 +79,54 @@ pub(crate) fn passing_components(
     if try_lower(ev, &all)? {
         return Ok(vec![all]);
     }
+    let width = ev.workers().max(1);
     let mut accepted = Vec::new();
-    let modules: Vec<_> = ev.program().modules().map(|(id, _)| id).collect();
-    for module in modules {
-        let mvars: BTreeSet<VarId> = ev.program().vars_in_module(module).into_iter().collect();
-        if mvars.is_empty() {
-            continue;
-        }
-        if try_lower(ev, &mvars)? {
-            accepted.push(mvars);
-            continue;
-        }
-        // Fall back to the functions of this module.
-        let funcs: Vec<_> = ev
-            .program()
-            .functions()
-            .map(|(id, _)| id)
-            .filter(|f| ev.program().module_of(*f) == module)
-            .collect();
-        for func in funcs {
-            let fvars: BTreeSet<VarId> =
-                ev.program().vars_in_function(func).into_iter().collect();
-            if fvars.is_empty() {
+    let module_ids: Vec<_> = ev.program().modules().map(|(id, _)| id).collect();
+    let modules: Vec<_> = module_ids
+        .into_iter()
+        .map(|m| {
+            let mvars: BTreeSet<VarId> = ev.program().vars_in_module(m).into_iter().collect();
+            (m, mvars)
+        })
+        .filter(|(_, mvars)| !mvars.is_empty())
+        .collect();
+    for group in modules.chunks(width) {
+        let sets: Vec<BTreeSet<VarId>> = group.iter().map(|(_, s)| s.clone()).collect();
+        let passes = try_lower_batch(ev, &sets)?;
+        for ((module, mvars), passed) in group.iter().zip(passes) {
+            if passed {
+                accepted.push(mvars.clone());
                 continue;
             }
-            if try_lower(ev, &fvars)? {
-                accepted.push(fvars);
-                continue;
-            }
-            // Finally, individual variables.
-            for v in fvars {
-                let single = BTreeSet::from([v]);
-                if try_lower(ev, &single)? {
-                    accepted.push(single);
+            // Fall back to the functions of this module.
+            let func_ids: Vec<_> = ev
+                .program()
+                .functions()
+                .map(|(id, _)| id)
+                .filter(|f| ev.program().module_of(*f) == *module)
+                .collect();
+            let functions: Vec<BTreeSet<VarId>> = func_ids
+                .into_iter()
+                .map(|f| ev.program().vars_in_function(f).into_iter().collect())
+                .filter(|fvars: &BTreeSet<VarId>| !fvars.is_empty())
+                .collect();
+            for fgroup in functions.chunks(width) {
+                let fpasses = try_lower_batch(ev, fgroup)?;
+                for (fvars, fpassed) in fgroup.iter().zip(fpasses) {
+                    if fpassed {
+                        accepted.push(fvars.clone());
+                        continue;
+                    }
+                    // Finally, individual variables — siblings with no
+                    // early exit, so one full batch is sequence-identical.
+                    let singles: Vec<BTreeSet<VarId>> =
+                        fvars.iter().map(|v| BTreeSet::from([*v])).collect();
+                    let vpasses = try_lower_batch(ev, &singles)?;
+                    for (single, vpassed) in singles.into_iter().zip(vpasses) {
+                        if vpassed {
+                            accepted.push(single);
+                        }
+                    }
                 }
             }
         }

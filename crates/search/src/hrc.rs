@@ -57,6 +57,106 @@ fn try_lower_closed(
     Ok(ev.evaluate(&cfg)?.passes)
 }
 
+/// Batch counterpart of [`try_lower_closed`]: closes every candidate set
+/// over its clusters, fans the resulting configurations out, and returns
+/// per-set pass flags. Sets with an empty closure never pass and are not
+/// evaluated, mirroring the scalar helper.
+fn try_lower_closed_batch(
+    ev: &mut Evaluator<'_>,
+    sets: &[BTreeSet<VarId>],
+) -> Result<Vec<bool>, EvalError> {
+    let var_count = ev.program().var_count();
+    let closed: Vec<BTreeSet<VarId>> =
+        sets.iter().map(|s| close_over_clusters(ev, s)).collect();
+    let nonempty: Vec<usize> = closed
+        .iter()
+        .enumerate()
+        .filter(|(_, s)| !s.is_empty())
+        .map(|(i, _)| i)
+        .collect();
+    let cfgs: Vec<PrecisionConfig> = nonempty
+        .iter()
+        .map(|&i| {
+            let cfg = PrecisionConfig::from_lowered(var_count, closed[i].iter().copied());
+            debug_assert!(ev.program().validate(&cfg).is_ok(), "closure must compile");
+            cfg
+        })
+        .collect();
+    let mut passes = vec![false; sets.len()];
+    for (&i, res) in nonempty.iter().zip(ev.evaluate_batch(&cfgs)) {
+        passes[i] = res?.passes;
+    }
+    Ok(passes)
+}
+
+/// The cluster-closed hierarchical descent: modules, then functions, then
+/// whole clusters — sibling candidates probed in lookahead groups of the
+/// evaluator's worker width (at width 1, the historical depth-first order).
+fn passing_closed_components(
+    ev: &mut Evaluator<'_>,
+) -> Result<Vec<BTreeSet<VarId>>, EvalError> {
+    let width = ev.workers().max(1);
+    let mut accepted: Vec<BTreeSet<VarId>> = Vec::new();
+    let module_ids: Vec<_> = ev.program().modules().map(|(id, _)| id).collect();
+    let modules: Vec<_> = module_ids
+        .into_iter()
+        .map(|m| {
+            let mvars: BTreeSet<VarId> = ev.program().vars_in_module(m).into_iter().collect();
+            (m, mvars)
+        })
+        .filter(|(_, mvars)| !mvars.is_empty())
+        .collect();
+    for group in modules.chunks(width) {
+        let sets: Vec<BTreeSet<VarId>> = group.iter().map(|(_, s)| s.clone()).collect();
+        let passes = try_lower_closed_batch(ev, &sets)?;
+        for ((module, mvars), passed) in group.iter().zip(passes) {
+            if passed {
+                accepted.push(close_over_clusters(ev, mvars));
+                continue;
+            }
+            let func_ids: Vec<_> = ev
+                .program()
+                .functions()
+                .map(|(id, _)| id)
+                .filter(|f| ev.program().module_of(*f) == *module)
+                .collect();
+            let functions: Vec<BTreeSet<VarId>> = func_ids
+                .into_iter()
+                .map(|f| ev.program().vars_in_function(f).into_iter().collect())
+                .filter(|fvars: &BTreeSet<VarId>| !fvars.is_empty())
+                .collect();
+            for fgroup in functions.chunks(width) {
+                let fpasses = try_lower_closed_batch(ev, fgroup)?;
+                for (fvars, fpassed) in fgroup.iter().zip(fpasses) {
+                    if fpassed {
+                        accepted.push(close_over_clusters(ev, fvars));
+                        continue;
+                    }
+                    // Finest level: whole clusters, not raw variables — one
+                    // probe per distinct cluster, batched as a full sibling
+                    // group (the historical loop had no early exit here).
+                    let mut seen_clusters = BTreeSet::new();
+                    let mut probes: Vec<BTreeSet<VarId>> = Vec::new();
+                    for &v in fvars {
+                        if let Some(c) = ev.program().clustering().cluster_of(v) {
+                            if seen_clusters.insert(c) {
+                                probes.push(BTreeSet::from([v]));
+                            }
+                        }
+                    }
+                    let ppasses = try_lower_closed_batch(ev, &probes)?;
+                    for (single, ppassed) in probes.into_iter().zip(ppasses) {
+                        if ppassed {
+                            accepted.push(close_over_clusters(ev, &single));
+                        }
+                    }
+                }
+            }
+        }
+    }
+    Ok(accepted)
+}
+
 impl SearchAlgorithm for ClusterHierarchical {
     fn name(&self) -> &str {
         "HR+"
@@ -79,59 +179,10 @@ impl SearchAlgorithm for ClusterHierarchical {
         }
         // Descend: modules, then functions, then single clusters — every
         // candidate closed over clusters before evaluation.
-        let mut accepted: Vec<BTreeSet<VarId>> = Vec::new();
-        let modules: Vec<_> = ev.program().modules().map(|(id, _)| id).collect();
-        for module in modules {
-            let mvars: BTreeSet<VarId> =
-                ev.program().vars_in_module(module).into_iter().collect();
-            if mvars.is_empty() {
-                continue;
-            }
-            match try_lower_closed(ev, &mvars) {
-                Ok(true) => {
-                    accepted.push(close_over_clusters(ev, &mvars));
-                    continue;
-                }
-                Ok(false) => {}
-                Err(_) => return finish(ev, true),
-            }
-            let funcs: Vec<_> = ev
-                .program()
-                .functions()
-                .map(|(id, _)| id)
-                .filter(|f| ev.program().module_of(*f) == module)
-                .collect();
-            for func in funcs {
-                let fvars: BTreeSet<VarId> =
-                    ev.program().vars_in_function(func).into_iter().collect();
-                if fvars.is_empty() {
-                    continue;
-                }
-                match try_lower_closed(ev, &fvars) {
-                    Ok(true) => {
-                        accepted.push(close_over_clusters(ev, &fvars));
-                        continue;
-                    }
-                    Ok(false) => {}
-                    Err(_) => return finish(ev, true),
-                }
-                // Finest level: whole clusters, not raw variables.
-                let mut seen_clusters = BTreeSet::new();
-                for v in fvars {
-                    if let Some(c) = ev.program().clustering().cluster_of(v) {
-                        if !seen_clusters.insert(c) {
-                            continue;
-                        }
-                        let single = BTreeSet::from([v]);
-                        match try_lower_closed(ev, &single) {
-                            Ok(true) => accepted.push(close_over_clusters(ev, &single)),
-                            Ok(false) => {}
-                            Err(_) => return finish(ev, true),
-                        }
-                    }
-                }
-            }
-        }
+        let accepted = match passing_closed_components(ev) {
+            Ok(a) => a,
+            Err(_) => return finish(ev, true),
+        };
         // Combine everything that passed in isolation.
         let union: BTreeSet<VarId> = accepted.into_iter().flatten().collect();
         if !union.is_empty() && try_lower_closed(ev, &union).is_err() {

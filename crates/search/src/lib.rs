@@ -60,7 +60,7 @@ pub use hr::Hierarchical;
 pub use hrc::ClusterHierarchical;
 pub use result::{SearchAlgorithm, SearchResult};
 
-use mixp_core::Evaluator;
+use mixp_core::{EvalError, Evaluator, PrecisionConfig};
 
 /// All six algorithms in the paper's order (CB, CM, DD, HR, HC, GA), with
 /// default parameters.
@@ -105,6 +105,56 @@ pub(crate) fn finish(ev: &Evaluator<'_>, dnf: bool) -> SearchResult {
         evaluated: ev.evaluated(),
         dnf,
     }
+}
+
+/// Evaluates every configuration through the evaluator's batch fan-out and
+/// returns the per-configuration pass flags, or the first admission error.
+///
+/// Because `evaluate_batch` charges budget/deadline and commits records in
+/// submission order, this is observably identical to the sequential
+/// `for cfg { ev.evaluate(cfg)?.passes }` loop at **any** worker count —
+/// use it wherever the historical loop had no early exit between members.
+pub(crate) fn batch_passes(
+    ev: &mut Evaluator<'_>,
+    cfgs: &[PrecisionConfig],
+) -> Result<Vec<bool>, EvalError> {
+    let mut passes = Vec::with_capacity(cfgs.len());
+    for res in ev.evaluate_batch(cfgs) {
+        passes.push(res?.passes);
+    }
+    Ok(passes)
+}
+
+/// Scans `cfgs` left to right for the first passing configuration, fanning
+/// evaluations out in speculative lookahead groups of the evaluator's
+/// worker width.
+///
+/// At width 1 the evaluation sequence is exactly the historical sequential
+/// early-exit loop; at width `w > 1` up to `w - 1` candidates beyond the
+/// first passing one may be evaluated speculatively (trading budget for
+/// wall-clock, which is the documented `MIXP_WORKERS > 1` contract).
+pub(crate) fn first_passing(
+    ev: &mut Evaluator<'_>,
+    cfgs: &[PrecisionConfig],
+) -> Result<Option<usize>, EvalError> {
+    let width = ev.workers().max(1);
+    let mut start = 0;
+    for group in cfgs.chunks(width) {
+        for (off, res) in ev.evaluate_batch(group).into_iter().enumerate() {
+            if res?.passes {
+                return Ok(Some(start + off));
+            }
+        }
+        start += group.len();
+    }
+    Ok(None)
+}
+
+/// Chunk width for exhaustive enumerations: a few batches worth of work per
+/// fan-out keeps workers busy without materialising the whole (possibly
+/// multi-million-entry) configuration list at once.
+pub(crate) fn enumeration_width(ev: &Evaluator<'_>) -> usize {
+    (ev.workers() * 4).clamp(1, 256)
 }
 
 #[cfg(test)]

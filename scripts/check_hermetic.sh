@@ -11,12 +11,16 @@
 #      CARGO_HOME pointed at a fresh empty directory, proving no cached
 #      registry state is being silently relied upon.
 #
+# It also smoke-runs every `[[bench]]` target with MIXP_BENCH_QUICK=1
+# (single sample, no warmup) so a broken bench fails the gate instead of
+# rotting until the next manual `cargo bench`.
+#
 # Run from anywhere: scripts/check_hermetic.sh
 
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-echo "== [1/3] grep guard: only path dependencies allowed =="
+echo "== [1/4] grep guard: only path dependencies allowed =="
 violations=$(find . -name Cargo.toml -not -path './target/*' -print0 | xargs -0 awk '
   FNR == 1 { section = "" }
   /^\[/ { section = $0 }
@@ -32,7 +36,7 @@ if [ -n "$violations" ]; then
 fi
 echo "ok: no non-path dependencies"
 
-echo "== [2/3] panic guard: fault-tolerant harness paths must not panic =="
+echo "== [2/4] panic guard: fault-tolerant harness paths must not panic =="
 # The campaign execution path promises typed errors instead of aborts:
 # no unwrap()/expect()/panic! in non-test code of the scheduler, job,
 # checkpoint and faultplan modules. Test modules (below the #[cfg(test)]
@@ -41,7 +45,8 @@ echo "== [2/3] panic guard: fault-tolerant harness paths must not panic =="
 panic_violations=$(for f in crates/harness/src/job.rs \
                             crates/harness/src/scheduler.rs \
                             crates/harness/src/checkpoint.rs \
-                            crates/harness/src/faultplan.rs; do
+                            crates/harness/src/faultplan.rs \
+                            crates/harness/src/evalcache.rs; do
   awk -v file="$f" '
     /#\[cfg\(test\)\]/ { exit }
     /\.unwrap\(\)|\.expect\(|panic!\(|unreachable!\(/ {
@@ -57,7 +62,7 @@ if [ -n "$panic_violations" ]; then
 fi
 echo "ok: campaign execution paths are panic-free"
 
-echo "== [3/3] offline build + test with an empty CARGO_HOME =="
+echo "== [3/4] offline build + test with an empty CARGO_HOME =="
 tmp=$(mktemp -d)
 trap 'rm -rf "$tmp"' EXIT
 export CARGO_HOME="$tmp/cargo_home"
@@ -65,5 +70,8 @@ mkdir -p "$CARGO_HOME"
 
 cargo build --release --offline
 cargo test -q --offline
+
+echo "== [4/4] bench smoke: every [[bench]] target runs under MIXP_BENCH_QUICK =="
+MIXP_BENCH_QUICK=1 cargo bench --offline
 
 echo "hermetic check passed"

@@ -7,8 +7,10 @@
 use mixp_harness::faultplan::Fault;
 use mixp_harness::job::JobError;
 use mixp_harness::report::render_grouped;
-use mixp_harness::scheduler::{run_campaign, CampaignOptions, RetryPolicy};
-use mixp_harness::{FaultPlan, Job, Scale};
+use mixp_harness::scheduler::{
+    run_campaign, run_campaign_with_stats, CampaignOptions, RetryPolicy,
+};
+use mixp_harness::{interchange, FaultPlan, Job, Scale};
 
 fn jobs(names: &[&str]) -> Vec<Job> {
     names
@@ -140,6 +142,106 @@ fn killed_campaign_resumes_without_rerunning_finished_cells() {
     );
     assert!(third.iter().all(|o| o.from_checkpoint));
     std::fs::remove_file(&path).ok();
+}
+
+/// Permanent failures are journaled: a resumed campaign reports the
+/// historical FAILED cell (attempts == 0, from_checkpoint) instead of
+/// re-running a deterministic failure, while transient failures still
+/// re-run.
+#[test]
+fn resumed_campaign_reports_historical_permanent_failures() {
+    let path = temp_path("perm-fail");
+    let jobs = vec![
+        Job::new("tridiag", "DD", 1e-3, Scale::Small),
+        Job::new("no-such-bench", "DD", 1e-3, Scale::Small), // permanent
+        Job::new("eos", "DD", 1e-3, Scale::Small),
+    ];
+    let opts = CampaignOptions {
+        workers: 2,
+        // The *transient* fault on cell 2 must not be journaled.
+        faults: FaultPlan::new().inject(2, Fault::Panic { at_eval: 0 }, u32::MAX),
+        checkpoint: Some(path.clone()),
+        ..CampaignOptions::default()
+    };
+    let first = run_campaign(&jobs, &opts);
+    assert!(first[0].outcome.is_ok());
+    assert!(matches!(
+        first[1].outcome,
+        Err(JobError::UnknownBenchmark(_))
+    ));
+    assert!(matches!(first[2].outcome, Err(JobError::Panicked(_))));
+
+    // Resume without the fault plan: the success and the permanent failure
+    // both restore; only the transiently-failed cell re-runs.
+    let second = run_campaign(
+        &jobs,
+        &CampaignOptions {
+            workers: 2,
+            checkpoint: Some(path.clone()),
+            ..CampaignOptions::default()
+        },
+    );
+    assert!(second[0].from_checkpoint && second[0].attempts == 0);
+    assert!(second[1].from_checkpoint && second[1].attempts == 0);
+    assert!(matches!(
+        second[1].outcome,
+        Err(JobError::UnknownBenchmark(_))
+    ));
+    assert!(!second[2].from_checkpoint, "transient failure re-runs");
+    assert!(second[2].outcome.is_ok());
+
+    // The restored failure renders as a FAILED cell like a fresh one.
+    let groups: Vec<Vec<_>> = second.chunks(1).map(<[_]>::to_vec).collect();
+    let table = render_grouped(&groups, &["DD"]);
+    assert!(table.contains("FAILED(unknown-benchmark)"), "{table}");
+    std::fs::remove_file(&path).ok();
+}
+
+/// The campaign-wide shared cache produces hits across a multi-algorithm
+/// campaign and surfaces them in the interchange JSON; faulted cells never
+/// touch the cache.
+#[test]
+fn campaign_shared_cache_hits_surface_in_the_report() {
+    let jobs: Vec<Job> = ["CB", "CM", "DD", "HR", "HC", "GA"]
+        .iter()
+        .map(|a| Job::new("innerprod", a, 1e-3, Scale::Small))
+        .collect();
+    let (outcomes, stats) = run_campaign_with_stats(
+        &jobs,
+        &CampaignOptions {
+            workers: 3,
+            ..CampaignOptions::default()
+        },
+    );
+    assert!(outcomes.iter().all(|o| o.outcome.is_ok()));
+    assert!(
+        stats.shared_cache_hits > 0,
+        "six algorithms over one benchmark must share configurations"
+    );
+    let json = interchange::outcomes_to_json_with_stats(&outcomes, &stats);
+    assert!(json.contains("\"shared_cache\""), "{json}");
+    assert!(json.contains("\"hits\""), "{json}");
+
+    // A faulted campaign keeps its cache cold for the faulted cell but
+    // still completes; the injected NaN output must not poison results of
+    // the healthy sibling cells.
+    let (faulted, _) = run_campaign_with_stats(
+        &jobs,
+        &CampaignOptions {
+            workers: 3,
+            faults: FaultPlan::new().inject(0, Fault::NanOutput { from_eval: 0 }, u32::MAX),
+            ..CampaignOptions::default()
+        },
+    );
+    assert!(matches!(
+        faulted[0].outcome,
+        Err(JobError::NonFiniteQuality)
+    ));
+    for (h, f) in outcomes.iter().zip(&faulted).skip(1) {
+        let (h, f) = (h.result().unwrap(), f.result().unwrap());
+        assert_eq!(h.result.evaluated, f.result.evaluated);
+        assert_eq!(h.result.speedup(), f.result.speedup());
+    }
 }
 
 /// Deadlines propagate from the campaign options into the evaluator: a

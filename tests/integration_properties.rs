@@ -5,8 +5,9 @@
 use mixp_core::prop::{bools, u64s, usizes, vecs};
 use mixp_core::synth::SplitMix64;
 use mixp_core::{
-    prop_assert, prop_assert_eq, prop_check, Benchmark, BenchmarkKind, Evaluator, ExecCtx,
-    MetricKind, ProgramBuilder, ProgramModel, QualityThreshold, VarId,
+    prop_assert, prop_assert_eq, prop_check, Benchmark, BenchmarkKind, Evaluator,
+    EvaluatorBuilder, ExecCtx, MetricKind, PrecisionConfig, ProgramBuilder, ProgramModel,
+    QualityThreshold, VarId,
 };
 use mixp_float::{MpScalar, MpVec};
 use mixp_search::all_algorithms;
@@ -179,6 +180,78 @@ fn random_programs_have_sound_clusterings() {
             .collect();
         let cfg = pm.config_from_clusters(lowered);
         prop_assert!(pm.validate(&cfg).is_ok());
+    });
+}
+
+/// Batch evaluation is bit-identical to the sequential path for *any*
+/// worker count, batch shape, and budget: same per-configuration records
+/// (including duplicates and non-compiling cluster-splitting configs), same
+/// budget accounting, same stop reason, same best configuration. This is
+/// the submission-order determinism contract of `evaluate_batch`.
+#[test]
+fn evaluate_batch_is_bit_identical_to_sequential() {
+    prop_check!((
+        nvars in usizes(2..9),
+        edges in vecs((usizes(0..9), usizes(0..9)), 0..6),
+        mix in u64s(0..55_000),
+        masks in vecs(usizes(0..64), 1..10),
+    ) => {
+        // One u64 packs the remaining dimensions (the prop harness caps
+        // tuple arity at 4): benchmark seed, worker count, and budget.
+        let seed = mix % 1000;
+        let workers = 2 + ((mix / 1000) % 5) as usize;
+        let budget = 1 + ((mix / 5000) % 11) as usize;
+        let bench = RandomBench::new(nvars, &edges, seed);
+        let pm = bench.program().clone();
+        // Random variable subsets: some split clusters (don't compile),
+        // some repeat — both must behave identically in either path.
+        let cfgs: Vec<PrecisionConfig> = masks
+            .iter()
+            .map(|&mask| {
+                let lowered = pm
+                    .tunable_vars()
+                    .into_iter()
+                    .filter(|v| (mask >> (v.index() % 6)) & 1 == 1);
+                PrecisionConfig::from_lowered(pm.var_count(), lowered)
+            })
+            .collect();
+
+        let mut seq = EvaluatorBuilder::new(QualityThreshold::new(1e-5))
+            .budget(budget)
+            .workers(1)
+            .build(&bench);
+        let seq_results: Vec<_> = cfgs.iter().map(|c| seq.evaluate(c)).collect();
+
+        let mut batch = EvaluatorBuilder::new(QualityThreshold::new(1e-5))
+            .budget(budget)
+            .workers(workers)
+            .build(&bench);
+        let batch_results = batch.evaluate_batch(&cfgs);
+
+        prop_assert_eq!(seq_results.len(), batch_results.len());
+        for (s, b) in seq_results.iter().zip(&batch_results) {
+            match (s, b) {
+                (Ok(sr), Ok(br)) => {
+                    prop_assert_eq!(sr.compiled, br.compiled);
+                    prop_assert_eq!(sr.passes, br.passes);
+                    prop_assert_eq!(sr.quality.to_bits(), br.quality.to_bits());
+                    prop_assert_eq!(sr.speedup.to_bits(), br.speedup.to_bits());
+                    prop_assert_eq!(sr.config.key(), br.config.key());
+                }
+                (Err(se), Err(be)) => prop_assert_eq!(se, be),
+                other => prop_assert!(false, "paths diverge: {:?}", other),
+            }
+        }
+        prop_assert_eq!(seq.evaluated(), batch.evaluated());
+        prop_assert_eq!(seq.stop_reason(), batch.stop_reason());
+        match (seq.best(), batch.best()) {
+            (None, None) => {}
+            (Some(sb), Some(bb)) => {
+                prop_assert_eq!(sb.config.key(), bb.config.key());
+                prop_assert_eq!(sb.speedup.to_bits(), bb.speedup.to_bits());
+            }
+            other => prop_assert!(false, "best diverges: {:?}", other),
+        }
     });
 }
 
