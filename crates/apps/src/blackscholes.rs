@@ -257,7 +257,43 @@ impl Blackscholes {
         }
     }
 
-    /// Cumulative normal distribution, instrumented.
+    /// Charges the fixed operation mix of `count` option pricings (two CNDF
+    /// calls each) in bulk. The per-option mix is trip-count-static except
+    /// for CNDF's sign-dependent complement flop, which stays at its call
+    /// site in [`Blackscholes::cndf`].
+    fn charge_option_ops(&self, ctx: &mut ExecCtx<'_>, count: u64) {
+        let v = &self.v;
+        // BlkSchlsEqEuroNoDiv.
+        ctx.heavy(v.x_sqrt_time, &[], count);
+        ctx.heavy(v.log_values, &[], 2 * count); // divide + log
+        ctx.flop(v.x_d1, &[v.log_values], 4 * count);
+        ctx.flop(v.x_den, &[v.x_sqrt_time], count);
+        ctx.heavy(v.d1, &[v.x_d1, v.x_den], count);
+        ctx.flop(v.d2, &[v.d1, v.x_den], count);
+        ctx.heavy(v.future_value_x, &[], count); // exp
+        ctx.flop(v.future_value_x, &[], 2 * count);
+        ctx.flop(
+            v.option_price,
+            &[v.nof_xd1, v.future_value_x, v.nof_xd2],
+            3 * count,
+        );
+        // CNDF, entered twice per option.
+        let c2 = 2 * count;
+        ctx.flop(v.exp_values, &[v.x_input], 2 * c2);
+        ctx.heavy(v.exp_values, &[v.x_input], c2);
+        ctx.flop(v.x_nprime_of_x, &[v.exp_values, v.inv_sqrt_2xpi], c2);
+        ctx.flop(v.x_k2, &[v.x_input], 2 * c2);
+        ctx.heavy(v.x_k2, &[], c2);
+        // Five polynomial terms: one multiply per term mixes the double
+        // literal in; the add and the power update stay in the chain's own
+        // precision.
+        ctx.flop(v.x_local, &[v.x_k2, v.poly_lit], 5 * c2);
+        ctx.flop(v.x_local, &[v.x_k2], 10 * c2);
+        ctx.flop(v.x_local, &[v.x_nprime_of_x], 2 * c2);
+    }
+
+    /// Cumulative normal distribution. Fixed op charges are hoisted into
+    /// [`Blackscholes::charge_option_ops`].
     fn cndf(&self, ctx: &mut ExecCtx<'_>, x: f64) -> f64 {
         let v = &self.v;
         let mut input = MpScalar::new(ctx, v.input_x, x);
@@ -270,20 +306,15 @@ impl Blackscholes {
 
         // expValues = exp(-0.5 * x * x)
         let mut exp_values = MpScalar::new(ctx, v.exp_values, 0.0);
-        ctx.flop(v.exp_values, &[v.x_input], 2);
-        ctx.heavy(v.exp_values, &[v.x_input], 1);
         exp_values.set(ctx, (-0.5 * x_input.get() * x_input.get()).exp());
 
         // xNPrimeofX = expValues * invSqrt2xPI
         let inv = MpScalar::new(ctx, v.inv_sqrt_2xpi, 0.398_942_280_401_432_7);
         let mut nprime = MpScalar::new(ctx, v.x_nprime_of_x, 0.0);
-        ctx.flop(v.x_nprime_of_x, &[v.exp_values, v.inv_sqrt_2xpi], 1);
         nprime.set(ctx, exp_values.get() * inv.get());
 
         // xK2 = 1 / (1 + 0.2316419 * |x|).
         let mut k2 = MpScalar::new(ctx, v.x_k2, 0.0);
-        ctx.flop(v.x_k2, &[v.x_input], 2);
-        ctx.heavy(v.x_k2, &[], 1);
         k2.set(ctx, 1.0 / (1.0 + 0.2316419 * x_input.get()));
 
         // Abramowitz–Stegun polynomial; coefficients are literals, so every
@@ -300,24 +331,21 @@ impl Blackscholes {
         for a in A {
             poly += a * kp;
             kp *= k2.get();
-            // One multiply per term mixes the double literal in; the add
-            // and the power update stay in the chain's own precision.
-            ctx.flop(v.x_local, &[v.x_k2, v.poly_lit], 1);
-            ctx.flop(v.x_local, &[v.x_k2], 2);
         }
         let mut local = MpScalar::new(ctx, v.x_local, 0.0);
-        ctx.flop(v.x_local, &[v.x_nprime_of_x], 2);
         local.set(ctx, 1.0 - poly * nprime.get());
 
         let mut cnd = MpScalar::new(ctx, v.cnd, local.get());
         if sign {
+            // Data-dependent: only negative inputs take the complement.
             ctx.flop(v.cnd, &[v.x_local], 1);
             cnd.set(ctx, 1.0 - local.get());
         }
         cnd.get()
     }
 
-    /// One option price, instrumented (`BlkSchlsEqEuroNoDiv`).
+    /// One option price (`BlkSchlsEqEuroNoDiv`). Fixed op charges are
+    /// hoisted into [`Blackscholes::charge_option_ops`].
     #[allow(clippy::too_many_arguments)]
     fn price_option(
         &self,
@@ -330,27 +358,21 @@ impl Blackscholes {
     ) -> f64 {
         let v = &self.v;
         let mut sqrt_time = MpScalar::new(ctx, v.x_sqrt_time, 0.0);
-        ctx.heavy(v.x_sqrt_time, &[], 1);
         sqrt_time.set(ctx, t.sqrt());
 
         let mut logv = MpScalar::new(ctx, v.log_values, 0.0);
-        ctx.heavy(v.log_values, &[], 2); // divide + log
         logv.set(ctx, (s / k).ln());
 
         let mut xd1 = MpScalar::new(ctx, v.x_d1, 0.0);
-        ctx.flop(v.x_d1, &[v.log_values], 4);
         xd1.set(ctx, (r + 0.5 * vol * vol) * t + logv.get());
 
         let mut xden = MpScalar::new(ctx, v.x_den, 0.0);
-        ctx.flop(v.x_den, &[v.x_sqrt_time], 1);
         xden.set(ctx, vol * sqrt_time.get());
 
         let mut d1v = MpScalar::new(ctx, v.d1, 0.0);
-        ctx.heavy(v.d1, &[v.x_d1, v.x_den], 1);
         d1v.set(ctx, xd1.get() / xden.get());
 
         let mut d2v = MpScalar::new(ctx, v.d2, 0.0);
-        ctx.flop(v.d2, &[v.d1, v.x_den], 1);
         d2v.set(ctx, d1v.get() - xden.get());
 
         let nd1 = self.cndf(ctx, d1v.get());
@@ -360,16 +382,9 @@ impl Blackscholes {
         let _ = (&mut nof1, &mut nof2);
 
         let mut fut = MpScalar::new(ctx, v.future_value_x, 0.0);
-        ctx.heavy(v.future_value_x, &[], 1); // exp
-        ctx.flop(v.future_value_x, &[], 2);
         fut.set(ctx, k * (-r * t).exp());
 
         let mut opt = MpScalar::new(ctx, v.option_price, 0.0);
-        ctx.flop(
-            v.option_price,
-            &[v.nof_xd1, v.future_value_x, v.nof_xd2],
-            3,
-        );
         opt.set(ctx, s * nof1.get() - fut.get() * nof2.get());
         opt.get()
     }
@@ -408,7 +423,7 @@ impl Benchmark for Blackscholes {
         // Unpack the aliased buffer into the five attribute views.
         let n = self.n;
         let view = |ctx: &mut ExecCtx<'_>, var: VarId, off: usize| {
-            MpVec::from_fn(ctx, var, n, |i| data.peek(i * 5 + off))
+            MpVec::from_gather(ctx, var, &data, n, |i| i * 5 + off)
         };
         let sptprice = view(ctx, v.sptprice, 0);
         let strike = view(ctx, v.strike, 1);
@@ -417,20 +432,44 @@ impl Benchmark for Blackscholes {
         let otime = view(ctx, v.otime, 4);
         let mut prices = ctx.alloc_vec(v.prices, n);
 
+        let total = (self.runs * n) as u64;
+        self.charge_option_ops(ctx, total);
+        ctx.flop(v.acc, &[v.price], total);
         let mut acc = MpScalar::new(ctx, v.acc, 0.0);
-        for _ in 0..self.runs {
-            for i in 0..n {
-                let s = sptprice.get(ctx, i);
-                let k = strike.get(ctx, i);
-                let r = rate.get(ctx, i);
-                let vol = volatility.get(ctx, i);
-                let t = otime.get(ctx, i);
-                let p = self.price_option(ctx, s, k, r, vol, t);
-                let mut price = MpScalar::new(ctx, v.price, p);
-                let _ = &mut price;
-                prices.set(ctx, i, price.get());
-                ctx.flop(v.acc, &[v.price], 1);
-                acc.set(ctx, acc.get() + price.get());
+        let mut price = MpScalar::new(ctx, v.price, 0.0);
+        if ctx.is_traced() {
+            for _ in 0..self.runs {
+                for i in 0..n {
+                    let s = sptprice.get(ctx, i);
+                    let k = strike.get(ctx, i);
+                    let r = rate.get(ctx, i);
+                    let vol = volatility.get(ctx, i);
+                    let t = otime.get(ctx, i);
+                    let p = self.price_option(ctx, s, k, r, vol, t);
+                    price.set(ctx, p);
+                    prices.set(ctx, i, price.get());
+                    acc.set(ctx, acc.get() + price.get());
+                }
+            }
+        } else {
+            sptprice.bulk_loads(ctx, total);
+            strike.bulk_loads(ctx, total);
+            rate.bulk_loads(ctx, total);
+            volatility.bulk_loads(ctx, total);
+            otime.bulk_loads(ctx, total);
+            prices.bulk_stores(ctx, total);
+            for _ in 0..self.runs {
+                for i in 0..n {
+                    let s = sptprice.raw()[i];
+                    let k = strike.raw()[i];
+                    let r = rate.raw()[i];
+                    let vol = volatility.raw()[i];
+                    let t = otime.raw()[i];
+                    let p = self.price_option(ctx, s, k, r, vol, t);
+                    price.set(ctx, p);
+                    prices.write_rounded(i, price.get());
+                    acc.set(ctx, acc.get() + price.get());
+                }
             }
         }
         prices.snapshot()

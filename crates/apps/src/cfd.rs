@@ -363,82 +363,163 @@ impl Benchmark for Cfd {
         });
         let neighbors = IndexVec::new(ctx, self.neighbors.clone());
 
+        let n64 = n as u64;
+        let faces = (n * NNB) as u64;
+        let face_q = (n * NNB * NVAR) as u64;
+        let state = (n * NVAR) as u64;
+        let mut density = MpScalar::new(ctx, v.density, 0.0);
+        let mut speed_sqd = MpScalar::new(ctx, v.speed_sqd, 0.0);
+        let mut pressure = MpScalar::new(ctx, v.pressure, 0.0);
+        let mut sos = MpScalar::new(ctx, v.speed_of_sound, 0.0);
+        let mut fc = MpScalar::new(ctx, v.flux_contribution, 0.0);
+        let mut factor = MpScalar::new(ctx, v.factor, 0.0);
         for _ in 0..self.iterations {
             // old_variables = variables
-            for i in 0..n * NVAR {
-                let val = variables.get(ctx, i);
-                old_variables.set(ctx, i, val);
-            }
+            old_variables.copy_from(ctx, &variables);
 
-            // compute_step_factor
-            for c in 0..n {
-                let d0 = variables.get(ctx, c * NVAR);
-                let mut density = MpScalar::new(ctx, v.density, d0);
-                let mx = variables.get(ctx, c * NVAR + 1);
-                let my = variables.get(ctx, c * NVAR + 2);
-                let mz = variables.get(ctx, c * NVAR + 3);
-                let de = variables.get(ctx, c * NVAR + 4);
-                let mut speed_sqd = MpScalar::new(ctx, v.speed_sqd, 0.0);
-                ctx.flop(v.speed_sqd, &[v.momentum_x, v.density], 7);
-                ctx.heavy(v.speed_sqd, &[v.density], 1);
-                speed_sqd.set(
-                    ctx,
-                    (mx * mx + my * my + mz * mz) / (density.get() * density.get()),
-                );
-                let mut pressure = MpScalar::new(ctx, v.pressure, 0.0);
-                ctx.flop(v.pressure, &[v.speed_sqd, v.density], 2);
-                ctx.flop(v.pressure, &[v.density, v.gamma_lit], 2);
-                pressure.set(
-                    ctx,
-                    (gamma - 1.0) * (de - 0.5 * density.get() * speed_sqd.get()),
-                );
-                let mut sos = MpScalar::new(ctx, v.speed_of_sound, 0.0);
-                ctx.heavy(v.speed_of_sound, &[v.pressure, v.density], 2);
-                sos.set(ctx, (gamma * pressure.get() / density.get()).max(0.0).sqrt());
-                let area = areas.get(ctx, c);
-                ctx.flop(v.step_factors, &[v.areas, v.speed_sqd, v.speed_of_sound], 3);
-                ctx.heavy(v.step_factors, &[], 1);
-                let denom = speed_sqd.get().sqrt() + sos.get();
-                step_factors.set(ctx, c, 0.5 / (area * denom.max(1e-9)));
-                density.set(ctx, density.get());
+            // compute_step_factor: a fixed operation mix per cell.
+            ctx.flop(v.speed_sqd, &[v.momentum_x, v.density], 7 * n64);
+            ctx.heavy(v.speed_sqd, &[v.density], n64);
+            ctx.flop(v.pressure, &[v.speed_sqd, v.density], 2 * n64);
+            ctx.flop(v.pressure, &[v.density, v.gamma_lit], 2 * n64);
+            ctx.heavy(v.speed_of_sound, &[v.pressure, v.density], 2 * n64);
+            ctx.flop(
+                v.step_factors,
+                &[v.areas, v.speed_sqd, v.speed_of_sound],
+                3 * n64,
+            );
+            ctx.heavy(v.step_factors, &[], n64);
+            if ctx.is_traced() {
+                for c in 0..n {
+                    let d0 = variables.get(ctx, c * NVAR);
+                    density.set(ctx, d0);
+                    let mx = variables.get(ctx, c * NVAR + 1);
+                    let my = variables.get(ctx, c * NVAR + 2);
+                    let mz = variables.get(ctx, c * NVAR + 3);
+                    let de = variables.get(ctx, c * NVAR + 4);
+                    speed_sqd.set(
+                        ctx,
+                        (mx * mx + my * my + mz * mz) / (density.get() * density.get()),
+                    );
+                    pressure.set(
+                        ctx,
+                        (gamma - 1.0) * (de - 0.5 * density.get() * speed_sqd.get()),
+                    );
+                    sos.set(ctx, (gamma * pressure.get() / density.get()).max(0.0).sqrt());
+                    let area = areas.get(ctx, c);
+                    let denom = speed_sqd.get().sqrt() + sos.get();
+                    step_factors.set(ctx, c, 0.5 / (area * denom.max(1e-9)));
+                    density.set(ctx, density.get());
+                }
+            } else {
+                variables.bulk_loads(ctx, 5 * n64);
+                areas.bulk_loads(ctx, n64);
+                step_factors.bulk_stores(ctx, n64);
+                let vv = variables.raw();
+                let av = areas.raw();
+                for c in 0..n {
+                    density.set(ctx, vv[c * NVAR]);
+                    let mx = vv[c * NVAR + 1];
+                    let my = vv[c * NVAR + 2];
+                    let mz = vv[c * NVAR + 3];
+                    let de = vv[c * NVAR + 4];
+                    speed_sqd.set(
+                        ctx,
+                        (mx * mx + my * my + mz * mz) / (density.get() * density.get()),
+                    );
+                    pressure.set(
+                        ctx,
+                        (gamma - 1.0) * (de - 0.5 * density.get() * speed_sqd.get()),
+                    );
+                    sos.set(ctx, (gamma * pressure.get() / density.get()).max(0.0).sqrt());
+                    let denom = speed_sqd.get().sqrt() + sos.get();
+                    step_factors.write_rounded(c, 0.5 / (av[c] * denom.max(1e-9)));
+                    density.set(ctx, density.get());
+                }
             }
 
             // compute_flux: artificial-viscosity flux between neighbours.
-            for c in 0..n {
-                for q in 0..NVAR {
-                    fluxes.set(ctx, c * NVAR + q, 0.0);
-                }
-                for nb in 0..NNB {
-                    let o = neighbors.get(ctx, c * NNB + nb) as usize;
-                    let normal = normals.get(ctx, (c * NNB + nb) * 3);
+            // Every cell touches every face of its fixed-fan-out neighbour
+            // list, so the counts are static.
+            ctx.flop(
+                v.flux_contribution,
+                &[v.variables, v.old_variables, v.normals],
+                2 * face_q,
+            );
+            ctx.flop(v.flux_contribution, &[v.smooth_lit], face_q);
+            ctx.flop(v.fluxes, &[v.flux_contribution], face_q);
+            if ctx.is_traced() {
+                for c in 0..n {
                     for q in 0..NVAR {
-                        let a = variables.get(ctx, c * NVAR + q);
-                        let bq = old_variables.get(ctx, o * NVAR + q);
-                        let mut fc = MpScalar::new(ctx, v.flux_contribution, 0.0);
-                        ctx.flop(
-                            v.flux_contribution,
-                            &[v.variables, v.old_variables, v.normals],
-                            2,
-                        );
-                        ctx.flop(v.flux_contribution, &[v.smooth_lit], 1);
-                        fc.set(ctx, normal * (bq - a) * 0.2);
-                        let cur = fluxes.get(ctx, c * NVAR + q);
-                        ctx.flop(v.fluxes, &[v.flux_contribution], 1);
-                        fluxes.set(ctx, c * NVAR + q, cur + fc.get());
+                        fluxes.set(ctx, c * NVAR + q, 0.0);
+                    }
+                    for nb in 0..NNB {
+                        let o = neighbors.get(ctx, c * NNB + nb) as usize;
+                        let normal = normals.get(ctx, (c * NNB + nb) * 3);
+                        for q in 0..NVAR {
+                            let a = variables.get(ctx, c * NVAR + q);
+                            let bq = old_variables.get(ctx, o * NVAR + q);
+                            fc.set(ctx, normal * (bq - a) * 0.2);
+                            let cur = fluxes.get(ctx, c * NVAR + q);
+                            fluxes.set(ctx, c * NVAR + q, cur + fc.get());
+                        }
+                    }
+                }
+            } else {
+                fluxes.bulk_stores(ctx, state + face_q);
+                fluxes.bulk_loads(ctx, face_q);
+                variables.bulk_loads(ctx, face_q);
+                old_variables.bulk_loads(ctx, face_q);
+                normals.bulk_loads(ctx, faces);
+                let vv = variables.raw();
+                let ov = old_variables.raw();
+                let nv = normals.raw();
+                let nbv = neighbors.raw();
+                for c in 0..n {
+                    for q in 0..NVAR {
+                        fluxes.write_rounded(c * NVAR + q, 0.0);
+                    }
+                    for nb in 0..NNB {
+                        let o = nbv[c * NNB + nb] as usize;
+                        let normal = nv[(c * NNB + nb) * 3];
+                        for q in 0..NVAR {
+                            let a = vv[c * NVAR + q];
+                            let bq = ov[o * NVAR + q];
+                            fc.set(ctx, normal * (bq - a) * 0.2);
+                            let cur = fluxes.raw()[c * NVAR + q];
+                            fluxes.write_rounded(c * NVAR + q, cur + fc.get());
+                        }
                     }
                 }
             }
 
             // time_step: advance the state.
-            for c in 0..n {
-                let sf = step_factors.get(ctx, c);
-                let mut factor = MpScalar::new(ctx, v.factor, sf);
-                let _ = &mut factor;
-                for q in 0..NVAR {
-                    let old = old_variables.get(ctx, c * NVAR + q);
-                    let fl = fluxes.get(ctx, c * NVAR + q);
-                    ctx.flop(v.variables, &[v.old_variables, v.fluxes, v.factor], 2);
-                    variables.set(ctx, c * NVAR + q, old + factor.get() * fl);
+            ctx.flop(v.variables, &[v.old_variables, v.fluxes, v.factor], 2 * state);
+            if ctx.is_traced() {
+                for c in 0..n {
+                    let sf = step_factors.get(ctx, c);
+                    factor.set(ctx, sf);
+                    for q in 0..NVAR {
+                        let old = old_variables.get(ctx, c * NVAR + q);
+                        let fl = fluxes.get(ctx, c * NVAR + q);
+                        variables.set(ctx, c * NVAR + q, old + factor.get() * fl);
+                    }
+                }
+            } else {
+                step_factors.bulk_loads(ctx, n64);
+                old_variables.bulk_loads(ctx, state);
+                fluxes.bulk_loads(ctx, state);
+                variables.bulk_stores(ctx, state);
+                let sfv = step_factors.raw();
+                let ov = old_variables.raw();
+                let flv = fluxes.raw();
+                for c in 0..n {
+                    factor.set(ctx, sfv[c]);
+                    for q in 0..NVAR {
+                        let old = ov[c * NVAR + q];
+                        let fl = flv[c * NVAR + q];
+                        variables.write_rounded(c * NVAR + q, old + factor.get() * fl);
+                    }
                 }
             }
         }

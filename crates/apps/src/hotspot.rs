@@ -216,41 +216,79 @@ impl Benchmark for Hotspot {
         let rz = MpScalar::new(ctx, v.rz, 4.75);
         let step = MpScalar::new(ctx, v.step, 1.0 / 64.0);
 
+        let n = rows * cols;
+        let n64 = n as u64;
+        // Boundary sites reuse the centre temperature, forgoing one load
+        // per missing neighbour.
+        let stencil_loads = n64 + 2 * (n - cols) as u64 + 2 * (n - rows) as u64;
+        let mut tc_s = MpScalar::new(ctx, v.tc, 0.0);
+        let mut delta_s = MpScalar::new(ctx, v.delta, 0.0);
         for _ in 0..self.iterations {
-            for r in 0..rows {
-                for c in 0..cols {
-                    let idx = r * cols + c;
-                    let t0 = temp.get(ctx, idx);
-                    let mut tc_s = MpScalar::new(ctx, v.tc, t0);
-                    let tcv = tc_s.get();
-                    let tn = if r > 0 { temp.get(ctx, idx - cols) } else { tcv };
-                    let ts = if r + 1 < rows {
-                        temp.get(ctx, idx + cols)
-                    } else {
-                        tcv
-                    };
-                    let tw = if c > 0 { temp.get(ctx, idx - 1) } else { tcv };
-                    let te = if c + 1 < cols { temp.get(ctx, idx + 1) } else { tcv };
-                    // delta = step/cap * (power + (ts+tn-2tc)/ry
-                    //                    + (te+tw-2tc)/rx + (amb-tc)/rz)
-                    let vert = ts + tn - 2.0 * tcv;
-                    let horiz = te + tw - 2.0 * tcv;
-                    ctx.flop(v.tc, &[], 4);
-                    // The `2.0` and `0.5` factors above are literals: at
-                    // single precision these two ops stay double and cast.
-                    ctx.flop(v.delta, &[v.tc, v.step_lit], 2);
-                    let sink = -tcv; // ambient offset is zero by definition
-                    let d = step.get() / cap.get()
-                        * (power.get(ctx, idx) + vert / ry.get() + horiz / rx.get()
-                            + sink / rz.get());
-                    // Rx/Ry/Rz are pre-inverted outside the loop, so the
-                    // inner update is multiply-add only.
-                    ctx.flop(v.delta, &[v.step, v.cap, v.power, v.ry, v.rx, v.rz], 7);
-                    let mut delta_s = MpScalar::new(ctx, v.delta, d);
-                    let _ = &mut delta_s;
-                    tc_s.set(ctx, tcv + delta_s.get());
-                    ctx.flop(v.result, &[v.tc, v.delta], 1);
-                    result.set(ctx, idx, tc_s.get());
+            ctx.flop(v.tc, &[], 4 * n64);
+            // The `2.0` and `0.5` update factors are literals: at single
+            // precision these two ops stay double and cast.
+            ctx.flop(v.delta, &[v.tc, v.step_lit], 2 * n64);
+            // Rx/Ry/Rz are pre-inverted outside the loop, so the inner
+            // update is multiply-add only.
+            ctx.flop(v.delta, &[v.step, v.cap, v.power, v.ry, v.rx, v.rz], 7 * n64);
+            ctx.flop(v.result, &[v.tc, v.delta], n64);
+            if ctx.is_traced() {
+                for r in 0..rows {
+                    for c in 0..cols {
+                        let idx = r * cols + c;
+                        let t0 = temp.get(ctx, idx);
+                        tc_s.set(ctx, t0);
+                        let tcv = tc_s.get();
+                        let tn = if r > 0 { temp.get(ctx, idx - cols) } else { tcv };
+                        let ts = if r + 1 < rows {
+                            temp.get(ctx, idx + cols)
+                        } else {
+                            tcv
+                        };
+                        let tw = if c > 0 { temp.get(ctx, idx - 1) } else { tcv };
+                        let te = if c + 1 < cols { temp.get(ctx, idx + 1) } else { tcv };
+                        // delta = step/cap * (power + (ts+tn-2tc)/ry
+                        //                    + (te+tw-2tc)/rx + (amb-tc)/rz)
+                        let vert = ts + tn - 2.0 * tcv;
+                        let horiz = te + tw - 2.0 * tcv;
+                        let sink = -tcv; // ambient offset is zero by definition
+                        let d = step.get() / cap.get()
+                            * (power.get(ctx, idx) + vert / ry.get() + horiz / rx.get()
+                                + sink / rz.get());
+                        delta_s.set(ctx, d);
+                        tc_s.set(ctx, tcv + delta_s.get());
+                        result.set(ctx, idx, tc_s.get());
+                    }
+                }
+            } else {
+                temp.bulk_loads(ctx, stencil_loads);
+                power.bulk_loads(ctx, n64);
+                result.bulk_stores(ctx, n64);
+                let stepv = step.get();
+                let capv = cap.get();
+                let rxv = rx.get();
+                let ryv = ry.get();
+                let rzv = rz.get();
+                let tv = temp.raw();
+                let pv = power.raw();
+                for r in 0..rows {
+                    for c in 0..cols {
+                        let idx = r * cols + c;
+                        tc_s.set(ctx, tv[idx]);
+                        let tcv = tc_s.get();
+                        let tn = if r > 0 { tv[idx - cols] } else { tcv };
+                        let ts = if r + 1 < rows { tv[idx + cols] } else { tcv };
+                        let tw = if c > 0 { tv[idx - 1] } else { tcv };
+                        let te = if c + 1 < cols { tv[idx + 1] } else { tcv };
+                        let vert = ts + tn - 2.0 * tcv;
+                        let horiz = te + tw - 2.0 * tcv;
+                        let sink = -tcv;
+                        let d = stepv / capv
+                            * (pv[idx] + vert / ryv + horiz / rxv + sink / rzv);
+                        delta_s.set(ctx, d);
+                        tc_s.set(ctx, tcv + delta_s.get());
+                        result.write_rounded(idx, tc_s.get());
+                    }
                 }
             }
             std::mem::swap(&mut temp, &mut result);

@@ -203,60 +203,114 @@ impl Benchmark for Kmeans {
         let (n, d, k) = (self.npoints, self.nfeatures, self.k);
         let feature = self.feature_file.load(ctx, v.feature);
         // Initial centroids: the first k points.
-        let mut clusters = MpVec::from_fn(ctx, v.clusters, k * d, |i| feature.peek(i));
+        let mut clusters = MpVec::from_gather(ctx, v.clusters, &feature, k * d, |i| i);
         let mut membership = IndexVec::new(ctx, vec![-1i64; n]);
 
+        let nkd = (n * k * d) as u64;
+        let norm = 1.0 / d as f64;
+        let mut min_dist = MpScalar::new(ctx, v.min_dist, 0.0);
+        let mut ans = MpScalar::new(ctx, v.ans, 0.0);
+        let mut diff = MpScalar::new(ctx, v.diff, 0.0);
+        let mut dist = MpScalar::new(ctx, v.dist, 0.0);
         for _ in 0..self.iterations {
             let mut new_centers = ctx.alloc_vec(v.new_centers, k * d);
             let mut counts = vec![0u32; k];
-            for p in 0..n {
-                // find_nearest_point
-                let mut min_dist = MpScalar::new(ctx, v.min_dist, f64::MAX);
-                let mut best = 0usize;
-                for c in 0..k {
-                    // euclid_dist_2 with a literal normalisation weight:
-                    // the multiply stays double and casts lowered operands.
-                    let mut ans = MpScalar::new(ctx, v.ans, 0.0);
+            // The assignment phase's operation mix is trip-count-static:
+            // every point visits every cluster and accumulates into exactly
+            // one centre.
+            ctx.flop(v.diff, &[v.feature, v.clusters], nkd);
+            ctx.flop(v.ans, &[v.diff], 2 * nkd);
+            // The literal normalisation weight keeps this multiply double.
+            ctx.flop(v.ans, &[v.diff, v.norm_lit], nkd);
+            ctx.flop(v.min_dist, &[v.dist], (n * k) as u64);
+            ctx.flop(v.new_centers, &[v.feature], (n * d) as u64);
+            if ctx.is_traced() {
+                for p in 0..n {
+                    // find_nearest_point
+                    min_dist.set(ctx, f64::MAX);
+                    let mut best = 0usize;
+                    for c in 0..k {
+                        // euclid_dist_2 with a literal normalisation weight:
+                        // the multiply stays double and casts lowered operands.
+                        ans.set(ctx, 0.0);
+                        for f in 0..d {
+                            let a = feature.get(ctx, p * d + f);
+                            let bv = clusters.get(ctx, c * d + f);
+                            diff.set(ctx, a - bv);
+                            ans.set(ctx, ans.get() + diff.get() * diff.get() * norm);
+                        }
+                        dist.set(ctx, ans.get());
+                        if dist.get() < min_dist.get() {
+                            min_dist.set(ctx, dist.get());
+                            best = c;
+                        }
+                    }
+                    membership.set(ctx, p, best as i64);
+                    counts[best] += 1;
                     for f in 0..d {
-                        let a = feature.get(ctx, p * d + f);
-                        let bv = clusters.get(ctx, c * d + f);
-                        let mut diff = MpScalar::new(ctx, v.diff, a - bv);
-                        let _ = &mut diff;
-                        ctx.flop(v.diff, &[v.feature, v.clusters], 1);
-                        ctx.flop(v.ans, &[v.diff], 2);
-                        ctx.flop(v.ans, &[v.diff, v.norm_lit], 1);
-                        ans.set(
-                            ctx,
-                            ans.get() + diff.get() * diff.get() * (1.0 / d as f64),
-                        );
+                        let cur = new_centers.get(ctx, best * d + f);
+                        let fv = feature.get(ctx, p * d + f);
+                        new_centers.set(ctx, best * d + f, cur + fv);
                     }
-                    let mut dist = MpScalar::new(ctx, v.dist, ans.get());
-                    let _ = &mut dist;
-                    if dist.get() < min_dist.get() {
-                        min_dist.set(ctx, dist.get());
-                        best = c;
-                    }
-                    ctx.flop(v.min_dist, &[v.dist], 1);
                 }
-                membership.set(ctx, p, best as i64);
-                counts[best] += 1;
-                for f in 0..d {
-                    let cur = new_centers.get(ctx, best * d + f);
-                    ctx.flop(v.new_centers, &[v.feature], 1);
-                    let fv = feature.get(ctx, p * d + f);
-                    new_centers.set(ctx, best * d + f, cur + fv);
+            } else {
+                feature.bulk_loads(ctx, nkd + (n * d) as u64);
+                clusters.bulk_loads(ctx, nkd);
+                new_centers.bulk_loads(ctx, (n * d) as u64);
+                new_centers.bulk_stores(ctx, (n * d) as u64);
+                let fvals = feature.raw();
+                let cvals = clusters.raw();
+                for p in 0..n {
+                    min_dist.set(ctx, f64::MAX);
+                    let mut best = 0usize;
+                    for c in 0..k {
+                        ans.set(ctx, 0.0);
+                        for f in 0..d {
+                            diff.set(ctx, fvals[p * d + f] - cvals[c * d + f]);
+                            ans.set(ctx, ans.get() + diff.get() * diff.get() * norm);
+                        }
+                        dist.set(ctx, ans.get());
+                        if dist.get() < min_dist.get() {
+                            min_dist.set(ctx, dist.get());
+                            best = c;
+                        }
+                    }
+                    membership.set(ctx, p, best as i64);
+                    counts[best] += 1;
+                    for f in 0..d {
+                        let cur = new_centers.raw()[best * d + f];
+                        new_centers.write_rounded(best * d + f, cur + fvals[p * d + f]);
+                    }
                 }
             }
-            // Recompute centroids.
-            #[allow(clippy::needless_range_loop)] // mirrors the C loop shape
-            for c in 0..k {
-                if counts[c] == 0 {
-                    continue;
+            // Recompute centroids. Empty clusters are skipped, so the op
+            // count depends on the assignment outcome — charge it from the
+            // observed occupancy.
+            let occupied = counts.iter().filter(|&&x| x > 0).count();
+            ctx.heavy(v.clusters, &[v.new_centers], (occupied * d) as u64);
+            if ctx.is_traced() {
+                #[allow(clippy::needless_range_loop)] // mirrors the C loop shape
+                for c in 0..k {
+                    if counts[c] == 0 {
+                        continue;
+                    }
+                    for f in 0..d {
+                        let s = new_centers.get(ctx, c * d + f);
+                        clusters.set(ctx, c * d + f, s / counts[c] as f64);
+                    }
                 }
-                for f in 0..d {
-                    let s = new_centers.get(ctx, c * d + f);
-                    ctx.heavy(v.clusters, &[v.new_centers], 1);
-                    clusters.set(ctx, c * d + f, s / counts[c] as f64);
+            } else {
+                new_centers.bulk_loads(ctx, (occupied * d) as u64);
+                clusters.bulk_stores(ctx, (occupied * d) as u64);
+                let ncv = new_centers.raw();
+                #[allow(clippy::needless_range_loop)]
+                for c in 0..k {
+                    if counts[c] == 0 {
+                        continue;
+                    }
+                    for f in 0..d {
+                        clusters.write_rounded(c * d + f, ncv[c * d + f] / counts[c] as f64);
+                    }
                 }
             }
         }

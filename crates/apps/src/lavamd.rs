@@ -256,59 +256,123 @@ impl Benchmark for LavaMd {
         let neighbors = IndexVec::new(ctx, self.neighbors.clone());
         let a2 = MpScalar::new(ctx, v.a2, 2.0 * 0.5 * 0.5);
 
-        for home in 0..nboxes {
-            for i in 0..ppb {
-                let pi = home * ppb + i;
-                let (rx, ry, rz, rw) = (
-                    rv.get(ctx, pi * 4),
-                    rv.get(ctx, pi * 4 + 1),
-                    rv.get(ctx, pi * 4 + 2),
-                    rv.get(ctx, pi * 4 + 3),
-                );
-                let (mut ax, mut ay, mut az, mut aw) = (0.0, 0.0, 0.0, 0.0);
-                for nb in 0..27 {
-                    let nb_box = neighbors.get(ctx, home * 27 + nb);
-                    if nb_box < 0 {
-                        continue;
+        // The neighbour structure is fixed input data, so the pair count —
+        // and with it the whole operation mix — is known before the kernel
+        // runs: each home particle interacts with every particle of every
+        // valid neighbour box.
+        let valid_boxes: u64 = self
+            .neighbors
+            .iter()
+            .filter(|&&nb| nb >= 0)
+            .count() as u64;
+        let pairs = valid_boxes * (ppb * ppb) as u64;
+        let npar = (nboxes * ppb) as u64;
+        ctx.flop(v.r2, &[v.rv], 5 * pairs);
+        ctx.flop(v.u2, &[v.a2, v.r2], pairs);
+        // The pairwise exp vectorises (SVML-style), so it scales with SIMD
+        // width like ordinary flops.
+        ctx.flop(v.vij, &[v.u2], 4 * pairs);
+        ctx.flop(v.fs, &[v.qv, v.vij], 2 * pairs);
+        ctx.flop(v.fv, &[v.fs, v.rv], 4 * pairs);
+        let mut r2 = MpScalar::new(ctx, v.r2, 0.0);
+        let mut u2 = MpScalar::new(ctx, v.u2, 0.0);
+        let mut vij_s = MpScalar::new(ctx, v.vij, 0.0);
+        let mut fs = MpScalar::new(ctx, v.fs, 0.0);
+        if ctx.is_traced() {
+            for home in 0..nboxes {
+                for i in 0..ppb {
+                    let pi = home * ppb + i;
+                    let (rx, ry, rz, rw) = (
+                        rv.get(ctx, pi * 4),
+                        rv.get(ctx, pi * 4 + 1),
+                        rv.get(ctx, pi * 4 + 2),
+                        rv.get(ctx, pi * 4 + 3),
+                    );
+                    let (mut ax, mut ay, mut az, mut aw) = (0.0, 0.0, 0.0, 0.0);
+                    for nb in 0..27 {
+                        let nb_box = neighbors.get(ctx, home * 27 + nb);
+                        if nb_box < 0 {
+                            continue;
+                        }
+                        for j in 0..ppb {
+                            let pj = nb_box as usize * ppb + j;
+                            let (bx, by, bz, bw) = (
+                                rv.get(ctx, pj * 4),
+                                rv.get(ctx, pj * 4 + 1),
+                                rv.get(ctx, pj * 4 + 2),
+                                rv.get(ctx, pj * 4 + 3),
+                            );
+                            // r2 = rA.v + rB.v - dot(rA, rB)
+                            r2.set(ctx, rw + bw - (rx * bx + ry * by + rz * bz));
+                            u2.set(ctx, a2.get() * r2.get());
+                            vij_s.set(ctx, (-u2.get()).exp());
+                            let qj = qv.get(ctx, pj);
+                            fs.set(ctx, 2.0 * qj * vij_s.get());
+                            let dx = rx - bx;
+                            let dy = ry - by;
+                            let dz = rz - bz;
+                            ax += fs.get() * dx;
+                            ay += fs.get() * dy;
+                            az += fs.get() * dz;
+                            aw += qj * vij_s.get();
+                        }
                     }
-                    for j in 0..ppb {
-                        let pj = nb_box as usize * ppb + j;
-                        let (bx, by, bz, bw) = (
-                            rv.get(ctx, pj * 4),
-                            rv.get(ctx, pj * 4 + 1),
-                            rv.get(ctx, pj * 4 + 2),
-                            rv.get(ctx, pj * 4 + 3),
-                        );
-                        // r2 = rA.v + rB.v - dot(rA, rB)
-                        let mut r2 = MpScalar::new(ctx, v.r2, 0.0);
-                        ctx.flop(v.r2, &[v.rv], 5);
-                        r2.set(ctx, rw + bw - (rx * bx + ry * by + rz * bz));
-                        let mut u2 = MpScalar::new(ctx, v.u2, 0.0);
-                        ctx.flop(v.u2, &[v.a2, v.r2], 1);
-                        u2.set(ctx, a2.get() * r2.get());
-                        let mut vij_s = MpScalar::new(ctx, v.vij, 0.0);
-                        // The pairwise exp vectorises (SVML-style), so it
-                        // scales with SIMD width like ordinary flops.
-                        ctx.flop(v.vij, &[v.u2], 4);
-                        vij_s.set(ctx, (-u2.get()).exp());
-                        let qj = qv.get(ctx, pj);
-                        let mut fs = MpScalar::new(ctx, v.fs, 0.0);
-                        ctx.flop(v.fs, &[v.qv, v.vij], 2);
-                        fs.set(ctx, 2.0 * qj * vij_s.get());
-                        let dx = rx - bx;
-                        let dy = ry - by;
-                        let dz = rz - bz;
-                        ctx.flop(v.fv, &[v.fs, v.rv], 4);
-                        ax += fs.get() * dx;
-                        ay += fs.get() * dy;
-                        az += fs.get() * dz;
-                        aw += qj * vij_s.get();
-                    }
+                    fv.set(ctx, pi * 4, ax);
+                    fv.set(ctx, pi * 4 + 1, ay);
+                    fv.set(ctx, pi * 4 + 2, az);
+                    fv.set(ctx, pi * 4 + 3, aw);
                 }
-                fv.set(ctx, pi * 4, ax);
-                fv.set(ctx, pi * 4 + 1, ay);
-                fv.set(ctx, pi * 4 + 2, az);
-                fv.set(ctx, pi * 4 + 3, aw);
+            }
+        } else {
+            rv.bulk_loads(ctx, 4 * npar + 4 * pairs);
+            qv.bulk_loads(ctx, pairs);
+            fv.bulk_stores(ctx, 4 * npar);
+            let a2v = a2.get();
+            let rvv = rv.raw();
+            let qvv = qv.raw();
+            let nbv = neighbors.raw();
+            for home in 0..nboxes {
+                for i in 0..ppb {
+                    let pi = home * ppb + i;
+                    let (rx, ry, rz, rw) = (
+                        rvv[pi * 4],
+                        rvv[pi * 4 + 1],
+                        rvv[pi * 4 + 2],
+                        rvv[pi * 4 + 3],
+                    );
+                    let (mut ax, mut ay, mut az, mut aw) = (0.0, 0.0, 0.0, 0.0);
+                    for nb in 0..27 {
+                        let nb_box = nbv[home * 27 + nb];
+                        if nb_box < 0 {
+                            continue;
+                        }
+                        for j in 0..ppb {
+                            let pj = nb_box as usize * ppb + j;
+                            let (bx, by, bz, bw) = (
+                                rvv[pj * 4],
+                                rvv[pj * 4 + 1],
+                                rvv[pj * 4 + 2],
+                                rvv[pj * 4 + 3],
+                            );
+                            r2.set(ctx, rw + bw - (rx * bx + ry * by + rz * bz));
+                            u2.set(ctx, a2v * r2.get());
+                            vij_s.set(ctx, (-u2.get()).exp());
+                            let qj = qvv[pj];
+                            fs.set(ctx, 2.0 * qj * vij_s.get());
+                            let dx = rx - bx;
+                            let dy = ry - by;
+                            let dz = rz - bz;
+                            ax += fs.get() * dx;
+                            ay += fs.get() * dy;
+                            az += fs.get() * dz;
+                            aw += qj * vij_s.get();
+                        }
+                    }
+                    fv.write_rounded(pi * 4, ax);
+                    fv.write_rounded(pi * 4 + 1, ay);
+                    fv.write_rounded(pi * 4 + 2, az);
+                    fv.write_rounded(pi * 4 + 3, aw);
+                }
             }
         }
         fv.snapshot()

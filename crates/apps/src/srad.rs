@@ -211,12 +211,8 @@ impl Benchmark for Srad {
             // E[J²] − E[J]² form that cancels at single precision.
             let mut sum = MpScalar::new(ctx, v.sum, 0.0);
             let mut sum2 = MpScalar::new(ctx, v.sum, 0.0);
-            for i in 0..n {
-                let val = j.get(ctx, i);
-                ctx.flop(v.sum, &[v.image], 3);
-                sum.set(ctx, sum.get() + val);
-                sum2.set(ctx, sum2.get() + val * val);
-            }
+            ctx.flop(v.sum, &[v.image], 3 * n as u64);
+            j.sum_with_squares(ctx, &mut sum, &mut sum2);
             let mut mean_roi = MpScalar::new(ctx, v.mean_roi, 0.0);
             ctx.heavy(v.mean_roi, &[v.sum], 1);
             mean_roi.set(ctx, sum.get() / n as f64);
@@ -236,73 +232,141 @@ impl Benchmark for Srad {
                 (var_roi.get().sqrt() / mean_roi.get()) * (var_roi.get().sqrt() / mean_roi.get()),
             );
 
-            // Gradients and diffusion coefficient.
-            for r in 0..rows {
-                for col in 0..cols {
-                    let i = r * cols + col;
-                    let jc = j.get(ctx, i);
-                    let jn = if r > 0 { j.get(ctx, i - cols) } else { jc };
-                    let js = if r + 1 < rows { j.get(ctx, i + cols) } else { jc };
-                    let jw = if col > 0 { j.get(ctx, i - 1) } else { jc };
-                    let je = if col + 1 < cols { j.get(ctx, i + 1) } else { jc };
-                    ctx.flop(v.dn, &[v.image], 4);
-                    dn.set(ctx, i, jn - jc);
-                    ds.set(ctx, i, js - jc);
-                    dw.set(ctx, i, jw - jc);
-                    de.set(ctx, i, je - jc);
+            // Gradients and diffusion coefficient. The operation mix per
+            // site is fixed, so all flop/heavy charges hoist; the kernel
+            // locals round through reusable scalars with cached rounders.
+            let n64 = n as u64;
+            ctx.flop(v.dn, &[v.image], 4 * n64);
+            ctx.flop(v.g2, &[v.dn, v.ds, v.dw, v.de, v.image], 8 * n64);
+            ctx.heavy(v.g2, &[v.image], n64);
+            ctx.flop(v.l, &[v.dn, v.ds, v.dw, v.de], 4 * n64);
+            ctx.heavy(v.l, &[v.image], n64);
+            ctx.flop(v.qsqr, &[v.g2, v.l], 6 * n64);
+            ctx.heavy(v.qsqr, &[v.g2, v.l], n64);
+            ctx.flop(v.num, &[v.qsqr, v.q0sqr], 3 * n64);
+            ctx.heavy(v.num, &[v.q0sqr], n64);
+            ctx.heavy(v.c, &[v.num], n64);
+            let mut g2 = MpScalar::new(ctx, v.g2, 0.0);
+            let mut lv = MpScalar::new(ctx, v.l, 0.0);
+            let mut qsqr = MpScalar::new(ctx, v.qsqr, 0.0);
+            let mut num = MpScalar::new(ctx, v.num, 0.0);
+            // Boundary sites reuse the centre value instead of loading a
+            // neighbour, so each edge row/column forgoes one load.
+            let ns_loads = (n - cols) as u64;
+            let we_loads = (n - rows) as u64;
+            if ctx.is_traced() {
+                for r in 0..rows {
+                    for col in 0..cols {
+                        let i = r * cols + col;
+                        let jc = j.get(ctx, i);
+                        let jn = if r > 0 { j.get(ctx, i - cols) } else { jc };
+                        let js = if r + 1 < rows { j.get(ctx, i + cols) } else { jc };
+                        let jw = if col > 0 { j.get(ctx, i - 1) } else { jc };
+                        let je = if col + 1 < cols { j.get(ctx, i + 1) } else { jc };
+                        let dnv = dn.set(ctx, i, jn - jc);
+                        let dsv = ds.set(ctx, i, js - jc);
+                        let dwv = dw.set(ctx, i, jw - jc);
+                        let dev = de.set(ctx, i, je - jc);
 
-                    let mut g2 = MpScalar::new(ctx, v.g2, 0.0);
-                    ctx.flop(v.g2, &[v.dn, v.ds, v.dw, v.de, v.image], 8);
-                    ctx.heavy(v.g2, &[v.image], 1);
-                    g2.set(
-                        ctx,
-                        (dn.peek(i) * dn.peek(i)
-                            + ds.peek(i) * ds.peek(i)
-                            + dw.peek(i) * dw.peek(i)
-                            + de.peek(i) * de.peek(i))
-                            / (jc * jc),
-                    );
-                    let mut lv = MpScalar::new(ctx, v.l, 0.0);
-                    ctx.flop(v.l, &[v.dn, v.ds, v.dw, v.de], 4);
-                    ctx.heavy(v.l, &[v.image], 1);
-                    lv.set(
-                        ctx,
-                        (dn.peek(i) + ds.peek(i) + dw.peek(i) + de.peek(i)) / jc,
-                    );
-                    let mut qsqr = MpScalar::new(ctx, v.qsqr, 0.0);
-                    ctx.flop(v.qsqr, &[v.g2, v.l], 6);
-                    ctx.heavy(v.qsqr, &[v.g2, v.l], 1);
-                    let denom = 1.0 + 0.25 * lv.get();
-                    qsqr.set(
-                        ctx,
-                        (0.5 * g2.get() - 0.0625 * lv.get() * lv.get()) / (denom * denom),
-                    );
-                    let mut num = MpScalar::new(ctx, v.num, 0.0);
-                    ctx.flop(v.num, &[v.qsqr, v.q0sqr], 3);
-                    ctx.heavy(v.num, &[v.q0sqr], 1);
-                    num.set(
-                        ctx,
-                        (qsqr.get() - q0.get()) / (q0.get() * (1.0 + q0.get())),
-                    );
-                    ctx.heavy(v.c, &[v.num], 1);
-                    c.set(ctx, i, 1.0 / (1.0 + num.get()));
+                        g2.set(
+                            ctx,
+                            (dnv * dnv + dsv * dsv + dwv * dwv + dev * dev) / (jc * jc),
+                        );
+                        lv.set(ctx, (dnv + dsv + dwv + dev) / jc);
+                        let denom = 1.0 + 0.25 * lv.get();
+                        qsqr.set(
+                            ctx,
+                            (0.5 * g2.get() - 0.0625 * lv.get() * lv.get()) / (denom * denom),
+                        );
+                        num.set(
+                            ctx,
+                            (qsqr.get() - q0.get()) / (q0.get() * (1.0 + q0.get())),
+                        );
+                        c.set(ctx, i, 1.0 / (1.0 + num.get()));
+                    }
+                }
+            } else {
+                j.bulk_loads(ctx, n64 + 2 * ns_loads + 2 * we_loads);
+                dn.bulk_stores(ctx, n64);
+                ds.bulk_stores(ctx, n64);
+                dw.bulk_stores(ctx, n64);
+                de.bulk_stores(ctx, n64);
+                c.bulk_stores(ctx, n64);
+                let jv = j.raw();
+                for r in 0..rows {
+                    for col in 0..cols {
+                        let i = r * cols + col;
+                        let jc = jv[i];
+                        let jn = if r > 0 { jv[i - cols] } else { jc };
+                        let js = if r + 1 < rows { jv[i + cols] } else { jc };
+                        let jw = if col > 0 { jv[i - 1] } else { jc };
+                        let je = if col + 1 < cols { jv[i + 1] } else { jc };
+                        let dnv = dn.write_rounded(i, jn - jc);
+                        let dsv = ds.write_rounded(i, js - jc);
+                        let dwv = dw.write_rounded(i, jw - jc);
+                        let dev = de.write_rounded(i, je - jc);
+
+                        g2.set(
+                            ctx,
+                            (dnv * dnv + dsv * dsv + dwv * dwv + dev * dev) / (jc * jc),
+                        );
+                        lv.set(ctx, (dnv + dsv + dwv + dev) / jc);
+                        let denom = 1.0 + 0.25 * lv.get();
+                        qsqr.set(
+                            ctx,
+                            (0.5 * g2.get() - 0.0625 * lv.get() * lv.get()) / (denom * denom),
+                        );
+                        num.set(
+                            ctx,
+                            (qsqr.get() - q0.get()) / (q0.get() * (1.0 + q0.get())),
+                        );
+                        c.write_rounded(i, 1.0 / (1.0 + num.get()));
+                    }
                 }
             }
 
             // Diffusion update.
-            for r in 0..rows {
-                for col in 0..cols {
-                    let i = r * cols + col;
-                    let cc = c.get(ctx, i);
-                    let cs = if r + 1 < rows { c.get(ctx, i + cols) } else { cc };
-                    let ce = if col + 1 < cols { c.get(ctx, i + 1) } else { cc };
-                    let div = cc * dn.get(ctx, i)
-                        + cs * ds.get(ctx, i)
-                        + cc * dw.get(ctx, i)
-                        + ce * de.get(ctx, i);
-                    ctx.flop(v.image, &[v.c, v.dn, v.ds, v.dw, v.de, v.lambda], 9);
-                    let jc = j.get(ctx, i);
-                    j.set(ctx, i, jc + 0.25 * lambda.get() * div);
+            ctx.flop(v.image, &[v.c, v.dn, v.ds, v.dw, v.de, v.lambda], 9 * n64);
+            if ctx.is_traced() {
+                for r in 0..rows {
+                    for col in 0..cols {
+                        let i = r * cols + col;
+                        let cc = c.get(ctx, i);
+                        let cs = if r + 1 < rows { c.get(ctx, i + cols) } else { cc };
+                        let ce = if col + 1 < cols { c.get(ctx, i + 1) } else { cc };
+                        let div = cc * dn.get(ctx, i)
+                            + cs * ds.get(ctx, i)
+                            + cc * dw.get(ctx, i)
+                            + ce * de.get(ctx, i);
+                        let jc = j.get(ctx, i);
+                        j.set(ctx, i, jc + 0.25 * lambda.get() * div);
+                    }
+                }
+            } else {
+                c.bulk_loads(ctx, n64 + ns_loads + we_loads);
+                dn.bulk_loads(ctx, n64);
+                ds.bulk_loads(ctx, n64);
+                dw.bulk_loads(ctx, n64);
+                de.bulk_loads(ctx, n64);
+                j.bulk_loads(ctx, n64);
+                j.bulk_stores(ctx, n64);
+                let lam = lambda.get();
+                let cv = c.raw();
+                let dnv = dn.raw();
+                let dsv = ds.raw();
+                let dwv = dw.raw();
+                let dev = de.raw();
+                for r in 0..rows {
+                    for col in 0..cols {
+                        let i = r * cols + col;
+                        let cc = cv[i];
+                        let cs = if r + 1 < rows { cv[i + cols] } else { cc };
+                        let ce = if col + 1 < cols { cv[i + 1] } else { cc };
+                        let div =
+                            cc * dnv[i] + cs * dsv[i] + cc * dwv[i] + ce * dev[i];
+                        let jc = j.raw()[i];
+                        j.write_rounded(i, jc + 0.25 * lam * div);
+                    }
                 }
             }
         }

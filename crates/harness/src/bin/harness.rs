@@ -140,6 +140,7 @@ fn main() {
         retry: RetryPolicy {
             max_attempts: cli.retries,
             backoff: cli.backoff,
+            ..RetryPolicy::default()
         },
         checkpoint: cli.checkpoint.clone(),
         ..CampaignOptions::default()

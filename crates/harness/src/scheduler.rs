@@ -27,8 +27,15 @@ pub struct RetryPolicy {
     /// Total attempts per job, including the first (so `1` = no retry).
     pub max_attempts: u32,
     /// Base backoff slept before attempt n+1, doubled per retry
-    /// (deterministic exponential backoff, no jitter).
+    /// (deterministic exponential backoff).
     pub backoff: Duration,
+    /// Seed for deterministic backoff jitter; `0` disables jitter. With a
+    /// non-zero seed the exponential delay is scaled by a pseudo-random
+    /// factor in `[0.5, 1.5)` derived purely from `(seed, job index,
+    /// attempt)`, so concurrent retries de-synchronise (no thundering
+    /// herd against a shared journal or cache) while any campaign replay
+    /// with the same seed sleeps exactly the same schedule.
+    pub jitter_seed: u64,
 }
 
 impl Default for RetryPolicy {
@@ -36,6 +43,7 @@ impl Default for RetryPolicy {
         RetryPolicy {
             max_attempts: 1,
             backoff: Duration::ZERO,
+            jitter_seed: 0,
         }
     }
 }
@@ -45,8 +53,31 @@ impl RetryPolicy {
     pub fn attempts(max_attempts: u32) -> Self {
         RetryPolicy {
             max_attempts: max_attempts.max(1),
-            backoff: Duration::ZERO,
+            ..RetryPolicy::default()
         }
+    }
+
+    /// The delay slept after failed attempt `attempt` (1-based) of job
+    /// `index` before the next try: `backoff * 2^(attempt-1)`, optionally
+    /// jittered (see [`RetryPolicy::jitter_seed`]). Pure — two calls with
+    /// the same policy and arguments always return the same duration.
+    pub fn delay_for(&self, index: usize, attempt: u32) -> Duration {
+        if self.backoff.is_zero() {
+            return Duration::ZERO;
+        }
+        let factor = 1u32 << (attempt.saturating_sub(1)).min(16);
+        let base = self.backoff * factor;
+        if self.jitter_seed == 0 {
+            return base;
+        }
+        // Decorrelate the per-(job, attempt) streams with an odd
+        // multiplier so neighbouring indices don't share a prefix.
+        let stream = self
+            .jitter_seed
+            .wrapping_add((index as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15))
+            .wrapping_add(u64::from(attempt).wrapping_mul(0xD134_2543_DE82_EF95));
+        let frac = mixp_core::synth::SplitMix64::new(stream).next_f64();
+        base.mul_f64(0.5 + frac)
     }
 }
 
@@ -144,10 +175,9 @@ fn run_with_retry(
         if !retry {
             return (attempt, outcome);
         }
-        if !opts.retry.backoff.is_zero() {
-            // Deterministic exponential backoff: base * 2^(attempt-1).
-            let factor = 1u32 << (attempt - 1).min(16);
-            std::thread::sleep(opts.retry.backoff * factor);
+        let delay = opts.retry.delay_for(index, attempt);
+        if !delay.is_zero() {
+            std::thread::sleep(delay);
         }
     }
 }
@@ -372,6 +402,43 @@ mod tests {
     #[test]
     fn default_workers_positive() {
         assert!(default_workers() > 0);
+    }
+
+    #[test]
+    fn backoff_jitter_is_reproducible_and_bounded() {
+        let policy = RetryPolicy {
+            max_attempts: 4,
+            backoff: Duration::from_millis(10),
+            jitter_seed: 0xDEAD_BEEF,
+        };
+        for index in 0..8 {
+            for attempt in 1..4u32 {
+                let a = policy.delay_for(index, attempt);
+                let b = policy.delay_for(index, attempt);
+                assert_eq!(a, b, "same (seed, index, attempt) must sleep the same");
+                let base = Duration::from_millis(10) * (1u32 << (attempt - 1));
+                assert!(a >= base.mul_f64(0.5), "jitter below half the base: {a:?}");
+                assert!(a < base.mul_f64(1.5), "jitter at or above 1.5x base: {a:?}");
+            }
+        }
+        // Different seeds must actually change the schedule somewhere.
+        let other = RetryPolicy {
+            jitter_seed: 0xBADC_0FFE,
+            ..policy
+        };
+        assert!(
+            (0..8).any(|i| policy.delay_for(i, 1) != other.delay_for(i, 1)),
+            "distinct seeds produced an identical schedule"
+        );
+        // Seed 0 keeps the historical deterministic exponential backoff.
+        let plain = RetryPolicy {
+            jitter_seed: 0,
+            ..policy
+        };
+        assert_eq!(plain.delay_for(3, 1), Duration::from_millis(10));
+        assert_eq!(plain.delay_for(3, 3), Duration::from_millis(40));
+        // And zero backoff never sleeps, jittered or not.
+        assert_eq!(RetryPolicy::attempts(5).delay_for(0, 2), Duration::ZERO);
     }
 
     #[test]

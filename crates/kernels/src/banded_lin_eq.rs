@@ -102,15 +102,32 @@ impl Benchmark for BandedLinEq {
     fn run(&self, ctx: &mut ExecCtx<'_>) -> Vec<f64> {
         let y = MpVec::from_values(ctx, self.y, &self.y_init);
         let mut x = ctx.alloc_vec(self.x, self.nsys * self.n);
-        for _ in 0..self.sweeps {
-            // Lock-step forward substitution: row i of every system.
-            for i in 1..self.n {
-                for j in 0..self.nsys {
-                    let idx = j * self.n + i;
-                    let acc = y.get(ctx, idx) - x.get(ctx, idx - 1) * y.get(ctx, idx - 1);
-                    // 3 flops entirely within the {x, y} cluster.
-                    ctx.flop(self.x, &[self.y], 3);
-                    x.set(ctx, idx, acc);
+        // 3 flops per row update, entirely within the {x, y} cluster.
+        let iters = (self.sweeps * (self.n - 1) * self.nsys) as u64;
+        ctx.flop(self.x, &[self.y], 3 * iters);
+        if ctx.is_traced() {
+            for _ in 0..self.sweeps {
+                // Lock-step forward substitution: row i of every system.
+                for i in 1..self.n {
+                    for j in 0..self.nsys {
+                        let idx = j * self.n + i;
+                        let acc = y.get(ctx, idx) - x.get(ctx, idx - 1) * y.get(ctx, idx - 1);
+                        x.set(ctx, idx, acc);
+                    }
+                }
+            }
+        } else {
+            y.bulk_loads(ctx, 2 * iters);
+            x.bulk_loads(ctx, iters);
+            x.bulk_stores(ctx, iters);
+            let yv = y.raw();
+            for _ in 0..self.sweeps {
+                for i in 1..self.n {
+                    for j in 0..self.nsys {
+                        let idx = j * self.n + i;
+                        let prev = x.raw()[idx - 1];
+                        x.write_rounded(idx, yv[idx] - prev * yv[idx - 1]);
+                    }
                 }
             }
         }

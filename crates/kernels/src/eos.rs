@@ -123,24 +123,48 @@ impl Benchmark for Eos {
         let q = mixp_float::MpScalar::new(ctx, self.q, 0.0625);
         let r = mixp_float::MpScalar::new(ctx, self.r, 0.03125);
         let t = 0.015625; // literal: always double
-        for _ in 0..self.passes {
-            for i in 0..self.n - 6 {
-                // Inner polynomial over arrays and the rate scalars.
-                let inner = u.get(ctx, i)
-                    + r.get() * (z.get(ctx, i) + r.get() * y.get(ctx, i));
-                ctx.flop(self.x, &[self.u, self.r, self.z, self.y], 4);
-                let hist = u.get(ctx, i + 3)
-                    + q.get() * (u.get(ctx, i + 2) + q.get() * u.get(ctx, i + 1));
-                ctx.flop(self.x, &[self.u, self.q], 4);
-                // The literal time step participates in the final combine:
-                // this op is always double and casts lowered operands.
-                let v = inner + t * hist;
-                ctx.flop(self.x, &[self.t_lit], 2);
-                x.set(ctx, i, v);
-                // Secondary state update, again through the literal.
-                let wv = x.get(ctx, i) * t + u.get(ctx, i);
-                ctx.flop(self.w, &[self.x, self.t_lit, self.u], 2);
-                w.set(ctx, i, wv);
+        let iters = (self.passes * (self.n - 6)) as u64;
+        ctx.flop(self.x, &[self.u, self.r, self.z, self.y], 4 * iters);
+        ctx.flop(self.x, &[self.u, self.q], 4 * iters);
+        // The literal time step participates in the final combine: this op
+        // is always double and casts lowered operands.
+        ctx.flop(self.x, &[self.t_lit], 2 * iters);
+        ctx.flop(self.w, &[self.x, self.t_lit, self.u], 2 * iters);
+        if ctx.is_traced() {
+            for _ in 0..self.passes {
+                for i in 0..self.n - 6 {
+                    // Inner polynomial over arrays and the rate scalars.
+                    let inner = u.get(ctx, i)
+                        + r.get() * (z.get(ctx, i) + r.get() * y.get(ctx, i));
+                    let hist = u.get(ctx, i + 3)
+                        + q.get() * (u.get(ctx, i + 2) + q.get() * u.get(ctx, i + 1));
+                    let v = inner + t * hist;
+                    x.set(ctx, i, v);
+                    // Secondary state update, again through the literal.
+                    let wv = x.get(ctx, i) * t + u.get(ctx, i);
+                    w.set(ctx, i, wv);
+                }
+            }
+        } else {
+            // Same loads as the reference loop, charged in bulk — including
+            // the x[i] read-back between the two stores.
+            u.bulk_loads(ctx, 5 * iters);
+            z.bulk_loads(ctx, iters);
+            y.bulk_loads(ctx, iters);
+            x.bulk_loads(ctx, iters);
+            x.bulk_stores(ctx, iters);
+            w.bulk_stores(ctx, iters);
+            let (qv, rv) = (q.get(), r.get());
+            let uv = u.raw();
+            let zv = z.raw();
+            let yv = y.raw();
+            for _ in 0..self.passes {
+                for i in 0..self.n - 6 {
+                    let inner = uv[i] + rv * (zv[i] + rv * yv[i]);
+                    let hist = uv[i + 3] + qv * (uv[i + 2] + qv * uv[i + 1]);
+                    let stored = x.write_rounded(i, inner + t * hist);
+                    w.write_rounded(i, stored * t + uv[i]);
+                }
             }
         }
         let mut out = x.snapshot();

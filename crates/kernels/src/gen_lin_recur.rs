@@ -105,18 +105,40 @@ impl Benchmark for GenLinRecur {
         let sb = MpVec::from_values(ctx, self.sb, &self.sb_init);
         let mut stb = ctx.alloc_vec(self.stb, self.n);
         let mut sx = ctx.alloc_vec(self.sx, self.n);
-        for _ in 0..self.passes {
-            // stb[i] = sb[i] - stb[i-1]*sa[i]: a strict forward dependence.
-            for i in 1..self.n {
-                let v = sb.get(ctx, i) - stb.get(ctx, i - 1) * sa.get(ctx, i);
-                ctx.heavy(self.stb, &[self.sb, self.sa], 2);
-                stb.set(ctx, i, v);
+        let iters = (self.passes * (self.n - 1)) as u64;
+        ctx.heavy(self.stb, &[self.sb, self.sa], 2 * iters);
+        ctx.heavy(self.sx, &[self.stb, self.sa], 2 * iters);
+        if ctx.is_traced() {
+            for _ in 0..self.passes {
+                // stb[i] = sb[i] - stb[i-1]*sa[i]: strict forward dependence.
+                for i in 1..self.n {
+                    let v = sb.get(ctx, i) - stb.get(ctx, i - 1) * sa.get(ctx, i);
+                    stb.set(ctx, i, v);
+                }
+                // Backward accumulation, equally dependence-bound.
+                for i in (0..self.n - 1).rev() {
+                    let v = stb.get(ctx, i) + sx.get(ctx, i + 1) * sa.get(ctx, i);
+                    sx.set(ctx, i, v);
+                }
             }
-            // Backward accumulation, equally dependence-bound.
-            for i in (0..self.n - 1).rev() {
-                let v = stb.get(ctx, i) + sx.get(ctx, i + 1) * sa.get(ctx, i);
-                ctx.heavy(self.sx, &[self.stb, self.sa], 2);
-                sx.set(ctx, i, v);
+        } else {
+            sb.bulk_loads(ctx, iters);
+            sa.bulk_loads(ctx, 2 * iters);
+            stb.bulk_loads(ctx, 2 * iters);
+            stb.bulk_stores(ctx, iters);
+            sx.bulk_loads(ctx, iters);
+            sx.bulk_stores(ctx, iters);
+            let sbv = sb.raw();
+            let sav = sa.raw();
+            for _ in 0..self.passes {
+                for i in 1..self.n {
+                    let prev = stb.raw()[i - 1];
+                    stb.write_rounded(i, sbv[i] - prev * sav[i]);
+                }
+                for i in (0..self.n - 1).rev() {
+                    let next = sx.raw()[i + 1];
+                    sx.write_rounded(i, stb.raw()[i] + next * sav[i]);
+                }
             }
         }
         sx.snapshot()

@@ -93,22 +93,60 @@ impl Benchmark for Iccg {
     fn run(&self, ctx: &mut ExecCtx<'_>) -> Vec<f64> {
         let mut x = MpVec::from_values(ctx, self.x, &self.x_init);
         let v = MpVec::from_values(ctx, self.v, &self.v_init);
-        for _ in 0..self.passes {
-            // Butterfly reduction: level sizes n/2, n/4, ..., 1.
+        // Count the butterfly's update sites up front (integer-only dry
+        // walk) so flop and memory accounting can be charged in bulk.
+        let per_pass = {
+            let mut count = 0u64;
             let mut ii = self.n;
             let mut ipntp = 0;
             while ii > 1 {
                 let ipnt = ipntp;
                 ipntp += ii;
                 ii /= 2;
-                let mut i = ipntp;
-                #[allow(clippy::explicit_counter_loop)] // mirrors the C loop
-                for k in ((ipnt + 1)..(ipntp - 1)).step_by(2) {
-                    let val = x.get(ctx, k) - v.get(ctx, k) * x.get(ctx, k - 1)
-                        + v.get(ctx, k + 1) * x.get(ctx, k + 1);
-                    ctx.flop(self.x, &[self.v], 9);
-                    x.set(ctx, i, val);
-                    i += 1;
+                count += ((ipnt + 1)..(ipntp - 1)).step_by(2).len() as u64;
+            }
+            count
+        };
+        let iters = per_pass * self.passes as u64;
+        ctx.flop(self.x, &[self.v], 9 * iters);
+        if ctx.is_traced() {
+            for _ in 0..self.passes {
+                // Butterfly reduction: level sizes n/2, n/4, ..., 1.
+                let mut ii = self.n;
+                let mut ipntp = 0;
+                while ii > 1 {
+                    let ipnt = ipntp;
+                    ipntp += ii;
+                    ii /= 2;
+                    let mut i = ipntp;
+                    #[allow(clippy::explicit_counter_loop)] // mirrors the C loop
+                    for k in ((ipnt + 1)..(ipntp - 1)).step_by(2) {
+                        let val = x.get(ctx, k) - v.get(ctx, k) * x.get(ctx, k - 1)
+                            + v.get(ctx, k + 1) * x.get(ctx, k + 1);
+                        x.set(ctx, i, val);
+                        i += 1;
+                    }
+                }
+            }
+        } else {
+            x.bulk_loads(ctx, 3 * iters);
+            v.bulk_loads(ctx, 2 * iters);
+            x.bulk_stores(ctx, iters);
+            let vv = v.raw();
+            for _ in 0..self.passes {
+                let mut ii = self.n;
+                let mut ipntp = 0;
+                while ii > 1 {
+                    let ipnt = ipntp;
+                    ipntp += ii;
+                    ii /= 2;
+                    let mut i = ipntp;
+                    for k in ((ipnt + 1)..(ipntp - 1)).step_by(2) {
+                        let xs = x.raw();
+                        let val = xs[k] - vv[k] * xs[k - 1] + vv[k + 1] * xs[k + 1];
+                        x.write_rounded(i, val);
+                        i += 1;
+                    }
                 }
             }
         }

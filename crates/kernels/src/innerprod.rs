@@ -101,14 +101,12 @@ impl Benchmark for InnerProd {
         let mut out = Vec::with_capacity(self.passes);
         for p in 0..self.passes {
             let mut q = MpScalar::new(ctx, self.q, 0.0);
-            for k in 0..self.n {
-                let prod = z.get(ctx, k) * x.get(ctx, k);
-                ctx.flop(self.q, &[self.z, self.x], 1);
-                // The accumulation is a serial dependence chain: its latency
-                // does not shrink at single precision.
-                q.set(ctx, q.get() + prod * (1.0 + p as f64 * 1e-6));
-                ctx.heavy(self.q, &[], 2);
-            }
+            // The multiply-accumulate sweep is `dot_weighted`'s canonical
+            // loop; the accumulation stays a serial dependence chain whose
+            // latency does not shrink at single precision.
+            z.dot_weighted(ctx, &x, 1.0 + p as f64 * 1e-6, &mut q);
+            ctx.flop(self.q, &[self.z, self.x], self.n as u64);
+            ctx.heavy(self.q, &[], 2 * self.n as u64);
             out.push(q.get());
         }
         out

@@ -110,16 +110,36 @@ impl Benchmark for IntPredict {
             .zip(cvals)
             .map(|(&v, c)| MpScalar::new(ctx, v, c))
             .collect();
-        for _ in 0..self.passes {
-            for i in 7..self.n {
-                let mut acc = 0.0;
-                for (j, c) in coeffs.iter().enumerate() {
-                    acc += c.get() * cx.get(ctx, i - j);
-                    ctx.flop(self.px, &[self.coeffs[j], self.cx], 2);
+        let iters = (self.passes * (self.n - 7)) as u64;
+        for j in 0..coeffs.len() {
+            ctx.flop(self.px, &[self.coeffs[j], self.cx], 2 * iters);
+        }
+        ctx.flop(self.px, &[], 2 * iters);
+        if ctx.is_traced() {
+            for _ in 0..self.passes {
+                for i in 7..self.n {
+                    let mut acc = 0.0;
+                    for (j, c) in coeffs.iter().enumerate() {
+                        acc += c.get() * cx.get(ctx, i - j);
+                    }
+                    let prev = px.get(ctx, i - 1);
+                    px.set(ctx, i, 0.5 * (acc + prev));
                 }
-                let prev = px.get(ctx, i - 1);
-                ctx.flop(self.px, &[], 2);
-                px.set(ctx, i, 0.5 * (acc + prev));
+            }
+        } else {
+            cx.bulk_loads(ctx, coeffs.len() as u64 * iters);
+            px.bulk_loads(ctx, iters);
+            px.bulk_stores(ctx, iters);
+            let cxv = cx.raw();
+            for _ in 0..self.passes {
+                for i in 7..self.n {
+                    let mut acc = 0.0;
+                    for (j, c) in coeffs.iter().enumerate() {
+                        acc += c.get() * cxv[i - j];
+                    }
+                    let prev = px.raw()[i - 1];
+                    px.write_rounded(i, 0.5 * (acc + prev));
+                }
             }
         }
         px.snapshot()

@@ -114,15 +114,33 @@ impl Benchmark for Planckian {
         let mut w = ctx.alloc_vec(self.w, self.n);
         let expmax = MpScalar::new(ctx, self.expmax, 20.0);
         let u = MpScalar::new(ctx, self.u, 0.990);
-        for _ in 0..self.passes {
-            for k in 0..self.n {
-                let ratio = (y.get(ctx, k) / v.get(ctx, k)).min(expmax.get());
-                ctx.heavy(self.w, &[self.y, self.v, self.expmax], 1);
-                let denom = ratio.exp() - u.get();
-                ctx.heavy(self.w, &[self.u], 1);
-                let val = x.get(ctx, k) / denom;
-                ctx.heavy(self.w, &[self.x], 1);
-                w.set(ctx, k, val);
+        let iters = (self.passes * self.n) as u64;
+        ctx.heavy(self.w, &[self.y, self.v, self.expmax], iters);
+        ctx.heavy(self.w, &[self.u], iters);
+        ctx.heavy(self.w, &[self.x], iters);
+        if ctx.is_traced() {
+            for _ in 0..self.passes {
+                for k in 0..self.n {
+                    let ratio = (y.get(ctx, k) / v.get(ctx, k)).min(expmax.get());
+                    let denom = ratio.exp() - u.get();
+                    let val = x.get(ctx, k) / denom;
+                    w.set(ctx, k, val);
+                }
+            }
+        } else {
+            y.bulk_loads(ctx, iters);
+            v.bulk_loads(ctx, iters);
+            x.bulk_loads(ctx, iters);
+            w.bulk_stores(ctx, iters);
+            let (em, uv) = (expmax.get(), u.get());
+            let yv = y.raw();
+            let vv = v.raw();
+            let xv = x.raw();
+            for _ in 0..self.passes {
+                for k in 0..self.n {
+                    let ratio = (yv[k] / vv[k]).min(em);
+                    w.write_rounded(k, xv[k] / (ratio.exp() - uv));
+                }
             }
         }
         w.snapshot()

@@ -81,6 +81,7 @@ impl<'a> ExecCtx<'a> {
     }
 
     /// The configuration this run executes under.
+    #[inline]
     pub fn config(&self) -> &PrecisionConfig {
         self.cfg
     }
@@ -91,7 +92,20 @@ impl<'a> ExecCtx<'a> {
         self.cfg.get(var)
     }
 
+    /// Whether a [`MemoryTracer`] is attached to this run.
+    ///
+    /// When `false`, no per-element access stream exists to preserve, so
+    /// bulk operations are free to take count-only fast paths. Benchmarks
+    /// use this to select an uninstrumented hot loop whose observable
+    /// counts and output values are bit-identical to the traced one (the
+    /// invariant is property-tested in `tests/integration_properties.rs`).
+    #[inline]
+    pub fn is_traced(&self) -> bool {
+        self.tracer.is_some()
+    }
+
     /// Operation counters accumulated so far.
+    #[inline]
     pub fn counts(&self) -> OpCounts {
         self.counts
     }
@@ -122,13 +136,15 @@ impl<'a> ExecCtx<'a> {
         crate::MpVec::zeroed(self, var, len)
     }
 
-    /// Records `count` floating-point operations whose destination is `dst`
-    /// and whose floating-point source variables are `srcs`.
+    /// Precomputes the accounting signature of an operation shape: the
+    /// precision it executes at and the conversions each occurrence costs.
     ///
-    /// The operation executes at the widest precision among destination and
-    /// sources (the usual arithmetic conversions); every involved variable
-    /// stored at a narrower precision costs one conversion per operation.
-    pub fn flop(&mut self, dst: VarId, srcs: &[VarId], count: u64) {
+    /// Precisions are immutable for the lifetime of the context, so a hot
+    /// loop can resolve its `flop`/`heavy` calls once up front and charge
+    /// per iteration through [`ExecCtx::flop_sig`]/[`ExecCtx::heavy_sig`]
+    /// without re-walking the configuration. `flop(d, s, n)` and
+    /// `flop_sig(op_sig(d, s), n)` are interchangeable by construction.
+    pub fn op_sig(&self, dst: VarId, srcs: &[VarId]) -> OpSig {
         let mut op_prec = self.precision_of(dst);
         for &s in srcs {
             op_prec = op_prec.widest(self.precision_of(s));
@@ -142,12 +158,33 @@ impl<'a> ExecCtx<'a> {
                 narrow += 1;
             }
         }
-        match op_prec {
+        OpSig {
+            prec: op_prec,
+            casts_per_op: narrow,
+        }
+    }
+
+    /// Records `count` floating-point operations whose destination is `dst`
+    /// and whose floating-point source variables are `srcs`.
+    ///
+    /// The operation executes at the widest precision among destination and
+    /// sources (the usual arithmetic conversions); every involved variable
+    /// stored at a narrower precision costs one conversion per operation.
+    #[inline]
+    pub fn flop(&mut self, dst: VarId, srcs: &[VarId], count: u64) {
+        let sig = self.op_sig(dst, srcs);
+        self.flop_sig(sig, count);
+    }
+
+    /// Records `count` flops under a precomputed [`OpSig`].
+    #[inline]
+    pub fn flop_sig(&mut self, sig: OpSig, count: u64) {
+        match sig.prec {
             Precision::Half => self.counts.flops_f16 += count,
             Precision::Single => self.counts.flops_f32 += count,
             Precision::Double => self.counts.flops_f64 += count,
         }
-        self.counts.casts += narrow * count;
+        self.counts.casts += sig.casts_per_op * count;
     }
 
     /// Records `count` *heavy* operations (divide, sqrt, exp, log, pow, …)
@@ -156,30 +193,26 @@ impl<'a> ExecCtx<'a> {
     /// Conversion accounting follows [`ExecCtx::flop`]; the counts land in
     /// the `heavy_*` counters, which the cost model charges (almost) equally
     /// at both precisions.
+    #[inline]
     pub fn heavy(&mut self, dst: VarId, srcs: &[VarId], count: u64) {
-        let mut op_prec = self.precision_of(dst);
-        for &s in srcs {
-            op_prec = op_prec.widest(self.precision_of(s));
-        }
-        let mut narrow = 0u64;
-        if self.precision_of(dst) != op_prec {
-            narrow += 1;
-        }
-        for &s in srcs {
-            if self.precision_of(s) != op_prec {
-                narrow += 1;
-            }
-        }
-        match op_prec {
+        let sig = self.op_sig(dst, srcs);
+        self.heavy_sig(sig, count);
+    }
+
+    /// Records `count` heavy operations under a precomputed [`OpSig`].
+    #[inline]
+    pub fn heavy_sig(&mut self, sig: OpSig, count: u64) {
+        match sig.prec {
             Precision::Half => self.counts.heavy_f16 += count,
             Precision::Single => self.counts.heavy_f32 += count,
             Precision::Double => self.counts.heavy_f64 += count,
         }
-        self.counts.casts += narrow * count;
+        self.counts.casts += sig.casts_per_op * count;
     }
 
     /// Records `count` operations among variables that all share `var`'s
     /// precision (a common shorthand for elementwise updates).
+    #[inline]
     pub fn flop_uniform(&mut self, var: VarId, count: u64) {
         match self.precision_of(var) {
             Precision::Half => self.counts.flops_f16 += count,
@@ -207,32 +240,99 @@ impl<'a> ExecCtx<'a> {
         }
     }
 
+    /// Bumps the load counter for `n` elements at `prec` without touching
+    /// the tracer. Callers that may be traced are responsible for emitting
+    /// the matching per-element stream via [`ExecCtx::trace_float`].
     #[inline]
-    pub(crate) fn record_load(&mut self, var: VarId, base: u64, index: usize) {
-        let prec = self.precision_of(var);
+    pub(crate) fn count_loads(&mut self, prec: Precision, n: u64) {
         match prec {
-            Precision::Half => self.counts.loads_f16 += 1,
-            Precision::Single => self.counts.loads_f32 += 1,
-            Precision::Double => self.counts.loads_f64 += 1,
+            Precision::Half => self.counts.loads_f16 += n,
+            Precision::Single => self.counts.loads_f32 += n,
+            Precision::Double => self.counts.loads_f64 += n,
         }
+    }
+
+    /// Bumps the store counter for `n` elements at `prec` without touching
+    /// the tracer.
+    #[inline]
+    pub(crate) fn count_stores(&mut self, prec: Precision, n: u64) {
+        match prec {
+            Precision::Half => self.counts.stores_f16 += n,
+            Precision::Single => self.counts.stores_f32 += n,
+            Precision::Double => self.counts.stores_f64 += n,
+        }
+    }
+
+    /// Streams one float-element access to the tracer (no counting).
+    #[inline]
+    pub(crate) fn trace_float(&mut self, prec: Precision, base: u64, index: usize, write: bool) {
         if let Some(tr) = self.tracer.as_deref_mut() {
             let b = prec.bytes();
-            tr.access(base + index as u64 * b, b as u8, false);
+            tr.access(base + index as u64 * b, b as u8, write);
         }
     }
 
     #[inline]
-    pub(crate) fn record_store(&mut self, var: VarId, base: u64, index: usize) {
-        let prec = self.precision_of(var);
-        match prec {
-            Precision::Half => self.counts.stores_f16 += 1,
-            Precision::Single => self.counts.stores_f32 += 1,
-            Precision::Double => self.counts.stores_f64 += 1,
+    pub(crate) fn record_load(&mut self, prec: Precision, base: u64, index: usize) {
+        self.count_loads(prec, 1);
+        self.trace_float(prec, base, index, false);
+    }
+
+    #[inline]
+    pub(crate) fn record_store(&mut self, prec: Precision, base: u64, index: usize) {
+        self.count_stores(prec, 1);
+        self.trace_float(prec, base, index, true);
+    }
+
+    /// Records a contiguous sweep of `n` loads of elements
+    /// `start .. start + n` at `prec`: the op counter is bumped once, and
+    /// the per-element access stream is walked only when a tracer is
+    /// attached — in ascending index order, exactly as `n` individual
+    /// `get` calls would emit it.
+    #[inline]
+    pub fn record_loads(&mut self, prec: Precision, base: u64, start: usize, n: usize) {
+        self.count_loads(prec, n as u64);
+        if self.tracer.is_some() {
+            for i in start..start + n {
+                self.trace_float(prec, base, i, false);
+            }
         }
-        if let Some(tr) = self.tracer.as_deref_mut() {
-            let b = prec.bytes();
-            tr.access(base + index as u64 * b, b as u8, true);
+    }
+
+    /// Records a contiguous sweep of `n` stores of elements
+    /// `start .. start + n` at `prec`; the slice-granularity counterpart
+    /// of per-element `set` accounting (see [`ExecCtx::record_loads`]).
+    #[inline]
+    pub fn record_stores(&mut self, prec: Precision, base: u64, start: usize, n: usize) {
+        self.count_stores(prec, n as u64);
+        if self.tracer.is_some() {
+            for i in start..start + n {
+                self.trace_float(prec, base, i, true);
+            }
         }
+    }
+}
+
+/// A precomputed operation signature: the precision a `flop`/`heavy` call
+/// with a given destination and source set executes at, plus the
+/// conversions each occurrence costs. Built by [`ExecCtx::op_sig`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct OpSig {
+    prec: Precision,
+    casts_per_op: u64,
+}
+
+impl OpSig {
+    /// The precision operations with this signature execute at.
+    #[inline]
+    pub fn prec(self) -> Precision {
+        self.prec
+    }
+
+    /// Conversions charged per operation occurrence.
+    #[inline]
+    pub fn casts_per_op(self) -> u64 {
+        self.casts_per_op
     }
 }
 

@@ -39,7 +39,7 @@ mod var;
 
 pub use config::{ConfigKey, PrecisionConfig};
 pub use counts::OpCounts;
-pub use ctx::{ExecCtx, MemoryTracer};
+pub use ctx::{ExecCtx, MemoryTracer, OpSig};
 pub use mpvec::{IndexVec, MpScalar, MpVec};
 pub use precision::Precision;
 pub use var::{VarId, VarRegistry};
@@ -55,6 +55,17 @@ pub fn round_to(prec: Precision, v: f64) -> f64 {
         Precision::Double => v,
         Precision::Single => v as f32 as f64,
         Precision::Half => half::round_f64_to_f16(v),
+    }
+}
+
+/// The rounding function for `prec` as a cachable fn pointer, so handles
+/// resolve their precision once at allocation and never branch on it per
+/// store. Each returned function agrees with [`round_to`] bit for bit.
+pub(crate) fn rounder(prec: Precision) -> fn(f64) -> f64 {
+    match prec {
+        Precision::Double => |v| v,
+        Precision::Single => |v| v as f32 as f64,
+        Precision::Half => half::round_f64_to_f16,
     }
 }
 

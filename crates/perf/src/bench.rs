@@ -22,6 +22,14 @@
 //!
 //! Set `MIXP_BENCH_QUICK=1` to smoke-run every target with a single
 //! sample and no warmup (used by CI to verify the benches still run).
+//!
+//! Set `MIXP_BENCH_JSON=<path>` to additionally emit the summary as a
+//! machine-readable JSON document when the group finishes — the format of
+//! the committed `BENCH_*.json` baselines, with the host's available
+//! parallelism recorded automatically so a baseline captured on a
+//! single-core container is never mistaken for a multicore result. When
+//! `<path>` is an existing directory the file is written as
+//! `<path>/BENCH_<group>.json`; otherwise `<path>` is used verbatim.
 
 pub use std::hint::black_box;
 
@@ -34,6 +42,7 @@ pub struct BenchGroup {
     warm_up: Duration,
     measurement: Duration,
     quick: bool,
+    results: Vec<(String, Stats)>,
 }
 
 impl BenchGroup {
@@ -47,6 +56,7 @@ impl BenchGroup {
             warm_up: Duration::from_millis(300),
             measurement: Duration::from_secs(2),
             quick,
+            results: Vec::new(),
         }
     }
 
@@ -90,13 +100,74 @@ impl BenchGroup {
         f(&mut b);
         let stats = Stats::from_samples(&b.samples);
         println!("{}/{id}  {stats}", self.name);
+        self.results.push((id.to_string(), stats));
         self
     }
 
-    /// Ends the group (prints a separator line).
+    /// Ends the group: prints a separator line and, when
+    /// `MIXP_BENCH_JSON` is set, writes the JSON summary (see the module
+    /// docs for the path rules).
     pub fn finish(&mut self) {
         println!();
+        let Ok(target) = std::env::var("MIXP_BENCH_JSON") else {
+            return;
+        };
+        if target.is_empty() {
+            return;
+        }
+        let mut path = std::path::PathBuf::from(&target);
+        if path.is_dir() {
+            path.push(format!("BENCH_{}.json", self.name));
+        }
+        match std::fs::write(&path, self.to_json()) {
+            Ok(()) => println!("wrote {}", path.display()),
+            Err(e) => eprintln!("warning: cannot write {}: {e}", path.display()),
+        }
     }
+
+    /// The group's summary in the committed-baseline JSON format.
+    fn to_json(&self) -> String {
+        let host = std::thread::available_parallelism().map_or(0, |n| n.get());
+        let mut out = String::new();
+        out.push_str("{\n");
+        out.push_str(&format!("  \"bench\": \"{}\",\n", escape_json(&self.name)));
+        out.push_str(&format!(
+            "  \"source\": \"cargo bench --offline --bench bench_{}\",\n",
+            escape_json(&self.name)
+        ));
+        out.push_str(&format!("  \"host_parallelism\": {host},\n"));
+        out.push_str("  \"results\": [\n");
+        for (i, (id, stats)) in self.results.iter().enumerate() {
+            let sep = if i + 1 < self.results.len() { "," } else { "" };
+            out.push_str(&format!(
+                "    {{ \"id\": \"{}\", \"median_ms\": {}, \"p10_ms\": {}, \"p90_ms\": {}, \"samples\": {} }}{sep}\n",
+                escape_json(id),
+                fmt_ms(stats.median),
+                fmt_ms(stats.p10),
+                fmt_ms(stats.p90),
+                stats.n
+            ));
+        }
+        out.push_str("  ]\n}\n");
+        out
+    }
+}
+
+/// Milliseconds with enough digits to stay meaningful for sub-ms runs.
+fn fmt_ms(d: Duration) -> String {
+    format!("{:.4}", d.as_secs_f64() * 1e3)
+}
+
+/// Minimal JSON string escaping for names this harness generates.
+fn escape_json(s: &str) -> String {
+    s.chars()
+        .flat_map(|c| match c {
+            '"' => vec!['\\', '"'],
+            '\\' => vec!['\\', '\\'],
+            c if c.is_control() => format!("\\u{:04x}", c as u32).chars().collect(),
+            c => vec![c],
+        })
+        .collect()
 }
 
 /// Times a single benchmark routine; handed to the
@@ -222,6 +293,34 @@ mod tests {
         });
         assert_eq!(b.samples.len(), 7);
         assert_eq!(calls, 7);
+    }
+
+    #[test]
+    fn json_summary_records_host_parallelism_and_results() {
+        let mut group = BenchGroup::new("unit");
+        group.results.push((
+            "fast".to_string(),
+            Stats::from_samples(&[Duration::from_micros(1500)]),
+        ));
+        group.results.push((
+            "slow".to_string(),
+            Stats::from_samples(&[Duration::from_millis(20), Duration::from_millis(30)]),
+        ));
+        let json = group.to_json();
+        let host = std::thread::available_parallelism().map_or(0, |n| n.get());
+        assert!(json.contains(&format!("\"host_parallelism\": {host}")));
+        assert!(json.contains("\"bench\": \"unit\""));
+        assert!(json.contains("\"id\": \"fast\", \"median_ms\": 1.5000"));
+        assert!(json.contains("\"samples\": 2"));
+        // Exactly one separator comma between the two result rows.
+        assert_eq!(json.matches("},\n").count(), 1);
+    }
+
+    #[test]
+    fn json_escaping_handles_quotes_and_controls() {
+        assert_eq!(escape_json("plain"), "plain");
+        assert_eq!(escape_json("a\"b\\c"), "a\\\"b\\\\c");
+        assert_eq!(escape_json("x\ny"), "x\\u000ay");
     }
 
     #[test]

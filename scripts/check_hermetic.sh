@@ -20,7 +20,7 @@
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-echo "== [1/4] grep guard: only path dependencies allowed =="
+echo "== [1/5] grep guard: only path dependencies allowed =="
 violations=$(find . -name Cargo.toml -not -path './target/*' -print0 | xargs -0 awk '
   FNR == 1 { section = "" }
   /^\[/ { section = $0 }
@@ -36,7 +36,7 @@ if [ -n "$violations" ]; then
 fi
 echo "ok: no non-path dependencies"
 
-echo "== [2/4] panic guard: fault-tolerant harness paths must not panic =="
+echo "== [2/5] panic guard: fault-tolerant harness paths must not panic =="
 # The campaign execution path promises typed errors instead of aborts:
 # no unwrap()/expect()/panic! in non-test code of the scheduler, job,
 # checkpoint and faultplan modules. Test modules (below the #[cfg(test)]
@@ -62,7 +62,28 @@ if [ -n "$panic_violations" ]; then
 fi
 echo "ok: campaign execution paths are panic-free"
 
-echo "== [3/4] offline build + test with an empty CARGO_HOME =="
+echo "== [3/5] fast-path guard: benchmark hot loops must use the bulk layer =="
+# The speedup model's wall-clock claims rest on benchmarks going through
+# the MpVec fast path: per-handle cached rounding and bulk accounting.
+# Reaching around it — rounding manually with `round_to`, or reading
+# storage with the test-only `.peek(` accessor — silently desynchronises
+# values or op counts from the traced run. Test modules (below the
+# #[cfg(test)] marker) are exempt: peeking is exactly what tests are for.
+fastpath_violations=$(find crates/kernels/src crates/apps/src -name '*.rs' -print0 | \
+  xargs -0 -n1 awk '
+    /#\[cfg\(test\)\]/ { exit }
+    /round_to[[:space:]]*\(|\.peek[[:space:]]*\(/ && !/^[[:space:]]*\/\// {
+      printf "%s:%d: %s\n", FILENAME, FNR, $0
+    }
+  ')
+if [ -n "$fastpath_violations" ]; then
+  echo "$fastpath_violations"
+  echo "error: kernel/app non-test code bypasses the MpVec fast path — use get/set or the bulk primitives" >&2
+  exit 1
+fi
+echo "ok: kernels and apps stay on the bulk/fast-path API"
+
+echo "== [4/5] offline build + test with an empty CARGO_HOME =="
 tmp=$(mktemp -d)
 trap 'rm -rf "$tmp"' EXIT
 export CARGO_HOME="$tmp/cargo_home"
@@ -71,7 +92,7 @@ mkdir -p "$CARGO_HOME"
 cargo build --release --offline
 cargo test -q --offline
 
-echo "== [4/4] bench smoke: every [[bench]] target runs under MIXP_BENCH_QUICK =="
+echo "== [5/5] bench smoke: every [[bench]] target runs under MIXP_BENCH_QUICK =="
 MIXP_BENCH_QUICK=1 cargo bench --offline
 
 echo "hermetic check passed"

@@ -255,6 +255,73 @@ fn evaluate_batch_is_bit_identical_to_sequential() {
     });
 }
 
+/// Every shipped benchmark must produce bit-identical output values and op
+/// counts with and without a tracer attached, for arbitrary precision
+/// configurations: the untraced fast paths introduced by the bulk `MpVec`
+/// layer can never drift from the traced reference loops. (The traced
+/// access *streams* themselves are pinned separately: each bulk primitive
+/// is checked against its canonical element-wise loop in `mixp_float`'s
+/// unit tests, and the benchmarks' cache-fed speedup assertions would move
+/// if a stream changed.)
+#[test]
+fn traced_and_untraced_benchmark_runs_are_bit_identical() {
+    struct Fingerprint {
+        hash: u64,
+        accesses: u64,
+    }
+    impl mixp_float::MemoryTracer for Fingerprint {
+        fn access(&mut self, addr: u64, bytes: u8, write: bool) {
+            self.hash = self
+                .hash
+                .wrapping_mul(0x0000_0100_0000_01b3)
+                ^ addr
+                ^ (u64::from(bytes) << 48)
+                ^ (u64::from(write) << 63);
+            self.accesses += 1;
+        }
+    }
+    prop_check!((pick in usizes(0..17), seed in u64s(0..1_000_000)) => {
+        let bench: Box<dyn Benchmark> = {
+            let mut all = mixp_kernels::all_kernels_small();
+            all.extend(mixp_apps::all_applications_small());
+            all.swap_remove(pick % all.len())
+        };
+        let pm = bench.program();
+        let mut cfg = pm.config_all_double();
+        let mut rng = SplitMix64::new(seed.wrapping_mul(2).wrapping_add(1));
+        for v in pm.tunable_vars() {
+            match rng.next_range(4) {
+                0 | 1 => {}
+                2 => cfg.set(v, mixp_float::Precision::Single),
+                _ => cfg.set(v, mixp_float::Precision::Half),
+            }
+        }
+
+        let mut tracer = Fingerprint { hash: 0xcbf2_9ce4_8422_2325, accesses: 0 };
+        let (traced_out, traced_counts) = {
+            let mut ctx = ExecCtx::with_tracer(&cfg, &mut tracer);
+            let out = bench.run(&mut ctx);
+            (out, ctx.counts())
+        };
+        let (plain_out, plain_counts) = {
+            let mut ctx = ExecCtx::new(&cfg);
+            let out = bench.run(&mut ctx);
+            (out, ctx.counts())
+        };
+
+        prop_assert_eq!(traced_out.len(), plain_out.len());
+        for (t, p) in traced_out.iter().zip(&plain_out) {
+            prop_assert_eq!(t.to_bits(), p.to_bits(), "{} values diverge", bench.name());
+        }
+        prop_assert_eq!(traced_counts, plain_counts, "{} counts diverge", bench.name());
+        prop_assert!(
+            tracer.accesses >= traced_counts.total_mem_ops(),
+            "{}: tracer saw fewer accesses than were counted",
+            bench.name()
+        );
+    });
+}
+
 /// The evaluator's speedup and quality are invariant under evaluation
 /// order (no hidden state leaks between evaluations).
 #[test]
