@@ -2,6 +2,7 @@
 
 use crate::{Benchmark, Granularity, SearchSpace};
 use mixp_float::{ConfigKey, ExecCtx, OpCounts, PrecisionConfig};
+use mixp_obs::{Obs, Value};
 use mixp_perf::{CacheParams, CacheStats, CostModel, Hierarchy};
 use mixp_verify::QualityThreshold;
 use std::collections::HashMap;
@@ -128,6 +129,7 @@ pub struct EvaluatorBuilder {
     cache: CacheParams,
     workers: usize,
     shared: Option<Arc<dyn EvalCache>>,
+    obs: Obs,
 }
 
 impl fmt::Debug for EvaluatorBuilder {
@@ -138,6 +140,7 @@ impl fmt::Debug for EvaluatorBuilder {
             .field("deadline", &self.deadline)
             .field("workers", &self.workers)
             .field("shared", &self.shared.is_some())
+            .field("obs", &self.obs)
             .finish()
     }
 }
@@ -155,6 +158,7 @@ impl EvaluatorBuilder {
             cache: CacheParams::default(),
             workers: env_eval_workers(),
             shared: None,
+            obs: Obs::noop(),
         }
     }
 
@@ -209,6 +213,15 @@ impl EvaluatorBuilder {
         self
     }
 
+    /// Attaches an observability handle: evaluation spans, admission
+    /// events and evaluator counters flow through it. The default is
+    /// [`Obs::noop`], whose every call is a single branch — observability
+    /// never changes what the evaluator computes, only what it reports.
+    pub fn obs(mut self, obs: Obs) -> Self {
+        self.obs = obs;
+        self
+    }
+
     /// Runs the all-double reference and returns the ready evaluator.
     pub fn build<'b>(self, bench: &'b dyn Benchmark) -> Evaluator<'b> {
         let ref_cfg = bench.program().config_all_double();
@@ -225,6 +238,7 @@ impl EvaluatorBuilder {
             cache: self.cache,
             workers: self.workers.max(1),
             shared: self.shared,
+            obs: self.obs,
             reference: output,
             ref_cost,
             evaluated: 0,
@@ -266,6 +280,7 @@ pub struct Evaluator<'b> {
     cache: CacheParams,
     workers: usize,
     shared: Option<Arc<dyn EvalCache>>,
+    obs: Obs,
     reference: Vec<f64>,
     ref_cost: f64,
     evaluated: usize,
@@ -344,16 +359,34 @@ impl<'b> Evaluator<'b> {
         self.workers
     }
 
+    /// A clone of the observability handle this evaluator reports through.
+    /// Searches use it to open per-phase spans without borrowing the
+    /// evaluator; cloning shares the same logical clock, metrics registry
+    /// and trace sink (and is free on the noop handle).
+    pub fn obs(&self) -> Obs {
+        self.obs.clone()
+    }
+
     /// Admits one *new* (non-memoised) configuration: deadline check, budget
     /// check, budget charge — in exactly the historical sequential order.
     fn admit(&mut self) -> Result<(), EvalError> {
         if let Some(deadline) = self.deadline {
             if self.started.elapsed() >= deadline {
+                if self.stop_reason.is_none() {
+                    self.obs
+                        .event("eval.refused", &[("reason", Value::Str("deadline"))]);
+                }
+                self.obs.counter_add("evaluator.refused.deadline", 1);
                 self.stop_reason.get_or_insert(EvalError::DeadlineExceeded);
                 return Err(EvalError::DeadlineExceeded);
             }
         }
         if self.evaluated >= self.budget {
+            if self.stop_reason.is_none() {
+                self.obs
+                    .event("eval.refused", &[("reason", Value::Str("budget"))]);
+            }
+            self.obs.counter_add("evaluator.refused.budget", 1);
             self.stop_reason.get_or_insert(EvalError::BudgetExhausted);
             return Err(EvalError::BudgetExhausted);
         }
@@ -442,12 +475,35 @@ impl<'b> Evaluator<'b> {
     pub fn evaluate(&mut self, cfg: &PrecisionConfig) -> Result<EvalRecord, EvalError> {
         let key = cfg.fingerprint();
         if let Some(hit) = self.memo.get(&key) {
+            self.obs.counter_add("evaluator.memo_hits", 1);
             return Ok(hit.clone());
         }
         self.admit()?;
         let record = match self.resolve_without_run(cfg, &key) {
-            Some(record) => record,
-            None => self.score(cfg, &key, run_config(self.bench, cfg, self.cache)),
+            Some(record) => {
+                self.obs.counter_add(
+                    if record.compiled {
+                        "evaluator.shared_hits"
+                    } else {
+                        "evaluator.uncompiled"
+                    },
+                    1,
+                );
+                record
+            }
+            None => {
+                let span = self
+                    .obs
+                    .span("eval", &[("lowered", Value::U64(cfg.lowered_count() as u64))]);
+                let record = self.score(cfg, &key, run_config(self.bench, cfg, self.cache));
+                self.obs.counter_add("evaluator.runs", 1);
+                span.end_with(&[
+                    ("passes", Value::Bool(record.passes)),
+                    ("quality", Value::F64(record.quality)),
+                    ("speedup", Value::F64(record.speedup)),
+                ]);
+                record
+            }
         };
         self.commit(key, &record);
         Ok(record)
@@ -483,6 +539,10 @@ impl<'b> Evaluator<'b> {
             Alias(usize),
         }
 
+        let span = self
+            .obs
+            .span("eval.batch", &[("submitted", Value::U64(cfgs.len() as u64))]);
+
         // Phase 1 — sequential admission in submission order. Memo hits are
         // free; everything else passes through the same deadline/budget
         // gate as the sequential path.
@@ -492,10 +552,12 @@ impl<'b> Evaluator<'b> {
         for (i, cfg) in cfgs.iter().enumerate() {
             let key = cfg.fingerprint();
             if let Some(hit) = self.memo.get(&key) {
+                self.obs.counter_add("evaluator.memo_hits", 1);
                 slots.push(Slot::Done(Ok(hit.clone())));
                 continue;
             }
             if let Some(&earlier) = first_slot_of.get(&key) {
+                self.obs.counter_add("evaluator.memo_hits", 1);
                 slots.push(Slot::Alias(earlier));
                 continue;
             }
@@ -505,13 +567,25 @@ impl<'b> Evaluator<'b> {
             }
             first_slot_of.insert(key.clone(), i);
             match self.resolve_without_run(cfg, &key) {
-                Some(record) => slots.push(Slot::Resolved(key, record)),
+                Some(record) => {
+                    self.obs.counter_add(
+                        if record.compiled {
+                            "evaluator.shared_hits"
+                        } else {
+                            "evaluator.uncompiled"
+                        },
+                        1,
+                    );
+                    slots.push(Slot::Resolved(key, record));
+                }
                 None => {
                     pending.push(i);
                     slots.push(Slot::Runs(key, pending.len() - 1));
                 }
             }
         }
+        self.obs
+            .observe("evaluator.batch_width", pending.len() as u64);
 
         // Phase 2 — fan the admitted runs across scoped workers. Work is
         // claimed via an atomic cursor; each result lands in its own slot,
@@ -566,6 +640,7 @@ impl<'b> Evaluator<'b> {
                         run_config(self.bench, &cfgs[i], self.cache)
                     });
                     let record = self.score(&cfgs[i], &key, run);
+                    self.obs.counter_add("evaluator.runs", 1);
                     self.commit(key, &record);
                     results.push(Ok(record));
                 }
@@ -576,6 +651,10 @@ impl<'b> Evaluator<'b> {
                 }
             }
         }
+        span.end_with(&[
+            ("ran", Value::U64(pending.len() as u64)),
+            ("workers", Value::U64(workers as u64)),
+        ]);
         results
     }
 }

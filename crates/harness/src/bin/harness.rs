@@ -21,7 +21,13 @@
 //! exits with status 3 (so scripts can distinguish "campaign finished
 //! with failures" from usage errors); a `--checkpoint` file makes the
 //! campaign resumable after a kill.
+//!
+//! Observability: `--trace FILE` streams the campaign's span/event log as
+//! append-only JSONL (evaluations, search phases, retries, cache shards),
+//! and `--metrics` prints the aggregated counter/histogram snapshot after
+//! the report. Neither flag changes any reported number or the exit code.
 
+use mixp_core::{MetricsSnapshot, Obs};
 use mixp_harness::config::AnalysisConfig;
 use mixp_harness::interchange;
 use mixp_harness::job::Job;
@@ -38,6 +44,8 @@ struct Cli {
     retries: u32,
     backoff: Duration,
     checkpoint: Option<PathBuf>,
+    trace: Option<PathBuf>,
+    metrics: bool,
     files: Vec<String>,
 }
 
@@ -50,6 +58,8 @@ fn parse_cli() -> Result<Cli, String> {
         retries: 1,
         backoff: Duration::ZERO,
         checkpoint: None,
+        trace: None,
+        metrics: false,
         files: Vec::new(),
     };
     let mut args = std::env::args().skip(1);
@@ -86,6 +96,11 @@ fn parse_cli() -> Result<Cli, String> {
                 let v = args.next().ok_or("--checkpoint needs a path")?;
                 cli.checkpoint = Some(PathBuf::from(v));
             }
+            "--trace" => {
+                let v = args.next().ok_or("--trace needs a path")?;
+                cli.trace = Some(PathBuf::from(v));
+            }
+            "--metrics" => cli.metrics = true,
             "--json" => cli.json = true,
             flag if flag.starts_with("--") => return Err(format!("unknown flag `{flag}`")),
             file => cli.files.push(file.to_string()),
@@ -105,7 +120,7 @@ fn main() {
             eprintln!(
                 "usage: harness [--scale small|paper] [--workers N] [--json] \
                  [--deadline-ms MS] [--retries N] [--backoff-ms MS] \
-                 [--checkpoint FILE] <config.yaml>..."
+                 [--checkpoint FILE] [--trace FILE] [--metrics] <config.yaml>..."
             );
             std::process::exit(2);
         }
@@ -134,6 +149,25 @@ fn main() {
         jobs.push(job);
     }
 
+    // Tracing/metrics are opt-in; the default noop handle records nothing.
+    // Wall-clock enrichment is enabled for human-read traces — the logical
+    // sequence numbers alone stay deterministic.
+    let obs = if cli.trace.is_some() || cli.metrics {
+        let mut builder = Obs::builder().wall_clock(true);
+        if let Some(path) = &cli.trace {
+            builder = builder.trace_path(path.clone());
+        }
+        match builder.build() {
+            Ok(obs) => obs,
+            Err(e) => {
+                eprintln!("warning: cannot open trace file: {e}; tracing disabled");
+                Obs::noop()
+            }
+        }
+    } else {
+        Obs::noop()
+    };
+
     let opts = CampaignOptions {
         workers: cli.workers,
         deadline: cli.deadline,
@@ -143,15 +177,17 @@ fn main() {
             ..RetryPolicy::default()
         },
         checkpoint: cli.checkpoint.clone(),
+        obs: obs.clone(),
         ..CampaignOptions::default()
     };
     let (outcomes, stats) = run_campaign_with_stats(&jobs, &opts);
+    let metrics: Option<MetricsSnapshot> = obs.metrics_snapshot();
     let failures = outcomes.iter().filter(|o| o.outcome.is_err()).count();
 
     if cli.json {
         println!(
             "{}",
-            interchange::outcomes_to_json_with_stats(&outcomes, &stats)
+            interchange::outcomes_to_json_full(&outcomes, Some(&stats), metrics.as_ref())
         );
     } else {
         let rows: Vec<Vec<String>> = outcomes
@@ -186,6 +222,14 @@ fn main() {
             "shared evaluation cache: {} hits, {} misses",
             stats.shared_cache_hits, stats.shared_cache_misses
         );
+        if cli.metrics {
+            match &metrics {
+                Some(snap) if !snap.is_empty() => {
+                    print!("{}", mixp_harness::report::metrics_footer(snap));
+                }
+                _ => println!("campaign metrics: (none recorded)"),
+            }
+        }
         for o in &outcomes {
             if let Err(e) = &o.outcome {
                 eprintln!(

@@ -163,8 +163,9 @@ fn result_line(index: usize, job: &Job, result: &JobResult) -> String {
 }
 
 /// One-line JSON rendering (the pretty writer inserts newlines, which the
-/// journal format forbids).
-fn compact(doc: &Json) -> String {
+/// journal format forbids). Shared with the cache journal
+/// ([`crate::evalcache`]), which uses the same torn-line-tolerant format.
+pub(crate) fn compact(doc: &Json) -> String {
     match doc {
         Json::Null => "null".to_string(),
         Json::Bool(b) => if *b { "true" } else { "false" }.to_string(),
@@ -252,6 +253,7 @@ fn failure_from_line(doc: &Json, jobs: &[Job]) -> Option<(usize, JobError)> {
             budget: doc.get("budget")?.as_f64()? as usize,
         },
         "non-finite" => JobError::NonFiniteQuality,
+        "corrupt-output" => JobError::CorruptOutput,
         _ => return None,
     };
     Some((index, error))
@@ -543,12 +545,14 @@ mod tests {
             Job::new("tridiag", "nope", 1e-3, Scale::Small),
             Job::new("tridiag", "DD", 1e-3, Scale::Small),
             Job::new("innerprod", "CM", 1e-3, Scale::Small),
+            Job::new("eos", "GA", 1e-3, Scale::Small),
         ];
         let errors = [
             JobError::UnknownBenchmark("no-such-bench".to_string()),
             JobError::UnknownAlgorithm("nope".to_string()),
             JobError::BudgetExhausted { budget: 0 },
             JobError::NonFiniteQuality,
+            JobError::CorruptOutput,
         ];
         {
             let (mut journal, state) = Journal::open(&path, &jobs).unwrap();

@@ -17,11 +17,16 @@
 //! the cache on or off. Hit/miss counters are surfaced in the campaign
 //! report ([`crate::scheduler::CampaignStats`]).
 
+use crate::checkpoint::compact;
+use crate::json::{parse, Json};
 use crate::registry::Scale;
 use mixp_core::{CachedEval, ConfigKey, EvalCache};
 use std::collections::hash_map::DefaultHasher;
 use std::collections::HashMap;
+use std::fs::{File, OpenOptions};
 use std::hash::{Hash, Hasher};
+use std::io::Write;
+use std::path::Path;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, MutexGuard};
 
@@ -29,7 +34,35 @@ use std::sync::{Arc, Mutex, MutexGuard};
 /// worker counts while staying cheap to allocate per campaign.
 const SHARD_COUNT: usize = 16;
 
+/// Version tag of the cache journal format.
+pub const CACHE_VERSION: &str = "mixp-eval-cache-1";
+
 type Shard = HashMap<String, HashMap<ConfigKey, CachedEval>>;
+
+/// Per-shard counters, surfaced as observability metrics by the scheduler.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ShardStats {
+    /// Lookups served by this shard.
+    pub hits: u64,
+    /// Lookups that found nothing in this shard.
+    pub misses: u64,
+    /// Fresh entries inserted into this shard.
+    pub inserts: u64,
+}
+
+#[derive(Default)]
+struct ShardCounters {
+    hits: AtomicU64,
+    misses: AtomicU64,
+    inserts: AtomicU64,
+}
+
+/// The append side of the cache journal. `failed` latches the first write
+/// error so a dead disk warns once instead of spamming per entry.
+struct CacheJournal {
+    file: File,
+    failed: bool,
+}
 
 /// The campaign-wide evaluation cache: one instance per campaign, shared by
 /// every job through [`SharedEvalCache::scoped`] handles.
@@ -40,8 +73,10 @@ type Shard = HashMap<String, HashMap<ConfigKey, CachedEval>>;
 /// budget, and each entry is two floats plus a packed fingerprint.
 pub struct SharedEvalCache {
     shards: Vec<Mutex<Shard>>,
+    counters: Vec<ShardCounters>,
     hits: AtomicU64,
     misses: AtomicU64,
+    journal: Option<Mutex<CacheJournal>>,
 }
 
 impl std::fmt::Debug for SharedEvalCache {
@@ -72,9 +107,94 @@ impl SharedEvalCache {
     pub fn new() -> Self {
         SharedEvalCache {
             shards: (0..SHARD_COUNT).map(|_| Mutex::new(Shard::new())).collect(),
+            counters: (0..SHARD_COUNT).map(|_| ShardCounters::default()).collect(),
             hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
+            journal: None,
         }
+    }
+
+    /// A cache persisted to an append-only JSONL journal at `path`, keyed
+    /// by the campaign's job-list `fingerprint` (see
+    /// [`crate::checkpoint::fingerprint`]).
+    ///
+    /// If `path` already holds a journal for the *same* fingerprint, its
+    /// entries are reloaded so a resumed campaign starts warm; a foreign or
+    /// corrupt journal is restarted, and torn trailing lines are skipped —
+    /// the same recovery family as the run-state journal. Reloaded hits
+    /// still consume evaluation budget exactly like fresh-run hits, so
+    /// reported numbers never change with or without persistence. All I/O
+    /// failures degrade to an in-memory cache with one warning.
+    pub fn with_persistence(path: &Path, fingerprint: &str) -> Self {
+        let mut cache = SharedEvalCache::new();
+        let preloaded = cache.load_journal(path, fingerprint);
+        let fresh = preloaded == 0 && !cache_journal_matches(path, fingerprint);
+        let opened = if fresh {
+            File::create(path).and_then(|mut file| {
+                let header = Json::Object(vec![
+                    (
+                        "version".to_string(),
+                        Json::String(CACHE_VERSION.to_string()),
+                    ),
+                    (
+                        "fingerprint".to_string(),
+                        Json::String(fingerprint.to_string()),
+                    ),
+                ]);
+                writeln!(file, "{}", compact(&header))?;
+                file.flush()?;
+                Ok(file)
+            })
+        } else {
+            OpenOptions::new().append(true).open(path)
+        };
+        match opened {
+            Ok(file) => {
+                cache.journal = Some(Mutex::new(CacheJournal {
+                    file,
+                    failed: false,
+                }));
+            }
+            Err(err) => {
+                eprintln!(
+                    "warning: cannot open cache journal {}: {err}; continuing in memory",
+                    path.display()
+                );
+            }
+        }
+        cache
+    }
+
+    /// Parses an existing journal into the shards; returns how many entries
+    /// were reloaded. Anything unreadable or mismatched loads nothing.
+    fn load_journal(&mut self, path: &Path, fingerprint: &str) -> usize {
+        let Ok(text) = std::fs::read_to_string(path) else {
+            return 0;
+        };
+        let mut lines = text.lines();
+        let Some(header) = lines.next().and_then(|l| parse(l).ok()) else {
+            return 0;
+        };
+        if header.get("version").and_then(Json::as_str) != Some(CACHE_VERSION)
+            || header.get("fingerprint").and_then(Json::as_str) != Some(fingerprint)
+        {
+            return 0;
+        }
+        let mut loaded = 0;
+        for line in lines {
+            let Ok(doc) = parse(line) else {
+                continue; // torn trailing line from a kill mid-write
+            };
+            let Some((scope, key, value)) = entry_from_doc(&doc) else {
+                continue;
+            };
+            lock_recovering(self.shard(&scope, &key))
+                .entry(scope.clone())
+                .or_default()
+                .insert(key, value);
+            loaded += 1;
+        }
+        loaded
     }
 
     /// A handle scoped to one benchmark at one scale, usable as an
@@ -116,29 +236,126 @@ impl SharedEvalCache {
         self.len() == 0
     }
 
-    fn shard(&self, scope: &str, key: &ConfigKey) -> &Mutex<Shard> {
+    /// Per-shard hit/miss/insert counters, in shard order — the scheduler
+    /// publishes these through the campaign's observability handle.
+    pub fn shard_stats(&self) -> Vec<ShardStats> {
+        self.counters
+            .iter()
+            .map(|c| ShardStats {
+                hits: c.hits.load(Ordering::Relaxed),
+                misses: c.misses.load(Ordering::Relaxed),
+                inserts: c.inserts.load(Ordering::Relaxed),
+            })
+            .collect()
+    }
+
+    fn shard_index(&self, scope: &str, key: &ConfigKey) -> usize {
         let mut hasher = DefaultHasher::new();
         scope.hash(&mut hasher);
         key.hash(&mut hasher);
-        &self.shards[(hasher.finish() as usize) % SHARD_COUNT]
+        (hasher.finish() as usize) % SHARD_COUNT
+    }
+
+    fn shard(&self, scope: &str, key: &ConfigKey) -> &Mutex<Shard> {
+        &self.shards[self.shard_index(scope, key)]
     }
 
     fn get_scoped(&self, scope: &str, key: &ConfigKey) -> Option<CachedEval> {
-        let found = lock_recovering(self.shard(scope, key))
+        let index = self.shard_index(scope, key);
+        let found = lock_recovering(&self.shards[index])
             .get(scope)
             .and_then(|m| m.get(key))
             .copied();
-        let counter = if found.is_some() { &self.hits } else { &self.misses };
-        counter.fetch_add(1, Ordering::Relaxed);
+        let (global, local) = if found.is_some() {
+            (&self.hits, &self.counters[index].hits)
+        } else {
+            (&self.misses, &self.counters[index].misses)
+        };
+        global.fetch_add(1, Ordering::Relaxed);
+        local.fetch_add(1, Ordering::Relaxed);
         found
     }
 
     fn put_scoped(&self, scope: &str, key: &ConfigKey, value: CachedEval) {
-        lock_recovering(self.shard(scope, key))
+        let index = self.shard_index(scope, key);
+        let fresh = lock_recovering(&self.shards[index])
             .entry(scope.to_string())
             .or_default()
-            .insert(key.clone(), value);
+            .insert(key.clone(), value)
+            .is_none();
+        if !fresh {
+            return;
+        }
+        self.counters[index].inserts.fetch_add(1, Ordering::Relaxed);
+        // The journal append happens outside the shard lock — a slow disk
+        // must never serialise sibling jobs hashing to the same shard.
+        if let Some(journal) = &self.journal {
+            let mut line = entry_line(scope, key, value);
+            line.push('\n');
+            let mut guard = lock_recovering(journal);
+            if guard.failed {
+                return;
+            }
+            let written = guard
+                .file
+                .write_all(line.as_bytes())
+                .and_then(|()| guard.file.flush());
+            if let Err(err) = written {
+                guard.failed = true;
+                eprintln!("warning: cache journal write failed: {err}; further entries stay in memory");
+            }
+        }
     }
+}
+
+/// Serialises one cache entry as a single JSON line. The packed key words
+/// are stored as hex strings — the journal's numbers are `f64` and a `u64`
+/// word above 2^53 would silently lose bits as a JSON number.
+fn entry_line(scope: &str, key: &ConfigKey, value: CachedEval) -> String {
+    let words: Vec<Json> = key
+        .words()
+        .iter()
+        .map(|w| Json::String(format!("{w:016x}")))
+        .collect();
+    compact(&Json::Object(vec![
+        ("scope".to_string(), Json::String(scope.to_string())),
+        ("len".to_string(), Json::Number(key.len() as f64)),
+        ("words".to_string(), Json::Array(words)),
+        ("quality".to_string(), Json::Number(value.quality)),
+        ("speedup".to_string(), Json::Number(value.speedup)),
+    ]))
+}
+
+/// Rebuilds one cache entry from a journal line; anything malformed —
+/// including key words that no real configuration could produce (see
+/// [`ConfigKey::from_raw`]) — is skipped.
+fn entry_from_doc(doc: &Json) -> Option<(String, ConfigKey, CachedEval)> {
+    let scope = doc.get("scope")?.as_str()?.to_string();
+    let len = doc.get("len")?.as_f64()? as usize;
+    let words = doc
+        .get("words")?
+        .as_array()?
+        .iter()
+        .map(|w| w.as_str().and_then(|s| u64::from_str_radix(s, 16).ok()))
+        .collect::<Option<Vec<u64>>>()?;
+    let key = ConfigKey::from_raw(len, words)?;
+    let value = CachedEval {
+        quality: doc.get("quality")?.as_f64()?,
+        speedup: doc.get("speedup")?.as_f64()?,
+    };
+    Some((scope, key, value))
+}
+
+/// Whether `path` holds a cache journal whose header matches `fingerprint`.
+fn cache_journal_matches(path: &Path, fingerprint: &str) -> bool {
+    let Ok(text) = std::fs::read_to_string(path) else {
+        return false;
+    };
+    let Some(header) = text.lines().next().and_then(|l| parse(l).ok()) else {
+        return false;
+    };
+    header.get("version").and_then(Json::as_str) == Some(CACHE_VERSION)
+        && header.get("fingerprint").and_then(Json::as_str) == Some(fingerprint)
 }
 
 /// A [`SharedEvalCache`] handle bound to one *(benchmark, scale)* scope;
@@ -237,6 +454,110 @@ mod tests {
         );
         assert!(second.get(&key).is_some());
         assert_eq!(cache.hits(), 1);
+    }
+
+    #[test]
+    fn shard_stats_track_traffic() {
+        let cache = Arc::new(SharedEvalCache::new());
+        let scoped = cache.scoped("tridiag", Scale::Small);
+        let key = key_of(&[1, 0]);
+        assert!(scoped.get(&key).is_none());
+        scoped.put(
+            &key,
+            CachedEval {
+                quality: 1.0,
+                speedup: 1.0,
+            },
+        );
+        assert!(scoped.get(&key).is_some());
+        let stats = cache.shard_stats();
+        assert_eq!(stats.len(), 16);
+        let total: ShardStats = stats.iter().fold(ShardStats::default(), |a, s| ShardStats {
+            hits: a.hits + s.hits,
+            misses: a.misses + s.misses,
+            inserts: a.inserts + s.inserts,
+        });
+        assert_eq!(total.hits, 1);
+        assert_eq!(total.misses, 1);
+        assert_eq!(total.inserts, 1);
+        assert_eq!(total.hits, cache.hits(), "per-shard sums match globals");
+    }
+
+    fn tmpfile(name: &str) -> std::path::PathBuf {
+        let mut p = std::env::temp_dir();
+        p.push(format!("mixp-evalcache-{name}-{}", std::process::id()));
+        p
+    }
+
+    #[test]
+    fn persisted_entries_reload_for_the_same_fingerprint() {
+        let path = tmpfile("reload");
+        std::fs::remove_file(&path).ok();
+        let key = key_of(&[1, 0, 1, 0, 1]);
+        {
+            let cache = Arc::new(SharedEvalCache::with_persistence(&path, "cafebabe"));
+            let scoped = cache.scoped("tridiag", Scale::Small);
+            scoped.put(
+                &key,
+                CachedEval {
+                    quality: 1.5e-7,
+                    speedup: 1.25,
+                },
+            );
+        }
+        // Same fingerprint: the entry is warm before any put.
+        let cache = Arc::new(SharedEvalCache::with_persistence(&path, "cafebabe"));
+        assert_eq!(cache.len(), 1);
+        let back = cache
+            .scoped("tridiag", Scale::Small)
+            .get(&key)
+            .expect("reloaded");
+        assert_eq!(back.quality.to_bits(), 1.5e-7_f64.to_bits());
+        assert_eq!(back.speedup.to_bits(), 1.25_f64.to_bits());
+        // Foreign fingerprint: the journal is discarded and restarted.
+        let other = Arc::new(SharedEvalCache::with_persistence(&path, "deadbeef"));
+        assert!(other.is_empty());
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn torn_cache_lines_are_skipped_on_reload() {
+        let path = tmpfile("torn");
+        std::fs::remove_file(&path).ok();
+        {
+            let cache = Arc::new(SharedEvalCache::with_persistence(&path, "feed"));
+            let scoped = cache.scoped("eos", Scale::Small);
+            scoped.put(
+                &key_of(&[1]),
+                CachedEval {
+                    quality: 0.5,
+                    speedup: 2.0,
+                },
+            );
+        }
+        let mut text = std::fs::read_to_string(&path).unwrap();
+        text.push_str("{\"scope\":\"eos@small\",\"len\":1,\"wor");
+        std::fs::write(&path, &text).unwrap();
+        let cache = Arc::new(SharedEvalCache::with_persistence(&path, "feed"));
+        assert_eq!(cache.len(), 1, "good line kept, torn line dropped");
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn invalid_key_words_never_materialise() {
+        let path = tmpfile("badkey");
+        // Hand-write a journal whose entry has padding bits set: the line
+        // parses as JSON but ConfigKey::from_raw must reject it.
+        std::fs::write(
+            &path,
+            "{\"version\":\"mixp-eval-cache-1\",\"fingerprint\":\"aa\"}\n\
+             {\"scope\":\"x@small\",\"len\":1,\"words\":[\"ffffffffffffffff\"],\
+             \"quality\":1,\"speedup\":1}\n",
+        )
+        .unwrap();
+        let cache = Arc::new(SharedEvalCache::with_persistence(&path, "aa"));
+        assert!(cache.is_empty(), "garbage keys must not load");
+        std::fs::remove_file(&path).ok();
     }
 
     #[test]

@@ -44,6 +44,21 @@ pub enum Fault {
     /// Collapse the wall-clock deadline to zero, forcing an immediate
     /// cooperative timeout. Models the 24-hour limit firing.
     ZeroDeadline,
+    /// Perturb the benchmark output by a small *finite* factor from the
+    /// n-th execution onward — the output stays plausible (no NaN, no Inf)
+    /// but is wrong. The factor depends on the execution index, so no two
+    /// runs of the same configuration agree, which is exactly what the
+    /// job's output-integrity probe detects. Models silent data corruption
+    /// (bad node memory, a miscompiled kernel).
+    CorruptOutput {
+        /// First execution whose output is perturbed.
+        from_eval: usize,
+    },
+    /// Sleep the given number of milliseconds inside every benchmark run,
+    /// consuming real wall-clock per evaluation. Unlike [`Fault::ZeroDeadline`]
+    /// this lets a search make *partial* progress before a campaign
+    /// deadline expires mid-search. Models a slow or oversubscribed node.
+    SlowMs(u64),
 }
 
 impl Fault {
@@ -54,6 +69,8 @@ impl Fault {
             Fault::NanOutput { .. } => "nan-output",
             Fault::StarveBudget => "starve-budget",
             Fault::ZeroDeadline => "zero-deadline",
+            Fault::CorruptOutput { .. } => "corrupt-output",
+            Fault::SlowMs(_) => "slow",
         }
     }
 }
@@ -109,7 +126,7 @@ impl FaultPlan {
             if rng.next_range(100) >= u64::from(rate_percent.min(100)) {
                 continue;
             }
-            let fault = match rng.next_range(4) {
+            let fault = match rng.next_range(6) {
                 0 => Fault::Panic {
                     at_eval: rng.next_range(3) as usize,
                 },
@@ -117,7 +134,11 @@ impl FaultPlan {
                     from_eval: rng.next_range(2) as usize,
                 },
                 2 => Fault::StarveBudget,
-                _ => Fault::ZeroDeadline,
+                3 => Fault::ZeroDeadline,
+                4 => Fault::CorruptOutput {
+                    from_eval: rng.next_range(2) as usize,
+                },
+                _ => Fault::SlowMs(1 + rng.next_range(10)),
             };
             let attempts = 1 + rng.next_range(2) as u32;
             plan = plan.inject(job, fault, attempts);
@@ -182,6 +203,22 @@ impl Benchmark for FaultyBenchmark {
                 let out = self.inner.run(ctx);
                 vec![f64::NAN; out.len()]
             }
+            Fault::CorruptOutput { from_eval } if n >= from_eval => {
+                // Finite but wrong: scale by a tiny factor that depends on
+                // the execution index, so two runs of the same configuration
+                // can never agree — the detectability the integrity probe
+                // relies on.
+                let factor = 1.0 + (n as f64 + 1.0) * 1e-6;
+                self.inner
+                    .run(ctx)
+                    .into_iter()
+                    .map(|v| v * factor)
+                    .collect()
+            }
+            Fault::SlowMs(ms) => {
+                std::thread::sleep(std::time::Duration::from_millis(ms));
+                self.inner.run(ctx)
+            }
             _ => self.inner.run(ctx),
         }
     }
@@ -228,6 +265,49 @@ mod tests {
             .unwrap();
         assert!(rec.quality.is_nan());
         assert!(!rec.passes);
+    }
+
+    #[test]
+    fn corrupt_fault_is_finite_but_execution_dependent() {
+        let bench = benchmark_by_name("tridiag", Scale::Small).unwrap();
+        let clean = benchmark_by_name("tridiag", Scale::Small).unwrap();
+        let faulty = FaultyBenchmark::new(bench, Fault::CorruptOutput { from_eval: 0 });
+        // Both the reference run and a later run are finite, wrong, and
+        // disagree with each other (the factor depends on the run index).
+        let ev_f = EvaluatorBuilder::new(QualityThreshold::new(1e-3)).build(&faulty);
+        let ev_c = EvaluatorBuilder::new(QualityThreshold::new(1e-3)).build(clean.as_ref());
+        let first = ev_f.reference_output().to_vec();
+        drop(ev_f);
+        let second = EvaluatorBuilder::new(QualityThreshold::new(1e-3))
+            .build(&faulty)
+            .reference_output()
+            .to_vec();
+        assert!(first.iter().chain(&second).all(|v| v.is_finite()));
+        assert_ne!(
+            first.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+            ev_c.reference_output()
+                .iter()
+                .map(|v| v.to_bits())
+                .collect::<Vec<_>>(),
+            "corrupt output must differ from the clean run"
+        );
+        assert_ne!(
+            first.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+            second.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+            "two corrupt executions must disagree"
+        );
+    }
+
+    #[test]
+    fn slow_fault_consumes_wall_clock() {
+        let bench = benchmark_by_name("tridiag", Scale::Small).unwrap();
+        let faulty = FaultyBenchmark::new(bench, Fault::SlowMs(20));
+        let start = std::time::Instant::now();
+        let _ev = EvaluatorBuilder::new(QualityThreshold::new(1e-3)).build(&faulty);
+        assert!(
+            start.elapsed() >= std::time::Duration::from_millis(20),
+            "the reference run alone must sleep the injected delay"
+        );
     }
 
     #[test]

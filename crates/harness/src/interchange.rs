@@ -15,7 +15,7 @@
 use crate::job::JobResult;
 use crate::json::{parse, Json, JsonError};
 use crate::scheduler::{CampaignStats, JobOutcome};
-use mixp_core::{Precision, PrecisionConfig, ProgramModel};
+use mixp_core::{MetricsSnapshot, Precision, PrecisionConfig, ProgramModel};
 use std::fmt;
 
 /// Version tag written into every interchange document.
@@ -186,16 +186,76 @@ pub fn results_to_json(results: &[JobResult]) -> String {
 /// entry carries a `status` of `"ok"` or `"failed"`, and failed entries
 /// report their typed error instead of metrics.
 pub fn outcomes_to_json(outcomes: &[JobOutcome]) -> String {
-    outcomes_doc(outcomes, None)
+    outcomes_doc(outcomes, None, None)
 }
 
 /// [`outcomes_to_json`] plus the campaign's shared-cache counters, emitted
 /// as a top-level `shared_cache` object (`{"hits": …, "misses": …}`).
 pub fn outcomes_to_json_with_stats(outcomes: &[JobOutcome], stats: &CampaignStats) -> String {
-    outcomes_doc(outcomes, Some(stats))
+    outcomes_doc(outcomes, Some(stats), None)
 }
 
-fn outcomes_doc(outcomes: &[JobOutcome], stats: Option<&CampaignStats>) -> String {
+/// [`outcomes_to_json_with_stats`] plus the campaign's observability
+/// snapshot (when tracing was enabled), emitted as a top-level `metrics`
+/// object with `counters`, `gauges` and `histograms` members. A `None` or
+/// empty snapshot omits the object entirely, so documents from untraced
+/// campaigns are unchanged.
+pub fn outcomes_to_json_full(
+    outcomes: &[JobOutcome],
+    stats: Option<&CampaignStats>,
+    metrics: Option<&MetricsSnapshot>,
+) -> String {
+    outcomes_doc(outcomes, stats, metrics)
+}
+
+fn metrics_json(snap: &MetricsSnapshot) -> Json {
+    let counters: Vec<(String, Json)> = snap
+        .counters
+        .iter()
+        .map(|(k, v)| (k.clone(), Json::Number(*v as f64)))
+        .collect();
+    let gauges: Vec<(String, Json)> = snap
+        .gauges
+        .iter()
+        .map(|(k, v)| (k.clone(), Json::Number(*v)))
+        .collect();
+    let histograms: Vec<(String, Json)> = snap
+        .histograms
+        .iter()
+        .map(|(k, h)| {
+            let buckets: Vec<Json> = h
+                .buckets
+                .iter()
+                .map(|(le, count)| {
+                    Json::Array(vec![
+                        Json::Number(*le as f64),
+                        Json::Number(*count as f64),
+                    ])
+                })
+                .collect();
+            (
+                k.clone(),
+                Json::Object(vec![
+                    ("count".to_string(), Json::Number(h.count as f64)),
+                    ("sum".to_string(), Json::Number(h.sum as f64)),
+                    ("overflow".to_string(), Json::Number(h.overflow as f64)),
+                    ("buckets".to_string(), Json::Array(buckets)),
+                ]),
+            )
+        })
+        .collect();
+    Json::Object(vec![
+        ("counters".to_string(), Json::Object(counters)),
+        ("gauges".to_string(), Json::Object(gauges)),
+        ("histograms".to_string(), Json::Object(histograms)),
+    ])
+}
+
+fn outcomes_doc(
+    outcomes: &[JobOutcome],
+    stats: Option<&CampaignStats>,
+    metrics: Option<&MetricsSnapshot>,
+) -> String {
     let items: Vec<Json> = outcomes
         .iter()
         .map(|o| {
@@ -257,6 +317,11 @@ fn outcomes_doc(outcomes: &[JobOutcome], stats: Option<&CampaignStats>) -> Strin
                 ),
             ]),
         ));
+    }
+    if let Some(snap) = metrics {
+        if !snap.is_empty() {
+            doc.push(("metrics".to_string(), metrics_json(snap)));
+        }
     }
     Json::Object(doc).pretty()
 }
@@ -350,6 +415,39 @@ mod tests {
             .unwrap()
             .contains("250"));
         assert_eq!(items[1].get("attempts").unwrap().as_f64(), Some(3.0));
+    }
+
+    #[test]
+    fn metrics_object_round_trips_through_the_document() {
+        use crate::scheduler::{run_campaign, CampaignOptions};
+        use mixp_core::Obs;
+        let obs = Obs::in_memory();
+        let jobs = vec![crate::job::Job::new("tridiag", "DD", 1e-3, Scale::Small)];
+        let outcomes = run_campaign(
+            &jobs,
+            &CampaignOptions {
+                workers: 1,
+                obs: obs.clone(),
+                ..CampaignOptions::default()
+            },
+        );
+        let snap = obs.metrics_snapshot().unwrap();
+        let text = outcomes_to_json_full(&outcomes, None, Some(&snap));
+        let doc = crate::json::parse(&text).unwrap();
+        let metrics = doc.get("metrics").expect("metrics object present");
+        let runs = metrics
+            .get("counters")
+            .and_then(|c| c.get("evaluator.runs"))
+            .and_then(Json::as_f64)
+            .expect("evaluator.runs counter");
+        assert!(runs > 0.0);
+        assert!(metrics
+            .get("histograms")
+            .and_then(|h| h.get("campaign.attempts"))
+            .is_some());
+        // No snapshot, or an empty one, omits the object entirely.
+        let bare = outcomes_to_json_full(&outcomes, None, None);
+        assert!(crate::json::parse(&bare).unwrap().get("metrics").is_none());
     }
 
     #[test]

@@ -8,7 +8,7 @@
 use crate::evalcache::SharedEvalCache;
 use crate::faultplan::{Fault, FaultyBenchmark};
 use crate::registry::{benchmark_by_name, Scale};
-use mixp_core::{Benchmark, EvalError, EvaluatorBuilder, QualityThreshold};
+use mixp_core::{Benchmark, EvalError, EvaluatorBuilder, Obs, QualityThreshold, Value};
 use mixp_search::{algorithm_by_name, SearchResult};
 use std::fmt;
 use std::panic::{catch_unwind, AssertUnwindSafe};
@@ -60,6 +60,12 @@ pub enum JobError {
     /// The reference run or the best passing record produced non-finite
     /// quality/speedup, so no meaningful comparison exists.
     NonFiniteQuality,
+    /// The output-integrity probe caught the benchmark producing finite but
+    /// irreproducible results: two runs of the identical untransformed
+    /// program disagreed bit-for-bit. Silent data corruption — nothing
+    /// downstream of such a run can be trusted, so the job is failed
+    /// deterministically rather than reporting plausible-looking numbers.
+    CorruptOutput,
 }
 
 impl JobError {
@@ -72,6 +78,7 @@ impl JobError {
             JobError::DeadlineExceeded { .. } => "deadline",
             JobError::BudgetExhausted { .. } => "budget",
             JobError::NonFiniteQuality => "non-finite",
+            JobError::CorruptOutput => "corrupt-output",
         }
     }
 
@@ -100,6 +107,9 @@ impl fmt::Display for JobError {
             }
             JobError::NonFiniteQuality => {
                 write!(f, "non-finite quality: output destroyed")
+            }
+            JobError::CorruptOutput => {
+                write!(f, "corrupt output: finite but irreproducible results")
             }
         }
     }
@@ -177,6 +187,24 @@ impl Job {
         fault: Option<Fault>,
         shared: Option<&Arc<SharedEvalCache>>,
     ) -> Result<JobResult, JobError> {
+        self.execute_observed(deadline, fault, shared, &Obs::noop())
+    }
+
+    /// [`Job::execute_with`] plus an observability handle: the evaluator is
+    /// built with `obs`, so per-evaluation spans and counters flow into the
+    /// campaign's tracer. A noop handle (the default) changes nothing —
+    /// outcomes are bit-identical with tracing on or off.
+    ///
+    /// # Errors
+    ///
+    /// Identical to [`Job::execute`].
+    pub fn execute_observed(
+        &self,
+        deadline: Option<Duration>,
+        fault: Option<Fault>,
+        shared: Option<&Arc<SharedEvalCache>>,
+        obs: &Obs,
+    ) -> Result<JobResult, JobError> {
         let shared = if fault.is_none() { shared } else { None };
         let bench = benchmark_by_name(&self.benchmark, self.scale)
             .ok_or_else(|| JobError::UnknownBenchmark(self.benchmark.clone()))?;
@@ -194,15 +222,19 @@ impl Job {
                 deadline = Some(Duration::ZERO);
                 bench
             }
-            Some(f @ (Fault::Panic { .. } | Fault::NanOutput { .. })) => {
-                Box::new(FaultyBenchmark::new(bench, f))
-            }
+            Some(
+                f @ (Fault::Panic { .. }
+                | Fault::NanOutput { .. }
+                | Fault::CorruptOutput { .. }
+                | Fault::SlowMs(_)),
+            ) => Box::new(FaultyBenchmark::new(bench, f)),
             None => bench,
         };
 
         let run = catch_unwind(AssertUnwindSafe(|| {
-            let mut builder =
-                EvaluatorBuilder::new(QualityThreshold::new(self.threshold)).budget(budget);
+            let mut builder = EvaluatorBuilder::new(QualityThreshold::new(self.threshold))
+                .budget(budget)
+                .obs(obs.clone());
             if let Some(d) = deadline {
                 builder = builder.deadline(d);
             }
@@ -213,6 +245,25 @@ impl Job {
             if !ev.reference_output().iter().all(|v| v.is_finite()) {
                 return Err(JobError::NonFiniteQuality);
             }
+            // Output-integrity probe: run the untransformed program a second
+            // time (through a throwaway evaluator, so no budget is charged)
+            // and compare bit-for-bit against the reference. A deterministic
+            // benchmark reproduces exactly; finite-but-differing output means
+            // silent corruption, which would otherwise flow into every
+            // quality number this job reports.
+            let probe = EvaluatorBuilder::new(QualityThreshold::new(self.threshold))
+                .build(bench.as_ref());
+            let probe_out = probe.reference_output();
+            if probe_out.iter().all(|v| v.is_finite())
+                && probe_out
+                    .iter()
+                    .zip(ev.reference_output())
+                    .any(|(a, b)| a.to_bits() != b.to_bits())
+            {
+                obs.event("job.corrupt", &[("outputs", Value::U64(probe_out.len() as u64))]);
+                return Err(JobError::CorruptOutput);
+            }
+            drop(probe);
             let result = algo.search(&mut ev);
             if ev.stop_reason() == Some(EvalError::DeadlineExceeded) {
                 return Err(JobError::DeadlineExceeded {
@@ -349,6 +400,30 @@ mod tests {
     }
 
     #[test]
+    fn corrupt_output_is_caught_by_the_integrity_probe() {
+        let job = Job::new("tridiag", "DD", 1e-3, Scale::Small);
+        let err = job
+            .execute(None, Some(Fault::CorruptOutput { from_eval: 0 }))
+            .unwrap_err();
+        assert_eq!(err, JobError::CorruptOutput);
+        assert_eq!(err.code(), "corrupt-output");
+        assert!(!err.is_transient(), "silent corruption is permanent");
+        // Corruption starting after the reference is caught too: the probe
+        // run disagrees with the clean reference.
+        let err = job
+            .execute(None, Some(Fault::CorruptOutput { from_eval: 1 }))
+            .unwrap_err();
+        assert_eq!(err, JobError::CorruptOutput);
+    }
+
+    #[test]
+    fn slow_fault_still_completes_without_deadline() {
+        let job = Job::new("tridiag", "DD", 1e-3, Scale::Small);
+        let res = job.execute(None, Some(Fault::SlowMs(1))).unwrap();
+        assert!(!res.result.dnf);
+    }
+
+    #[test]
     fn generous_deadline_does_not_fire() {
         let job = Job::new("tridiag", "DD", 1e-3, Scale::Small);
         let res = job
@@ -368,6 +443,7 @@ mod tests {
             (JobError::DeadlineExceeded { limit_ms: 7 }, "7 ms"),
             (JobError::BudgetExhausted { budget: 0 }, "budget"),
             (JobError::NonFiniteQuality, "non-finite"),
+            (JobError::CorruptOutput, "corrupt"),
         ] {
             assert!(err.to_string().contains(needle), "{err}");
         }

@@ -16,7 +16,9 @@
 //!   the paper's SLURM cluster, with panic isolation, per-job deadlines
 //!   and bounded retry.
 //! * [`evalcache`] — the campaign-wide shared evaluation cache, so sibling
-//!   jobs over the same benchmark never re-run a configuration.
+//!   jobs over the same benchmark never re-run a configuration; persisted
+//!   next to the run-state journal (`<checkpoint>.cache.jsonl`) so resumed
+//!   campaigns start warm.
 //! * [`faultplan`] — deterministic fault injection (panics, NaN output,
 //!   budget starvation, zero deadlines) for robustness testing.
 //! * [`checkpoint`] — append-only run-state journal so a killed campaign
@@ -25,6 +27,12 @@
 //! * [`experiments`] — the data generators behind every table and figure of
 //!   the paper's evaluation (Tables I–V, Figures 2–3).
 //! * [`report`] — plain-text table rendering.
+//!
+//! Every layer is wired through the `mixp-obs` observability subsystem
+//! (re-exported as [`mixp_core::Obs`]): set [`CampaignOptions::obs`] (or
+//! the harness binary's `--trace`/`--metrics` flags) to stream JSONL spans
+//! and collect counters; the default noop handle records nothing, and
+//! outcomes are bit-identical with tracing on or off.
 //!
 //! # Example
 //!
@@ -61,7 +69,7 @@ pub mod scheduler;
 pub mod yamlish;
 
 pub use config::AnalysisConfig;
-pub use evalcache::{ScopedEvalCache, SharedEvalCache};
+pub use evalcache::{ScopedEvalCache, SharedEvalCache, ShardStats};
 pub use faultplan::{Fault, FaultPlan};
 pub use job::{Job, JobError, JobResult};
 pub use registry::{benchmark_by_name, benchmark_names, Scale};

@@ -2,6 +2,18 @@
 
 use crate::job::JobResult;
 use crate::scheduler::JobOutcome;
+use mixp_core::MetricsSnapshot;
+
+/// Renders the campaign's observability snapshot as a report footer:
+/// a heading line plus [`MetricsSnapshot::render_text`]'s indented body.
+/// Returns an empty string for an empty snapshot so callers can append
+/// unconditionally.
+pub fn metrics_footer(snapshot: &MetricsSnapshot) -> String {
+    if snapshot.is_empty() {
+        return String::new();
+    }
+    format!("campaign metrics:\n{}", snapshot.render_text())
+}
 
 /// Renders a fixed-width text table. The first row of `rows` is not
 /// special; pass column names via `headers`.
@@ -157,6 +169,18 @@ mod tests {
     fn speedup_formats() {
         assert_eq!(fmt_speedup(None), "-");
         assert_eq!(fmt_speedup(Some(1.5)), "1.50");
+    }
+
+    #[test]
+    fn metrics_footer_renders_counters_and_is_empty_when_empty() {
+        use mixp_core::Obs;
+        assert_eq!(metrics_footer(&MetricsSnapshot::default()), "");
+        let obs = Obs::in_memory();
+        obs.counter_add("campaign.completed", 3);
+        let snap = obs.metrics_snapshot().unwrap();
+        let footer = metrics_footer(&snap);
+        assert!(footer.starts_with("campaign metrics:"));
+        assert!(footer.contains("campaign.completed = 3"), "{footer}");
     }
 
     #[test]

@@ -15,6 +15,7 @@ use crate::checkpoint::Journal;
 use crate::evalcache::SharedEvalCache;
 use crate::faultplan::FaultPlan;
 use crate::job::{Job, JobError, JobResult};
+use mixp_core::{Obs, Value};
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex};
@@ -102,6 +103,12 @@ pub struct CampaignOptions {
     /// fresh runs and still consume budget, so this changes wall-clock
     /// only, never results.
     pub shared_cache: bool,
+    /// Observability handle ([`mixp_core::Obs`]): spans, events and
+    /// counters for the whole campaign — job lifecycle, retries, cache
+    /// shards, and (through the evaluator) every evaluation. The default
+    /// noop handle records nothing and costs one branch per call site;
+    /// outcomes are bit-identical with tracing on or off.
+    pub obs: Obs,
 }
 
 impl Default for CampaignOptions {
@@ -113,6 +120,7 @@ impl Default for CampaignOptions {
             faults: FaultPlan::default(),
             checkpoint: None,
             shared_cache: true,
+            obs: Obs::noop(),
         }
     }
 }
@@ -162,12 +170,34 @@ fn run_with_retry(
     opts: &CampaignOptions,
     shared: Option<&Arc<SharedEvalCache>>,
 ) -> (u32, Result<JobResult, JobError>) {
+    let obs = &opts.obs;
     let max = opts.retry.max_attempts.max(1);
     let mut attempt = 0;
     loop {
         attempt += 1;
         let fault = opts.faults.fault_for(index, attempt);
-        let outcome = job.execute_with(opts.deadline, fault, shared);
+        obs.event(
+            "job.attempt",
+            &[
+                ("job", Value::U64(index as u64)),
+                ("attempt", Value::U64(u64::from(attempt))),
+                (
+                    "fault",
+                    fault.map_or(Value::Str("none"), |f| Value::Str(f.label())),
+                ),
+            ],
+        );
+        let outcome = job.execute_observed(opts.deadline, fault, shared, obs);
+        if let Err(e) = &outcome {
+            obs.event(
+                "job.error",
+                &[
+                    ("job", Value::U64(index as u64)),
+                    ("attempt", Value::U64(u64::from(attempt))),
+                    ("code", Value::Str(e.code())),
+                ],
+            );
+        }
         let retry = match &outcome {
             Ok(_) => false,
             Err(e) => e.is_transient() && attempt < max,
@@ -175,8 +205,16 @@ fn run_with_retry(
         if !retry {
             return (attempt, outcome);
         }
+        obs.counter_add("campaign.retries", 1);
         let delay = opts.retry.delay_for(index, attempt);
         if !delay.is_zero() {
+            obs.event(
+                "job.backoff",
+                &[
+                    ("job", Value::U64(index as u64)),
+                    ("delay_ms", Value::U64(delay.as_millis() as u64)),
+                ],
+            );
             std::thread::sleep(delay);
         }
     }
@@ -230,7 +268,21 @@ pub fn run_campaign_with_stats(
     };
 
     let cache = if opts.shared_cache {
-        Some(Arc::new(SharedEvalCache::new()))
+        // With a checkpoint journal in play, the cache persists next to it
+        // (`<checkpoint>.cache.jsonl`, same job-list fingerprint), so a
+        // resumed campaign starts warm. Hits still consume budget, so the
+        // reported numbers never depend on the journal's existence.
+        Some(Arc::new(match &opts.checkpoint {
+            Some(path) => {
+                let mut cache_path = path.as_os_str().to_os_string();
+                cache_path.push(".cache.jsonl");
+                SharedEvalCache::with_persistence(
+                    std::path::Path::new(&cache_path),
+                    &crate::checkpoint::fingerprint(jobs),
+                )
+            }
+            None => SharedEvalCache::new(),
+        }))
     } else {
         None
     };
@@ -243,6 +295,14 @@ pub fn run_campaign_with_stats(
     .min(jobs.len())
     .max(1);
 
+    let obs = &opts.obs;
+    obs.event(
+        "campaign.start",
+        &[
+            ("jobs", Value::U64(jobs.len() as u64)),
+            ("workers", Value::U64(workers as u64)),
+        ],
+    );
     let next = AtomicUsize::new(0);
     let slots: Vec<Mutex<Option<(u32, Result<JobResult, JobError>)>>> =
         jobs.iter().map(|_| Mutex::new(None)).collect();
@@ -257,9 +317,31 @@ pub fn run_campaign_with_stats(
                     break;
                 }
                 if restored[i].is_some() {
+                    obs.event("job.restored", &[("job", Value::U64(i as u64))]);
                     continue; // already completed in a previous run
                 }
+                let span = obs.span(
+                    "job",
+                    &[
+                        ("job", Value::U64(i as u64)),
+                        ("benchmark", Value::S(jobs[i].benchmark.clone())),
+                        ("algorithm", Value::S(jobs[i].algorithm.clone())),
+                    ],
+                );
                 let (attempts, outcome) = run_with_retry(i, &jobs[i], opts, cache);
+                obs.observe("campaign.attempts", u64::from(attempts));
+                obs.counter_add(
+                    if outcome.is_ok() {
+                        "campaign.completed"
+                    } else {
+                        "campaign.failures"
+                    },
+                    1,
+                );
+                span.end_with(&[
+                    ("attempts", Value::U64(u64::from(attempts))),
+                    ("ok", Value::Bool(outcome.is_ok())),
+                ]);
                 if let Some(journal) = journal {
                     let written = match &outcome {
                         Ok(result) => lock_recovering(journal).record(i, &jobs[i], result),
@@ -284,6 +366,31 @@ pub fn run_campaign_with_stats(
         shared_cache_hits: cache.map_or(0, |c| c.hits()),
         shared_cache_misses: cache.map_or(0, |c| c.misses()),
     };
+    if let Some(cache) = cache {
+        obs.counter_add("cache.hits", cache.hits());
+        obs.counter_add("cache.misses", cache.misses());
+        for (i, shard) in cache.shard_stats().iter().enumerate() {
+            if shard.hits == 0 && shard.misses == 0 && shard.inserts == 0 {
+                continue;
+            }
+            obs.event(
+                "cache.shard",
+                &[
+                    ("shard", Value::U64(i as u64)),
+                    ("hits", Value::U64(shard.hits)),
+                    ("misses", Value::U64(shard.misses)),
+                    ("inserts", Value::U64(shard.inserts)),
+                ],
+            );
+        }
+    }
+    obs.event(
+        "campaign.end",
+        &[
+            ("jobs", Value::U64(jobs.len() as u64)),
+            ("cache_hits", Value::U64(stats.shared_cache_hits)),
+        ],
+    );
     let outcomes = jobs
         .iter()
         .enumerate()
@@ -535,6 +642,14 @@ mod tests {
                 b.result().unwrap().result.evaluated
             );
         }
+        // The shared cache persists next to the journal.
+        let mut cache_path = path.as_os_str().to_os_string();
+        cache_path.push(".cache.jsonl");
+        assert!(
+            std::path::Path::new(&cache_path).exists(),
+            "cache journal must sit next to the checkpoint"
+        );
+        std::fs::remove_file(&cache_path).ok();
         std::fs::remove_file(&path).ok();
     }
 
@@ -611,6 +726,9 @@ mod tests {
             Err(JobError::UnknownBenchmark(name)) => assert_eq!(name, "no-such-bench"),
             other => panic!("expected restored UnknownBenchmark, got {other:?}"),
         }
+        let mut cache_path = path.as_os_str().to_os_string();
+        cache_path.push(".cache.jsonl");
+        std::fs::remove_file(&cache_path).ok();
         std::fs::remove_file(&path).ok();
     }
 
@@ -639,6 +757,63 @@ mod tests {
         assert!(second[0].from_checkpoint);
         assert!(!second[1].from_checkpoint);
         assert!(second[1].outcome.is_ok());
+        let mut cache_path = path.as_os_str().to_os_string();
+        cache_path.push(".cache.jsonl");
+        std::fs::remove_file(&cache_path).ok();
         std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn campaign_trace_covers_jobs_retries_and_cache() {
+        let obs = Obs::in_memory();
+        let jobs = small_jobs(&["tridiag", "innerprod", "eos"], "DD");
+        let opts = CampaignOptions {
+            workers: 2,
+            retry: RetryPolicy::attempts(2),
+            faults: FaultPlan::new().inject(1, Fault::Panic { at_eval: 0 }, 1),
+            obs: obs.clone(),
+            ..CampaignOptions::default()
+        };
+        let results = run_campaign(&jobs, &opts);
+        assert!(results.iter().all(|o| o.outcome.is_ok()));
+        let lines = obs.trace_lines();
+        let text = lines.join("\n");
+        for needle in [
+            "campaign.start",
+            "\"job\"",
+            "job.attempt",
+            "job.error",
+            "eval",
+            "cache.shard",
+            "campaign.end",
+        ] {
+            assert!(text.contains(needle), "trace missing {needle}");
+        }
+        let snap = obs.metrics_snapshot().expect("enabled obs has metrics");
+        assert_eq!(snap.counters.get("campaign.retries"), Some(&1));
+        assert_eq!(snap.counters.get("campaign.completed"), Some(&3));
+        assert!(snap.counters.get("evaluator.runs").copied().unwrap_or(0) > 0);
+        assert!(snap.histograms.contains_key("campaign.attempts"));
+    }
+
+    #[test]
+    fn tracing_does_not_change_campaign_results() {
+        let jobs = small_jobs(&["eos", "hydro-1d"], "GA");
+        let plain = run_campaign(&jobs, &CampaignOptions::default());
+        let traced = run_campaign(
+            &jobs,
+            &CampaignOptions {
+                obs: Obs::in_memory(),
+                ..CampaignOptions::default()
+            },
+        );
+        for (a, b) in plain.iter().zip(&traced) {
+            let (a, b) = (a.result().unwrap(), b.result().unwrap());
+            assert_eq!(a.result.evaluated, b.result.evaluated);
+            assert_eq!(
+                a.result.speedup().map(f64::to_bits),
+                b.result.speedup().map(f64::to_bits)
+            );
+        }
     }
 }

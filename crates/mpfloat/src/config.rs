@@ -169,6 +169,33 @@ impl ConfigKey {
     /// Variables packed into each `u64` word (2 bits per variable).
     pub const VARS_PER_WORD: usize = 32;
 
+    /// Rebuilds a key from its packed representation, as persisted by the
+    /// harness's cache journal. Returns `None` unless the word count matches
+    /// `len` exactly, every 2-bit code is a valid precision, and the padding
+    /// bits beyond `len` are zero — so a corrupted or hand-edited journal
+    /// line can never materialise a key that no configuration produces.
+    pub fn from_raw(len: usize, words: Vec<u64>) -> Option<Self> {
+        if u32::try_from(len).is_err() || words.len() != len.div_ceil(Self::VARS_PER_WORD) {
+            return None;
+        }
+        for i in 0..len {
+            let code = (words[i / Self::VARS_PER_WORD] >> (2 * (i % Self::VARS_PER_WORD))) & 0b11;
+            if code == 0b11 {
+                return None;
+            }
+        }
+        if let Some(last) = words.last() {
+            let used = len - (words.len() - 1) * Self::VARS_PER_WORD;
+            if used < Self::VARS_PER_WORD && last >> (2 * used) != 0 {
+                return None;
+            }
+        }
+        Some(ConfigKey {
+            len: len as u32,
+            words,
+        })
+    }
+
     /// Number of variables the fingerprinted configuration covered.
     pub fn len(&self) -> usize {
         self.len as usize
@@ -301,6 +328,25 @@ mod tests {
         for i in 0..70 {
             assert_eq!(unpacked[i], cfg.get(VarId::from_index(i)), "var {i}");
         }
+    }
+
+    #[test]
+    fn from_raw_round_trips_and_rejects_garbage() {
+        let mut cfg = PrecisionConfig::all_double(70);
+        cfg.set(VarId::from_index(31), Precision::Half);
+        cfg.set(VarId::from_index(69), Precision::Single);
+        let key = cfg.fingerprint();
+        let rebuilt =
+            ConfigKey::from_raw(key.len(), key.words().to_vec()).expect("valid words");
+        assert_eq!(rebuilt, key);
+        // Wrong word count.
+        assert!(ConfigKey::from_raw(70, vec![0u64; 2]).is_none());
+        // Invalid 2-bit code (0b11).
+        assert!(ConfigKey::from_raw(2, vec![0b1100]).is_none());
+        // Non-zero padding beyond the declared length.
+        assert!(ConfigKey::from_raw(1, vec![1u64 << 2]).is_none());
+        // Empty is fine.
+        assert!(ConfigKey::from_raw(0, Vec::new()).is_some());
     }
 
     #[test]

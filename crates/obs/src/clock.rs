@@ -1,0 +1,47 @@
+//! Wall-clock enrichment, quarantined.
+//!
+//! The deterministic span path must never consult real time — the logical
+//! clock (a monotonic sequence number in [`crate::trace`]) is the only
+//! ordering tests may rely on. Wall-clock reads are therefore confined to
+//! this module: `scripts/check_hermetic.sh` greps `trace.rs` and
+//! `metrics.rs` for `Instant`/`SystemTime` and fails the build if either
+//! ever references them directly.
+
+use std::time::Instant;
+
+/// A process-relative microsecond clock. Only constructed when the caller
+/// explicitly opts into wall-clock enrichment ([`crate::ObsBuilder`]), so
+/// traces produced without it are fully reproducible.
+#[derive(Debug)]
+pub struct WallClock {
+    epoch: Instant,
+}
+
+impl WallClock {
+    /// Starts the clock; subsequent [`micros`](Self::micros) reads are
+    /// relative to this instant.
+    pub fn start() -> WallClock {
+        WallClock {
+            epoch: Instant::now(),
+        }
+    }
+
+    /// Microseconds elapsed since [`start`](Self::start), saturating at
+    /// `u64::MAX`.
+    pub fn micros(&self) -> u64 {
+        u64::try_from(self.epoch.elapsed().as_micros()).unwrap_or(u64::MAX)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn micros_is_monotonic() {
+        let clock = WallClock::start();
+        let a = clock.micros();
+        let b = clock.micros();
+        assert!(b >= a);
+    }
+}

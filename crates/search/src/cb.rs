@@ -1,7 +1,7 @@
 //! Combinational (brute-force) search.
 
 use crate::{batch_passes, enumeration_width, finish, SearchAlgorithm, SearchResult};
-use mixp_core::{Evaluator, Granularity, PrecisionConfig};
+use mixp_core::{Evaluator, Granularity, PrecisionConfig, Value};
 
 /// Combinational search (CB): try *all* combinations of clusters — the
 /// exhaustive approach (§II-B).
@@ -33,6 +33,7 @@ impl SearchAlgorithm for Combinational {
     }
 
     fn search(&self, ev: &mut Evaluator<'_>) -> SearchResult {
+        let obs = ev.obs();
         let space = ev.space(Granularity::Clusters);
         let n = space.len();
         if n == 0 {
@@ -43,6 +44,13 @@ impl SearchAlgorithm for Combinational {
         // timed-out runs.
         let width = enumeration_width(ev);
         if n >= 24 {
+            let _sweep = obs.span(
+                "cb.sweep",
+                &[
+                    ("clusters", Value::U64(n as u64)),
+                    ("exhaustive", Value::Bool(false)),
+                ],
+            );
             let program = ev.program().clone();
             // Evaluate single-cluster configs until the budget runs out,
             // fanning each chunk across the evaluator's workers.
@@ -57,12 +65,20 @@ impl SearchAlgorithm for Combinational {
         }
         let program = ev.program().clone();
         let total: u64 = 1 << n;
+        let _sweep = obs.span(
+            "cb.sweep",
+            &[
+                ("clusters", Value::U64(n as u64)),
+                ("subsets", Value::U64(total - 1)),
+            ],
+        );
         // Largest subsets first: sort masks by descending popcount.
         let mut masks: Vec<u64> = (1..total).collect();
         masks.sort_by_key(|m| std::cmp::Reverse(m.count_ones()));
         // Enumeration chunks are the search's natural frontier: no member
         // depends on another, so fan-out is sequence-identical.
         for group in masks.chunks(width) {
+            let _chunk = obs.span("cb.chunk", &[("masks", Value::U64(group.len() as u64))]);
             let cfgs: Vec<PrecisionConfig> = group
                 .iter()
                 .map(|&mask| {

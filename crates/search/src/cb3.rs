@@ -1,7 +1,7 @@
 //! Multi-level (p = 3) exhaustive search.
 
 use crate::{batch_passes, enumeration_width, finish, SearchAlgorithm, SearchResult};
-use mixp_core::{Evaluator, Precision, PrecisionConfig};
+use mixp_core::{Evaluator, Precision, PrecisionConfig, Value};
 
 /// Multi-precision exhaustive search (CB3): enumerates every assignment of
 /// a precision *level* — half, single or double — to every cluster.
@@ -47,6 +47,13 @@ impl SearchAlgorithm for MultiPrecisionExhaustive {
         }
         let total: u64 = 3u64.pow(n as u32);
         let width = enumeration_width(ev);
+        let _sweep = ev.obs().span(
+            "cb3.sweep",
+            &[
+                ("clusters", Value::U64(n as u64)),
+                ("assignments", Value::U64(total)),
+            ],
+        );
         let mut levels = vec![Precision::Double; n];
         let mut codes = 0..total;
         // Chunked enumeration: decode `width` assignments, fan them out,
@@ -67,6 +74,9 @@ impl SearchAlgorithm for MultiPrecisionExhaustive {
             if cfgs.is_empty() {
                 break;
             }
+            let _chunk = ev
+                .obs()
+                .span("cb3.chunk", &[("assignments", Value::U64(cfgs.len() as u64))]);
             if batch_passes(ev, &cfgs).is_err() {
                 return finish(ev, true);
             }

@@ -1,7 +1,7 @@
 //! Compositional search.
 
 use crate::{batch_passes, finish, SearchAlgorithm, SearchResult};
-use mixp_core::{Evaluator, Granularity, PrecisionConfig};
+use mixp_core::{Evaluator, Granularity, PrecisionConfig, Value};
 use std::collections::BTreeSet;
 
 /// Compositional search (CM): replace each cluster individually, then
@@ -39,8 +39,11 @@ impl SearchAlgorithm for Compositional {
             return finish(ev, false);
         }
 
+        let obs = ev.obs();
+
         // Phase 1: every unit individually — one independent batch, since
         // no trial depends on another's outcome.
+        let units = obs.span("cm.units", &[("units", Value::U64(n as u64))]);
         let unit_cfgs: Vec<PrecisionConfig> =
             (0..n).map(|u| space.config(&program, [u])).collect();
         let mut passing: Vec<BTreeSet<usize>> = Vec::new();
@@ -54,6 +57,7 @@ impl SearchAlgorithm for Compositional {
             }
             Err(_) => return finish(ev, true),
         }
+        units.end_with(&[("passing", Value::U64(passing.len() as u64))]);
 
         // Phase 2: compose pairs of passing sets (unions) until closure.
         // `seen` caps re-deriving identical unions. Each wave's candidate
@@ -73,6 +77,10 @@ impl SearchAlgorithm for Compositional {
                     candidates.push(union);
                 }
             }
+            let _wave = obs.span(
+                "cm.wave",
+                &[("candidates", Value::U64(candidates.len() as u64))],
+            );
             let cfgs: Vec<PrecisionConfig> = candidates
                 .iter()
                 .map(|u| space.config(&program, u.iter().copied()))

@@ -1,7 +1,7 @@
 //! Delta-debugging search.
 
 use crate::{finish, first_passing, SearchAlgorithm, SearchResult};
-use mixp_core::{Evaluator, Granularity, PrecisionConfig};
+use mixp_core::{Evaluator, Granularity, PrecisionConfig, Value};
 use std::collections::BTreeSet;
 
 /// Delta-debugging search (DD): a modified binary search over the cluster
@@ -83,9 +83,17 @@ impl SearchAlgorithm for DeltaDebug {
         // probes are the natural frontier: `first_passing` fans them out in
         // worker-width lookahead groups while preserving the historical
         // first-match semantics.
+        let obs = ev.obs();
         let mut high = universe.clone();
         let mut n = 2usize;
         while high.len() >= 2 {
+            let _round = obs.span(
+                "dd.round",
+                &[
+                    ("n", Value::U64(n as u64)),
+                    ("high", Value::U64(high.len() as u64)),
+                ],
+            );
             let chunks = split(&high, n);
 
             // Try each chunk as the new high set.

@@ -1,7 +1,7 @@
 //! Variable-granularity delta debugging — the cluster-ignorant baseline.
 
 use crate::{finish, first_passing, SearchAlgorithm, SearchResult};
-use mixp_core::{Evaluator, Granularity, PrecisionConfig};
+use mixp_core::{Evaluator, Granularity, PrecisionConfig, Value};
 use std::collections::BTreeSet;
 
 /// Delta-debugging over raw *variables* (DDV): the same ddmin refinement as
@@ -76,9 +76,17 @@ impl SearchAlgorithm for VariableDeltaDebug {
             Err(_) => return finish(ev, true),
         }
 
+        let obs = ev.obs();
         let mut high = universe.clone();
         let mut n = 2usize;
         while high.len() >= 2 {
+            let _round = obs.span(
+                "ddv.round",
+                &[
+                    ("n", Value::U64(n as u64)),
+                    ("high", Value::U64(high.len() as u64)),
+                ],
+            );
             let chunks = split(&high, n);
             let cfgs: Vec<PrecisionConfig> = chunks.iter().map(&config_for).collect();
             match first_passing(ev, &cfgs) {

@@ -2,7 +2,7 @@
 
 use crate::{finish, SearchAlgorithm, SearchResult};
 use mixp_core::synth::SplitMix64;
-use mixp_core::{Evaluator, Granularity};
+use mixp_core::{Evaluator, Granularity, Value};
 
 /// Tuning knobs of the genetic search.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -126,13 +126,16 @@ impl SearchAlgorithm for Genetic {
                 Some(scores)
             };
 
+        let obs = ev.obs();
         let mut population: Vec<Individual> = (0..p.population)
             .map(|_| random_individual(&mut rng, n))
             .collect();
+        let gen0 = obs.span("ga.generation", &[("gen", Value::U64(0))]);
         let mut scores = match score_generation(ev, &population) {
             Some(s) => s,
             None => return finish(ev, true),
         };
+        gen0.end_with(&[]);
 
         let mut best_score = scores.iter().copied().fold(0.0, f64::max);
         let mut stall = 0usize;
@@ -166,11 +169,13 @@ impl SearchAlgorithm for Genetic {
                 next_pop.push(child);
             }
             population = next_pop;
+            let span = obs.span("ga.generation", &[("gen", Value::U64(_gen as u64))]);
             scores = match score_generation(ev, &population) {
                 Some(s) => s,
                 None => return finish(ev, true),
             };
             let gen_best = scores.iter().copied().fold(0.0, f64::max);
+            span.end_with(&[("best", Value::F64(gen_best))]);
             if gen_best > best_score + 1e-12 {
                 best_score = gen_best;
                 stall = 0;

@@ -2,7 +2,7 @@
 
 use crate::hr::{passing_components, try_lower_batch};
 use crate::{finish, SearchAlgorithm, SearchResult};
-use mixp_core::{Evaluator, VarId};
+use mixp_core::{Evaluator, Value, VarId};
 use std::collections::BTreeSet;
 
 /// Hierarchical-compositional search (HC): use the hierarchical descent to
@@ -48,6 +48,7 @@ impl SearchAlgorithm for HierCompositional {
         // Phase 2: compositional closure over the passing components. As in
         // CM, a wave's candidate unions depend only on the previous wave,
         // so each wave is one independent batch.
+        let obs = ev.obs();
         let mut passing: Vec<BTreeSet<VarId>> = components;
         let mut seen: BTreeSet<BTreeSet<VarId>> = passing.iter().cloned().collect();
         let mut frontier = passing.clone();
@@ -63,6 +64,10 @@ impl SearchAlgorithm for HierCompositional {
                     candidates.push(union);
                 }
             }
+            let _wave = obs.span(
+                "hc.wave",
+                &[("candidates", Value::U64(candidates.len() as u64))],
+            );
             let flags = match try_lower_batch(ev, &candidates) {
                 Ok(f) => f,
                 Err(_) => return finish(ev, true),

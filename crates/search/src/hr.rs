@@ -1,7 +1,7 @@
 //! Hierarchical search.
 
 use crate::{finish, SearchAlgorithm, SearchResult};
-use mixp_core::{EvalError, Evaluator, PrecisionConfig, VarId};
+use mixp_core::{EvalError, Evaluator, PrecisionConfig, Value, VarId};
 use std::collections::BTreeSet;
 
 /// Hierarchical search (HR): use program structure — whole program, then
@@ -70,15 +70,19 @@ pub(crate) fn try_lower_batch(
 pub(crate) fn passing_components(
     ev: &mut Evaluator<'_>,
 ) -> Result<Vec<BTreeSet<VarId>>, EvalError> {
+    let obs = ev.obs();
     let program = ev.program();
     let all: BTreeSet<VarId> = program.tunable_vars().into_iter().collect();
     if all.is_empty() {
         return Ok(Vec::new());
     }
     // Level 0: the entire application.
+    let whole = obs.span("hr.program", &[("vars", Value::U64(all.len() as u64))]);
     if try_lower(ev, &all)? {
+        whole.end_with(&[("passed", Value::Bool(true))]);
         return Ok(vec![all]);
     }
+    whole.end_with(&[("passed", Value::Bool(false))]);
     let width = ev.workers().max(1);
     let mut accepted = Vec::new();
     let module_ids: Vec<_> = ev.program().modules().map(|(id, _)| id).collect();
@@ -90,6 +94,10 @@ pub(crate) fn passing_components(
         })
         .filter(|(_, mvars)| !mvars.is_empty())
         .collect();
+    let _refine = obs.span(
+        "hr.refine",
+        &[("modules", Value::U64(modules.len() as u64))],
+    );
     for group in modules.chunks(width) {
         let sets: Vec<BTreeSet<VarId>> = group.iter().map(|(_, s)| s.clone()).collect();
         let passes = try_lower_batch(ev, &sets)?;
@@ -151,6 +159,8 @@ impl SearchAlgorithm for Hierarchical {
         // Greedily take the union of everything that passed in isolation and
         // verify the combined configuration.
         let union: BTreeSet<VarId> = components.into_iter().flatten().collect();
+        ev.obs()
+            .event("hr.union", &[("vars", Value::U64(union.len() as u64))]);
         if !union.is_empty() && try_lower(ev, &union).is_err() {
             return finish(ev, true);
         }

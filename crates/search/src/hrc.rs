@@ -1,7 +1,7 @@
 //! Cluster-aware hierarchical search — the redesign the paper recommends.
 
 use crate::{finish, SearchAlgorithm, SearchResult};
-use mixp_core::{EvalError, Evaluator, PrecisionConfig, VarId};
+use mixp_core::{EvalError, Evaluator, PrecisionConfig, Value, VarId};
 use std::collections::BTreeSet;
 
 /// Cluster-aware hierarchical search (HR+): the paper's §V recommendation,
@@ -95,6 +95,7 @@ fn try_lower_closed_batch(
 fn passing_closed_components(
     ev: &mut Evaluator<'_>,
 ) -> Result<Vec<BTreeSet<VarId>>, EvalError> {
+    let obs = ev.obs();
     let width = ev.workers().max(1);
     let mut accepted: Vec<BTreeSet<VarId>> = Vec::new();
     let module_ids: Vec<_> = ev.program().modules().map(|(id, _)| id).collect();
@@ -106,6 +107,10 @@ fn passing_closed_components(
         })
         .filter(|(_, mvars)| !mvars.is_empty())
         .collect();
+    let _refine = obs.span(
+        "hrplus.refine",
+        &[("modules", Value::U64(modules.len() as u64))],
+    );
     for group in modules.chunks(width) {
         let sets: Vec<BTreeSet<VarId>> = group.iter().map(|(_, s)| s.clone()).collect();
         let passes = try_lower_closed_batch(ev, &sets)?;
@@ -172,9 +177,15 @@ impl SearchAlgorithm for ClusterHierarchical {
             return finish(ev, false);
         }
         // Level 0: the whole application.
+        let whole = ev
+            .obs()
+            .span("hrplus.program", &[("vars", Value::U64(all.len() as u64))]);
         match try_lower_closed(ev, &all) {
-            Ok(true) => return finish(ev, false),
-            Ok(false) => {}
+            Ok(true) => {
+                whole.end_with(&[("passed", Value::Bool(true))]);
+                return finish(ev, false);
+            }
+            Ok(false) => whole.end_with(&[("passed", Value::Bool(false))]),
             Err(_) => return finish(ev, true),
         }
         // Descend: modules, then functions, then single clusters — every

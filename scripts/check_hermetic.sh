@@ -13,14 +13,19 @@
 #
 # It also smoke-runs every `[[bench]]` target with MIXP_BENCH_QUICK=1
 # (single sample, no warmup) so a broken bench fails the gate instead of
-# rotting until the next manual `cargo bench`.
+# rotting until the next manual `cargo bench` — including
+# `bench_obs_overhead`, the noop-tracer-costs-nothing watchdog.
+#
+# Two structural guards ride along: the fault-tolerant harness paths must
+# stay panic-free, and the `mixp-obs` crate must stay dependency-free with
+# wall-clock access confined to its clock.rs module.
 #
 # Run from anywhere: scripts/check_hermetic.sh
 
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-echo "== [1/5] grep guard: only path dependencies allowed =="
+echo "== [1/6] grep guard: only path dependencies allowed =="
 violations=$(find . -name Cargo.toml -not -path './target/*' -print0 | xargs -0 awk '
   FNR == 1 { section = "" }
   /^\[/ { section = $0 }
@@ -36,7 +41,7 @@ if [ -n "$violations" ]; then
 fi
 echo "ok: no non-path dependencies"
 
-echo "== [2/5] panic guard: fault-tolerant harness paths must not panic =="
+echo "== [2/6] panic guard: fault-tolerant harness paths must not panic =="
 # The campaign execution path promises typed errors instead of aborts:
 # no unwrap()/expect()/panic! in non-test code of the scheduler, job,
 # checkpoint and faultplan modules. Test modules (below the #[cfg(test)]
@@ -62,7 +67,7 @@ if [ -n "$panic_violations" ]; then
 fi
 echo "ok: campaign execution paths are panic-free"
 
-echo "== [3/5] fast-path guard: benchmark hot loops must use the bulk layer =="
+echo "== [3/6] fast-path guard: benchmark hot loops must use the bulk layer =="
 # The speedup model's wall-clock claims rest on benchmarks going through
 # the MpVec fast path: per-handle cached rounding and bulk accounting.
 # Reaching around it — rounding manually with `round_to`, or reading
@@ -83,7 +88,38 @@ if [ -n "$fastpath_violations" ]; then
 fi
 echo "ok: kernels and apps stay on the bulk/fast-path API"
 
-echo "== [4/5] offline build + test with an empty CARGO_HOME =="
+echo "== [4/6] obs purity guard: zero deps, wall clock quarantined in clock.rs =="
+# The observability crate underpins the determinism story twice over: it
+# must stay dependency-free (it is linked into every other crate), and its
+# trace/metrics layers must never read wall-clock time themselves — all
+# ordering comes from logical sequence numbers, and the *only* module
+# allowed to touch `Instant`/`SystemTime` is the opt-in clock.rs
+# enrichment. A violation here silently turns every trace nondeterministic.
+obs_dep_violations=$(awk '
+  /^\[/ { section = $0 }
+  section ~ /dependencies/ && /=/ && !/^[[:space:]]*#/ {
+    printf "crates/obs/Cargo.toml:%d: %s\n", FNR, $0
+  }
+' crates/obs/Cargo.toml)
+if [ -n "$obs_dep_violations" ]; then
+  echo "$obs_dep_violations"
+  echo "error: crates/obs must have no dependencies at all — not even path ones" >&2
+  exit 1
+fi
+# Comment lines are exempt: the modules document the very rule enforced here.
+obs_clock_violations=$(awk '
+  /Instant|SystemTime/ && $0 !~ /^[[:space:]]*\/\// {
+    printf "%s:%d: %s\n", FILENAME, FNR, $0
+  }
+' crates/obs/src/trace.rs crates/obs/src/metrics.rs crates/obs/src/sink.rs)
+if [ -n "$obs_clock_violations" ]; then
+  echo "$obs_clock_violations"
+  echo "error: wall-clock access outside crates/obs/src/clock.rs — use the logical clock" >&2
+  exit 1
+fi
+echo "ok: crates/obs is dependency-free and logically clocked"
+
+echo "== [5/6] offline build + test with an empty CARGO_HOME =="
 tmp=$(mktemp -d)
 trap 'rm -rf "$tmp"' EXIT
 export CARGO_HOME="$tmp/cargo_home"
@@ -92,7 +128,7 @@ mkdir -p "$CARGO_HOME"
 cargo build --release --offline
 cargo test -q --offline
 
-echo "== [5/5] bench smoke: every [[bench]] target runs under MIXP_BENCH_QUICK =="
+echo "== [6/6] bench smoke: every [[bench]] target runs under MIXP_BENCH_QUICK =="
 MIXP_BENCH_QUICK=1 cargo bench --offline
 
 echo "hermetic check passed"

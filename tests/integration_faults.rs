@@ -1,8 +1,8 @@
 //! Integration tests for fault-tolerant campaign execution: a campaign
-//! containing jobs that panic, return NaN quality, starve their budget and
-//! exceed their deadline completes with typed per-cell failures, renders
-//! as FAILED(reason) rows, and a killed-then-resumed run re-executes only
-//! the unfinished cells.
+//! containing jobs that panic, return NaN quality, silently corrupt their
+//! output, burn wall-clock, starve their budget and exceed their deadline
+//! completes with typed per-cell failures, renders as FAILED(reason) rows,
+//! and a killed-then-resumed run re-executes only the unfinished cells.
 
 use mixp_harness::faultplan::Fault;
 use mixp_harness::job::JobError;
@@ -242,6 +242,95 @@ fn campaign_shared_cache_hits_surface_in_the_report() {
         assert_eq!(h.result.evaluated, f.result.evaluated);
         assert_eq!(h.result.speedup(), f.result.speedup());
     }
+}
+
+/// Silently corrupted output — finite but irreproducible values — is
+/// caught by the job's integrity probe before any search runs, reported
+/// with its own typed reason, and journaled as *permanent*: a resumed
+/// campaign restores the historical failure instead of re-running it.
+#[test]
+fn corrupt_output_is_detected_and_journaled_as_permanent() {
+    let path = temp_path("corrupt");
+    let jobs = jobs(&["tridiag", "innerprod"]);
+    let first = run_campaign(
+        &jobs,
+        &CampaignOptions {
+            workers: 2,
+            faults: FaultPlan::new().inject(1, Fault::CorruptOutput { from_eval: 0 }, u32::MAX),
+            checkpoint: Some(path.clone()),
+            ..CampaignOptions::default()
+        },
+    );
+    assert!(first[0].outcome.is_ok(), "healthy sibling unaffected");
+    assert!(matches!(first[1].outcome, Err(JobError::CorruptOutput)));
+
+    // Resume without the fault plan: the corruption verdict is restored
+    // from the journal (attempts == 0) rather than re-executed — a benchmark
+    // that produced irreproducible numbers once cannot be trusted on retry.
+    let second = run_campaign(
+        &jobs,
+        &CampaignOptions {
+            workers: 2,
+            checkpoint: Some(path.clone()),
+            ..CampaignOptions::default()
+        },
+    );
+    assert!(second[1].from_checkpoint && second[1].attempts == 0);
+    assert!(matches!(second[1].outcome, Err(JobError::CorruptOutput)));
+
+    let groups: Vec<Vec<_>> = second.chunks(1).map(<[_]>::to_vec).collect();
+    let table = render_grouped(&groups, &["DD"]);
+    assert!(table.contains("FAILED(corrupt-output)"), "{table}");
+    let mut cache = path.clone().into_os_string();
+    cache.push(".cache.jsonl");
+    std::fs::remove_file(cache).ok();
+    std::fs::remove_file(&path).ok();
+}
+
+/// A benchmark that consumes real wall-clock time inside each evaluation
+/// exhausts the campaign deadline *mid-search*: the cell fails with
+/// `DeadlineExceeded` after making measurable partial progress (candidate
+/// evaluations ran before the cooperative deadline check tripped), unlike
+/// the up-front expiry exercised by `Fault::ZeroDeadline`.
+#[test]
+fn slow_benchmark_exhausts_the_campaign_deadline_mid_search() {
+    use mixp_core::Obs;
+    // DDV narrows over eos's seven variables round by round, and every
+    // round submits configurations it has never seen — so some later
+    // round's admission check must observe the expired deadline (an
+    // algorithm whose tail is all memo hits would never re-check it).
+    // The threshold is tight enough that the all-lowered probe fails,
+    // forcing the multi-round narrowing rather than instant success.
+    let jobs = vec![Job::new("eos", "DDV", 1e-10, Scale::Small)];
+    let obs = Obs::in_memory();
+    let outcomes = run_campaign(
+        &jobs,
+        &CampaignOptions {
+            workers: 1,
+            deadline: Some(std::time::Duration::from_millis(100)),
+            // Each execution burns 60ms. The deadline clock starts after the
+            // reference run, so the integrity probe (~60ms) leaves room for
+            // the first admission wave, but that wave's own sleep pushes the
+            // clock past 100ms before the next wave asks — even though the
+            // evaluator parallelises the executions *within* a wave.
+            faults: FaultPlan::new().inject(0, Fault::SlowMs(60), u32::MAX),
+            obs: obs.clone(),
+            ..CampaignOptions::default()
+        },
+    );
+    assert!(
+        matches!(
+            outcomes[0].outcome,
+            Err(JobError::DeadlineExceeded { limit_ms: 100 })
+        ),
+        "{:?}",
+        outcomes[0].outcome
+    );
+    // Partial progress: at least one whole candidate ran before the
+    // deadline tripped (the counter excludes the reference run).
+    let snap = obs.metrics_snapshot().unwrap();
+    let runs = snap.counters.get("evaluator.runs").copied().unwrap_or(0);
+    assert!(runs >= 1, "expected candidate evaluations before expiry");
 }
 
 /// Deadlines propagate from the campaign options into the evaluator: a

@@ -322,6 +322,75 @@ fn traced_and_untraced_benchmark_runs_are_bit_identical() {
     });
 }
 
+/// Observability is strictly passive: an arbitrary campaign (random
+/// benchmark subset, algorithm rotation, worker count) produces
+/// bit-identical outcomes — qualities, speedups, evaluation counts, cache
+/// statistics, failure codes — whether it runs under the default noop
+/// handle or with full in-memory tracing and metrics enabled. This is the
+/// contract that lets `--trace`/`--metrics` be switched on in production
+/// campaigns without invalidating any reported number.
+#[test]
+fn obs_noop_is_bit_identical() {
+    use mixp_core::Obs;
+    use mixp_harness::{run_campaign_with_stats, CampaignOptions, Job, Scale};
+    let names = mixp_harness::benchmark_names();
+    let algos = ["CB", "CB3", "CM", "DD", "DDV", "GA", "HC", "HR", "HR+"];
+    prop_check!((
+        picks in vecs(usizes(0..17), 1..4),
+        algo_pick in usizes(0..9),
+        workers in usizes(1..4),
+    ) => {
+        let jobs: Vec<Job> = picks
+            .iter()
+            .enumerate()
+            .map(|(i, &p)| {
+                Job::new(
+                    names[p % names.len()],
+                    algos[(algo_pick + i) % algos.len()],
+                    1e-3,
+                    Scale::Small,
+                )
+            })
+            .collect();
+        let opts = |obs: Obs| CampaignOptions {
+            workers,
+            obs,
+            ..CampaignOptions::default()
+        };
+        let (plain, plain_stats) = run_campaign_with_stats(&jobs, &opts(Obs::noop()));
+        let obs = Obs::in_memory();
+        let (traced, traced_stats) = run_campaign_with_stats(&jobs, &opts(obs.clone()));
+
+        prop_assert!(
+            !obs.trace_lines().is_empty(),
+            "the traced run must actually record something"
+        );
+        prop_assert_eq!(plain_stats.shared_cache_hits, traced_stats.shared_cache_hits);
+        prop_assert_eq!(plain_stats.shared_cache_misses, traced_stats.shared_cache_misses);
+        prop_assert_eq!(plain.len(), traced.len());
+        for (p, t) in plain.iter().zip(&traced) {
+            prop_assert_eq!(p.attempts, t.attempts);
+            match (&p.outcome, &t.outcome) {
+                (Ok(pr), Ok(tr)) => {
+                    prop_assert_eq!(pr.result.evaluated, tr.result.evaluated);
+                    prop_assert_eq!(pr.result.dnf, tr.result.dnf);
+                    match (&pr.result.best, &tr.result.best) {
+                        (None, None) => {}
+                        (Some(pb), Some(tb)) => {
+                            prop_assert_eq!(pb.config.key(), tb.config.key());
+                            prop_assert_eq!(pb.quality.to_bits(), tb.quality.to_bits());
+                            prop_assert_eq!(pb.speedup.to_bits(), tb.speedup.to_bits());
+                        }
+                        other => prop_assert!(false, "best diverges: {:?}", other),
+                    }
+                }
+                (Err(pe), Err(te)) => prop_assert_eq!(pe, te),
+                other => prop_assert!(false, "outcomes diverge: {:?}", other),
+            }
+        }
+    });
+}
+
 /// The evaluator's speedup and quality are invariant under evaluation
 /// order (no hidden state leaks between evaluations).
 #[test]
