@@ -4,12 +4,15 @@ use crate::{Benchmark, Granularity, SearchSpace};
 use mixp_float::{ConfigKey, ExecCtx, OpCounts, PrecisionConfig};
 use mixp_obs::{Obs, Value};
 use mixp_perf::{CacheParams, CacheStats, CostModel, Hierarchy};
+use mixp_pool::Pool;
 use mixp_verify::QualityThreshold;
 use std::collections::HashMap;
 use std::fmt;
-use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
+
+#[cfg(test)]
+use std::sync::atomic::{AtomicUsize, Ordering};
 
 /// Why the evaluator refused to run a new configuration.
 ///
@@ -78,12 +81,13 @@ pub trait EvalCache: Send + Sync {
 /// bit-identical to the historical sequential evaluator; fan-out is opt-in
 /// per process (`MIXP_WORKERS=4 cargo run …`) or per evaluator
 /// ([`EvaluatorBuilder::workers`]).
+///
+/// Parsing is shared with the campaign scheduler through
+/// [`mixp_pool::env_workers`], which warns **once per process** on an
+/// invalid value (this helper used to swallow them silently while the
+/// scheduler warned on every call).
 pub fn env_eval_workers() -> usize {
-    std::env::var("MIXP_WORKERS")
-        .ok()
-        .and_then(|v| v.trim().parse::<usize>().ok())
-        .filter(|n| *n > 0)
-        .unwrap_or(1)
+    mixp_pool::env_workers().unwrap_or(1)
 }
 
 /// The outcome of evaluating one configuration.
@@ -130,6 +134,7 @@ pub struct EvaluatorBuilder {
     workers: usize,
     shared: Option<Arc<dyn EvalCache>>,
     obs: Obs,
+    parent_span: Option<u64>,
 }
 
 impl fmt::Debug for EvaluatorBuilder {
@@ -159,6 +164,7 @@ impl EvaluatorBuilder {
             workers: env_eval_workers(),
             shared: None,
             obs: Obs::noop(),
+            parent_span: None,
         }
     }
 
@@ -222,6 +228,16 @@ impl EvaluatorBuilder {
         self
     }
 
+    /// Links every `eval`/`eval.batch` span this evaluator opens to an
+    /// enclosing span (typically the scheduler's `job` span, via
+    /// [`mixp_obs::SpanGuard::id`]). Without the explicit link, nested
+    /// spans could only be correlated by seq-interval containment, which
+    /// breaks once tasks migrate between pool workers.
+    pub fn parent_span(mut self, parent: Option<u64>) -> Self {
+        self.parent_span = parent;
+        self
+    }
+
     /// Runs the all-double reference and returns the ready evaluator.
     pub fn build<'b>(self, bench: &'b dyn Benchmark) -> Evaluator<'b> {
         let ref_cfg = bench.program().config_all_double();
@@ -239,6 +255,9 @@ impl EvaluatorBuilder {
             workers: self.workers.max(1),
             shared: self.shared,
             obs: self.obs,
+            parent_span: self.parent_span,
+            pool: None,
+            pool_resolved: false,
             reference: output,
             ref_cost,
             evaluated: 0,
@@ -281,6 +300,12 @@ pub struct Evaluator<'b> {
     workers: usize,
     shared: Option<Arc<dyn EvalCache>>,
     obs: Obs,
+    parent_span: Option<u64>,
+    /// Fan-out arena for `evaluate_batch`, resolved lazily on the first
+    /// batch that needs one (see [`Self::batch_pool`]). `None` until then,
+    /// and forever for sequential evaluators.
+    pool: Option<Pool>,
+    pool_resolved: bool,
     reference: Vec<f64>,
     ref_cost: f64,
     evaluated: usize,
@@ -492,9 +517,11 @@ impl<'b> Evaluator<'b> {
                 record
             }
             None => {
-                let span = self
-                    .obs
-                    .span("eval", &[("lowered", Value::U64(cfg.lowered_count() as u64))]);
+                let span = self.obs.span_with_parent(
+                    "eval",
+                    self.parent_span,
+                    &[("lowered", Value::U64(cfg.lowered_count() as u64))],
+                );
                 let record = self.score(cfg, &key, run_config(self.bench, cfg, self.cache));
                 self.obs.counter_add("evaluator.runs", 1);
                 span.end_with(&[
@@ -509,8 +536,28 @@ impl<'b> Evaluator<'b> {
         Ok(record)
     }
 
+    /// Resolves the fan-out pool for parallel batches, once per evaluator:
+    /// the ambient pool when this evaluator lives inside a campaign job
+    /// (nested batches then compose on the campaign's arena instead of
+    /// spawning a second thread layer), else a private [`Pool`] sized by
+    /// [`Self::workers`] that persists across batches (so DD/HR's many
+    /// small frontiers stop paying thread-spawn cost each).
+    ///
+    /// Lazy so that evaluators that never fan out — sequential ones, and
+    /// throwaway reference probes — cost no threads at all.
+    fn batch_pool(&mut self) -> Option<Pool> {
+        if !self.pool_resolved {
+            self.pool_resolved = true;
+            self.pool = Pool::current().or_else(|| {
+                (self.workers > 1).then(|| Pool::new(self.workers, self.obs.clone()))
+            });
+        }
+        self.pool.clone()
+    }
+
     /// Evaluates a batch of configurations, fanning the independent
-    /// numerical runs across up to [`Self::workers`] scoped threads.
+    /// numerical runs across the work-stealing pool (up to
+    /// [`Self::workers`] items in flight; see [`Self::batch_pool`]).
     ///
     /// **Determinism rule:** budget and deadline are charged in submission
     /// order, and records are scored, memoised and best-tracked in
@@ -539,9 +586,11 @@ impl<'b> Evaluator<'b> {
             Alias(usize),
         }
 
-        let span = self
-            .obs
-            .span("eval.batch", &[("submitted", Value::U64(cfgs.len() as u64))]);
+        let span = self.obs.span_with_parent(
+            "eval.batch",
+            self.parent_span,
+            &[("submitted", Value::U64(cfgs.len() as u64))],
+        );
 
         // Phase 1 — sequential admission in submission order. Memo hits are
         // free; everything else passes through the same deadline/budget
@@ -587,41 +636,37 @@ impl<'b> Evaluator<'b> {
         self.obs
             .observe("evaluator.batch_width", pending.len() as u64);
 
-        // Phase 2 — fan the admitted runs across scoped workers. Work is
-        // claimed via an atomic cursor; each result lands in its own slot,
+        // Phase 2 — fan the admitted runs across the work-stealing pool.
+        // Items are claimed dynamically; each result lands in its own slot,
         // so the only synchronisation is the claim itself. A panicking run
-        // propagates at scope exit (the caller's catch_unwind sees it).
+        // is rethrown by the pool in this caller (the job-level
+        // catch_unwind sees it, exactly as with the old scoped threads).
         let workers = self.workers.min(pending.len());
+        let pool = if workers > 1 { self.batch_pool() } else { None };
         let mut runs: Vec<Option<(Vec<f64>, OpCounts, CacheStats)>> = Vec::new();
-        if workers <= 1 {
-            runs.extend(
+        match pool {
+            None => runs.extend(
                 pending
                     .iter()
                     .map(|&i| Some(run_config(self.bench, &cfgs[i], self.cache))),
-            );
-        } else {
-            let out: Vec<Mutex<Option<(Vec<f64>, OpCounts, CacheStats)>>> =
-                pending.iter().map(|_| Mutex::new(None)).collect();
-            let cursor = AtomicUsize::new(0);
-            let bench = self.bench;
-            let cache = self.cache;
-            std::thread::scope(|s| {
-                for _ in 0..workers {
-                    s.spawn(|| loop {
-                        let t = cursor.fetch_add(1, Ordering::Relaxed);
-                        let Some(&i) = pending.get(t) else { break };
-                        let run = run_config(bench, &cfgs[i], cache);
-                        match out[t].lock() {
-                            Ok(mut slot) => *slot = Some(run),
-                            Err(poisoned) => *poisoned.into_inner() = Some(run),
-                        }
-                    });
-                }
-            });
-            runs.extend(out.into_iter().map(|m| match m.into_inner() {
-                Ok(run) => run,
-                Err(poisoned) => poisoned.into_inner(),
-            }));
+            ),
+            Some(pool) => {
+                let out: Vec<Mutex<Option<(Vec<f64>, OpCounts, CacheStats)>>> =
+                    pending.iter().map(|_| Mutex::new(None)).collect();
+                let bench = self.bench;
+                let cache = self.cache;
+                pool.run_batch(pending.len(), |t| {
+                    let run = run_config(bench, &cfgs[pending[t]], cache);
+                    match out[t].lock() {
+                        Ok(mut slot) => *slot = Some(run),
+                        Err(poisoned) => *poisoned.into_inner() = Some(run),
+                    }
+                });
+                runs.extend(out.into_iter().map(|m| match m.into_inner() {
+                    Ok(run) => run,
+                    Err(poisoned) => poisoned.into_inner(),
+                }));
+            }
         }
 
         // Phase 3 — score and commit in submission order, exactly as the

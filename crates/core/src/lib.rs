@@ -37,6 +37,7 @@ pub use space::{Granularity, SearchSpace, UnitId};
 pub use mixp_float as float;
 pub use mixp_obs as obs;
 pub use mixp_perf as perf;
+pub use mixp_pool as pool;
 pub use mixp_runtime as runtime;
 pub use mixp_typedeps as typedeps;
 pub use mixp_verify as verify;
@@ -44,5 +45,6 @@ pub use mixp_verify as verify;
 pub use mixp_float::{ConfigKey, ExecCtx, OpCounts, Precision, PrecisionConfig, VarId};
 pub use mixp_obs::{MetricsSnapshot, Obs, ObsBuilder, SpanGuard, Value};
 pub use mixp_perf::{CacheParams, CostModel};
+pub use mixp_pool::Pool;
 pub use mixp_typedeps::{ClusterId, ProgramBuilder, ProgramModel};
 pub use mixp_verify::{MetricKind, QualityThreshold};

@@ -187,13 +187,20 @@ impl Job {
         fault: Option<Fault>,
         shared: Option<&Arc<SharedEvalCache>>,
     ) -> Result<JobResult, JobError> {
-        self.execute_observed(deadline, fault, shared, &Obs::noop())
+        self.execute_observed(deadline, fault, shared, &Obs::noop(), None, 0)
     }
 
     /// [`Job::execute_with`] plus an observability handle: the evaluator is
     /// built with `obs`, so per-evaluation spans and counters flow into the
     /// campaign's tracer. A noop handle (the default) changes nothing —
     /// outcomes are bit-identical with tracing on or off.
+    ///
+    /// `parent` links the evaluator's spans under the campaign's per-job
+    /// span (`None` leaves them as roots), and `eval_workers` sets the
+    /// evaluator's batch width (`0` keeps the `MIXP_WORKERS` environment
+    /// default). Inside a campaign the evaluator's batches run on the
+    /// campaign's own work-stealing pool, so `eval_workers` shapes the
+    /// speculative chunk width without spawning additional threads.
     ///
     /// # Errors
     ///
@@ -204,6 +211,8 @@ impl Job {
         fault: Option<Fault>,
         shared: Option<&Arc<SharedEvalCache>>,
         obs: &Obs,
+        parent: Option<u64>,
+        eval_workers: usize,
     ) -> Result<JobResult, JobError> {
         let shared = if fault.is_none() { shared } else { None };
         let bench = benchmark_by_name(&self.benchmark, self.scale)
@@ -234,6 +243,8 @@ impl Job {
         let run = catch_unwind(AssertUnwindSafe(|| {
             let mut builder = EvaluatorBuilder::new(QualityThreshold::new(self.threshold))
                 .budget(budget)
+                .workers(eval_workers)
+                .parent_span(parent)
                 .obs(obs.clone());
             if let Some(d) = deadline {
                 builder = builder.deadline(d);

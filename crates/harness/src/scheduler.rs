@@ -16,8 +16,8 @@ use crate::evalcache::SharedEvalCache;
 use crate::faultplan::FaultPlan;
 use crate::job::{Job, JobError, JobResult};
 use mixp_core::{Obs, Value};
+use mixp_pool::Pool;
 use std::path::PathBuf;
-use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex};
 use std::time::Duration;
 
@@ -85,8 +85,18 @@ impl RetryPolicy {
 /// Everything that shapes a campaign run beyond the job list itself.
 #[derive(Debug, Clone)]
 pub struct CampaignOptions {
-    /// Worker threads; `0` means [`default_workers`].
+    /// Worker threads; `0` means [`default_workers`]. This one knob sizes
+    /// the campaign's single work-stealing pool ([`mixp_pool::Pool`]):
+    /// job cells *and* any evaluator batches nested inside them share
+    /// these workers, so total campaign threads never exceed this count.
     pub workers: usize,
+    /// Batch width for each job's inner evaluator; `0` keeps the
+    /// evaluator's environment default (`MIXP_WORKERS`, falling back
+    /// to 1). Nested evaluator batches execute on the campaign pool —
+    /// this value shapes the searches' speculative chunk width (and
+    /// therefore which configurations are evaluated), not the thread
+    /// count.
+    pub eval_workers: usize,
     /// Per-job wall-clock deadline, enforced cooperatively by the
     /// evaluator (the analogue of the paper's 24-hour cluster limit).
     pub deadline: Option<Duration>,
@@ -115,6 +125,7 @@ impl Default for CampaignOptions {
     fn default() -> Self {
         CampaignOptions {
             workers: 0,
+            eval_workers: 0,
             deadline: None,
             retry: RetryPolicy::default(),
             faults: FaultPlan::default(),
@@ -164,11 +175,14 @@ fn lock_recovering<T>(mutex: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
 }
 
 /// Runs one job to completion under the campaign's retry policy.
+/// `parent` is the campaign's per-job span id, threaded through so the
+/// evaluator's spans nest under it in the trace.
 fn run_with_retry(
     index: usize,
     job: &Job,
     opts: &CampaignOptions,
     shared: Option<&Arc<SharedEvalCache>>,
+    parent: Option<u64>,
 ) -> (u32, Result<JobResult, JobError>) {
     let obs = &opts.obs;
     let max = opts.retry.max_attempts.max(1);
@@ -187,7 +201,8 @@ fn run_with_retry(
                 ),
             ],
         );
-        let outcome = job.execute_observed(opts.deadline, fault, shared, obs);
+        let outcome =
+            job.execute_observed(opts.deadline, fault, shared, obs, parent, opts.eval_workers);
         if let Err(e) = &outcome {
             obs.event(
                 "job.error",
@@ -287,12 +302,14 @@ pub fn run_campaign_with_stats(
         None
     };
 
+    // The pool is deliberately NOT capped at `jobs.len()`: a two-job
+    // campaign with eight workers wants the six "spare" workers stealing
+    // the jobs' inner evaluator batches, which run on this same pool.
     let workers = if opts.workers == 0 {
         default_workers()
     } else {
         opts.workers
     }
-    .min(jobs.len())
     .max(1);
 
     let obs = &opts.obs;
@@ -303,64 +320,64 @@ pub fn run_campaign_with_stats(
             ("workers", Value::U64(workers as u64)),
         ],
     );
-    let next = AtomicUsize::new(0);
     let slots: Vec<Mutex<Option<(u32, Result<JobResult, JobError>)>>> =
         jobs.iter().map(|_| Mutex::new(None)).collect();
     let restored = &restored;
     let journal = journal.as_ref();
     let cache = cache.as_ref();
-    std::thread::scope(|scope| {
-        for _ in 0..workers {
-            scope.spawn(|| loop {
-                let i = next.fetch_add(1, Ordering::Relaxed);
-                if i >= jobs.len() {
-                    break;
-                }
-                if restored[i].is_some() {
-                    obs.event("job.restored", &[("job", Value::U64(i as u64))]);
-                    continue; // already completed in a previous run
-                }
-                let span = obs.span(
-                    "job",
-                    &[
-                        ("job", Value::U64(i as u64)),
-                        ("benchmark", Value::S(jobs[i].benchmark.clone())),
-                        ("algorithm", Value::S(jobs[i].algorithm.clone())),
-                    ],
-                );
-                let (attempts, outcome) = run_with_retry(i, &jobs[i], opts, cache);
-                obs.observe("campaign.attempts", u64::from(attempts));
-                obs.counter_add(
-                    if outcome.is_ok() {
-                        "campaign.completed"
-                    } else {
-                        "campaign.failures"
-                    },
-                    1,
-                );
-                span.end_with(&[
-                    ("attempts", Value::U64(u64::from(attempts))),
-                    ("ok", Value::Bool(outcome.is_ok())),
-                ]);
-                if let Some(journal) = journal {
-                    let written = match &outcome {
-                        Ok(result) => lock_recovering(journal).record(i, &jobs[i], result),
-                        // Only permanent failures are journaled — a
-                        // transient crash or timeout deserves a fresh try
-                        // on resume.
-                        Err(e) if !e.is_transient() => {
-                            lock_recovering(journal).record_failure(i, &jobs[i], e)
-                        }
-                        Err(_) => Ok(()),
-                    };
-                    if let Err(err) = written {
-                        eprintln!("warning: run-state journal write failed: {err}");
-                    }
-                }
-                *lock_recovering(&slots[i]) = Some((attempts, outcome));
-            });
+    let run_job = |i: usize| {
+        if restored[i].is_some() {
+            obs.event("job.restored", &[("job", Value::U64(i as u64))]);
+            return; // already completed in a previous run
         }
-    });
+        let span = obs.span(
+            "job",
+            &[
+                ("job", Value::U64(i as u64)),
+                ("benchmark", Value::S(jobs[i].benchmark.clone())),
+                ("algorithm", Value::S(jobs[i].algorithm.clone())),
+            ],
+        );
+        let (attempts, outcome) = run_with_retry(i, &jobs[i], opts, cache, span.id());
+        obs.observe("campaign.attempts", u64::from(attempts));
+        obs.counter_add(
+            if outcome.is_ok() {
+                "campaign.completed"
+            } else {
+                "campaign.failures"
+            },
+            1,
+        );
+        span.end_with(&[
+            ("attempts", Value::U64(u64::from(attempts))),
+            ("ok", Value::Bool(outcome.is_ok())),
+        ]);
+        if let Some(journal) = journal {
+            let written = match &outcome {
+                Ok(result) => lock_recovering(journal).record(i, &jobs[i], result),
+                // Only permanent failures are journaled — a
+                // transient crash or timeout deserves a fresh try
+                // on resume.
+                Err(e) if !e.is_transient() => {
+                    lock_recovering(journal).record_failure(i, &jobs[i], e)
+                }
+                Err(_) => Ok(()),
+            };
+            if let Err(err) = written {
+                eprintln!("warning: run-state journal write failed: {err}");
+            }
+        }
+        *lock_recovering(&slots[i]) = Some((attempts, outcome));
+    };
+    if workers > 1 {
+        // One pool for the whole campaign: cells fan out here, and every
+        // evaluator batch nested inside a cell joins this pool through the
+        // ambient [`Pool::current`] context instead of spawning its own
+        // threads — the fix for the old W×W oversubscription.
+        Pool::new(workers, opts.obs.clone()).run_batch(jobs.len(), run_job);
+    } else {
+        (0..jobs.len()).for_each(run_job);
+    }
 
     let stats = CampaignStats {
         shared_cache_hits: cache.map_or(0, |c| c.hits()),
@@ -442,19 +459,15 @@ pub fn run_jobs(jobs: &[Job], workers: usize) -> Vec<JobOutcome> {
 
 /// A sensible worker count for the current machine: the `MIXP_WORKERS`
 /// environment variable when set to a positive integer, otherwise the
-/// machine's available parallelism.
+/// machine's available parallelism. Parsing (and the warn-once on an
+/// invalid value) is shared with the evaluator via
+/// [`mixp_pool::env_workers`], so one knob sizes one pool everywhere.
 pub fn default_workers() -> usize {
-    if let Ok(raw) = std::env::var("MIXP_WORKERS") {
-        if let Ok(n) = raw.trim().parse::<usize>() {
-            if n > 0 {
-                return n;
-            }
-        }
-        eprintln!("warning: ignoring invalid MIXP_WORKERS value {raw:?} (want a positive integer)");
-    }
-    std::thread::available_parallelism()
-        .map(|n| n.get())
-        .unwrap_or(4)
+    mixp_pool::env_workers().unwrap_or_else(|| {
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(4)
+    })
 }
 
 #[cfg(test)]

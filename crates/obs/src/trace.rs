@@ -49,23 +49,35 @@ impl ObsInner {
     /// Allocates the next logical-clock tick and writes one record.
     fn emit(&self, kind: &str, id: Option<u64>, name: &str, fields: &[Field]) -> u64 {
         let seq = self.seq.fetch_add(1, Ordering::Relaxed);
-        self.write_record(seq, kind, id, name, fields);
+        self.write_record(seq, kind, id, None, name, fields);
         seq
     }
 
-    /// Like [`emit`](Self::emit) but the record's `id` is its own sequence
-    /// number — the span-start form, race-free under concurrent emitters.
-    fn emit_self_id(&self, kind: &str, name: &str, fields: &[Field]) -> u64 {
+    /// The span-start form: the record's `id` is its own sequence number
+    /// (race-free under concurrent emitters), and an optional `parent`
+    /// links it to an enclosing span's id.
+    fn emit_span(&self, name: &str, parent: Option<u64>, fields: &[Field]) -> u64 {
         let seq = self.seq.fetch_add(1, Ordering::Relaxed);
-        self.write_record(seq, kind, Some(seq), name, fields);
+        self.write_record(seq, "span", Some(seq), parent, name, fields);
         seq
     }
 
-    fn write_record(&self, seq: u64, kind: &str, id: Option<u64>, name: &str, fields: &[Field]) {
+    fn write_record(
+        &self,
+        seq: u64,
+        kind: &str,
+        id: Option<u64>,
+        parent: Option<u64>,
+        name: &str,
+        fields: &[Field],
+    ) {
         let mut line = String::with_capacity(64 + fields.len() * 16);
         line.push_str(&format!("{{\"seq\":{seq},\"t\":\"{kind}\""));
         if let Some(id) = id {
             line.push_str(&format!(",\"id\":{id}"));
+        }
+        if let Some(parent) = parent {
+            line.push_str(&format!(",\"parent\":{parent}"));
         }
         line.push_str(&format!(",\"name\":\"{}\"", escape(name)));
         if let Some(clock) = &self.clock {
@@ -144,9 +156,23 @@ impl Obs {
     /// (or [`SpanGuard::end_with`]) emits the matching end record carrying
     /// the start's sequence number as `id`.
     pub fn span(&self, name: &'static str, fields: &[Field]) -> SpanGuard {
+        self.span_with_parent(name, None, fields)
+    }
+
+    /// Opens a span as the child of `parent` — an enclosing span's
+    /// [`SpanGuard::id`] — recorded as a `parent` field on the start
+    /// record. The explicit link survives task migration between pool
+    /// workers, where correlating nested spans by seq-interval containment
+    /// breaks down. `parent: None` is exactly [`Obs::span`].
+    pub fn span_with_parent(
+        &self,
+        name: &'static str,
+        parent: Option<u64>,
+        fields: &[Field],
+    ) -> SpanGuard {
         match &self.inner {
             Some(inner) => {
-                let id = inner.emit_self_id("span", name, fields);
+                let id = inner.emit_span(name, parent, fields);
                 SpanGuard {
                     inner: Some(Arc::clone(inner)),
                     id,
@@ -214,6 +240,13 @@ pub struct SpanGuard {
 }
 
 impl SpanGuard {
+    /// The span's start sequence number — the value a child passes to
+    /// [`Obs::span_with_parent`] to link itself to this span. `None` on
+    /// the noop handle (there is no record to link to).
+    pub fn id(&self) -> Option<u64> {
+        self.inner.is_some().then_some(self.id)
+    }
+
     /// Ends the span now, attaching the given fields to the end record.
     pub fn end_with(mut self, fields: &[Field]) {
         if let Some(inner) = self.inner.take() {
@@ -328,6 +361,34 @@ mod tests {
         assert_eq!(get(&start, "seq"), get(&start, "id"));
         assert_eq!(get(&end, "id"), get(&start, "seq"));
         assert_eq!(get(&end, "passed"), Some(&Scalar::Bool(false)));
+    }
+
+    #[test]
+    fn child_spans_carry_their_parent_id() {
+        let obs = Obs::in_memory();
+        let job = obs.span("job", &[]);
+        let eval = obs.span_with_parent("eval", job.id(), &[]);
+        let child_start = parse_trace_line(&obs.trace_lines()[1]).expect("parses");
+        assert_eq!(
+            get(&child_start, "parent"),
+            Some(&Scalar::Num(job.id().expect("enabled span has an id") as f64))
+        );
+        eval.end_with(&[]);
+        job.end_with(&[]);
+        // Parentless spans emit no parent field at all.
+        let root_start = &obs.trace_lines()[0];
+        assert!(!root_start.contains("\"parent\""), "{root_start}");
+    }
+
+    #[test]
+    fn noop_spans_have_no_id_to_link_to() {
+        let obs = Obs::noop();
+        let span = obs.span("s", &[]);
+        assert_eq!(span.id(), None);
+        // Linking to a None parent is the plain span form.
+        let child = obs.span_with_parent("c", span.id(), &[]);
+        child.end_with(&[]);
+        assert!(obs.trace_lines().is_empty());
     }
 
     #[test]

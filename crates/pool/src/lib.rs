@@ -1,0 +1,666 @@
+//! `mixp_pool` — the hermetic work-stealing worker pool shared by the
+//! campaign scheduler and the evaluator.
+//!
+//! # Why one pool
+//!
+//! The workspace has two parallel layers: `run_campaign` fans jobs out, and
+//! every `Evaluator::evaluate_batch` inside a search fans configuration
+//! runs out. Historically each layer spawned its own `MIXP_WORKERS` scoped
+//! threads, so a nested campaign ran up to W×W live threads and DD/HR paid
+//! thread-spawn cost on every small frontier. This crate replaces both with
+//! one arena: campaign jobs and batch items are tasks in the same pool, so
+//! one knob sizes one pool, nested parallelism composes without
+//! oversubscription, and idle campaign workers steal batch items instead of
+//! sitting blocked.
+//!
+//! # Shape
+//!
+//! A [`Pool`] of parallelism `p` spawns `p - 1` worker threads; the caller
+//! of [`Pool::run_batch`] is the `p`-th participant. Each worker owns a
+//! bounded Chase–Lev deque (owner pushes/pops LIFO at the bottom, thieves
+//! steal FIFO at the top); a mutex-and-condvar **injector** accepts tasks
+//! from threads that are not pool workers and is where idle workers park.
+//! A batch enqueues up to `p - 1` *claimer* tasks over one shared claim
+//! cursor ([`batch`] module), so distribution is per-item while queue
+//! traffic is per-worker.
+//!
+//! A thread-local ambient handle ([`Pool::current`]) lets nested code —
+//! an evaluator built inside a campaign job — join the pool it is already
+//! running on instead of creating a second one.
+//!
+//! # Determinism
+//!
+//! The pool executes closures; it never reorders observable effects. Both
+//! call sites keep their sequential admission/commit phases (the evaluator
+//! charges budget and commits records in submission order; the scheduler
+//! stores results by job index), so outcomes are bit-identical for any
+//! worker count and any steal schedule — property-tested in the harness.
+//!
+//! Item panics are caught per item, the first payload is rethrown in the
+//! batch caller (`resume_unwind`), and neither the pool nor its workers die
+//! with it: job-level panic isolation keeps working unchanged.
+//!
+//! Zero dependencies outside the workspace; `mixp-obs` (itself
+//! dependency-free) provides the gauges and counters that make the thread
+//! accounting observable: `pool.live_threads`, `pool.peak_threads`,
+//! `pool.created`, `pool.steals`, `pool.batches`, `pool.injector_depth`.
+
+mod batch;
+mod deque;
+
+use batch::{execute_claimer, lock_recovering, BatchShared};
+use deque::Deque;
+use mixp_obs::Obs;
+use std::cell::RefCell;
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+
+/// Parses a `MIXP_WORKERS` value: `Ok(Some(n))` for a positive integer,
+/// `Ok(None)` for unset/empty (caller picks its default), `Err(message)`
+/// for anything else. Pure — the process-wide warn-once lives in
+/// [`env_workers`].
+pub fn parse_workers(raw: &str) -> Result<Option<usize>, String> {
+    let trimmed = raw.trim();
+    if trimmed.is_empty() {
+        return Ok(None);
+    }
+    match trimmed.parse::<usize>() {
+        Ok(n) if n > 0 => Ok(Some(n)),
+        _ => Err(format!(
+            "ignoring invalid MIXP_WORKERS value {raw:?} (want a positive integer)"
+        )),
+    }
+}
+
+/// Prints `warning: {message}` to stderr unless `warned` was already set;
+/// returns whether this call printed. Factored out so tests can drive a
+/// local flag instead of the process-wide one.
+fn warn_once_with(warned: &AtomicBool, message: &str) -> bool {
+    if warned.swap(true, Ordering::Relaxed) {
+        return false;
+    }
+    eprintln!("warning: {message}");
+    true
+}
+
+/// The worker count implied by the `MIXP_WORKERS` environment variable:
+/// `Some(n)` for a positive integer, `None` when unset — or invalid, in
+/// which case a warning is printed **once per process** (the evaluator and
+/// the scheduler historically disagreed here: one swallowed bad values
+/// silently, the other warned on every call).
+///
+/// Callers pick their own `None` default: the evaluator falls back to `1`
+/// (sequential, bit-identical to the historical evaluator), the scheduler
+/// to the machine's available parallelism.
+pub fn env_workers() -> Option<usize> {
+    static WARNED: AtomicBool = AtomicBool::new(false);
+    match std::env::var("MIXP_WORKERS") {
+        Err(_) => None,
+        Ok(raw) => match parse_workers(&raw) {
+            Ok(n) => n,
+            Err(message) => {
+                warn_once_with(&WARNED, &message);
+                None
+            }
+        },
+    }
+}
+
+/// A task pointer travelling through the injector queue. Points at a
+/// caller-stack `BatchShared` kept alive by the claimer latch.
+#[derive(Clone, Copy, PartialEq, Eq)]
+struct TaskPtr(*const BatchShared);
+// Safety: BatchShared is designed for shared cross-thread access (atomics,
+// mutex, condvar; the closure is `Fn + Sync`), and the pool protocol keeps
+// the pointee alive until the task is consumed.
+unsafe impl Send for TaskPtr {}
+
+struct Injector {
+    queue: VecDeque<TaskPtr>,
+    shutdown: bool,
+}
+
+struct PoolInner {
+    deques: Vec<Deque>,
+    injector: Mutex<Injector>,
+    work_available: Condvar,
+    /// External `Pool` handles; the last drop shuts the workers down.
+    handles: AtomicUsize,
+    join: Mutex<Vec<std::thread::JoinHandle<()>>>,
+    live: AtomicUsize,
+    peak: AtomicUsize,
+    obs: Obs,
+}
+
+impl PoolInner {
+    /// Pushes tasks into the injector and wakes parked workers. Always
+    /// called — even when every task went to a worker's own deque — because
+    /// the notification must be issued under the injector lock for parked
+    /// workers' recheck-then-wait to be race-free.
+    fn inject_and_notify(&self, tasks: &[TaskPtr]) {
+        let mut injector = lock_recovering(&self.injector);
+        injector.queue.extend(tasks.iter().copied());
+        self.obs
+            .gauge_set("pool.injector_depth", injector.queue.len() as f64);
+        drop(injector);
+        self.work_available.notify_all();
+    }
+
+    /// One task for a worker: own deque first (LIFO — finish the newest
+    /// batch), then the injector (coarse work from non-worker callers),
+    /// then stealing the oldest task of a sibling.
+    fn find_task(&self, worker: usize) -> Option<*const BatchShared> {
+        if let Some(task) = self.deques[worker].pop() {
+            return Some(task);
+        }
+        {
+            let mut injector = lock_recovering(&self.injector);
+            if let Some(task) = injector.queue.pop_front() {
+                self.obs
+                    .gauge_set("pool.injector_depth", injector.queue.len() as f64);
+                return Some(task.0);
+            }
+        }
+        let n = self.deques.len();
+        for offset in 1..n {
+            let victim = (worker + offset) % n;
+            if let Some(task) = self.deques[victim].steal() {
+                self.obs.counter_add("pool.steals", 1);
+                return Some(task);
+            }
+        }
+        None
+    }
+}
+
+/// Ambient pool context of the current thread: set for a worker thread's
+/// whole life, and temporarily for an external caller while it participates
+/// in one of its own batches.
+struct Ctx {
+    inner: Arc<PoolInner>,
+    /// `Some(index)` on pool worker threads, `None` for participants.
+    worker: Option<usize>,
+}
+
+thread_local! {
+    static CURRENT: RefCell<Option<Ctx>> = const { RefCell::new(None) };
+}
+
+/// Restores the previous ambient context when a participant leaves
+/// `run_batch`.
+struct ParticipantGuard {
+    previous: Option<Option<Ctx>>,
+}
+
+impl ParticipantGuard {
+    /// Makes `inner` the ambient pool for this thread unless it already is
+    /// (worker thread, or re-entrant batch on the same pool). Returns the
+    /// guard and this thread's worker index on the pool, if any.
+    fn enter(inner: &Arc<PoolInner>) -> (ParticipantGuard, Option<usize>) {
+        CURRENT.with(|current| {
+            let mut slot = current.borrow_mut();
+            if let Some(ctx) = slot.as_ref() {
+                if Arc::ptr_eq(&ctx.inner, inner) {
+                    return (ParticipantGuard { previous: None }, ctx.worker);
+                }
+            }
+            let previous = slot.take();
+            *slot = Some(Ctx {
+                inner: Arc::clone(inner),
+                worker: None,
+            });
+            (
+                ParticipantGuard {
+                    previous: Some(previous),
+                },
+                None,
+            )
+        })
+    }
+}
+
+impl Drop for ParticipantGuard {
+    fn drop(&mut self) {
+        if let Some(previous) = self.previous.take() {
+            CURRENT.with(|current| *current.borrow_mut() = previous);
+        }
+    }
+}
+
+/// A work-stealing worker pool. Cheap to clone (handles share the workers);
+/// dropping the last handle shuts the workers down and joins them.
+pub struct Pool {
+    inner: Arc<PoolInner>,
+}
+
+impl std::fmt::Debug for Pool {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Pool")
+            .field("parallelism", &self.parallelism())
+            .finish()
+    }
+}
+
+impl Pool {
+    /// Creates a pool of the given parallelism, reporting through `obs`.
+    ///
+    /// `parallelism` counts the batch **caller** as a participant, matching
+    /// the meaning of `MIXP_WORKERS`: `p` spawns `p - 1` worker threads, so
+    /// a nested campaign under `MIXP_WORKERS=4` holds at most 3 pool
+    /// threads plus the calling thread. `parallelism <= 1` spawns no
+    /// threads at all — `run_batch` degenerates to the sequential loop.
+    pub fn new(parallelism: usize, obs: Obs) -> Pool {
+        let threads = parallelism.saturating_sub(1);
+        let inner = Arc::new(PoolInner {
+            deques: (0..threads).map(|_| Deque::new()).collect(),
+            injector: Mutex::new(Injector {
+                queue: VecDeque::new(),
+                shutdown: false,
+            }),
+            work_available: Condvar::new(),
+            handles: AtomicUsize::new(1),
+            join: Mutex::new(Vec::new()),
+            live: AtomicUsize::new(0),
+            peak: AtomicUsize::new(0),
+            obs,
+        });
+        inner.obs.counter_add("pool.created", 1);
+        let mut join = Vec::with_capacity(threads);
+        for index in 0..threads {
+            let worker_inner = Arc::clone(&inner);
+            let spawned = std::thread::Builder::new()
+                .name(format!("mixp-pool-{index}"))
+                .spawn(move || worker_main(worker_inner, index));
+            match spawned {
+                Ok(handle) => join.push(handle),
+                // Degrade rather than die: the batch protocol only relies on
+                // the caller itself making progress, never on worker count.
+                Err(err) => eprintln!(
+                    "warning: pool worker {index} failed to spawn ({err}); continuing with fewer workers"
+                ),
+            }
+        }
+        *lock_recovering(&inner.join) = join;
+        Pool { inner }
+    }
+
+    /// A pool with no observability attached.
+    pub fn sized(parallelism: usize) -> Pool {
+        Pool::new(parallelism, Obs::noop())
+    }
+
+    /// The pool the current thread is running on, if any: its own pool for
+    /// a worker thread, the batch's pool for a thread participating in one
+    /// of its own batches. This is how a nested layer (the evaluator inside
+    /// a campaign job) joins the campaign's arena instead of creating a
+    /// second pool.
+    pub fn current() -> Option<Pool> {
+        CURRENT.with(|current| {
+            current.borrow().as_ref().map(|ctx| {
+                ctx.inner.handles.fetch_add(1, Ordering::Relaxed);
+                Pool {
+                    inner: Arc::clone(&ctx.inner),
+                }
+            })
+        })
+    }
+
+    /// The configured parallelism: worker threads plus the caller.
+    pub fn parallelism(&self) -> usize {
+        self.inner.deques.len() + 1
+    }
+
+    /// Runs `f(0..len)` across the pool, returning when every item has
+    /// finished. The caller participates (so parallelism `p` uses `p`
+    /// threads total, not `p + 1`), items are claimed dynamically, and idle
+    /// workers steal from busy ones.
+    ///
+    /// If any item panics, the first payload is rethrown here after the
+    /// batch settles — matching what `std::thread::scope` did at the two
+    /// historical call sites. Effect ordering across items is unspecified;
+    /// both call sites commit observable state in submission order
+    /// *outside* the batch, which is what keeps results bit-identical for
+    /// any worker count.
+    pub fn run_batch<F: Fn(usize) + Sync>(&self, len: usize, f: F) {
+        if len == 0 {
+            return;
+        }
+        let inner = &self.inner;
+        if inner.deques.is_empty() {
+            // Sequential pool: no threads, no ambient context — identical
+            // to the historical workers == 1 loop, panics propagate as-is.
+            for index in 0..len {
+                f(index);
+            }
+            return;
+        }
+        // Even a single-item batch runs under the participant context so a
+        // nested layer discovers this pool instead of spawning its own.
+        let (_guard, my_worker) = ParticipantGuard::enter(inner);
+        if len == 1 {
+            f(0);
+            return;
+        }
+
+        let claimers = inner.deques.len().min(len - 1);
+        let shared = BatchShared::new(&f, len, claimers);
+        let task = &shared as *const BatchShared;
+        inner.obs.counter_add("pool.batches", 1);
+        inner.obs.observe("pool.batch_items", len as u64);
+
+        // Enqueue claimers: a worker-caller keeps them on its own deque
+        // (thieves migrate them), an external caller routes them through
+        // the injector. Either way the notify goes through the injector
+        // lock so parked workers cannot miss it.
+        let mut overflow = 0usize;
+        if let Some(worker) = my_worker {
+            for _ in 0..claimers {
+                if inner.deques[worker].push(task).is_err() {
+                    overflow += 1;
+                }
+            }
+        } else {
+            overflow = claimers;
+        }
+        inner.inject_and_notify(&vec![TaskPtr(task); overflow]);
+
+        // Participate until the cursor runs dry...
+        shared.run_items();
+
+        // ...then take back the claimers nobody picked up. A worker-caller
+        // pops its own deque: our claimers are the newest entries, so the
+        // first foreign task marks the end of ours — push it back and stop.
+        if let Some(worker) = my_worker {
+            while let Some(popped) = inner.deques[worker].pop() {
+                if popped == task {
+                    shared.retire();
+                } else {
+                    let _ = inner.deques[worker].push(popped);
+                    break;
+                }
+            }
+        } else {
+            let drained = {
+                let mut injector = lock_recovering(&inner.injector);
+                let before = injector.queue.len();
+                injector.queue.retain(|queued| queued.0 != task);
+                inner
+                    .obs
+                    .gauge_set("pool.injector_depth", injector.queue.len() as f64);
+                before - injector.queue.len()
+            };
+            for _ in 0..drained {
+                shared.retire();
+            }
+        }
+
+        // Wait for claimers still held by workers (they exit promptly: the
+        // cursor is exhausted once run_items above returned), then rethrow
+        // any item panic in the caller, as thread::scope used to.
+        shared.wait_retired();
+        if let Some(payload) = shared.take_panic() {
+            std::panic::resume_unwind(payload);
+        }
+    }
+}
+
+impl Clone for Pool {
+    fn clone(&self) -> Pool {
+        self.inner.handles.fetch_add(1, Ordering::Relaxed);
+        Pool {
+            inner: Arc::clone(&self.inner),
+        }
+    }
+}
+
+impl Drop for Pool {
+    fn drop(&mut self) {
+        if self.inner.handles.fetch_sub(1, Ordering::AcqRel) != 1 {
+            return;
+        }
+        // Last handle: no batch can be in flight (run_batch callers hold a
+        // handle), so the queues are empty and the workers just exit.
+        {
+            let mut injector = lock_recovering(&self.inner.injector);
+            injector.shutdown = true;
+        }
+        self.inner.work_available.notify_all();
+        let handles = std::mem::take(&mut *lock_recovering(&self.inner.join));
+        let me = std::thread::current().id();
+        for handle in handles {
+            // Joining from a worker thread would self-deadlock; detaching
+            // is safe — the worker only touches its own Arc on the way out.
+            if handle.thread().id() != me {
+                let _ = handle.join();
+            }
+        }
+    }
+}
+
+fn worker_main(inner: Arc<PoolInner>, index: usize) {
+    CURRENT.with(|current| {
+        *current.borrow_mut() = Some(Ctx {
+            inner: Arc::clone(&inner),
+            worker: Some(index),
+        });
+    });
+    let live = inner.live.fetch_add(1, Ordering::Relaxed) + 1;
+    inner.peak.fetch_max(live, Ordering::Relaxed);
+    inner.obs.gauge_set("pool.live_threads", live as f64);
+    inner
+        .obs
+        .gauge_set("pool.peak_threads", inner.peak.load(Ordering::Relaxed) as f64);
+    loop {
+        if let Some(task) = inner.find_task(index) {
+            unsafe { execute_claimer(task) };
+            continue;
+        }
+        // Park. The pre-wait recheck under the injector lock pairs with
+        // inject_and_notify's locked notification: any enqueue either
+        // becomes visible to this recheck or its notify lands after the
+        // wait starts — a wake-up cannot be missed.
+        let mut injector = lock_recovering(&inner.injector);
+        if !injector.queue.is_empty() || inner.deques.iter().any(Deque::has_work) {
+            continue;
+        }
+        if injector.shutdown {
+            break;
+        }
+        injector = inner
+            .work_available
+            .wait(injector)
+            .unwrap_or_else(|poisoned| poisoned.into_inner());
+        drop(injector);
+    }
+    let live = inner.live.fetch_sub(1, Ordering::Relaxed) - 1;
+    inner.obs.gauge_set("pool.live_threads", live as f64);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Barrier;
+
+    #[test]
+    fn run_batch_runs_each_index_exactly_once() {
+        for parallelism in [1, 2, 4, 7] {
+            let pool = Pool::sized(parallelism);
+            let hits: Vec<AtomicUsize> = (0..100).map(|_| AtomicUsize::new(0)).collect();
+            pool.run_batch(hits.len(), |i| {
+                hits[i].fetch_add(1, Ordering::Relaxed);
+            });
+            for (i, hit) in hits.iter().enumerate() {
+                assert_eq!(hit.load(Ordering::Relaxed), 1, "p={parallelism} item {i}");
+            }
+        }
+    }
+
+    #[test]
+    fn empty_and_single_item_batches_work() {
+        let pool = Pool::sized(4);
+        pool.run_batch(0, |_| panic!("no items to run"));
+        let ran = AtomicUsize::new(0);
+        pool.run_batch(1, |i| {
+            assert_eq!(i, 0);
+            ran.fetch_add(1, Ordering::Relaxed);
+        });
+        assert_eq!(ran.load(Ordering::Relaxed), 1);
+    }
+
+    #[test]
+    fn batches_reuse_the_pool_across_calls() {
+        let obs = Obs::in_memory();
+        let pool = Pool::new(4, obs.clone());
+        for _ in 0..10 {
+            let total = AtomicUsize::new(0);
+            pool.run_batch(16, |_| {
+                total.fetch_add(1, Ordering::Relaxed);
+            });
+            assert_eq!(total.load(Ordering::Relaxed), 16);
+        }
+        let snap = obs.metrics_snapshot().expect("enabled");
+        assert_eq!(snap.counters["pool.created"], 1, "one pool, many batches");
+        assert_eq!(snap.counters["pool.batches"], 10);
+    }
+
+    #[test]
+    fn nested_batches_share_the_arena() {
+        let obs = Obs::in_memory();
+        let pool = Pool::new(3, obs.clone());
+        let hits: Vec<Vec<AtomicUsize>> = (0..4)
+            .map(|_| (0..8).map(|_| AtomicUsize::new(0)).collect())
+            .collect();
+        pool.run_batch(4, |outer| {
+            let ambient = Pool::current().expect("batch items see the ambient pool");
+            ambient.run_batch(8, |inner| {
+                hits[outer][inner].fetch_add(1, Ordering::Relaxed);
+            });
+        });
+        for (o, row) in hits.iter().enumerate() {
+            for (i, hit) in row.iter().enumerate() {
+                assert_eq!(hit.load(Ordering::Relaxed), 1, "outer {o} inner {i}");
+            }
+        }
+        let snap = obs.metrics_snapshot().expect("enabled");
+        assert_eq!(
+            snap.counters["pool.created"], 1,
+            "nesting must not create extra pools"
+        );
+        // 2 spawned threads for parallelism 3, regardless of nesting depth.
+        assert!(snap.gauges["pool.peak_threads"] <= 2.0);
+    }
+
+    #[test]
+    fn current_is_ambient_only_inside_batches() {
+        assert!(Pool::current().is_none(), "no ambient pool outside batches");
+        let pool = Pool::sized(2);
+        let seen = AtomicUsize::new(0);
+        pool.run_batch(4, |_| {
+            if Pool::current().is_some() {
+                seen.fetch_add(1, Ordering::Relaxed);
+            }
+        });
+        assert_eq!(seen.load(Ordering::Relaxed), 4);
+        assert!(Pool::current().is_none(), "participant context is restored");
+    }
+
+    #[test]
+    fn item_panic_propagates_with_its_payload_and_pool_survives() {
+        let pool = Pool::sized(3);
+        let caught = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            pool.run_batch(8, |i| {
+                if i == 3 {
+                    panic!("injected fault at {i}");
+                }
+            });
+        }));
+        let payload = caught.expect_err("panic must reach the caller");
+        let message = payload
+            .downcast_ref::<String>()
+            .cloned()
+            .unwrap_or_default();
+        assert!(message.contains("injected fault"), "payload: {message:?}");
+        // The pool is still functional afterwards.
+        let total = AtomicUsize::new(0);
+        pool.run_batch(5, |_| {
+            total.fetch_add(1, Ordering::Relaxed);
+        });
+        assert_eq!(total.load(Ordering::Relaxed), 5);
+    }
+
+    #[test]
+    fn caller_and_worker_run_items_concurrently() {
+        // Barrier(2) can only be passed if two distinct threads hold the
+        // batch's two items at once: the caller plus the one pool worker.
+        let pool = Pool::sized(2);
+        let barrier = Barrier::new(2);
+        pool.run_batch(2, |_| {
+            barrier.wait();
+        });
+    }
+
+    #[test]
+    fn worker_threads_are_joined_on_last_drop() {
+        let obs = Obs::in_memory();
+        let pool = Pool::new(4, obs.clone());
+        pool.run_batch(8, |_| {});
+        let clone = pool.clone();
+        drop(pool);
+        drop(clone);
+        let snap = obs.metrics_snapshot().expect("enabled");
+        assert_eq!(snap.gauges["pool.live_threads"], 0.0, "workers exited");
+        assert!(snap.gauges["pool.peak_threads"] <= 3.0, "p=4 spawns 3");
+    }
+
+    #[test]
+    fn parse_workers_accepts_positive_integers_only() {
+        assert_eq!(parse_workers("4"), Ok(Some(4)));
+        assert_eq!(parse_workers("  7 "), Ok(Some(7)));
+        assert_eq!(parse_workers(""), Ok(None));
+        assert_eq!(parse_workers("   "), Ok(None));
+        for bad in ["0", "-3", "four", "4.5", "1e2"] {
+            let err = parse_workers(bad).expect_err(bad);
+            assert!(err.contains("MIXP_WORKERS"), "{err}");
+            assert!(err.contains(bad), "{err}");
+        }
+    }
+
+    #[test]
+    fn warn_once_prints_exactly_once_per_flag() {
+        let flag = AtomicBool::new(false);
+        assert!(warn_once_with(&flag, "first"));
+        assert!(!warn_once_with(&flag, "second"));
+        assert!(!warn_once_with(&flag, "third"));
+    }
+
+    // The env-reading tests mutate MIXP_WORKERS, which is process-global:
+    // they serialise on one mutex and restore the prior value, and no other
+    // test in this crate reads the variable.
+    fn with_env<T>(value: Option<&str>, run: impl FnOnce() -> T) -> T {
+        static ENV_LOCK: Mutex<()> = Mutex::new(());
+        let _guard = lock_recovering(&ENV_LOCK);
+        let previous = std::env::var("MIXP_WORKERS").ok();
+        match value {
+            Some(v) => std::env::set_var("MIXP_WORKERS", v),
+            None => std::env::remove_var("MIXP_WORKERS"),
+        }
+        let result = run();
+        match previous {
+            Some(v) => std::env::set_var("MIXP_WORKERS", v),
+            None => std::env::remove_var("MIXP_WORKERS"),
+        }
+        result
+    }
+
+    #[test]
+    fn env_workers_reads_parses_and_falls_back() {
+        with_env(None, || assert_eq!(env_workers(), None));
+        with_env(Some("6"), || assert_eq!(env_workers(), Some(6)));
+        // Invalid values fall back to None (the warning is printed at most
+        // once per process; warn_once_prints_exactly_once_per_flag covers
+        // the once-ness deterministically).
+        with_env(Some("banana"), || assert_eq!(env_workers(), None));
+        with_env(Some("0"), || assert_eq!(env_workers(), None));
+    }
+}

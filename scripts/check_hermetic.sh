@@ -16,16 +16,18 @@
 # rotting until the next manual `cargo bench` — including
 # `bench_obs_overhead`, the noop-tracer-costs-nothing watchdog.
 #
-# Two structural guards ride along: the fault-tolerant harness paths must
-# stay panic-free, and the `mixp-obs` crate must stay dependency-free with
-# wall-clock access confined to its clock.rs module.
+# Three structural guards ride along: the fault-tolerant harness paths
+# must stay panic-free, the `mixp-obs` crate must stay dependency-free with
+# wall-clock access confined to its clock.rs module, and raw thread
+# creation must stay confined to `crates/pool` so MIXP_WORKERS remains the
+# single bound on campaign parallelism.
 #
 # Run from anywhere: scripts/check_hermetic.sh
 
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-echo "== [1/6] grep guard: only path dependencies allowed =="
+echo "== [1/7] grep guard: only path dependencies allowed =="
 violations=$(find . -name Cargo.toml -not -path './target/*' -print0 | xargs -0 awk '
   FNR == 1 { section = "" }
   /^\[/ { section = $0 }
@@ -41,7 +43,7 @@ if [ -n "$violations" ]; then
 fi
 echo "ok: no non-path dependencies"
 
-echo "== [2/6] panic guard: fault-tolerant harness paths must not panic =="
+echo "== [2/7] panic guard: fault-tolerant harness paths must not panic =="
 # The campaign execution path promises typed errors instead of aborts:
 # no unwrap()/expect()/panic! in non-test code of the scheduler, job,
 # checkpoint and faultplan modules. Test modules (below the #[cfg(test)]
@@ -67,7 +69,7 @@ if [ -n "$panic_violations" ]; then
 fi
 echo "ok: campaign execution paths are panic-free"
 
-echo "== [3/6] fast-path guard: benchmark hot loops must use the bulk layer =="
+echo "== [3/7] fast-path guard: benchmark hot loops must use the bulk layer =="
 # The speedup model's wall-clock claims rest on benchmarks going through
 # the MpVec fast path: per-handle cached rounding and bulk accounting.
 # Reaching around it — rounding manually with `round_to`, or reading
@@ -88,7 +90,7 @@ if [ -n "$fastpath_violations" ]; then
 fi
 echo "ok: kernels and apps stay on the bulk/fast-path API"
 
-echo "== [4/6] obs purity guard: zero deps, wall clock quarantined in clock.rs =="
+echo "== [4/7] obs purity guard: zero deps, wall clock quarantined in clock.rs =="
 # The observability crate underpins the determinism story twice over: it
 # must stay dependency-free (it is linked into every other crate), and its
 # trace/metrics layers must never read wall-clock time themselves — all
@@ -119,7 +121,28 @@ if [ -n "$obs_clock_violations" ]; then
 fi
 echo "ok: crates/obs is dependency-free and logically clocked"
 
-echo "== [5/6] offline build + test with an empty CARGO_HOME =="
+echo "== [5/7] thread-confinement guard: raw threads only inside crates/pool =="
+# The oversubscription fix rests on one invariant: all parallelism flows
+# through the work-stealing pool, sized once by MIXP_WORKERS. Raw
+# `thread::spawn`/`thread::scope`/`thread::Builder` anywhere else quietly
+# reintroduces a second thread population the pool cannot see or bound.
+# Test modules (below the #[cfg(test)] marker) are exempt — tests may
+# spin up threads to exercise concurrency — as are comment lines.
+thread_violations=$(find crates -name '*.rs' -not -path 'crates/pool/*' -print0 | \
+  xargs -0 -n1 awk '
+    /#\[cfg\(test\)\]/ { exit }
+    /thread::spawn|thread::scope|thread::Builder/ && !/^[[:space:]]*\/\// {
+      printf "%s:%d: %s\n", FILENAME, FNR, $0
+    }
+  ')
+if [ -n "$thread_violations" ]; then
+  echo "$thread_violations"
+  echo "error: raw thread creation outside crates/pool — run the work on mixp_pool::Pool instead" >&2
+  exit 1
+fi
+echo "ok: thread creation is confined to the pool crate"
+
+echo "== [6/7] offline build + test with an empty CARGO_HOME =="
 tmp=$(mktemp -d)
 trap 'rm -rf "$tmp"' EXIT
 export CARGO_HOME="$tmp/cargo_home"
@@ -128,7 +151,7 @@ mkdir -p "$CARGO_HOME"
 cargo build --release --offline
 cargo test -q --offline
 
-echo "== [6/6] bench smoke: every [[bench]] target runs under MIXP_BENCH_QUICK =="
+echo "== [7/7] bench smoke: every [[bench]] target runs under MIXP_BENCH_QUICK =="
 MIXP_BENCH_QUICK=1 cargo bench --offline
 
 echo "hermetic check passed"
