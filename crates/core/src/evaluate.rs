@@ -1,7 +1,7 @@
 //! Configuration evaluation: run, verify, price.
 
 use crate::{Benchmark, Granularity, SearchSpace};
-use mixp_float::{ConfigKey, ExecCtx, OpCounts, PrecisionConfig};
+use mixp_float::{CancelToken, CancelUnwind, ConfigKey, ExecCtx, OpCounts, PrecisionConfig};
 use mixp_obs::{Obs, Value};
 use mixp_perf::{CacheParams, CacheStats, CostModel, Hierarchy};
 use mixp_pool::Pool;
@@ -28,6 +28,12 @@ pub enum EvalError {
     /// runs at each new (non-memoised) evaluation, so a single evaluation
     /// never gets interrupted mid-run.
     DeadlineExceeded,
+    /// The attached [`CancelToken`] fired mid-run and the evaluation was
+    /// unwound preemptively — within one bulk operation of the flag
+    /// flipping. Raised by a watchdog on deadline overrun; unlike
+    /// [`EvalError::DeadlineExceeded`] it interrupts a *running*
+    /// evaluation instead of waiting for it to come up for air.
+    Cancelled,
 }
 
 impl fmt::Display for EvalError {
@@ -37,6 +43,7 @@ impl fmt::Display for EvalError {
                 f.write_str("search budget exhausted (the 24-hour limit analogue)")
             }
             EvalError::DeadlineExceeded => f.write_str("wall-clock deadline exceeded"),
+            EvalError::Cancelled => f.write_str("evaluation cancelled by the watchdog"),
         }
     }
 }
@@ -135,6 +142,7 @@ pub struct EvaluatorBuilder {
     shared: Option<Arc<dyn EvalCache>>,
     obs: Obs,
     parent_span: Option<u64>,
+    cancel: Option<CancelToken>,
 }
 
 impl fmt::Debug for EvaluatorBuilder {
@@ -165,6 +173,7 @@ impl EvaluatorBuilder {
             shared: None,
             obs: Obs::noop(),
             parent_span: None,
+            cancel: None,
         }
     }
 
@@ -238,11 +247,34 @@ impl EvaluatorBuilder {
         self
     }
 
+    /// Attaches a [`CancelToken`]: every numerical run this evaluator
+    /// performs polls the token from its load/store accounting hooks and
+    /// unwinds within one bulk operation of the token firing, surfacing as
+    /// [`EvalError::Cancelled`]. Admission also bumps the token's heartbeat
+    /// so a watchdog can observe progress. With no token (the default)
+    /// evaluation behavior is bit-identical to the historical path.
+    pub fn cancel_token(mut self, token: CancelToken) -> Self {
+        self.cancel = Some(token);
+        self
+    }
+
     /// Runs the all-double reference and returns the ready evaluator.
+    ///
+    /// If a [`CancelToken`] is attached and fires during the reference run,
+    /// the run unwinds with a [`CancelUnwind`] payload that propagates out
+    /// of `build` itself (there is no evaluator yet to report through); the
+    /// harness's job-level `catch_unwind` classifies it.
     pub fn build<'b>(self, bench: &'b dyn Benchmark) -> Evaluator<'b> {
         let ref_cfg = bench.program().config_all_double();
-        let (output, counts, stats) = run_config(bench, &ref_cfg, self.cache);
+        let (output, counts, stats) =
+            run_config_with_token(bench, &ref_cfg, self.cache, self.cancel.as_ref());
         let ref_cost = self.cost_model.cost(&counts, Some(&stats));
+        // Completing the reference run is progress: beat the token so a
+        // heartbeat-watching watchdog does not mistake a long (but moving)
+        // build for a wedged job.
+        if let Some(token) = &self.cancel {
+            token.beat();
+        }
         Evaluator {
             bench,
             threshold: self.threshold,
@@ -256,6 +288,7 @@ impl EvaluatorBuilder {
             shared: self.shared,
             obs: self.obs,
             parent_span: self.parent_span,
+            cancel: self.cancel,
             pool: None,
             pool_resolved: false,
             reference: output,
@@ -267,19 +300,61 @@ impl EvaluatorBuilder {
     }
 }
 
+/// One completed numerical run: verification output, operation counts and
+/// cache statistics.
+type RunOutput = (Vec<f64>, OpCounts, CacheStats);
+
 /// Runs `bench` under `cfg` with a fresh cache hierarchy, returning the
 /// verification output, operation counts and cache statistics.
-pub fn run_config(
+pub fn run_config(bench: &dyn Benchmark, cfg: &PrecisionConfig, cache: CacheParams) -> RunOutput {
+    run_config_with_token(bench, cfg, cache, None)
+}
+
+/// [`run_config`] with an optional [`CancelToken`] attached to the run's
+/// [`ExecCtx`]. A fired token unwinds with [`CancelUnwind`] — callers that
+/// want a typed error instead use [`run_config_cancellable`].
+fn run_config_with_token(
     bench: &dyn Benchmark,
     cfg: &PrecisionConfig,
     cache: CacheParams,
-) -> (Vec<f64>, OpCounts, CacheStats) {
+    token: Option<&CancelToken>,
+) -> RunOutput {
     let mut hierarchy = Hierarchy::new(cache);
     let mut ctx = ExecCtx::with_tracer(cfg, &mut hierarchy);
+    if let Some(token) = token {
+        ctx.set_cancel_token(token.clone());
+    }
     let output = bench.run(&mut ctx);
     let counts = ctx.counts();
     drop(ctx);
     (output, counts, hierarchy.stats())
+}
+
+/// Runs `bench` under `cfg`, converting a cancellation unwind into
+/// [`EvalError::Cancelled`]. Genuine benchmark panics are re-raised
+/// untouched (the job-level `catch_unwind` owns those). With no token the
+/// run is not wrapped at all — bit- and control-flow-identical to
+/// [`run_config`].
+fn run_config_cancellable(
+    bench: &dyn Benchmark,
+    cfg: &PrecisionConfig,
+    cache: CacheParams,
+    token: Option<&CancelToken>,
+) -> Result<RunOutput, EvalError> {
+    let Some(token) = token else {
+        return Ok(run_config_with_token(bench, cfg, cache, None));
+    };
+    if token.is_cancelled() {
+        return Err(EvalError::Cancelled);
+    }
+    let run = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+        run_config_with_token(bench, cfg, cache, Some(token))
+    }));
+    match run {
+        Ok(run) => Ok(run),
+        Err(payload) if CancelUnwind::caused(payload.as_ref()) => Err(EvalError::Cancelled),
+        Err(payload) => std::panic::resume_unwind(payload),
+    }
 }
 
 /// Evaluates configurations of one benchmark against one quality threshold,
@@ -301,6 +376,7 @@ pub struct Evaluator<'b> {
     shared: Option<Arc<dyn EvalCache>>,
     obs: Obs,
     parent_span: Option<u64>,
+    cancel: Option<CancelToken>,
     /// Fan-out arena for `evaluate_batch`, resolved lazily on the first
     /// batch that needs one (see [`Self::batch_pool`]). `None` until then,
     /// and forever for sequential evaluators.
@@ -392,9 +468,25 @@ impl<'b> Evaluator<'b> {
         self.obs.clone()
     }
 
-    /// Admits one *new* (non-memoised) configuration: deadline check, budget
-    /// check, budget charge — in exactly the historical sequential order.
+    /// Admits one *new* (non-memoised) configuration: cancellation check,
+    /// deadline check, budget check, budget charge — in exactly the
+    /// historical sequential order (the cancellation check is a no-op
+    /// unless a token is attached *and* fired). Admission also bumps the
+    /// token's heartbeat, so a watchdog sees one beat per admitted
+    /// evaluation and can tell "slow but progressing" from "wedged".
     fn admit(&mut self) -> Result<(), EvalError> {
+        if let Some(token) = &self.cancel {
+            if token.is_cancelled() {
+                if self.stop_reason.is_none() {
+                    self.obs
+                        .event("eval.refused", &[("reason", Value::Str("cancelled"))]);
+                }
+                self.obs.counter_add("evaluator.refused.cancelled", 1);
+                self.stop_reason.get_or_insert(EvalError::Cancelled);
+                return Err(EvalError::Cancelled);
+            }
+            token.beat();
+        }
         if let Some(deadline) = self.deadline {
             if self.started.elapsed() >= deadline {
                 if self.stop_reason.is_none() {
@@ -522,7 +614,18 @@ impl<'b> Evaluator<'b> {
                     self.parent_span,
                     &[("lowered", Value::U64(cfg.lowered_count() as u64))],
                 );
-                let record = self.score(cfg, &key, run_config(self.bench, cfg, self.cache));
+                let run =
+                    match run_config_cancellable(self.bench, cfg, self.cache, self.cancel.as_ref())
+                    {
+                        Ok(run) => run,
+                        Err(e) => {
+                            self.obs.counter_add("evaluator.cancelled", 1);
+                            span.end_with(&[("cancelled", Value::Bool(true))]);
+                            self.stop_reason.get_or_insert(e);
+                            return Err(e);
+                        }
+                    };
+                let record = self.score(cfg, &key, run);
                 self.obs.counter_add("evaluator.runs", 1);
                 span.end_with(&[
                     ("passes", Value::Bool(record.passes)),
@@ -643,20 +746,29 @@ impl<'b> Evaluator<'b> {
         // catch_unwind sees it, exactly as with the old scoped threads).
         let workers = self.workers.min(pending.len());
         let pool = if workers > 1 { self.batch_pool() } else { None };
-        let mut runs: Vec<Option<(Vec<f64>, OpCounts, CacheStats)>> = Vec::new();
+        let mut runs: Vec<Option<Result<RunOutput, EvalError>>> = Vec::new();
         match pool {
-            None => runs.extend(
-                pending
-                    .iter()
-                    .map(|&i| Some(run_config(self.bench, &cfgs[i], self.cache))),
-            ),
+            None => runs.extend(pending.iter().map(|&i| {
+                Some(run_config_cancellable(
+                    self.bench,
+                    &cfgs[i],
+                    self.cache,
+                    self.cancel.as_ref(),
+                ))
+            })),
             Some(pool) => {
-                let out: Vec<Mutex<Option<(Vec<f64>, OpCounts, CacheStats)>>> =
+                let out: Vec<Mutex<Option<Result<RunOutput, EvalError>>>> =
                     pending.iter().map(|_| Mutex::new(None)).collect();
                 let bench = self.bench;
                 let cache = self.cache;
+                let cancel = self.cancel.clone();
+                // Cancellation is caught *inside* each item (a fired token
+                // yields Err(Cancelled) in that item's slot), so a cancelled
+                // batch never poisons the pool descriptor — every remaining
+                // item drains within one bulk op of the flag flipping.
                 pool.run_batch(pending.len(), |t| {
-                    let run = run_config(bench, &cfgs[pending[t]], cache);
+                    let run =
+                        run_config_cancellable(bench, &cfgs[pending[t]], cache, cancel.as_ref());
                     match out[t].lock() {
                         Ok(mut slot) => *slot = Some(run),
                         Err(poisoned) => *poisoned.into_inner() = Some(run),
@@ -680,14 +792,27 @@ impl<'b> Evaluator<'b> {
                     results.push(Ok(record));
                 }
                 Slot::Runs(key, p) => {
-                    // Slot invariant: phase 2 filled every pending run.
+                    // Slot invariant: phase 2 filled every pending run. The
+                    // fallback re-run goes through the cancellable path too,
+                    // so a fired token can never send phase 3 into a hung
+                    // benchmark sequentially — it returns Err(Cancelled) at
+                    // the first poll instead.
                     let run = runs[p].take().unwrap_or_else(|| {
-                        run_config(self.bench, &cfgs[i], self.cache)
+                        run_config_cancellable(self.bench, &cfgs[i], self.cache, self.cancel.as_ref())
                     });
-                    let record = self.score(&cfgs[i], &key, run);
-                    self.obs.counter_add("evaluator.runs", 1);
-                    self.commit(key, &record);
-                    results.push(Ok(record));
+                    match run {
+                        Ok(run) => {
+                            let record = self.score(&cfgs[i], &key, run);
+                            self.obs.counter_add("evaluator.runs", 1);
+                            self.commit(key, &record);
+                            results.push(Ok(record));
+                        }
+                        Err(e) => {
+                            self.obs.counter_add("evaluator.cancelled", 1);
+                            self.stop_reason.get_or_insert(e);
+                            results.push(Err(e));
+                        }
+                    }
                 }
                 Slot::Alias(earlier) => {
                     // An alias always points at an earlier record-producing
@@ -1041,5 +1166,122 @@ mod tests {
         let strict = ev3.evaluate(&cfg).unwrap();
         assert_eq!(strict.quality.to_bits(), fresh.quality.to_bits());
         assert!(!strict.passes);
+    }
+
+    /// The cancellation contract's quiet half: an attached token that never
+    /// fires changes nothing — outcomes, budget accounting and best are
+    /// bit-identical to the token-free evaluator, for any worker count.
+    #[test]
+    fn unfired_token_is_bit_identical_to_no_token() {
+        let b = Axpy::new();
+        let cfgs = axpy_batch(&b);
+        let mut plain = EvaluatorBuilder::new(QualityThreshold::new(1e-3))
+            .workers(1)
+            .build(&b);
+        let baseline: Vec<_> = cfgs.iter().map(|c| plain.evaluate(c)).collect();
+        for workers in [1, 2, 4] {
+            let token = CancelToken::new();
+            let mut ev = EvaluatorBuilder::new(QualityThreshold::new(1e-3))
+                .workers(workers)
+                .cancel_token(token.clone())
+                .build(&b);
+            let batch = ev.evaluate_batch(&cfgs);
+            assert_same_outcome(&batch, &baseline);
+            assert_eq!(ev.evaluated(), plain.evaluated(), "workers={workers}");
+            assert!(token.heartbeats() > 0, "admission bumps the heartbeat");
+            assert_eq!(ev.stop_reason(), None);
+        }
+    }
+
+    #[test]
+    fn prefired_token_refuses_admission_as_cancelled() {
+        let b = Axpy::new();
+        let token = CancelToken::new();
+        let mut ev = EvaluatorBuilder::new(QualityThreshold::new(1e-3))
+            .cancel_token(token.clone())
+            .build(&b);
+        token.fire();
+        let err = ev.evaluate(&b.program().config_all_single()).unwrap_err();
+        assert_eq!(err, EvalError::Cancelled);
+        assert_eq!(ev.stop_reason(), Some(EvalError::Cancelled));
+        assert_eq!(ev.evaluated(), 0, "refused before charging budget");
+    }
+
+    /// A benchmark that fires its own token at the start of its second run
+    /// (the first is the builder's reference run), so the evaluation is
+    /// admitted normally and then preempted mid-run at the first
+    /// accounting hook.
+    struct FiringAxpy {
+        inner: Axpy,
+        token: CancelToken,
+        runs: AtomicUsize,
+    }
+
+    impl Benchmark for FiringAxpy {
+        fn name(&self) -> &str {
+            self.inner.name()
+        }
+        fn description(&self) -> &str {
+            self.inner.description()
+        }
+        fn kind(&self) -> BenchmarkKind {
+            self.inner.kind()
+        }
+        fn program(&self) -> &ProgramModel {
+            self.inner.program()
+        }
+        fn metric(&self) -> MetricKind {
+            self.inner.metric()
+        }
+        fn run(&self, ctx: &mut ExecCtx<'_>) -> Vec<f64> {
+            if self.runs.fetch_add(1, Ordering::Relaxed) == 1 {
+                self.token.fire();
+            }
+            self.inner.run(ctx)
+        }
+    }
+
+    #[test]
+    fn mid_run_fire_unwinds_into_a_typed_cancelled_error() {
+        let token = CancelToken::new();
+        let b = FiringAxpy {
+            inner: Axpy::new(),
+            token: token.clone(),
+            runs: AtomicUsize::new(0),
+        };
+        let mut ev = EvaluatorBuilder::new(QualityThreshold::new(1e-3))
+            .cancel_token(token.clone())
+            .build(&b);
+        let err = ev.evaluate(&b.inner.program.config_all_single()).unwrap_err();
+        assert_eq!(err, EvalError::Cancelled);
+        assert_eq!(ev.stop_reason(), Some(EvalError::Cancelled));
+        assert_eq!(ev.evaluated(), 1, "the run was admitted before firing");
+    }
+
+    #[test]
+    fn mid_batch_fire_cancels_remaining_slots() {
+        let token = CancelToken::new();
+        let b = FiringAxpy {
+            inner: Axpy::new(),
+            token: token.clone(),
+            runs: AtomicUsize::new(0),
+        };
+        let n = b.inner.program.var_count();
+        let cfgs = vec![
+            b.inner.program.config_all_single(),
+            PrecisionConfig::from_lowered(n, [b.inner.a]),
+        ];
+        let mut ev = EvaluatorBuilder::new(QualityThreshold::new(1e-3))
+            .workers(1)
+            .cancel_token(token.clone())
+            .build(&b);
+        let results = ev.evaluate_batch(&cfgs);
+        assert!(
+            results
+                .iter()
+                .all(|r| matches!(r, Err(EvalError::Cancelled))),
+            "the token fired on the first run, so every slot cancels: {results:?}"
+        );
+        assert_eq!(ev.stop_reason(), Some(EvalError::Cancelled));
     }
 }

@@ -42,7 +42,9 @@ pub use mixp_runtime as runtime;
 pub use mixp_typedeps as typedeps;
 pub use mixp_verify as verify;
 
-pub use mixp_float::{ConfigKey, ExecCtx, OpCounts, Precision, PrecisionConfig, VarId};
+pub use mixp_float::{
+    CancelToken, CancelUnwind, ConfigKey, ExecCtx, OpCounts, Precision, PrecisionConfig, VarId,
+};
 pub use mixp_obs::{MetricsSnapshot, Obs, ObsBuilder, SpanGuard, Value};
 pub use mixp_perf::{CacheParams, CostModel};
 pub use mixp_pool::Pool;

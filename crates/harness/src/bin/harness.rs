@@ -41,9 +41,11 @@ struct Cli {
     workers: usize,
     json: bool,
     deadline: Option<Duration>,
+    grace: Option<Duration>,
     retries: u32,
     backoff: Duration,
     checkpoint: Option<PathBuf>,
+    fsync_every: Option<usize>,
     trace: Option<PathBuf>,
     metrics: bool,
     files: Vec<String>,
@@ -55,9 +57,11 @@ fn parse_cli() -> Result<Cli, String> {
         workers: mixp_harness::scheduler::default_workers(),
         json: false,
         deadline: None,
+        grace: None,
         retries: 1,
         backoff: Duration::ZERO,
         checkpoint: None,
+        fsync_every: None,
         trace: None,
         metrics: false,
         files: Vec::new(),
@@ -82,6 +86,11 @@ fn parse_cli() -> Result<Cli, String> {
                 let ms: u64 = v.parse().map_err(|_| format!("bad deadline `{v}`"))?;
                 cli.deadline = Some(Duration::from_millis(ms));
             }
+            "--grace-ms" => {
+                let v = args.next().ok_or("--grace-ms needs a value")?;
+                let ms: u64 = v.parse().map_err(|_| format!("bad grace period `{v}`"))?;
+                cli.grace = Some(Duration::from_millis(ms.max(1)));
+            }
             "--retries" => {
                 let v = args.next().ok_or("--retries needs a value")?;
                 let n: u32 = v.parse().map_err(|_| format!("bad retry count `{v}`"))?;
@@ -95,6 +104,11 @@ fn parse_cli() -> Result<Cli, String> {
             "--checkpoint" => {
                 let v = args.next().ok_or("--checkpoint needs a path")?;
                 cli.checkpoint = Some(PathBuf::from(v));
+            }
+            "--fsync-every" => {
+                let v = args.next().ok_or("--fsync-every needs a value")?;
+                let n: usize = v.parse().map_err(|_| format!("bad fsync cadence `{v}`"))?;
+                cli.fsync_every = Some(n);
             }
             "--trace" => {
                 let v = args.next().ok_or("--trace needs a path")?;
@@ -119,8 +133,9 @@ fn main() {
             eprintln!("error: {msg}");
             eprintln!(
                 "usage: harness [--scale small|paper] [--workers N] [--json] \
-                 [--deadline-ms MS] [--retries N] [--backoff-ms MS] \
-                 [--checkpoint FILE] [--trace FILE] [--metrics] <config.yaml>..."
+                 [--deadline-ms MS] [--grace-ms MS] [--retries N] [--backoff-ms MS] \
+                 [--checkpoint FILE] [--fsync-every N] [--trace FILE] [--metrics] \
+                 <config.yaml>..."
             );
             std::process::exit(2);
         }
@@ -168,17 +183,20 @@ fn main() {
         Obs::noop()
     };
 
+    let defaults = CampaignOptions::default();
     let opts = CampaignOptions {
         workers: cli.workers,
         deadline: cli.deadline,
+        grace: cli.grace.unwrap_or(defaults.grace),
         retry: RetryPolicy {
             max_attempts: cli.retries,
             backoff: cli.backoff,
             ..RetryPolicy::default()
         },
         checkpoint: cli.checkpoint.clone(),
+        fsync_every: cli.fsync_every.unwrap_or(defaults.fsync_every),
         obs: obs.clone(),
-        ..CampaignOptions::default()
+        ..defaults
     };
     let (outcomes, stats) = run_campaign_with_stats(&jobs, &opts);
     let metrics: Option<MetricsSnapshot> = obs.metrics_snapshot();

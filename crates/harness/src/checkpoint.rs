@@ -349,34 +349,72 @@ pub fn load(path: &Path, jobs: &[Job]) -> RunState {
     state
 }
 
+/// Writes a fresh journal header durably: the header line goes to a
+/// sibling `<path>.tmp` file, is fsynced, and is renamed over `path` — so
+/// a crash mid-restart leaves either the old journal or a complete new
+/// header, never a torn one. Returns the renamed file reopened for
+/// appending. Shared with the cache journal ([`crate::evalcache`]).
+pub(crate) fn create_with_header(path: &Path, header: &Json) -> std::io::Result<File> {
+    let mut tmp = path.as_os_str().to_os_string();
+    tmp.push(".tmp");
+    let tmp = std::path::PathBuf::from(tmp);
+    {
+        let mut file = File::create(&tmp)?;
+        writeln!(file, "{}", compact(header))?;
+        file.sync_all()?;
+    }
+    std::fs::rename(&tmp, path)?;
+    OpenOptions::new().append(true).open(path)
+}
+
 /// An open, append-mode journal for one campaign.
 #[derive(Debug)]
 pub struct Journal {
     file: File,
+    /// Records appended since the last fsync.
+    appends: usize,
+    /// Fsync cadence: every N appends (`0` = completion-time sync only).
+    fsync_every: usize,
 }
 
 impl Journal {
-    /// Opens (or creates) the journal at `path` for this campaign and
-    /// recovers any prior state.
-    ///
-    /// If the file already holds a valid journal for the *same* job list,
-    /// its completed cells are returned and new completions are appended
-    /// after them. Anything else — no file, another campaign's journal, a
-    /// corrupt header — starts the journal afresh.
+    /// [`Journal::open_with`] with periodic fsync disabled — callers that
+    /// want crash durability between appends pass a cadence explicitly.
     ///
     /// # Errors
     ///
     /// Returns the underlying I/O error if the file cannot be created or
     /// written.
     pub fn open(path: &Path, jobs: &[Job]) -> std::io::Result<(Journal, RunState)> {
+        Journal::open_with(path, jobs, 0)
+    }
+
+    /// Opens (or creates) the journal at `path` for this campaign and
+    /// recovers any prior state.
+    ///
+    /// If the file already holds a valid journal for the *same* job list,
+    /// its completed cells are returned and new completions are appended
+    /// after them. Anything else — no file, another campaign's journal, a
+    /// corrupt header — starts the journal afresh, writing the new header
+    /// via a temp file and an atomic rename so a crash mid-restart cannot
+    /// leave a torn header behind.
+    ///
+    /// `fsync_every` is the durability cadence: the file is fsynced after
+    /// every N appended records (`0` disables the periodic sync; callers
+    /// then rely on [`Journal::sync`] at campaign completion).
+    ///
+    /// # Errors
+    ///
+    /// Returns the underlying I/O error if the file cannot be created or
+    /// written.
+    pub fn open_with(
+        path: &Path,
+        jobs: &[Job],
+        fsync_every: usize,
+    ) -> std::io::Result<(Journal, RunState)> {
         let state = load(path, jobs);
         let fresh = state.completed.is_empty() && !journal_matches(path, jobs);
-        let mut file = if fresh {
-            File::create(path)?
-        } else {
-            OpenOptions::new().append(true).open(path)?
-        };
-        if fresh {
+        let file = if fresh {
             let header = Json::Object(vec![
                 (
                     "version".to_string(),
@@ -388,10 +426,30 @@ impl Journal {
                 ),
                 ("jobs".to_string(), Json::Number(jobs.len() as f64)),
             ]);
-            writeln!(file, "{}", compact(&header))?;
-            file.flush()?;
+            create_with_header(path, &header)?
+        } else {
+            OpenOptions::new().append(true).open(path)?
+        };
+        Ok((
+            Journal {
+                file,
+                appends: 0,
+                fsync_every,
+            },
+            state,
+        ))
+    }
+
+    /// One line appended: flush it, and fsync on the configured cadence.
+    fn append_line(&mut self, mut line: String) -> std::io::Result<()> {
+        line.push('\n');
+        self.file.write_all(line.as_bytes())?;
+        self.file.flush()?;
+        self.appends += 1;
+        if self.fsync_every > 0 && self.appends % self.fsync_every == 0 {
+            self.file.sync_data()?;
         }
-        Ok((Journal { file }, state))
+        Ok(())
     }
 
     /// Appends one completed cell. Each record is a single `write` of one
@@ -401,10 +459,7 @@ impl Journal {
     ///
     /// Returns the underlying I/O error on a failed append.
     pub fn record(&mut self, index: usize, job: &Job, result: &JobResult) -> std::io::Result<()> {
-        let mut line = result_line(index, job, result);
-        line.push('\n');
-        self.file.write_all(line.as_bytes())?;
-        self.file.flush()
+        self.append_line(result_line(index, job, result))
     }
 
     /// Appends one permanently failed cell. Callers should only journal
@@ -420,10 +475,18 @@ impl Journal {
         job: &Job,
         error: &JobError,
     ) -> std::io::Result<()> {
-        let mut line = failure_line(index, job, error);
-        line.push('\n');
-        self.file.write_all(line.as_bytes())?;
-        self.file.flush()
+        self.append_line(failure_line(index, job, error))
+    }
+
+    /// Forces everything appended so far to disk. The scheduler calls this
+    /// once at campaign completion, so the finished journal is durable
+    /// regardless of the periodic cadence.
+    ///
+    /// # Errors
+    ///
+    /// Returns the underlying I/O error on a failed fsync.
+    pub fn sync(&mut self) -> std::io::Result<()> {
+        self.file.sync_data()
     }
 }
 
@@ -527,6 +590,67 @@ mod tests {
         std::fs::write(&path, &text).unwrap();
         let state = load(&path, &jobs);
         assert_eq!(state.completed.len(), 1, "good line kept, torn line dropped");
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn torn_header_is_recovered_by_a_fresh_restart() {
+        // A kill exactly during a (historical, non-atomic) header write
+        // leaves a half line. Load must treat it as no journal, and open
+        // must restart it cleanly via the temp-file + rename path.
+        let path = tmpfile("torn-header");
+        let jobs = sample_jobs();
+        std::fs::write(&path, "{\"version\":\"mixp-run-st").unwrap();
+        let state = load(&path, &jobs);
+        assert!(state.completed.is_empty() && state.failed.is_empty());
+        let r0 = jobs[0].execute(None, None).unwrap();
+        {
+            let (mut journal, state) = Journal::open(&path, &jobs).unwrap();
+            assert!(state.completed.is_empty());
+            journal.record(0, &jobs[0], &r0).unwrap();
+        }
+        let state = load(&path, &jobs);
+        assert_eq!(state.completed.len(), 1, "restarted journal works");
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn stale_tmp_leftover_is_harmless_and_replaced() {
+        // A crash after writing `<path>.tmp` but before the rename leaves
+        // the temp file behind; the next open must overwrite it and still
+        // produce a valid journal at the real path.
+        let path = tmpfile("stale-tmp");
+        let jobs = sample_jobs();
+        let mut tmp = path.as_os_str().to_os_string();
+        tmp.push(".tmp");
+        std::fs::write(&tmp, "garbage from a crashed run").unwrap();
+        {
+            let (_journal, state) = Journal::open(&path, &jobs).unwrap();
+            assert!(state.completed.is_empty());
+        }
+        let text = std::fs::read_to_string(&path).unwrap();
+        assert!(text.contains(STATE_VERSION));
+        assert!(
+            !std::path::Path::new(&tmp).exists(),
+            "the rename must consume the temp file"
+        );
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn periodic_fsync_cadence_does_not_change_contents() {
+        let path = tmpfile("fsync-cadence");
+        let jobs = sample_jobs();
+        let r0 = jobs[0].execute(None, None).unwrap();
+        let r1 = jobs[1].execute(None, None).unwrap();
+        {
+            let (mut journal, _) = Journal::open_with(&path, &jobs, 1).unwrap();
+            journal.record(0, &jobs[0], &r0).unwrap();
+            journal.record(1, &jobs[1], &r1).unwrap();
+            journal.sync().unwrap();
+        }
+        let state = load(&path, &jobs);
+        assert_eq!(state.completed.len(), 2);
         std::fs::remove_file(&path).ok();
     }
 

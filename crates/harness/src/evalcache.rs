@@ -62,6 +62,10 @@ struct ShardCounters {
 struct CacheJournal {
     file: File,
     failed: bool,
+    /// Entries appended since the last fsync.
+    appends: usize,
+    /// Fsync cadence: every N appends (`0` = completion-time sync only).
+    fsync_every: usize,
 }
 
 /// The campaign-wide evaluation cache: one instance per campaign, shared by
@@ -126,25 +130,31 @@ impl SharedEvalCache {
     /// reported numbers never change with or without persistence. All I/O
     /// failures degrade to an in-memory cache with one warning.
     pub fn with_persistence(path: &Path, fingerprint: &str) -> Self {
+        SharedEvalCache::with_persistence_opts(path, fingerprint, 0)
+    }
+
+    /// [`SharedEvalCache::with_persistence`] with a durability cadence:
+    /// the journal file is fsynced after every `fsync_every` appended
+    /// entries (`0` disables the periodic sync; [`SharedEvalCache::sync`]
+    /// at campaign completion still applies). A fresh journal's header is
+    /// written via a temp file and an atomic rename, so a crash during a
+    /// restart cannot leave a torn header.
+    pub fn with_persistence_opts(path: &Path, fingerprint: &str, fsync_every: usize) -> Self {
         let mut cache = SharedEvalCache::new();
         let preloaded = cache.load_journal(path, fingerprint);
         let fresh = preloaded == 0 && !cache_journal_matches(path, fingerprint);
         let opened = if fresh {
-            File::create(path).and_then(|mut file| {
-                let header = Json::Object(vec![
-                    (
-                        "version".to_string(),
-                        Json::String(CACHE_VERSION.to_string()),
-                    ),
-                    (
-                        "fingerprint".to_string(),
-                        Json::String(fingerprint.to_string()),
-                    ),
-                ]);
-                writeln!(file, "{}", compact(&header))?;
-                file.flush()?;
-                Ok(file)
-            })
+            let header = Json::Object(vec![
+                (
+                    "version".to_string(),
+                    Json::String(CACHE_VERSION.to_string()),
+                ),
+                (
+                    "fingerprint".to_string(),
+                    Json::String(fingerprint.to_string()),
+                ),
+            ]);
+            crate::checkpoint::create_with_header(path, &header)
         } else {
             OpenOptions::new().append(true).open(path)
         };
@@ -153,6 +163,8 @@ impl SharedEvalCache {
                 cache.journal = Some(Mutex::new(CacheJournal {
                     file,
                     failed: false,
+                    appends: 0,
+                    fsync_every,
                 }));
             }
             Err(err) => {
@@ -163,6 +175,22 @@ impl SharedEvalCache {
             }
         }
         cache
+    }
+
+    /// Forces everything journaled so far to disk. The scheduler calls
+    /// this once at campaign completion; in-memory caches and already
+    /// failed journals are a no-op.
+    pub fn sync(&self) {
+        if let Some(journal) = &self.journal {
+            let mut guard = lock_recovering(journal);
+            if guard.failed {
+                return;
+            }
+            if let Err(err) = guard.file.sync_data() {
+                guard.failed = true;
+                eprintln!("warning: cache journal fsync failed: {err}");
+            }
+        }
     }
 
     /// Parses an existing journal into the shards; returns how many entries
@@ -299,7 +327,15 @@ impl SharedEvalCache {
             let written = guard
                 .file
                 .write_all(line.as_bytes())
-                .and_then(|()| guard.file.flush());
+                .and_then(|()| guard.file.flush())
+                .and_then(|()| {
+                    guard.appends += 1;
+                    if guard.fsync_every > 0 && guard.appends % guard.fsync_every == 0 {
+                        guard.file.sync_data()
+                    } else {
+                        Ok(())
+                    }
+                });
             if let Err(err) = written {
                 guard.failed = true;
                 eprintln!("warning: cache journal write failed: {err}; further entries stay in memory");

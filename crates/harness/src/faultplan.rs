@@ -59,6 +59,19 @@ pub enum Fault {
     /// this lets a search make *partial* progress before a campaign
     /// deadline expires mid-search. Models a slow or oversubscribed node.
     SlowMs(u64),
+    /// Hang inside every benchmark run for up to the given number of
+    /// milliseconds, sleeping in short slices and polling the run's
+    /// [`mixp_core::CancelToken`] between slices. Without a watchdog this
+    /// blocks the worker for the full duration, exactly like a wedged
+    /// evaluation; with one, the hang unwinds within one slice of the
+    /// token firing. Models an evaluation stuck in a convergence loop.
+    HangMs(u64),
+    /// Poison the job's cost model with NaN weights, so every speedup the
+    /// evaluator computes is non-finite while outputs and quality stay
+    /// clean. Applied by the job (the model lives outside the benchmark),
+    /// like the budget/deadline faults. Models a broken performance model
+    /// rather than a broken program.
+    CostModelNan,
 }
 
 impl Fault {
@@ -71,6 +84,8 @@ impl Fault {
             Fault::ZeroDeadline => "zero-deadline",
             Fault::CorruptOutput { .. } => "corrupt-output",
             Fault::SlowMs(_) => "slow",
+            Fault::HangMs(_) => "hang",
+            Fault::CostModelNan => "cost-model-nan",
         }
     }
 }
@@ -126,7 +141,7 @@ impl FaultPlan {
             if rng.next_range(100) >= u64::from(rate_percent.min(100)) {
                 continue;
             }
-            let fault = match rng.next_range(6) {
+            let fault = match rng.next_range(8) {
                 0 => Fault::Panic {
                     at_eval: rng.next_range(3) as usize,
                 },
@@ -138,7 +153,9 @@ impl FaultPlan {
                 4 => Fault::CorruptOutput {
                     from_eval: rng.next_range(2) as usize,
                 },
-                _ => Fault::SlowMs(1 + rng.next_range(10)),
+                5 => Fault::SlowMs(1 + rng.next_range(10)),
+                6 => Fault::HangMs(1 + rng.next_range(10)),
+                _ => Fault::CostModelNan,
             };
             let attempts = 1 + rng.next_range(2) as u32;
             plan = plan.inject(job, fault, attempts);
@@ -217,6 +234,24 @@ impl Benchmark for FaultyBenchmark {
             }
             Fault::SlowMs(ms) => {
                 std::thread::sleep(std::time::Duration::from_millis(ms));
+                self.inner.run(ctx)
+            }
+            Fault::HangMs(ms) => {
+                // Wedge the worker, but poll the cancel token between short
+                // slices so a watchdog can reclaim it: the poll unwinds via
+                // `cancel_point` within one slice of the token firing. With
+                // no token attached this blocks for the full duration.
+                let total = std::time::Duration::from_millis(ms);
+                let slice = std::time::Duration::from_millis(5);
+                let start = std::time::Instant::now();
+                loop {
+                    ctx.cancel_point();
+                    let elapsed = start.elapsed();
+                    if elapsed >= total {
+                        break;
+                    }
+                    std::thread::sleep(slice.min(total - elapsed));
+                }
                 self.inner.run(ctx)
             }
             _ => self.inner.run(ctx),

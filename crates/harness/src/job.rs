@@ -8,7 +8,10 @@
 use crate::evalcache::SharedEvalCache;
 use crate::faultplan::{Fault, FaultyBenchmark};
 use crate::registry::{benchmark_by_name, Scale};
-use mixp_core::{Benchmark, EvalError, EvaluatorBuilder, Obs, QualityThreshold, Value};
+use mixp_core::{
+    Benchmark, CancelToken, CancelUnwind, CostModel, EvalError, EvaluatorBuilder, Obs,
+    QualityThreshold, Value,
+};
 use mixp_search::{algorithm_by_name, SearchResult};
 use std::fmt;
 use std::panic::{catch_unwind, AssertUnwindSafe};
@@ -187,7 +190,7 @@ impl Job {
         fault: Option<Fault>,
         shared: Option<&Arc<SharedEvalCache>>,
     ) -> Result<JobResult, JobError> {
-        self.execute_observed(deadline, fault, shared, &Obs::noop(), None, 0)
+        self.execute_observed(deadline, fault, shared, &Obs::noop(), None, 0, None)
     }
 
     /// [`Job::execute_with`] plus an observability handle: the evaluator is
@@ -202,9 +205,16 @@ impl Job {
     /// campaign's own work-stealing pool, so `eval_workers` shapes the
     /// speculative chunk width without spawning additional threads.
     ///
+    /// `cancel` preemptively bounds the job: the evaluator polls the token
+    /// from every run's load/store hooks, so when the harness watchdog fires
+    /// it the search unwinds within one bulk operation and surfaces here as
+    /// [`JobError::DeadlineExceeded`]. With `None` the evaluation path is
+    /// bit-identical to the historical cooperative-deadline-only path.
+    ///
     /// # Errors
     ///
     /// Identical to [`Job::execute`].
+    #[allow(clippy::too_many_arguments)]
     pub fn execute_observed(
         &self,
         deadline: Option<Duration>,
@@ -213,6 +223,7 @@ impl Job {
         obs: &Obs,
         parent: Option<u64>,
         eval_workers: usize,
+        cancel: Option<&CancelToken>,
     ) -> Result<JobResult, JobError> {
         let shared = if fault.is_none() { shared } else { None };
         let bench = benchmark_by_name(&self.benchmark, self.scale)
@@ -222,6 +233,7 @@ impl Job {
 
         let mut budget = self.budget;
         let mut deadline = deadline;
+        let mut nan_cost_model = false;
         let bench: Box<dyn Benchmark> = match fault {
             Some(Fault::StarveBudget) => {
                 budget = 0;
@@ -231,11 +243,19 @@ impl Job {
                 deadline = Some(Duration::ZERO);
                 bench
             }
+            Some(Fault::CostModelNan) => {
+                // The benchmark itself stays healthy; the evaluator is
+                // built with a NaN-weighted cost model below, so every
+                // speedup it derives is non-finite.
+                nan_cost_model = true;
+                bench
+            }
             Some(
                 f @ (Fault::Panic { .. }
                 | Fault::NanOutput { .. }
                 | Fault::CorruptOutput { .. }
-                | Fault::SlowMs(_)),
+                | Fault::SlowMs(_)
+                | Fault::HangMs(_)),
             ) => Box::new(FaultyBenchmark::new(bench, f)),
             None => bench,
         };
@@ -248,6 +268,15 @@ impl Job {
                 .obs(obs.clone());
             if let Some(d) = deadline {
                 builder = builder.deadline(d);
+            }
+            if nan_cost_model {
+                builder = builder.cost_model(CostModel {
+                    f64_flop: f64::NAN,
+                    ..CostModel::default()
+                });
+            }
+            if let Some(token) = cancel {
+                builder = builder.cancel_token(token.clone());
             }
             if let Some(cache) = shared {
                 builder = builder.shared_cache(cache.scoped(&self.benchmark, self.scale));
@@ -262,8 +291,11 @@ impl Job {
             // benchmark reproduces exactly; finite-but-differing output means
             // silent corruption, which would otherwise flow into every
             // quality number this job reports.
-            let probe = EvaluatorBuilder::new(QualityThreshold::new(self.threshold))
-                .build(bench.as_ref());
+            let mut probe_builder = EvaluatorBuilder::new(QualityThreshold::new(self.threshold));
+            if let Some(token) = cancel {
+                probe_builder = probe_builder.cancel_token(token.clone());
+            }
+            let probe = probe_builder.build(bench.as_ref());
             let probe_out = probe.reference_output();
             if probe_out.iter().all(|v| v.is_finite())
                 && probe_out
@@ -276,7 +308,10 @@ impl Job {
             }
             drop(probe);
             let result = algo.search(&mut ev);
-            if ev.stop_reason() == Some(EvalError::DeadlineExceeded) {
+            if matches!(
+                ev.stop_reason(),
+                Some(EvalError::DeadlineExceeded | EvalError::Cancelled)
+            ) {
                 return Err(JobError::DeadlineExceeded {
                     limit_ms: deadline.map_or(0, |d| d.as_millis()),
                 });
@@ -300,6 +335,14 @@ impl Job {
         }));
         match run {
             Ok(outcome) => outcome,
+            // A fired cancel token unwinds from wherever the run was — the
+            // reference build, the probe, or mid-search. It is a preemptive
+            // deadline, not a crash.
+            Err(payload) if CancelUnwind::caused(payload.as_ref()) => {
+                Err(JobError::DeadlineExceeded {
+                    limit_ms: deadline.map_or(0, |d| d.as_millis()),
+                })
+            }
             Err(payload) => Err(JobError::Panicked(panic_message(payload))),
         }
     }

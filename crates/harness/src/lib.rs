@@ -20,7 +20,12 @@
 //!   next to the run-state journal (`<checkpoint>.cache.jsonl`) so resumed
 //!   campaigns start warm.
 //! * [`faultplan`] — deterministic fault injection (panics, NaN output,
-//!   budget starvation, zero deadlines) for robustness testing.
+//!   budget starvation, zero deadlines, hangs, poisoned cost models) for
+//!   robustness testing.
+//! * [`watchdog`] — preemptive deadlines: a single supervisor thread that
+//!   fires each job's [`mixp_core::CancelToken`] when it overruns its
+//!   deadline without heartbeats, and quarantines the worker if the job
+//!   never unwinds.
 //! * [`checkpoint`] — append-only run-state journal so a killed campaign
 //!   resumes without re-running finished cells (failed cells are journaled
 //!   too and reported on resume).
@@ -66,6 +71,7 @@ pub mod json;
 pub mod registry;
 pub mod report;
 pub mod scheduler;
+pub mod watchdog;
 pub mod yamlish;
 
 pub use config::AnalysisConfig;
@@ -77,3 +83,4 @@ pub use scheduler::{
     default_workers, run_campaign, run_campaign_with_stats, run_jobs, CampaignOptions,
     CampaignStats, JobOutcome, RetryPolicy,
 };
+pub use watchdog::{WatchGuard, Watchdog};

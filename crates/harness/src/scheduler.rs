@@ -15,7 +15,8 @@ use crate::checkpoint::Journal;
 use crate::evalcache::SharedEvalCache;
 use crate::faultplan::FaultPlan;
 use crate::job::{Job, JobError, JobResult};
-use mixp_core::{Obs, Value};
+use crate::watchdog::Watchdog;
+use mixp_core::{CancelToken, Obs, Value};
 use mixp_pool::Pool;
 use std::path::PathBuf;
 use std::sync::{Arc, Mutex};
@@ -97,9 +98,19 @@ pub struct CampaignOptions {
     /// therefore which configurations are evaluated), not the thread
     /// count.
     pub eval_workers: usize,
-    /// Per-job wall-clock deadline, enforced cooperatively by the
-    /// evaluator (the analogue of the paper's 24-hour cluster limit).
+    /// Per-job wall-clock deadline (the analogue of the paper's 24-hour
+    /// cluster limit). Enforced twice over: cooperatively by the evaluator
+    /// at its own check points, and preemptively by the campaign
+    /// [`Watchdog`], which fires the job's cancel token once the job is
+    /// past the deadline *and* heartbeat-silent for [`Self::grace`].
     pub deadline: Option<Duration>,
+    /// Watchdog grace period. A job past its deadline is only cancelled
+    /// after its heartbeats have been silent this long (so a slow but
+    /// moving job is left to the cooperative deadline), and a cancelled
+    /// job that *still* has not unwound this long after the fire has its
+    /// worker thread quarantined ([`mixp_pool::Pool::quarantine_worker`]).
+    /// Ignored without a deadline. Default 100 ms.
+    pub grace: Duration,
     /// Retry policy for transient failures.
     pub retry: RetryPolicy,
     /// Deterministic fault injections, for robustness testing.
@@ -107,6 +118,11 @@ pub struct CampaignOptions {
     /// Run-state journal path; when set, completed cells are checkpointed
     /// there and a matching existing journal is resumed.
     pub checkpoint: Option<PathBuf>,
+    /// Crash-durability knob for the run-state and cache journals: every
+    /// N appended records the journal file is fsynced (both are always
+    /// fsynced once more when the campaign completes). `0` disables the
+    /// periodic fsync. Default 32.
+    pub fsync_every: usize,
     /// Whether jobs share a campaign-wide evaluation cache
     /// ([`SharedEvalCache`]), so configurations already run by one cell are
     /// not re-run by another. On by default — hits are bit-identical to
@@ -127,9 +143,11 @@ impl Default for CampaignOptions {
             workers: 0,
             eval_workers: 0,
             deadline: None,
+            grace: Duration::from_millis(100),
             retry: RetryPolicy::default(),
             faults: FaultPlan::default(),
             checkpoint: None,
+            fsync_every: 32,
             shared_cache: true,
             obs: Obs::noop(),
         }
@@ -183,9 +201,14 @@ fn run_with_retry(
     opts: &CampaignOptions,
     shared: Option<&Arc<SharedEvalCache>>,
     parent: Option<u64>,
+    watchdog: Option<&Watchdog>,
 ) -> (u32, Result<JobResult, JobError>) {
     let obs = &opts.obs;
     let max = opts.retry.max_attempts.max(1);
+    // One token per job, reset per attempt: the reset bumps the token's
+    // generation, so a watchdog fire aimed at a finished attempt can never
+    // cancel the retry that reuses the token.
+    let token = watchdog.map(|_| CancelToken::new());
     let mut attempt = 0;
     loop {
         attempt += 1;
@@ -201,8 +224,25 @@ fn run_with_retry(
                 ),
             ],
         );
-        let outcome =
-            job.execute_observed(opts.deadline, fault, shared, obs, parent, opts.eval_workers);
+        let watch = match (watchdog, &token) {
+            (Some(watchdog), Some(token)) => {
+                token.reset();
+                Some(watchdog.watch(index, attempt, token))
+            }
+            _ => None,
+        };
+        let outcome = job.execute_observed(
+            opts.deadline,
+            fault,
+            shared,
+            obs,
+            parent,
+            opts.eval_workers,
+            token.as_ref(),
+        );
+        // Deregister before classifying: once the attempt's fate is known
+        // the watchdog must not fire at (or quarantine for) it.
+        drop(watch);
         if let Err(e) = &outcome {
             obs.event(
                 "job.error",
@@ -256,7 +296,7 @@ pub fn run_campaign_with_stats(
     let mut restored: Vec<Option<Result<JobResult, JobError>>> = vec![None; jobs.len()];
     let journal = match &opts.checkpoint {
         None => None,
-        Some(path) => match Journal::open(path, jobs) {
+        Some(path) => match Journal::open_with(path, jobs, opts.fsync_every) {
             Ok((journal, state)) => {
                 for (index, result) in state.completed {
                     restored[index] = Some(Ok(result));
@@ -291,9 +331,10 @@ pub fn run_campaign_with_stats(
             Some(path) => {
                 let mut cache_path = path.as_os_str().to_os_string();
                 cache_path.push(".cache.jsonl");
-                SharedEvalCache::with_persistence(
+                SharedEvalCache::with_persistence_opts(
                     std::path::Path::new(&cache_path),
                     &crate::checkpoint::fingerprint(jobs),
+                    opts.fsync_every,
                 )
             }
             None => SharedEvalCache::new(),
@@ -320,11 +361,17 @@ pub fn run_campaign_with_stats(
             ("workers", Value::U64(workers as u64)),
         ],
     );
+    // One pool for the whole campaign (see run_batch below); created up
+    // front so the watchdog can quarantine its workers.
+    let pool = (workers > 1).then(|| Pool::new(workers, opts.obs.clone()));
+    let watchdog =
+        opts.deadline.map(|deadline| Watchdog::new(deadline, opts.grace, pool.clone(), opts.obs.clone()));
     let slots: Vec<Mutex<Option<(u32, Result<JobResult, JobError>)>>> =
         jobs.iter().map(|_| Mutex::new(None)).collect();
     let restored = &restored;
     let journal = journal.as_ref();
     let cache = cache.as_ref();
+    let watchdog_ref = watchdog.as_ref();
     let run_job = |i: usize| {
         if restored[i].is_some() {
             obs.event("job.restored", &[("job", Value::U64(i as u64))]);
@@ -338,7 +385,7 @@ pub fn run_campaign_with_stats(
                 ("algorithm", Value::S(jobs[i].algorithm.clone())),
             ],
         );
-        let (attempts, outcome) = run_with_retry(i, &jobs[i], opts, cache, span.id());
+        let (attempts, outcome) = run_with_retry(i, &jobs[i], opts, cache, span.id(), watchdog_ref);
         obs.observe("campaign.attempts", u64::from(attempts));
         obs.counter_add(
             if outcome.is_ok() {
@@ -369,14 +416,28 @@ pub fn run_campaign_with_stats(
         }
         *lock_recovering(&slots[i]) = Some((attempts, outcome));
     };
-    if workers > 1 {
+    match &pool {
         // One pool for the whole campaign: cells fan out here, and every
         // evaluator batch nested inside a cell joins this pool through the
         // ambient [`Pool::current`] context instead of spawning its own
         // threads — the fix for the old W×W oversubscription.
-        Pool::new(workers, opts.obs.clone()).run_batch(jobs.len(), run_job);
-    } else {
-        (0..jobs.len()).for_each(run_job);
+        Some(pool) => pool.run_batch(jobs.len(), run_job),
+        None => (0..jobs.len()).for_each(run_job),
+    }
+    // Supervision first (joins the watchdog thread, which holds a pool
+    // handle), then the pool itself.
+    drop(watchdog);
+    drop(pool);
+
+    // Campaign-completion durability point: whatever the periodic fsync
+    // cadence left unsynced reaches disk before the results are reported.
+    if let Some(journal) = journal {
+        if let Err(err) = lock_recovering(journal).sync() {
+            eprintln!("warning: run-state journal fsync failed: {err}");
+        }
+    }
+    if let Some(cache) = cache {
+        cache.sync();
     }
 
     let stats = CampaignStats {

@@ -1,0 +1,197 @@
+//! Cooperative cancellation for in-flight evaluations.
+//!
+//! A [`CancelToken`] is a shared atomic flag plus a generation counter. The
+//! scheduler's watchdog holds one end; the other end is threaded through the
+//! evaluator into every [`ExecCtx`](crate::ExecCtx), which polls it from the
+//! load/store accounting hooks — once per bulk operation on the untraced
+//! fast path, once per element on the traced path. When the flag flips, the
+//! next poll unwinds the benchmark with a [`CancelUnwind`] payload via
+//! [`std::panic::resume_unwind`], which skips the panic hook (no stderr
+//! noise) and is caught at the evaluator boundary and surfaced as a typed
+//! `EvalError::Cancelled`.
+//!
+//! The generation counter lets one token be reused across retry attempts: a
+//! watchdog that decided to fire for attempt *n* first checks that the token
+//! is still on generation *n* ([`CancelToken::fire_if`]), so a late fire can
+//! never leak into attempt *n + 1* after a [`CancelToken::reset`].
+//!
+//! The token also carries a heartbeat counter, bumped from the evaluator's
+//! admission path, so a watchdog can distinguish "slow but alive" from
+//! "wedged" without any channel back from the worker.
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// Shared cancellation flag + generation counter + heartbeat.
+///
+/// Cloning is cheap (one `Arc`); all clones observe the same state.
+#[derive(Clone, Debug, Default)]
+pub struct CancelToken {
+    inner: Arc<TokenState>,
+}
+
+#[derive(Debug, Default)]
+struct TokenState {
+    cancelled: AtomicBool,
+    generation: AtomicU64,
+    heartbeat: AtomicU64,
+}
+
+impl CancelToken {
+    /// A fresh, unfired token on generation 0.
+    pub fn new() -> Self {
+        CancelToken::default()
+    }
+
+    /// Whether the token has fired (and not been reset since).
+    #[inline]
+    pub fn is_cancelled(&self) -> bool {
+        self.inner.cancelled.load(Ordering::Relaxed)
+    }
+
+    /// Fires the token: every poll after this unwinds with [`CancelUnwind`].
+    pub fn fire(&self) {
+        self.inner.cancelled.store(true, Ordering::Release);
+    }
+
+    /// Fires the token only if it is still on `generation` — the race-safe
+    /// entry point for a watchdog, whose decision to fire may be stale by
+    /// the time it acts (the attempt it watched may have finished and the
+    /// token been [`reset`](CancelToken::reset) for the next one).
+    ///
+    /// Returns `true` if the token fired.
+    pub fn fire_if(&self, generation: u64) -> bool {
+        if self.inner.generation.load(Ordering::Acquire) == generation {
+            self.fire();
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Clears the fired state and advances to a new generation (returned),
+    /// invalidating any in-flight [`fire_if`](CancelToken::fire_if) aimed at
+    /// the previous one. Call between retry attempts.
+    pub fn reset(&self) -> u64 {
+        let gen = self.inner.generation.fetch_add(1, Ordering::AcqRel) + 1;
+        self.inner.cancelled.store(false, Ordering::Release);
+        gen
+    }
+
+    /// The current generation.
+    pub fn generation(&self) -> u64 {
+        self.inner.generation.load(Ordering::Acquire)
+    }
+
+    /// Bumps the heartbeat counter — called from the evaluator's admission
+    /// path so a watchdog can see the job is making progress.
+    #[inline]
+    pub fn beat(&self) {
+        self.inner.heartbeat.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// The heartbeat counter's current value.
+    pub fn heartbeats(&self) -> u64 {
+        self.inner.heartbeat.load(Ordering::Relaxed)
+    }
+
+    /// Polls the token: returns normally when unfired, otherwise unwinds
+    /// with a [`CancelUnwind`] payload. The hot-path caller is
+    /// `ExecCtx`'s accounting hooks; the cold unwind is out-of-line so the
+    /// poll costs one relaxed load and a predictable branch.
+    #[inline]
+    pub fn check(&self) {
+        if self.is_cancelled() {
+            unwind_cancelled();
+        }
+    }
+}
+
+/// The unwind payload carried when a [`CancelToken`] interrupts a run.
+///
+/// Catch sites downcast their `Box<dyn Any + Send>` to this type (see
+/// [`CancelUnwind::caused`]) to distinguish a cooperative cancellation from
+/// a genuine benchmark panic.
+#[derive(Debug)]
+pub struct CancelUnwind;
+
+impl CancelUnwind {
+    /// Whether `payload` (from `catch_unwind`) is a cancellation unwind.
+    pub fn caused(payload: &(dyn std::any::Any + Send)) -> bool {
+        payload.is::<CancelUnwind>()
+    }
+}
+
+/// Unwinds the current thread with a [`CancelUnwind`] payload, bypassing
+/// the panic hook (`resume_unwind` prints nothing).
+#[cold]
+pub fn unwind_cancelled() -> ! {
+    std::panic::resume_unwind(Box::new(CancelUnwind))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fresh_token_is_unfired() {
+        let t = CancelToken::new();
+        assert!(!t.is_cancelled());
+        assert_eq!(t.generation(), 0);
+        assert_eq!(t.heartbeats(), 0);
+        t.check(); // must not unwind
+    }
+
+    #[test]
+    fn fire_is_visible_to_clones() {
+        let t = CancelToken::new();
+        let c = t.clone();
+        t.fire();
+        assert!(c.is_cancelled());
+    }
+
+    #[test]
+    fn reset_clears_and_advances_generation() {
+        let t = CancelToken::new();
+        t.fire();
+        assert_eq!(t.reset(), 1);
+        assert!(!t.is_cancelled());
+        assert_eq!(t.generation(), 1);
+    }
+
+    #[test]
+    fn fire_if_respects_generation() {
+        let t = CancelToken::new();
+        let gen = t.generation();
+        t.reset(); // attempt finished; token moved on
+        assert!(!t.fire_if(gen), "stale fire must be a no-op");
+        assert!(!t.is_cancelled());
+        assert!(t.fire_if(t.generation()), "current-generation fire lands");
+        assert!(t.is_cancelled());
+    }
+
+    #[test]
+    fn check_unwinds_with_cancel_payload() {
+        let t = CancelToken::new();
+        t.fire();
+        let err = std::panic::catch_unwind(|| t.check()).expect_err("fired token unwinds");
+        assert!(CancelUnwind::caused(err.as_ref()));
+    }
+
+    #[test]
+    fn heartbeats_accumulate() {
+        let t = CancelToken::new();
+        t.beat();
+        t.beat();
+        assert_eq!(t.heartbeats(), 2);
+    }
+
+    #[test]
+    fn genuine_panic_is_not_a_cancel_unwind() {
+        let err = std::panic::catch_unwind(|| {
+            std::panic::resume_unwind(Box::new("boom"));
+        })
+        .expect_err("unwound");
+        assert!(!CancelUnwind::caused(err.as_ref()));
+    }
+}

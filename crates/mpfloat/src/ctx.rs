@@ -1,7 +1,7 @@
 //! Execution context: the bridge between a benchmark's arithmetic and the
 //! active [`PrecisionConfig`].
 
-use crate::{OpCounts, Precision, PrecisionConfig, VarId};
+use crate::{CancelToken, OpCounts, Precision, PrecisionConfig, VarId};
 
 /// Receives the synthetic memory-access stream of a benchmark run.
 ///
@@ -44,6 +44,7 @@ pub struct ExecCtx<'a> {
     tracer: Option<&'a mut dyn MemoryTracer>,
     next_base: u64,
     allocations: Vec<(VarId, u64, u64)>,
+    cancel: Option<CancelToken>,
 }
 
 impl<'a> std::fmt::Debug for ExecCtx<'a> {
@@ -65,6 +66,7 @@ impl<'a> ExecCtx<'a> {
             tracer: None,
             next_base: 0x1000,
             allocations: Vec::new(),
+            cancel: None,
         }
     }
 
@@ -77,6 +79,28 @@ impl<'a> ExecCtx<'a> {
             tracer: Some(tracer),
             next_base: 0x1000,
             allocations: Vec::new(),
+            cancel: None,
+        }
+    }
+
+    /// Attaches a [`CancelToken`] to this run. Once attached, every
+    /// load/store accounting hook polls the token and unwinds with
+    /// [`crate::CancelUnwind`] if it has fired — once per bulk operation on
+    /// the untraced fast path, once per element on the traced path. With no
+    /// token attached the poll is a single `Option` branch.
+    pub fn set_cancel_token(&mut self, token: CancelToken) {
+        self.cancel = Some(token);
+    }
+
+    /// Polls the attached [`CancelToken`] (no-op when none is attached):
+    /// returns normally while the token is unfired, unwinds with
+    /// [`crate::CancelUnwind`] once it fires. Long-running code that makes
+    /// no memory accesses (e.g. an injected hang) can call this directly to
+    /// stay cancellable.
+    #[inline]
+    pub fn cancel_point(&self) {
+        if let Some(tok) = &self.cancel {
+            tok.check();
         }
     }
 
@@ -245,6 +269,7 @@ impl<'a> ExecCtx<'a> {
     /// the matching per-element stream via [`ExecCtx::trace_float`].
     #[inline]
     pub(crate) fn count_loads(&mut self, prec: Precision, n: u64) {
+        self.cancel_point();
         match prec {
             Precision::Half => self.counts.loads_f16 += n,
             Precision::Single => self.counts.loads_f32 += n,
@@ -256,6 +281,7 @@ impl<'a> ExecCtx<'a> {
     /// the tracer.
     #[inline]
     pub(crate) fn count_stores(&mut self, prec: Precision, n: u64) {
+        self.cancel_point();
         match prec {
             Precision::Half => self.counts.stores_f16 += n,
             Precision::Single => self.counts.stores_f32 += n,

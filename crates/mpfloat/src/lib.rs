@@ -29,6 +29,7 @@
 //! assert_eq!(v.get(&mut ctx, 0), 0.1f32 as f64);
 //! ```
 
+mod cancel;
 mod config;
 mod counts;
 pub mod half;
@@ -37,6 +38,7 @@ mod mpvec;
 mod precision;
 mod var;
 
+pub use cancel::{unwind_cancelled, CancelToken, CancelUnwind};
 pub use config::{ConfigKey, PrecisionConfig};
 pub use counts::OpCounts;
 pub use ctx::{ExecCtx, MemoryTracer, OpSig};

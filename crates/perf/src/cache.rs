@@ -27,6 +27,12 @@ pub struct CacheParams {
     pub l1: LevelParams,
     /// Second-level cache.
     pub l2: LevelParams,
+    /// Fault-injection hook: build the hierarchy pre-poisoned (see
+    /// [`CacheSim::poison`]), so every [`CacheStats`] it reports carries the
+    /// poison marker and the cost model prices the run as NaN. Used by
+    /// robustness tests to prove a broken *model* surfaces as a typed error
+    /// rather than a plausible number or a panic. Never set in production.
+    pub poison_stats: bool,
 }
 
 impl Default for CacheParams {
@@ -46,6 +52,7 @@ impl Default for CacheParams {
                 ways: 8,
                 line: 64,
             },
+            poison_stats: false,
         }
     }
 }
@@ -63,6 +70,12 @@ pub struct CacheStats {
     pub misses: u64,
     /// Dirty lines written back to the next level / memory.
     pub writebacks: u64,
+    /// Whether the simulator that produced these counters was poisoned by
+    /// the fault-injection hook ([`CacheSim::poison`]). A poisoned run's
+    /// counters are untrustworthy; [`crate::CostModel::cost`] prices them
+    /// as NaN so the corruption becomes a typed non-finite-quality failure
+    /// downstream instead of a silently wrong speedup.
+    pub poisoned: bool,
 }
 
 impl CacheStats {
@@ -101,6 +114,7 @@ pub struct CacheSim {
     hits: u64,
     misses: u64,
     writebacks: u64,
+    poisoned: bool,
 }
 
 /// Outcome of one access against a single level.
@@ -131,6 +145,7 @@ impl CacheSim {
             hits: 0,
             misses: 0,
             writebacks: 0,
+            poisoned: false,
         }
     }
 
@@ -152,6 +167,21 @@ impl CacheSim {
     /// Dirty evictions so far.
     pub fn writebacks(&self) -> u64 {
         self.writebacks
+    }
+
+    /// Fault-injection hook: marks this level's counters as untrustworthy.
+    /// The poison propagates into every [`CacheStats`] reported by a
+    /// hierarchy containing this level, and from there into a NaN cost
+    /// ([`crate::CostModel::cost`]). Models a corrupted performance-counter
+    /// readout; exists so robustness tests can prove model faults surface
+    /// as typed errors, never panics or plausible-looking numbers.
+    pub fn poison(&mut self) {
+        self.poisoned = true;
+    }
+
+    /// Whether the fault hook has fired on this level.
+    pub fn poisoned(&self) -> bool {
+        self.poisoned
     }
 
     #[inline]
@@ -211,18 +241,33 @@ pub struct Hierarchy {
 }
 
 impl Hierarchy {
-    /// Creates an empty two-level hierarchy.
+    /// Creates an empty two-level hierarchy. `params.poison_stats` carries
+    /// the fault-injection hook through: a poisoned hierarchy simulates
+    /// normally but flags every stats snapshot it reports.
     pub fn new(params: CacheParams) -> Self {
+        let mut l1 = CacheSim::new(params.l1);
+        if params.poison_stats {
+            l1.poison();
+        }
         Hierarchy {
-            l1: CacheSim::new(params.l1),
+            l1,
             l2: CacheSim::new(params.l2),
             stats: CacheStats::default(),
         }
     }
 
-    /// Statistics accumulated so far.
+    /// Fault-injection hook: poisons the hierarchy (see [`CacheSim::poison`]).
+    pub fn poison(&mut self) {
+        self.l1.poison();
+    }
+
+    /// Statistics accumulated so far. Carries the poison marker when the
+    /// fault hook has fired on either level.
     pub fn stats(&self) -> CacheStats {
-        self.stats
+        CacheStats {
+            poisoned: self.l1.poisoned() || self.l2.poisoned(),
+            ..self.stats
+        }
     }
 }
 
@@ -328,6 +373,7 @@ mod tests {
                 ways: 4,
                 line: 64,
             },
+            ..CacheParams::default()
         };
         let mut h = Hierarchy::new(params);
         // Touch 8 distinct lines mapping to L1 set 0 (stride 128): L1 can
@@ -386,6 +432,28 @@ mod tests {
         assert_eq!(CacheStats::default().miss_rate(), 0.0);
     }
 
+    #[test]
+    fn poison_hook_marks_stats_without_disturbing_counters() {
+        let params = CacheParams::default();
+        let mut clean = Hierarchy::new(params);
+        let mut poisoned = Hierarchy::new(CacheParams {
+            poison_stats: true,
+            ..params
+        });
+        for i in 0..256u64 {
+            clean.access(i * 8, 8, i % 3 == 0);
+            poisoned.access(i * 8, 8, i % 3 == 0);
+        }
+        let (c, p) = (clean.stats(), poisoned.stats());
+        assert!(!c.poisoned && p.poisoned);
+        // The poison is a marker, not a perturbation: the simulation itself
+        // is untouched.
+        assert_eq!((c.accesses, c.l1_hits, c.misses), (p.accesses, p.l1_hits, p.misses));
+        // And the late hook poisons an already-running hierarchy too.
+        clean.poison();
+        assert!(clean.stats().poisoned);
+    }
+
     /// Accounting invariant: every access is exactly one of
     /// l1-hit / l2-hit / miss.
     #[test]
@@ -397,6 +465,7 @@ mod tests {
             let mut h = Hierarchy::new(CacheParams {
                 l1: LevelParams { sets: 4, ways: 2, line: 64 },
                 l2: LevelParams { sets: 16, ways: 2, line: 64 },
+                ..CacheParams::default()
             });
             for (i, &a) in addrs.iter().enumerate() {
                 h.access(a, 8, writes[i % writes.len()]);

@@ -70,8 +70,14 @@ impl CostModel {
     ///
     /// When `cache` is `Some`, memory cost comes from the simulated
     /// hierarchy; otherwise each counted load/store is charged
-    /// [`CostModel::untraced_mem_op`].
+    /// [`CostModel::untraced_mem_op`]. Poisoned cache statistics (the
+    /// fault-injection hook, [`CacheStats::poisoned`]) price as NaN: a
+    /// corrupted model must surface as a non-finite value the harness can
+    /// classify, never as a plausible-looking cost.
     pub fn cost(&self, counts: &OpCounts, cache: Option<&CacheStats>) -> f64 {
+        if cache.map_or(false, |s| s.poisoned) {
+            return f64::NAN;
+        }
         let compute = counts.flops_f64 as f64 * self.f64_flop
             + counts.flops_f32 as f64 * self.f32_flop
             + counts.flops_f16 as f64 * self.f16_flop
@@ -167,16 +173,37 @@ mod tests {
             l1_hits: 0,
             l2_hits: 0,
             misses: 100,
-            writebacks: 0,
+            ..CacheStats::default()
         };
         let warm = CacheStats {
             accesses: 100,
             l1_hits: 100,
             l2_hits: 0,
             misses: 0,
-            writebacks: 0,
+            ..CacheStats::default()
         };
         assert!(m.cost(&c, Some(&cold)) > 10.0 * m.cost(&c, Some(&warm)));
+    }
+
+    #[test]
+    fn poisoned_stats_price_as_nan() {
+        let m = CostModel::default();
+        let c = counts(10, 10, 1);
+        let poisoned = CacheStats {
+            accesses: 100,
+            l1_hits: 100,
+            poisoned: true,
+            ..CacheStats::default()
+        };
+        assert!(m.cost(&c, Some(&poisoned)).is_nan());
+        let clean = CacheStats {
+            poisoned: false,
+            ..poisoned
+        };
+        assert!(m.cost(&c, Some(&clean)).is_finite());
+        // And the speedup built on a poisoned side is non-finite too —
+        // nothing downstream can mistake it for a real number.
+        assert!(m.speedup((&c, Some(&clean)), (&c, Some(&poisoned))).is_nan());
     }
 
     #[test]

@@ -50,7 +50,7 @@ mod deque;
 
 use batch::{execute_claimer, lock_recovering, BatchShared};
 use deque::Deque;
-use mixp_obs::Obs;
+use mixp_obs::{Obs, Value};
 use std::cell::RefCell;
 use std::collections::VecDeque;
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
@@ -121,13 +121,38 @@ struct Injector {
     shutdown: bool,
 }
 
+/// A worker thread's claim on one deque slot: the slot index plus the
+/// ownership epoch the thread was spawned under. A quarantine bumps the
+/// slot's epoch, so the wedged thread's claim goes stale and every owner-side
+/// deque operation it attempts afterwards is refused (see
+/// [`PoolInner::with_ownership`]).
+#[derive(Clone, Copy, PartialEq, Eq)]
+struct WorkerSlot {
+    index: usize,
+    epoch: usize,
+}
+
 struct PoolInner {
     deques: Vec<Deque>,
+    /// Per-slot ownership epoch. Chase–Lev owner operations (push/pop at
+    /// the bottom) are single-owner by contract; handing a deque from a
+    /// wedged worker to its replacement is only sound if the old owner can
+    /// never touch it again. Owner operations therefore run under this
+    /// lock with an epoch check ([`PoolInner::with_ownership`]) and
+    /// [`Pool::quarantine_worker`] bumps the epoch under the same lock —
+    /// after the bump, the wedged thread's next attempt is refused
+    /// atomically, with no check-then-touch window. The lock is
+    /// uncontended in steady state and taken once per *task claim* (not
+    /// per item), so it costs nothing measurable.
+    owners: Vec<Mutex<usize>>,
     injector: Mutex<Injector>,
     work_available: Condvar,
     /// External `Pool` handles; the last drop shuts the workers down.
     handles: AtomicUsize,
-    join: Mutex<Vec<std::thread::JoinHandle<()>>>,
+    /// One join slot per worker index. A quarantine *drops* the wedged
+    /// thread's handle (it may never exit; joining it would hang shutdown
+    /// forever) and stores the replacement's handle in its place.
+    join: Mutex<Vec<Option<std::thread::JoinHandle<()>>>>,
     live: AtomicUsize,
     peak: AtomicUsize,
     obs: Obs,
@@ -147,30 +172,54 @@ impl PoolInner {
         self.work_available.notify_all();
     }
 
+    /// Runs an owner-side deque operation on `slot`'s deque, refusing it
+    /// (returning `None`) if the slot's ownership epoch has moved on — i.e.
+    /// the calling thread was quarantined and a replacement owns the deque
+    /// now. The epoch check and the operation are atomic under the slot's
+    /// owner lock, so a quarantined thread can never race the replacement
+    /// on the single-owner bottom of the Chase–Lev deque.
+    fn with_ownership<T>(&self, slot: WorkerSlot, op: impl FnOnce(&Deque) -> T) -> Option<T> {
+        let owner = lock_recovering(&self.owners[slot.index]);
+        if *owner != slot.epoch {
+            return None;
+        }
+        Some(op(&self.deques[slot.index]))
+    }
+
+    /// The current ownership epoch of a deque slot.
+    fn slot_epoch(&self, index: usize) -> usize {
+        *lock_recovering(&self.owners[index])
+    }
+
     /// One task for a worker: own deque first (LIFO — finish the newest
     /// batch), then the injector (coarse work from non-worker callers),
     /// then stealing the oldest task of a sibling.
-    fn find_task(&self, worker: usize) -> Option<*const BatchShared> {
-        if let Some(task) = self.deques[worker].pop() {
-            return Some(task);
+    ///
+    /// `Err(())` means the worker has been quarantined — its slot belongs
+    /// to a replacement now and it must exit without touching the deque.
+    fn find_task(&self, slot: WorkerSlot) -> Result<Option<*const BatchShared>, ()> {
+        match self.with_ownership(slot, Deque::pop) {
+            None => return Err(()),
+            Some(Some(task)) => return Ok(Some(task)),
+            Some(None) => {}
         }
         {
             let mut injector = lock_recovering(&self.injector);
             if let Some(task) = injector.queue.pop_front() {
                 self.obs
                     .gauge_set("pool.injector_depth", injector.queue.len() as f64);
-                return Some(task.0);
+                return Ok(Some(task.0));
             }
         }
         let n = self.deques.len();
         for offset in 1..n {
-            let victim = (worker + offset) % n;
+            let victim = (slot.index + offset) % n;
             if let Some(task) = self.deques[victim].steal() {
                 self.obs.counter_add("pool.steals", 1);
-                return Some(task);
+                return Ok(Some(task));
             }
         }
-        None
+        Ok(None)
     }
 }
 
@@ -179,8 +228,8 @@ impl PoolInner {
 /// in one of its own batches.
 struct Ctx {
     inner: Arc<PoolInner>,
-    /// `Some(index)` on pool worker threads, `None` for participants.
-    worker: Option<usize>,
+    /// `Some(slot)` on pool worker threads, `None` for participants.
+    worker: Option<WorkerSlot>,
 }
 
 thread_local! {
@@ -196,8 +245,8 @@ struct ParticipantGuard {
 impl ParticipantGuard {
     /// Makes `inner` the ambient pool for this thread unless it already is
     /// (worker thread, or re-entrant batch on the same pool). Returns the
-    /// guard and this thread's worker index on the pool, if any.
-    fn enter(inner: &Arc<PoolInner>) -> (ParticipantGuard, Option<usize>) {
+    /// guard and this thread's worker slot on the pool, if any.
+    fn enter(inner: &Arc<PoolInner>) -> (ParticipantGuard, Option<WorkerSlot>) {
         CURRENT.with(|current| {
             let mut slot = current.borrow_mut();
             if let Some(ctx) = slot.as_ref() {
@@ -254,6 +303,7 @@ impl Pool {
         let threads = parallelism.saturating_sub(1);
         let inner = Arc::new(PoolInner {
             deques: (0..threads).map(|_| Deque::new()).collect(),
+            owners: (0..threads).map(|_| Mutex::new(0)).collect(),
             injector: Mutex::new(Injector {
                 queue: VecDeque::new(),
                 shutdown: false,
@@ -266,21 +316,7 @@ impl Pool {
             obs,
         });
         inner.obs.counter_add("pool.created", 1);
-        let mut join = Vec::with_capacity(threads);
-        for index in 0..threads {
-            let worker_inner = Arc::clone(&inner);
-            let spawned = std::thread::Builder::new()
-                .name(format!("mixp-pool-{index}"))
-                .spawn(move || worker_main(worker_inner, index));
-            match spawned {
-                Ok(handle) => join.push(handle),
-                // Degrade rather than die: the batch protocol only relies on
-                // the caller itself making progress, never on worker count.
-                Err(err) => eprintln!(
-                    "warning: pool worker {index} failed to spawn ({err}); continuing with fewer workers"
-                ),
-            }
-        }
+        let join = (0..threads).map(|index| spawn_worker(&inner, index, 0)).collect();
         *lock_recovering(&inner.join) = join;
         Pool { inner }
     }
@@ -309,6 +345,100 @@ impl Pool {
     /// The configured parallelism: worker threads plus the caller.
     pub fn parallelism(&self) -> usize {
         self.inner.deques.len() + 1
+    }
+
+    /// The worker index of the calling thread on *some* pool, if it is a
+    /// pool worker (participants and external threads get `None`). The
+    /// harness's watchdog records this at job registration so it knows
+    /// which worker to quarantine if the job wedges.
+    pub fn current_worker() -> Option<usize> {
+        CURRENT.with(|current| {
+            current
+                .borrow()
+                .as_ref()
+                .and_then(|ctx| ctx.worker.map(|slot| slot.index))
+        })
+    }
+
+    /// The calling thread's worker index on **this** pool, provided its
+    /// deque-slot claim is still current. Participants, external threads,
+    /// workers of other pools, and — crucially — quarantined (detached)
+    /// workers all get `None`. The harness watchdog records this at job
+    /// registration: the epoch check keeps a retry attempt that happens to
+    /// still be running on a detached thread from re-registering the
+    /// already-quarantined slot and triggering a second quarantine.
+    pub fn active_worker(&self) -> Option<usize> {
+        CURRENT.with(|current| {
+            current.borrow().as_ref().and_then(|ctx| {
+                if !Arc::ptr_eq(&ctx.inner, &self.inner) {
+                    return None;
+                }
+                ctx.worker
+                    .filter(|slot| self.inner.slot_epoch(slot.index) == slot.epoch)
+                    .map(|slot| slot.index)
+            })
+        })
+    }
+
+    /// Whether the calling thread is a pool worker whose deque slot has
+    /// been handed to a replacement by [`Pool::quarantine_worker`]. A
+    /// `true` return means the thread no longer owns its deque and will
+    /// exit its worker loop at the next iteration; long-running item code
+    /// can poll this to stop cooperating early.
+    pub fn detach_current(&self) -> bool {
+        CURRENT.with(|current| {
+            current.borrow().as_ref().is_some_and(|ctx| {
+                Arc::ptr_eq(&ctx.inner, &self.inner)
+                    && ctx
+                        .worker
+                        .is_some_and(|slot| self.inner.slot_epoch(slot.index) != slot.epoch)
+            })
+        })
+    }
+
+    /// Abandons a wedged worker thread and spawns a replacement that takes
+    /// over its deque slot. Called by the harness watchdog after a fired
+    /// cancel token and a grace period both failed to bring the worker
+    /// back.
+    ///
+    /// The handoff is race-free: the slot's ownership epoch is bumped
+    /// under the owner lock, so the wedged thread's next owner-side deque
+    /// operation is refused atomically and it exits its loop ("detaches")
+    /// whenever — if ever — it returns from the wedged item. Its join
+    /// handle is dropped (never joined; a truly wedged thread would hang
+    /// shutdown), and any in-flight batch still waits for the wedged item
+    /// itself: quarantine restores the pool's *capacity*, it cannot
+    /// forcibly retire work whose state lives on caller stacks.
+    ///
+    /// Returns `false` for an out-of-range index (e.g. a sequential pool
+    /// with no workers). Reported as the `pool.quarantined` counter and a
+    /// `pool.quarantine` event.
+    pub fn quarantine_worker(&self, index: usize) -> bool {
+        let inner = &self.inner;
+        if index >= inner.deques.len() {
+            return false;
+        }
+        let epoch = {
+            let mut owner = lock_recovering(&inner.owners[index]);
+            *owner += 1;
+            *owner
+        };
+        inner.obs.counter_add("pool.quarantined", 1);
+        inner.obs.event(
+            "pool.quarantine",
+            &[
+                ("worker", Value::U64(index as u64)),
+                ("epoch", Value::U64(epoch as u64)),
+            ],
+        );
+        let replacement = spawn_worker(inner, index, epoch);
+        let mut join = lock_recovering(&inner.join);
+        if let Some(slot) = join.get_mut(index) {
+            // Dropping the old handle detaches the wedged thread; the OS
+            // reclaims it at process exit if it never wakes.
+            *slot = replacement;
+        }
+        true
     }
 
     /// Runs `f(0..len)` across the pool, returning when every item has
@@ -352,15 +482,22 @@ impl Pool {
         // Enqueue claimers: a worker-caller keeps them on its own deque
         // (thieves migrate them), an external caller routes them through
         // the injector. Either way the notify goes through the injector
-        // lock so parked workers cannot miss it.
+        // lock so parked workers cannot miss it. A worker whose slot was
+        // quarantined mid-batch has lost deque ownership and falls back to
+        // the injector like an external caller.
         let mut overflow = 0usize;
-        if let Some(worker) = my_worker {
-            for _ in 0..claimers {
-                if inner.deques[worker].push(task).is_err() {
-                    overflow += 1;
-                }
-            }
-        } else {
+        let owner = my_worker.filter(|&slot| {
+            inner
+                .with_ownership(slot, |deque| {
+                    for _ in 0..claimers {
+                        if deque.push(task).is_err() {
+                            overflow += 1;
+                        }
+                    }
+                })
+                .is_some()
+        });
+        if owner.is_none() {
             overflow = claimers;
         }
         inner.inject_and_notify(&vec![TaskPtr(task); overflow]);
@@ -371,16 +508,23 @@ impl Pool {
         // ...then take back the claimers nobody picked up. A worker-caller
         // pops its own deque: our claimers are the newest entries, so the
         // first foreign task marks the end of ours — push it back and stop.
-        if let Some(worker) = my_worker {
-            while let Some(popped) = inner.deques[worker].pop() {
-                if popped == task {
-                    shared.retire();
-                } else {
-                    let _ = inner.deques[worker].push(popped);
-                    break;
+        // (If ownership was lost to a quarantine replacement, the drain is
+        // skipped: the replacement executes the leftover claimers, which
+        // retire themselves against the exhausted cursor.)
+        if let Some(slot) = owner {
+            inner.with_ownership(slot, |deque| {
+                while let Some(popped) = deque.pop() {
+                    if popped == task {
+                        shared.retire();
+                    } else {
+                        let _ = deque.push(popped);
+                        break;
+                    }
                 }
-            }
+            });
         } else {
+            // External caller — or a quarantined worker-caller, whose
+            // claimers also went through the injector above.
             let drained = {
                 let mut injector = lock_recovering(&inner.injector);
                 let before = injector.queue.len();
@@ -428,7 +572,7 @@ impl Drop for Pool {
         self.inner.work_available.notify_all();
         let handles = std::mem::take(&mut *lock_recovering(&self.inner.join));
         let me = std::thread::current().id();
-        for handle in handles {
+        for handle in handles.into_iter().flatten() {
             // Joining from a worker thread would self-deadlock; detaching
             // is safe — the worker only touches its own Arc on the way out.
             if handle.thread().id() != me {
@@ -438,11 +582,35 @@ impl Drop for Pool {
     }
 }
 
-fn worker_main(inner: Arc<PoolInner>, index: usize) {
+/// Spawns one worker thread for `index` under ownership `epoch`, returning
+/// `None` on spawn failure — degrade rather than die: the batch protocol
+/// only relies on the caller itself making progress, never on worker count.
+fn spawn_worker(
+    inner: &Arc<PoolInner>,
+    index: usize,
+    epoch: usize,
+) -> Option<std::thread::JoinHandle<()>> {
+    let worker_inner = Arc::clone(inner);
+    let spawned = std::thread::Builder::new()
+        .name(format!("mixp-pool-{index}"))
+        .spawn(move || worker_main(worker_inner, index, epoch));
+    match spawned {
+        Ok(handle) => Some(handle),
+        Err(err) => {
+            eprintln!(
+                "warning: pool worker {index} failed to spawn ({err}); continuing with fewer workers"
+            );
+            None
+        }
+    }
+}
+
+fn worker_main(inner: Arc<PoolInner>, index: usize, epoch: usize) {
+    let slot = WorkerSlot { index, epoch };
     CURRENT.with(|current| {
         *current.borrow_mut() = Some(Ctx {
             inner: Arc::clone(&inner),
-            worker: Some(index),
+            worker: Some(slot),
         });
     });
     let live = inner.live.fetch_add(1, Ordering::Relaxed) + 1;
@@ -452,9 +620,15 @@ fn worker_main(inner: Arc<PoolInner>, index: usize) {
         .obs
         .gauge_set("pool.peak_threads", inner.peak.load(Ordering::Relaxed) as f64);
     loop {
-        if let Some(task) = inner.find_task(index) {
-            unsafe { execute_claimer(task) };
-            continue;
+        match inner.find_task(slot) {
+            // Quarantined: a replacement owns the deque now. Exit without
+            // touching it again.
+            Err(()) => break,
+            Ok(Some(task)) => {
+                unsafe { execute_claimer(task) };
+                continue;
+            }
+            Ok(None) => {}
         }
         // Park. The pre-wait recheck under the injector lock pairs with
         // inject_and_notify's locked notification: any enqueue either
@@ -611,6 +785,100 @@ mod tests {
         let snap = obs.metrics_snapshot().expect("enabled");
         assert_eq!(snap.gauges["pool.live_threads"], 0.0, "workers exited");
         assert!(snap.gauges["pool.peak_threads"] <= 3.0, "p=4 spawns 3");
+    }
+
+    #[test]
+    fn quarantine_hands_a_wedged_workers_deque_to_a_replacement() {
+        let obs = Obs::in_memory();
+        let pool = Pool::new(2, obs.clone());
+        let wedged = AtomicBool::new(false);
+        let barrier = Barrier::new(2);
+        pool.run_batch(2, |_| {
+            // The barrier guarantees one item runs on the worker thread and
+            // one on the caller; roles are picked by thread, not by index.
+            barrier.wait();
+            if Pool::current_worker().is_some() {
+                // Worker role: wedge until the quarantine hands our slot
+                // away — detach_current flipping is the release signal.
+                wedged.store(true, Ordering::Release);
+                while !pool.detach_current() {
+                    std::thread::yield_now();
+                }
+            } else {
+                // Caller role: wait for the wedge, then quarantine it.
+                while !wedged.load(Ordering::Acquire) {
+                    std::thread::yield_now();
+                }
+                assert!(pool.quarantine_worker(0));
+            }
+        });
+        // The replacement owns deque 0 now; the pool keeps working.
+        let total = AtomicUsize::new(0);
+        pool.run_batch(8, |_| {
+            total.fetch_add(1, Ordering::Relaxed);
+        });
+        assert_eq!(total.load(Ordering::Relaxed), 8);
+        drop(pool);
+        // The quarantined worker exits on its own schedule (it is detached,
+        // not joined); give it a moment before reading the final gauges.
+        let mut snap = obs.metrics_snapshot().expect("enabled");
+        for _ in 0..2000 {
+            if snap.gauges["pool.live_threads"] == 0.0 {
+                break;
+            }
+            std::thread::sleep(std::time::Duration::from_millis(1));
+            snap = obs.metrics_snapshot().expect("enabled");
+        }
+        assert_eq!(snap.counters["pool.quarantined"], 1);
+        assert!(
+            snap.gauges["pool.peak_threads"] <= 2.0,
+            "1 configured worker + 1 quarantine replacement, got {}",
+            snap.gauges["pool.peak_threads"]
+        );
+        assert_eq!(snap.gauges["pool.live_threads"], 0.0, "all workers exited");
+    }
+
+    #[test]
+    fn active_worker_is_pool_scoped_and_epoch_checked() {
+        let pool = Pool::sized(2);
+        assert!(pool.active_worker().is_none(), "external threads are not workers");
+        let other = Pool::sized(2);
+        let worker_saw = AtomicUsize::new(usize::MAX);
+        let barrier = Barrier::new(2);
+        pool.run_batch(2, |_| {
+            barrier.wait();
+            if let Some(index) = pool.active_worker() {
+                assert!(other.active_worker().is_none(), "wrong pool must not match");
+                worker_saw.store(index, Ordering::Relaxed);
+            } else {
+                // Caller role: a participant, not a worker.
+                assert!(Pool::current().is_some());
+            }
+        });
+        assert_eq!(worker_saw.load(Ordering::Relaxed), 0, "one worker, slot 0");
+        // After a quarantine bumps the epoch, a hypothetical stale thread's
+        // claim would be refused; simulate by checking the epoch moved.
+        assert!(pool.quarantine_worker(0));
+        assert_eq!(pool.inner.slot_epoch(0), 1);
+    }
+
+    #[test]
+    fn quarantine_out_of_range_is_refused() {
+        let pool = Pool::sized(1);
+        assert!(!pool.quarantine_worker(0), "sequential pool has no workers");
+    }
+
+    #[test]
+    fn detach_current_is_false_off_pool_and_for_healthy_workers() {
+        let pool = Pool::sized(2);
+        assert!(!pool.detach_current(), "external threads never detach");
+        let saw_detach = AtomicUsize::new(0);
+        pool.run_batch(4, |_| {
+            if pool.detach_current() {
+                saw_detach.fetch_add(1, Ordering::Relaxed);
+            }
+        });
+        assert_eq!(saw_detach.load(Ordering::Relaxed), 0);
     }
 
     #[test]

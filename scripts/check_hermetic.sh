@@ -19,8 +19,9 @@
 # Three structural guards ride along: the fault-tolerant harness paths
 # must stay panic-free, the `mixp-obs` crate must stay dependency-free with
 # wall-clock access confined to its clock.rs module, and raw thread
-# creation must stay confined to `crates/pool` so MIXP_WORKERS remains the
-# single bound on campaign parallelism.
+# creation must stay confined to `crates/pool` (plus the one sanctioned
+# watchdog supervisor thread in crates/harness/src/watchdog.rs) so
+# MIXP_WORKERS remains the single bound on campaign parallelism.
 #
 # Run from anywhere: scripts/check_hermetic.sh
 
@@ -46,14 +47,17 @@ echo "ok: no non-path dependencies"
 echo "== [2/7] panic guard: fault-tolerant harness paths must not panic =="
 # The campaign execution path promises typed errors instead of aborts:
 # no unwrap()/expect()/panic! in non-test code of the scheduler, job,
-# checkpoint and faultplan modules. Test modules (below the #[cfg(test)]
-# marker) are exempt, as is the deliberate `injected fault` panic that
-# the fault injector uses to *simulate* a crashing benchmark.
+# checkpoint, faultplan, watchdog and cancellation modules. Test modules
+# (below the #[cfg(test)] marker) are exempt, as is the deliberate
+# `injected fault` panic that the fault injector uses to *simulate* a
+# crashing benchmark.
 panic_violations=$(for f in crates/harness/src/job.rs \
                             crates/harness/src/scheduler.rs \
                             crates/harness/src/checkpoint.rs \
                             crates/harness/src/faultplan.rs \
-                            crates/harness/src/evalcache.rs; do
+                            crates/harness/src/evalcache.rs \
+                            crates/harness/src/watchdog.rs \
+                            crates/mpfloat/src/cancel.rs; do
   awk -v file="$f" '
     /#\[cfg\(test\)\]/ { exit }
     /\.unwrap\(\)|\.expect\(|panic!\(|unreachable!\(/ {
@@ -126,9 +130,13 @@ echo "== [5/7] thread-confinement guard: raw threads only inside crates/pool =="
 # through the work-stealing pool, sized once by MIXP_WORKERS. Raw
 # `thread::spawn`/`thread::scope`/`thread::Builder` anywhere else quietly
 # reintroduces a second thread population the pool cannot see or bound.
-# Test modules (below the #[cfg(test)] marker) are exempt — tests may
-# spin up threads to exercise concurrency — as are comment lines.
-thread_violations=$(find crates -name '*.rs' -not -path 'crates/pool/*' -print0 | \
+# The single sanctioned exception is the harness watchdog, which owns
+# exactly one supervisor thread (accounted for in the DESIGN.md thread
+# budget) so it can cancel jobs whose own threads are wedged. Test
+# modules (below the #[cfg(test)] marker) are exempt — tests may spin up
+# threads to exercise concurrency — as are comment lines.
+thread_violations=$(find crates -name '*.rs' -not -path 'crates/pool/*' \
+    -not -path 'crates/harness/src/watchdog.rs' -print0 | \
   xargs -0 -n1 awk '
     /#\[cfg\(test\)\]/ { exit }
     /thread::spawn|thread::scope|thread::Builder/ && !/^[[:space:]]*\/\// {

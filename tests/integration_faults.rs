@@ -361,6 +361,66 @@ fn campaign_deadline_is_enforced_per_job() {
     assert!(generous.iter().all(|o| o.outcome.is_ok()));
 }
 
+/// A cost model that prices every operation as NaN — the "model returns
+/// garbage" failure mode — surfaces as a typed permanent failure. The
+/// benchmark itself is healthy, so the integrity probe passes and the
+/// search completes; only the speedups are non-finite, which the job
+/// refuses to report as a result. Permanent: the retry policy must not
+/// re-run a deterministic model defect.
+#[test]
+fn nan_cost_model_is_a_typed_permanent_failure() {
+    let jobs = jobs(&["tridiag", "innerprod"]);
+    let outcomes = run_campaign(
+        &jobs,
+        &CampaignOptions {
+            workers: 2,
+            retry: RetryPolicy::attempts(3),
+            faults: FaultPlan::new().inject(0, Fault::CostModelNan, u32::MAX),
+            ..CampaignOptions::default()
+        },
+    );
+    assert!(
+        matches!(outcomes[0].outcome, Err(JobError::NonFiniteQuality)),
+        "{:?}",
+        outcomes[0].outcome
+    );
+    assert_eq!(
+        outcomes[0].attempts, 1,
+        "a non-finite model verdict is permanent, not retried"
+    );
+    assert!(outcomes[1].outcome.is_ok(), "healthy sibling unaffected");
+
+    let groups: Vec<Vec<_>> = outcomes.chunks(1).map(<[_]>::to_vec).collect();
+    let table = render_grouped(&groups, &["DD"]);
+    assert!(table.contains("FAILED(non-finite)"), "{table}");
+}
+
+/// The cache-simulator fault hook at the evaluator level: poisoned cache
+/// statistics price every configuration at NaN, so records carry a NaN
+/// speedup — but evaluation never panics and quality (which does not go
+/// through the cost model) stays finite.
+#[test]
+fn poisoned_cache_stats_price_evaluations_as_nan_without_panicking() {
+    use mixp_core::{CacheParams, EvaluatorBuilder, QualityThreshold};
+    use mixp_harness::benchmark_by_name;
+
+    let bench = benchmark_by_name("innerprod", Scale::Small).unwrap();
+    let mut ev = EvaluatorBuilder::new(QualityThreshold::new(1e-3))
+        .cache(CacheParams {
+            poison_stats: true,
+            ..CacheParams::default()
+        })
+        .build(bench.as_ref());
+    let rec = ev
+        .evaluate(&bench.program().config_all_single())
+        .expect("poisoned pricing must not abort the evaluation");
+    assert!(rec.speedup.is_nan(), "cost model must price as NaN");
+    assert!(
+        rec.quality.is_finite(),
+        "quality bypasses the cost model and stays finite"
+    );
+}
+
 /// Seeded fault plans drive a whole campaign deterministically: the same
 /// seed yields the same set of failed cells on every run.
 #[test]
