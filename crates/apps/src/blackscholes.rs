@@ -437,39 +437,28 @@ impl Benchmark for Blackscholes {
         ctx.flop(v.acc, &[v.price], total);
         let mut acc = MpScalar::new(ctx, v.acc, 0.0);
         let mut price = MpScalar::new(ctx, v.price, 0.0);
-        if ctx.is_traced() {
-            for _ in 0..self.runs {
-                for i in 0..n {
-                    let s = sptprice.get(ctx, i);
-                    let k = strike.get(ctx, i);
-                    let r = rate.get(ctx, i);
-                    let vol = volatility.get(ctx, i);
-                    let t = otime.get(ctx, i);
-                    let p = self.price_option(ctx, s, k, r, vol, t);
-                    price.set(ctx, p);
-                    prices.set(ctx, i, price.get());
-                    acc.set(ctx, acc.get() + price.get());
-                }
-            }
-        } else {
-            sptprice.bulk_loads(ctx, total);
-            strike.bulk_loads(ctx, total);
-            rate.bulk_loads(ctx, total);
-            volatility.bulk_loads(ctx, total);
-            otime.bulk_loads(ctx, total);
-            prices.bulk_stores(ctx, total);
-            for _ in 0..self.runs {
-                for i in 0..n {
-                    let s = sptprice.raw()[i];
-                    let k = strike.raw()[i];
-                    let r = rate.raw()[i];
-                    let vol = volatility.raw()[i];
-                    let t = otime.raw()[i];
-                    let p = self.price_option(ctx, s, k, r, vol, t);
-                    price.set(ctx, p);
-                    prices.write_rounded(i, price.get());
-                    acc.set(ctx, acc.get() + price.get());
-                }
+        // Five attribute loads then the price store, per option; the
+        // pricing itself runs over register-resident scalars.
+        let mut group = mixp_float::StreamGroup::new();
+        group
+            .load(&sptprice, 0)
+            .load(&strike, 0)
+            .load(&rate, 0)
+            .load(&volatility, 0)
+            .load(&otime, 0)
+            .store(&prices, 0);
+        for _ in 0..self.runs {
+            group.commit(ctx, n);
+            for i in 0..n {
+                let s = sptprice.raw()[i];
+                let k = strike.raw()[i];
+                let r = rate.raw()[i];
+                let vol = volatility.raw()[i];
+                let t = otime.raw()[i];
+                let p = self.price_option(ctx, s, k, r, vol, t);
+                price.set(ctx, p);
+                prices.write_rounded(i, price.get());
+                acc.set(ctx, acc.get() + price.get());
             }
         }
         prices.snapshot()

@@ -364,7 +364,6 @@ impl Benchmark for Cfd {
         let neighbors = IndexVec::new(ctx, self.neighbors.clone());
 
         let n64 = n as u64;
-        let faces = (n * NNB) as u64;
         let face_q = (n * NNB * NVAR) as u64;
         let state = (n * NVAR) as u64;
         let mut density = MpScalar::new(ctx, v.density, 0.0);
@@ -373,6 +372,43 @@ impl Benchmark for Cfd {
         let mut sos = MpScalar::new(ctx, v.speed_of_sound, 0.0);
         let mut fc = MpScalar::new(ctx, v.flux_contribution, 0.0);
         let mut factor = MpScalar::new(ctx, v.factor, 0.0);
+
+        // Access-stream groups, declared once and committed (or rebased)
+        // inside the iteration loop. The step-factor and time-step sweeps
+        // are fully affine; compute_flux gathers `old_variables` through
+        // the neighbour table, so its per-face group is rebased per face.
+        let step = NVAR as i64;
+        let mut sf_group = mixp_float::StreamGroup::new();
+        sf_group
+            .load_strided(&variables, 0, step)
+            .load_strided(&variables, 1, step)
+            .load_strided(&variables, 2, step)
+            .load_strided(&variables, 3, step)
+            .load_strided(&variables, 4, step)
+            .load(&areas, 0)
+            .store(&step_factors, 0);
+        // Per cell: the NNB neighbour indices and the x-component of each
+        // face normal.
+        let mut meta_group = mixp_float::StreamGroup::new();
+        meta_group
+            .load_index(&neighbors, 0)
+            .load_strided(&normals, 0, 3);
+        // Per face: the cell state, the gathered neighbour state, and the
+        // flux read-modify-write, one access per conserved quantity.
+        let mut face_group = mixp_float::StreamGroup::new();
+        face_group
+            .load(&variables, 0)
+            .load(&old_variables, 0)
+            .load(&fluxes, 0)
+            .store(&fluxes, 0);
+        let mut ts_sf_group = mixp_float::StreamGroup::new();
+        ts_sf_group.load(&step_factors, 0);
+        let mut ts_group = mixp_float::StreamGroup::new();
+        ts_group
+            .load(&old_variables, 0)
+            .load(&fluxes, 0)
+            .store(&variables, 0);
+
         for _ in 0..self.iterations {
             // old_variables = variables
             old_variables.copy_from(ctx, &variables);
@@ -389,32 +425,8 @@ impl Benchmark for Cfd {
                 3 * n64,
             );
             ctx.heavy(v.step_factors, &[], n64);
-            if ctx.is_traced() {
-                for c in 0..n {
-                    let d0 = variables.get(ctx, c * NVAR);
-                    density.set(ctx, d0);
-                    let mx = variables.get(ctx, c * NVAR + 1);
-                    let my = variables.get(ctx, c * NVAR + 2);
-                    let mz = variables.get(ctx, c * NVAR + 3);
-                    let de = variables.get(ctx, c * NVAR + 4);
-                    speed_sqd.set(
-                        ctx,
-                        (mx * mx + my * my + mz * mz) / (density.get() * density.get()),
-                    );
-                    pressure.set(
-                        ctx,
-                        (gamma - 1.0) * (de - 0.5 * density.get() * speed_sqd.get()),
-                    );
-                    sos.set(ctx, (gamma * pressure.get() / density.get()).max(0.0).sqrt());
-                    let area = areas.get(ctx, c);
-                    let denom = speed_sqd.get().sqrt() + sos.get();
-                    step_factors.set(ctx, c, 0.5 / (area * denom.max(1e-9)));
-                    density.set(ctx, density.get());
-                }
-            } else {
-                variables.bulk_loads(ctx, 5 * n64);
-                areas.bulk_loads(ctx, n64);
-                step_factors.bulk_stores(ctx, n64);
+            sf_group.commit(ctx, n);
+            {
                 let vv = variables.raw();
                 let av = areas.raw();
                 for c in 0..n {
@@ -448,40 +460,30 @@ impl Benchmark for Cfd {
             );
             ctx.flop(v.flux_contribution, &[v.smooth_lit], face_q);
             ctx.flop(v.fluxes, &[v.flux_contribution], face_q);
-            if ctx.is_traced() {
-                for c in 0..n {
-                    for q in 0..NVAR {
-                        fluxes.set(ctx, c * NVAR + q, 0.0);
-                    }
-                    for nb in 0..NNB {
-                        let o = neighbors.get(ctx, c * NNB + nb) as usize;
-                        let normal = normals.get(ctx, (c * NNB + nb) * 3);
-                        for q in 0..NVAR {
-                            let a = variables.get(ctx, c * NVAR + q);
-                            let bq = old_variables.get(ctx, o * NVAR + q);
-                            fc.set(ctx, normal * (bq - a) * 0.2);
-                            let cur = fluxes.get(ctx, c * NVAR + q);
-                            fluxes.set(ctx, c * NVAR + q, cur + fc.get());
-                        }
-                    }
-                }
-            } else {
-                fluxes.bulk_stores(ctx, state + face_q);
-                fluxes.bulk_loads(ctx, face_q);
-                variables.bulk_loads(ctx, face_q);
-                old_variables.bulk_loads(ctx, face_q);
-                normals.bulk_loads(ctx, faces);
+            // Zero the flux accumulators in one contiguous store sweep,
+            // then accumulate per face: the neighbour gather makes the
+            // `old_variables` base data-dependent, so the face group is
+            // rebased from the index table before each commit.
+            fluxes.fill(ctx, 0.0);
+            {
                 let vv = variables.raw();
                 let ov = old_variables.raw();
                 let nv = normals.raw();
                 let nbv = neighbors.raw();
                 for c in 0..n {
-                    for q in 0..NVAR {
-                        fluxes.write_rounded(c * NVAR + q, 0.0);
-                    }
+                    meta_group
+                        .rebase_index(0, &neighbors, c * NNB)
+                        .rebase(1, &normals, c * NNB * 3);
+                    meta_group.commit(ctx, NNB);
+                    face_group
+                        .rebase(0, &variables, c * NVAR)
+                        .rebase(2, &fluxes, c * NVAR)
+                        .rebase(3, &fluxes, c * NVAR);
                     for nb in 0..NNB {
                         let o = nbv[c * NNB + nb] as usize;
                         let normal = nv[(c * NNB + nb) * 3];
+                        face_group.rebase(1, &old_variables, o * NVAR);
+                        face_group.commit(ctx, NVAR);
                         for q in 0..NVAR {
                             let a = vv[c * NVAR + q];
                             let bq = ov[o * NVAR + q];
@@ -495,21 +497,11 @@ impl Benchmark for Cfd {
 
             // time_step: advance the state.
             ctx.flop(v.variables, &[v.old_variables, v.fluxes, v.factor], 2 * state);
-            if ctx.is_traced() {
-                for c in 0..n {
-                    let sf = step_factors.get(ctx, c);
-                    factor.set(ctx, sf);
-                    for q in 0..NVAR {
-                        let old = old_variables.get(ctx, c * NVAR + q);
-                        let fl = fluxes.get(ctx, c * NVAR + q);
-                        variables.set(ctx, c * NVAR + q, old + factor.get() * fl);
-                    }
-                }
-            } else {
-                step_factors.bulk_loads(ctx, n64);
-                old_variables.bulk_loads(ctx, state);
-                fluxes.bulk_loads(ctx, state);
-                variables.bulk_stores(ctx, state);
+            // One step-factor sweep, then one contiguous sweep over the
+            // conserved quantities (cell-major, so c*NVAR + q is linear).
+            ts_sf_group.commit(ctx, n);
+            ts_group.commit(ctx, n * NVAR);
+            {
                 let sfv = step_factors.raw();
                 let ov = old_variables.raw();
                 let flv = fluxes.raw();

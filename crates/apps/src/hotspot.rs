@@ -4,7 +4,41 @@ use crate::common::{rng, InputFile};
 use mixp_core::{
     Benchmark, BenchmarkKind, ExecCtx, MetricKind, ProgramBuilder, ProgramModel, VarId,
 };
-use mixp_float::MpScalar;
+use mixp_float::{MpScalar, MpVec, StreamGroup};
+
+/// Declares one row segment's stencil streams in the per-cell evaluation
+/// order: centre, north/south (when the row has them), west/east (when the
+/// segment has them), power, and the result store.
+#[allow(clippy::too_many_arguments)]
+fn declare_stencil(
+    g: &mut StreamGroup,
+    temp: &MpVec,
+    power: &MpVec,
+    result: &MpVec,
+    base: usize,
+    cols: usize,
+    r: usize,
+    rows: usize,
+    west: bool,
+    east: bool,
+) {
+    g.clear();
+    g.load(temp, base);
+    if r > 0 {
+        g.load(temp, base - cols);
+    }
+    if r + 1 < rows {
+        g.load(temp, base + cols);
+    }
+    if west {
+        g.load(temp, base - 1);
+    }
+    if east {
+        g.load(temp, base + 1);
+    }
+    g.load(power, base);
+    g.store(result, base);
+}
 
 /// HotSpot (§III-B): estimates processor temperature from an architectural
 /// floor plan and simulated power measurements by iteratively solving the
@@ -218,11 +252,13 @@ impl Benchmark for Hotspot {
 
         let n = rows * cols;
         let n64 = n as u64;
-        // Boundary sites reuse the centre temperature, forgoing one load
-        // per missing neighbour.
-        let stencil_loads = n64 + 2 * (n - cols) as u64 + 2 * (n - rows) as u64;
         let mut tc_s = MpScalar::new(ctx, v.tc, 0.0);
         let mut delta_s = MpScalar::new(ctx, v.delta, 0.0);
+        // Boundary sites reuse the centre temperature, forgoing one load
+        // per missing neighbour, so each row is committed as three
+        // segments (left edge, interior, right edge) whose stream sets
+        // reproduce the per-cell evaluation order exactly.
+        let mut seg_group = StreamGroup::new();
         for _ in 0..self.iterations {
             ctx.flop(v.tc, &[], 4 * n64);
             // The `2.0` and `0.5` update factors are literals: at single
@@ -232,38 +268,7 @@ impl Benchmark for Hotspot {
             // update is multiply-add only.
             ctx.flop(v.delta, &[v.step, v.cap, v.power, v.ry, v.rx, v.rz], 7 * n64);
             ctx.flop(v.result, &[v.tc, v.delta], n64);
-            if ctx.is_traced() {
-                for r in 0..rows {
-                    for c in 0..cols {
-                        let idx = r * cols + c;
-                        let t0 = temp.get(ctx, idx);
-                        tc_s.set(ctx, t0);
-                        let tcv = tc_s.get();
-                        let tn = if r > 0 { temp.get(ctx, idx - cols) } else { tcv };
-                        let ts = if r + 1 < rows {
-                            temp.get(ctx, idx + cols)
-                        } else {
-                            tcv
-                        };
-                        let tw = if c > 0 { temp.get(ctx, idx - 1) } else { tcv };
-                        let te = if c + 1 < cols { temp.get(ctx, idx + 1) } else { tcv };
-                        // delta = step/cap * (power + (ts+tn-2tc)/ry
-                        //                    + (te+tw-2tc)/rx + (amb-tc)/rz)
-                        let vert = ts + tn - 2.0 * tcv;
-                        let horiz = te + tw - 2.0 * tcv;
-                        let sink = -tcv; // ambient offset is zero by definition
-                        let d = step.get() / cap.get()
-                            * (power.get(ctx, idx) + vert / ry.get() + horiz / rx.get()
-                                + sink / rz.get());
-                        delta_s.set(ctx, d);
-                        tc_s.set(ctx, tcv + delta_s.get());
-                        result.set(ctx, idx, tc_s.get());
-                    }
-                }
-            } else {
-                temp.bulk_loads(ctx, stencil_loads);
-                power.bulk_loads(ctx, n64);
-                result.bulk_stores(ctx, n64);
+            {
                 let stepv = step.get();
                 let capv = cap.get();
                 let rxv = rx.get();
@@ -272,22 +277,41 @@ impl Benchmark for Hotspot {
                 let tv = temp.raw();
                 let pv = power.raw();
                 for r in 0..rows {
-                    for c in 0..cols {
-                        let idx = r * cols + c;
-                        tc_s.set(ctx, tv[idx]);
-                        let tcv = tc_s.get();
-                        let tn = if r > 0 { tv[idx - cols] } else { tcv };
-                        let ts = if r + 1 < rows { tv[idx + cols] } else { tcv };
-                        let tw = if c > 0 { tv[idx - 1] } else { tcv };
-                        let te = if c + 1 < cols { tv[idx + 1] } else { tcv };
-                        let vert = ts + tn - 2.0 * tcv;
-                        let horiz = te + tw - 2.0 * tcv;
-                        let sink = -tcv;
-                        let d = stepv / capv
-                            * (pv[idx] + vert / ryv + horiz / rxv + sink / rzv);
-                        delta_s.set(ctx, d);
-                        tc_s.set(ctx, tcv + delta_s.get());
-                        result.write_rounded(idx, tc_s.get());
+                    let segments =
+                        [(0, 1, false, true), (1, cols - 1, true, true), (cols - 1, cols, true, false)];
+                    for (start, end, west, east) in segments {
+                        declare_stencil(
+                            &mut seg_group,
+                            &temp,
+                            &power,
+                            &result,
+                            r * cols + start,
+                            cols,
+                            r,
+                            rows,
+                            west,
+                            east,
+                        );
+                        seg_group.commit(ctx, end - start);
+                        for c in start..end {
+                            let idx = r * cols + c;
+                            tc_s.set(ctx, tv[idx]);
+                            let tcv = tc_s.get();
+                            let tn = if r > 0 { tv[idx - cols] } else { tcv };
+                            let ts = if r + 1 < rows { tv[idx + cols] } else { tcv };
+                            let tw = if c > 0 { tv[idx - 1] } else { tcv };
+                            let te = if c + 1 < cols { tv[idx + 1] } else { tcv };
+                            // delta = step/cap * (power + (ts+tn-2tc)/ry
+                            //                    + (te+tw-2tc)/rx + (amb-tc)/rz)
+                            let vert = ts + tn - 2.0 * tcv;
+                            let horiz = te + tw - 2.0 * tcv;
+                            let sink = -tcv; // ambient offset is zero by definition
+                            let d = stepv / capv
+                                * (pv[idx] + vert / ryv + horiz / rxv + sink / rzv);
+                            delta_s.set(ctx, d);
+                            tc_s.set(ctx, tcv + delta_s.get());
+                            result.write_rounded(idx, tc_s.get());
+                        }
                     }
                 }
             }

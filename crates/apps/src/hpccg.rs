@@ -4,7 +4,7 @@ use crate::common::rng;
 use mixp_core::{
     Benchmark, BenchmarkKind, ExecCtx, MetricKind, ProgramBuilder, ProgramModel, VarId,
 };
-use mixp_float::{IndexVec, MpScalar, MpVec};
+use mixp_float::{IndexVec, MpScalar, MpVec, StreamGroup};
 
 /// HPCCG (§III-B): a conjugate-gradient solver for a sparse linear system
 /// arising from a 27-point PDE discretisation. The verified output is the
@@ -271,35 +271,29 @@ impl Hpccg {
         let total = (self.n * nnz) as u64;
         ctx.flop(v.spmv_sum, &[v.a_values, v.p], total);
         ctx.heavy(v.spmv_sum, &[], total);
-        if ctx.is_traced() {
-            for row in 0..self.n {
-                let mut sum = MpScalar::new(ctx, v.spmv_sum, 0.0);
-                for j in 0..nnz {
-                    let idx = row * nnz + j;
-                    let col = cols.get(ctx, idx) as usize;
-                    let t = a.get(ctx, idx) * x.get(ctx, col);
-                    sum.set(ctx, sum.get() + t);
-                }
-                y.set(ctx, row, sum.get());
+        // The column indices and matrix values stream contiguously over
+        // the whole matrix, and the row sums store contiguously — three
+        // affine streams. The `x[col]` gather is data-dependent, so it is
+        // op-counted in bulk and traced per element from the compute loop.
+        let mut mat_group = StreamGroup::new();
+        mat_group.load_index(cols, 0).load(a, 0);
+        mat_group.commit(ctx, self.n * nnz);
+        x.bulk_loads(ctx, total);
+        let mut sum_group = StreamGroup::new();
+        sum_group.store(y, 0);
+        sum_group.commit(ctx, self.n);
+        let av = a.raw();
+        let colv = cols.raw();
+        let mut sum = MpScalar::new(ctx, v.spmv_sum, 0.0);
+        for row in 0..self.n {
+            sum.set(ctx, 0.0);
+            for j in 0..nnz {
+                let idx = row * nnz + j;
+                let col = colv[idx] as usize;
+                x.trace_element(ctx, col, false);
+                sum.set(ctx, sum.get() + av[idx] * x.raw()[col]);
             }
-        } else {
-            // Index traffic is traced but never op-counted, so only the
-            // float arrays need bulk charges.
-            a.bulk_loads(ctx, total);
-            x.bulk_loads(ctx, total);
-            y.bulk_stores(ctx, self.n as u64);
-            let av = a.raw();
-            let xv = x.raw();
-            let colv = cols.raw();
-            let mut sum = MpScalar::new(ctx, v.spmv_sum, 0.0);
-            for row in 0..self.n {
-                sum.set(ctx, 0.0);
-                for j in 0..nnz {
-                    let idx = row * nnz + j;
-                    sum.set(ctx, sum.get() + av[idx] * xv[colv[idx] as usize]);
-                }
-                y.write_rounded(row, sum.get());
-            }
+            y.write_rounded(row, sum.get());
         }
     }
 }
@@ -346,6 +340,17 @@ impl Benchmark for Hpccg {
         let mut residuals = Vec::with_capacity(self.max_iter);
         let rt0 = self.ddot(ctx, &r, &r);
         let mut rtrans = MpScalar::new(ctx, v.rtrans, rt0);
+        // x += alpha * p ; r -= alpha * Ap  (waxpby). The two updates are
+        // interleaved per element, so no single named primitive fits; the
+        // six streams below reproduce the per-element evaluation order.
+        let mut wax_group = StreamGroup::new();
+        wax_group
+            .load(&x, 0)
+            .load(&p, 0)
+            .store(&x, 0)
+            .load(&r, 0)
+            .load(&ap, 0)
+            .store(&r, 0);
         for _ in 0..self.max_iter {
             self.sparsemv(ctx, &a, &cols, &p, &mut ap);
             let p_ap = self.ddot(ctx, &p, &ap);
@@ -353,25 +358,10 @@ impl Benchmark for Hpccg {
             ctx.heavy(v.alpha, &[v.rtrans], 1);
             alpha.set(ctx, rtrans.get() / p_ap);
 
-            // x += alpha * p ; r -= alpha * Ap  (waxpby). The two updates
-            // are interleaved per element, so no single named primitive
-            // fits; the untraced arm bulk-charges and runs on raw slices.
             ctx.flop(v.x, &[v.alpha, v.p], 2 * n as u64);
             ctx.flop(v.r, &[v.alpha, v.ap], 2 * n as u64);
-            if ctx.is_traced() {
-                for i in 0..n {
-                    let xv = x.get(ctx, i) + alpha.get() * p.get(ctx, i);
-                    x.set(ctx, i, xv);
-                    let rv = r.get(ctx, i) - alpha.get() * ap.get(ctx, i);
-                    r.set(ctx, i, rv);
-                }
-            } else {
-                x.bulk_loads(ctx, n as u64);
-                x.bulk_stores(ctx, n as u64);
-                p.bulk_loads(ctx, n as u64);
-                r.bulk_loads(ctx, n as u64);
-                r.bulk_stores(ctx, n as u64);
-                ap.bulk_loads(ctx, n as u64);
+            wax_group.commit(ctx, n);
+            {
                 let al = alpha.get();
                 let pv = p.raw();
                 let apv = ap.raw();

@@ -224,46 +224,30 @@ impl Benchmark for Kmeans {
             ctx.flop(v.ans, &[v.diff, v.norm_lit], nkd);
             ctx.flop(v.min_dist, &[v.dist], (n * k) as u64);
             ctx.flop(v.new_centers, &[v.feature], (n * d) as u64);
-            if ctx.is_traced() {
+            // Per candidate cluster: d interleaved (feature, centre) pairs;
+            // per point: the d-wide accumulation into the winning centre,
+            // whose base is data-dependent, so both groups are rebased
+            // between commits.
+            let mut dist_group = mixp_float::StreamGroup::new();
+            dist_group.load(&feature, 0).load(&clusters, 0);
+            let mut acc_group = mixp_float::StreamGroup::new();
+            acc_group
+                .load(&new_centers, 0)
+                .load(&feature, 0)
+                .store(&new_centers, 0);
+            {
+                let fvals = feature.raw();
+                let cvals = clusters.raw();
                 for p in 0..n {
                     // find_nearest_point
                     min_dist.set(ctx, f64::MAX);
                     let mut best = 0usize;
+                    dist_group.rebase(0, &feature, p * d);
                     for c in 0..k {
                         // euclid_dist_2 with a literal normalisation weight:
                         // the multiply stays double and casts lowered operands.
-                        ans.set(ctx, 0.0);
-                        for f in 0..d {
-                            let a = feature.get(ctx, p * d + f);
-                            let bv = clusters.get(ctx, c * d + f);
-                            diff.set(ctx, a - bv);
-                            ans.set(ctx, ans.get() + diff.get() * diff.get() * norm);
-                        }
-                        dist.set(ctx, ans.get());
-                        if dist.get() < min_dist.get() {
-                            min_dist.set(ctx, dist.get());
-                            best = c;
-                        }
-                    }
-                    membership.set(ctx, p, best as i64);
-                    counts[best] += 1;
-                    for f in 0..d {
-                        let cur = new_centers.get(ctx, best * d + f);
-                        let fv = feature.get(ctx, p * d + f);
-                        new_centers.set(ctx, best * d + f, cur + fv);
-                    }
-                }
-            } else {
-                feature.bulk_loads(ctx, nkd + (n * d) as u64);
-                clusters.bulk_loads(ctx, nkd);
-                new_centers.bulk_loads(ctx, (n * d) as u64);
-                new_centers.bulk_stores(ctx, (n * d) as u64);
-                let fvals = feature.raw();
-                let cvals = clusters.raw();
-                for p in 0..n {
-                    min_dist.set(ctx, f64::MAX);
-                    let mut best = 0usize;
-                    for c in 0..k {
+                        dist_group.rebase(1, &clusters, c * d);
+                        dist_group.commit(ctx, d);
                         ans.set(ctx, 0.0);
                         for f in 0..d {
                             diff.set(ctx, fvals[p * d + f] - cvals[c * d + f]);
@@ -277,6 +261,11 @@ impl Benchmark for Kmeans {
                     }
                     membership.set(ctx, p, best as i64);
                     counts[best] += 1;
+                    acc_group
+                        .rebase(0, &new_centers, best * d)
+                        .rebase(1, &feature, p * d)
+                        .rebase(2, &new_centers, best * d);
+                    acc_group.commit(ctx, d);
                     for f in 0..d {
                         let cur = new_centers.raw()[best * d + f];
                         new_centers.write_rounded(best * d + f, cur + fvals[p * d + f]);
@@ -288,26 +277,19 @@ impl Benchmark for Kmeans {
             // observed occupancy.
             let occupied = counts.iter().filter(|&&x| x > 0).count();
             ctx.heavy(v.clusters, &[v.new_centers], (occupied * d) as u64);
-            if ctx.is_traced() {
+            let mut update_group = mixp_float::StreamGroup::new();
+            update_group.load(&new_centers, 0).store(&clusters, 0);
+            {
+                let ncv = new_centers.raw();
                 #[allow(clippy::needless_range_loop)] // mirrors the C loop shape
                 for c in 0..k {
                     if counts[c] == 0 {
                         continue;
                     }
-                    for f in 0..d {
-                        let s = new_centers.get(ctx, c * d + f);
-                        clusters.set(ctx, c * d + f, s / counts[c] as f64);
-                    }
-                }
-            } else {
-                new_centers.bulk_loads(ctx, (occupied * d) as u64);
-                clusters.bulk_stores(ctx, (occupied * d) as u64);
-                let ncv = new_centers.raw();
-                #[allow(clippy::needless_range_loop)]
-                for c in 0..k {
-                    if counts[c] == 0 {
-                        continue;
-                    }
+                    update_group
+                        .rebase(0, &new_centers, c * d)
+                        .rebase(1, &clusters, c * d);
+                    update_group.commit(ctx, d);
                     for f in 0..d {
                         clusters.write_rounded(c * d + f, ncv[c * d + f] / counts[c] as f64);
                     }

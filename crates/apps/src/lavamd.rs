@@ -4,7 +4,7 @@ use crate::common::{rng, InputFile};
 use mixp_core::{
     Benchmark, BenchmarkKind, ExecCtx, MetricKind, ProgramBuilder, ProgramModel, VarId,
 };
-use mixp_float::{IndexVec, MpScalar};
+use mixp_float::{IndexVec, MpScalar, StreamGroup};
 
 /// LavaMD (§III-B): computes particle potential and relocation due to
 /// mutual forces between particles within a large 3-D space divided into
@@ -266,7 +266,6 @@ impl Benchmark for LavaMd {
             .filter(|&&nb| nb >= 0)
             .count() as u64;
         let pairs = valid_boxes * (ppb * ppb) as u64;
-        let npar = (nboxes * ppb) as u64;
         ctx.flop(v.r2, &[v.rv], 5 * pairs);
         ctx.flop(v.u2, &[v.a2, v.r2], pairs);
         // The pairwise exp vectorises (SVML-style), so it scales with SIMD
@@ -278,55 +277,22 @@ impl Benchmark for LavaMd {
         let mut u2 = MpScalar::new(ctx, v.u2, 0.0);
         let mut vij_s = MpScalar::new(ctx, v.vij, 0.0);
         let mut fs = MpScalar::new(ctx, v.fs, 0.0);
-        if ctx.is_traced() {
-            for home in 0..nboxes {
-                for i in 0..ppb {
-                    let pi = home * ppb + i;
-                    let (rx, ry, rz, rw) = (
-                        rv.get(ctx, pi * 4),
-                        rv.get(ctx, pi * 4 + 1),
-                        rv.get(ctx, pi * 4 + 2),
-                        rv.get(ctx, pi * 4 + 3),
-                    );
-                    let (mut ax, mut ay, mut az, mut aw) = (0.0, 0.0, 0.0, 0.0);
-                    for nb in 0..27 {
-                        let nb_box = neighbors.get(ctx, home * 27 + nb);
-                        if nb_box < 0 {
-                            continue;
-                        }
-                        for j in 0..ppb {
-                            let pj = nb_box as usize * ppb + j;
-                            let (bx, by, bz, bw) = (
-                                rv.get(ctx, pj * 4),
-                                rv.get(ctx, pj * 4 + 1),
-                                rv.get(ctx, pj * 4 + 2),
-                                rv.get(ctx, pj * 4 + 3),
-                            );
-                            // r2 = rA.v + rB.v - dot(rA, rB)
-                            r2.set(ctx, rw + bw - (rx * bx + ry * by + rz * bz));
-                            u2.set(ctx, a2.get() * r2.get());
-                            vij_s.set(ctx, (-u2.get()).exp());
-                            let qj = qv.get(ctx, pj);
-                            fs.set(ctx, 2.0 * qj * vij_s.get());
-                            let dx = rx - bx;
-                            let dy = ry - by;
-                            let dz = rz - bz;
-                            ax += fs.get() * dx;
-                            ay += fs.get() * dy;
-                            az += fs.get() * dz;
-                            aw += qj * vij_s.get();
-                        }
-                    }
-                    fv.set(ctx, pi * 4, ax);
-                    fv.set(ctx, pi * 4 + 1, ay);
-                    fv.set(ctx, pi * 4 + 2, az);
-                    fv.set(ctx, pi * 4 + 3, aw);
-                }
-            }
-        } else {
-            rv.bulk_loads(ctx, 4 * npar + 4 * pairs);
-            qv.bulk_loads(ctx, pairs);
-            fv.bulk_stores(ctx, 4 * npar);
+        // Per home particle: its position four-vector, the 27 neighbour
+        // indices, one strided quad-stream + charge stream per valid
+        // neighbour box (rebased to the box's particle range), and the
+        // force four-vector store.
+        let mut home_group = StreamGroup::new();
+        home_group.load(&rv, 0);
+        let mut nb_group = StreamGroup::new();
+        nb_group.load_index(&neighbors, 0);
+        let mut pair_group = StreamGroup::new();
+        for kq in 0..4 {
+            pair_group.load_strided(&rv, kq, 4);
+        }
+        pair_group.load(&qv, 0);
+        let mut force_group = StreamGroup::new();
+        force_group.store(&fv, 0);
+        {
             let a2v = a2.get();
             let rvv = rv.raw();
             let qvv = qv.raw();
@@ -334,6 +300,10 @@ impl Benchmark for LavaMd {
             for home in 0..nboxes {
                 for i in 0..ppb {
                     let pi = home * ppb + i;
+                    home_group.rebase(0, &rv, pi * 4);
+                    home_group.commit(ctx, 4);
+                    nb_group.rebase_index(0, &neighbors, home * 27);
+                    nb_group.commit(ctx, 27);
                     let (rx, ry, rz, rw) = (
                         rvv[pi * 4],
                         rvv[pi * 4 + 1],
@@ -346,14 +316,21 @@ impl Benchmark for LavaMd {
                         if nb_box < 0 {
                             continue;
                         }
+                        let pj0 = nb_box as usize * ppb;
+                        for kq in 0..4 {
+                            pair_group.rebase(kq, &rv, pj0 * 4 + kq);
+                        }
+                        pair_group.rebase(4, &qv, pj0);
+                        pair_group.commit(ctx, ppb);
                         for j in 0..ppb {
-                            let pj = nb_box as usize * ppb + j;
+                            let pj = pj0 + j;
                             let (bx, by, bz, bw) = (
                                 rvv[pj * 4],
                                 rvv[pj * 4 + 1],
                                 rvv[pj * 4 + 2],
                                 rvv[pj * 4 + 3],
                             );
+                            // r2 = rA.v + rB.v - dot(rA, rB)
                             r2.set(ctx, rw + bw - (rx * bx + ry * by + rz * bz));
                             u2.set(ctx, a2v * r2.get());
                             vij_s.set(ctx, (-u2.get()).exp());
@@ -368,6 +345,8 @@ impl Benchmark for LavaMd {
                             aw += qj * vij_s.get();
                         }
                     }
+                    force_group.rebase(0, &fv, pi * 4);
+                    force_group.commit(ctx, 4);
                     fv.write_rounded(pi * 4, ax);
                     fv.write_rounded(pi * 4 + 1, ay);
                     fv.write_rounded(pi * 4 + 2, az);

@@ -4,7 +4,73 @@ use crate::common::{rng, InputFile};
 use mixp_core::{
     Benchmark, BenchmarkKind, ExecCtx, MetricKind, ProgramBuilder, ProgramModel, VarId,
 };
-use mixp_float::MpScalar;
+use mixp_float::{MpScalar, MpVec, StreamGroup};
+
+/// Declares one row segment's gradient-phase streams in the per-site
+/// evaluation order: the centre load, the present neighbour loads, the four
+/// gradient stores, and the coefficient store.
+#[allow(clippy::too_many_arguments)]
+fn declare_gradient(
+    g: &mut StreamGroup,
+    j: &MpVec,
+    grads: [&MpVec; 4],
+    c: &MpVec,
+    base: usize,
+    cols: usize,
+    r: usize,
+    rows: usize,
+    west: bool,
+    east: bool,
+) {
+    g.clear();
+    g.load(j, base);
+    if r > 0 {
+        g.load(j, base - cols);
+    }
+    if r + 1 < rows {
+        g.load(j, base + cols);
+    }
+    if west {
+        g.load(j, base - 1);
+    }
+    if east {
+        g.load(j, base + 1);
+    }
+    for grad in grads {
+        g.store(grad, base);
+    }
+    g.store(c, base);
+}
+
+/// Declares one row segment's diffusion-update streams: the coefficient
+/// window (south/east only where present), the four gradient loads, and the
+/// image read-modify-write.
+#[allow(clippy::too_many_arguments)]
+fn declare_diffusion(
+    g: &mut StreamGroup,
+    c: &MpVec,
+    grads: [&MpVec; 4],
+    j: &MpVec,
+    base: usize,
+    cols: usize,
+    r: usize,
+    rows: usize,
+    east: bool,
+) {
+    g.clear();
+    g.load(c, base);
+    if r + 1 < rows {
+        g.load(c, base + cols);
+    }
+    if east {
+        g.load(c, base + 1);
+    }
+    for grad in grads {
+        g.load(grad, base);
+    }
+    g.load(j, base);
+    g.store(j, base);
+}
 
 /// SRAD (§III-B): a partial-differential-equation diffusion method for
 /// ultrasonic/radar imaging that removes locally correlated speckle noise
@@ -206,6 +272,7 @@ impl Benchmark for Srad {
         let mut de = ctx.alloc_vec(v.de, n);
         let lambda = MpScalar::new(ctx, v.lambda, 0.25);
 
+        let mut seg_group = StreamGroup::new();
         for _ in 0..self.iterations {
             // ROI statistics over the whole image: the classic
             // E[J²] − E[J]² form that cancels at single precision.
@@ -251,105 +318,63 @@ impl Benchmark for Srad {
             let mut qsqr = MpScalar::new(ctx, v.qsqr, 0.0);
             let mut num = MpScalar::new(ctx, v.num, 0.0);
             // Boundary sites reuse the centre value instead of loading a
-            // neighbour, so each edge row/column forgoes one load.
-            let ns_loads = (n - cols) as u64;
-            let we_loads = (n - rows) as u64;
-            if ctx.is_traced() {
-                for r in 0..rows {
-                    for col in 0..cols {
-                        let i = r * cols + col;
-                        let jc = j.get(ctx, i);
-                        let jn = if r > 0 { j.get(ctx, i - cols) } else { jc };
-                        let js = if r + 1 < rows { j.get(ctx, i + cols) } else { jc };
-                        let jw = if col > 0 { j.get(ctx, i - 1) } else { jc };
-                        let je = if col + 1 < cols { j.get(ctx, i + 1) } else { jc };
-                        let dnv = dn.set(ctx, i, jn - jc);
-                        let dsv = ds.set(ctx, i, js - jc);
-                        let dwv = dw.set(ctx, i, jw - jc);
-                        let dev = de.set(ctx, i, je - jc);
-
-                        g2.set(
-                            ctx,
-                            (dnv * dnv + dsv * dsv + dwv * dwv + dev * dev) / (jc * jc),
-                        );
-                        lv.set(ctx, (dnv + dsv + dwv + dev) / jc);
-                        let denom = 1.0 + 0.25 * lv.get();
-                        qsqr.set(
-                            ctx,
-                            (0.5 * g2.get() - 0.0625 * lv.get() * lv.get()) / (denom * denom),
-                        );
-                        num.set(
-                            ctx,
-                            (qsqr.get() - q0.get()) / (q0.get() * (1.0 + q0.get())),
-                        );
-                        c.set(ctx, i, 1.0 / (1.0 + num.get()));
-                    }
-                }
-            } else {
-                j.bulk_loads(ctx, n64 + 2 * ns_loads + 2 * we_loads);
-                dn.bulk_stores(ctx, n64);
-                ds.bulk_stores(ctx, n64);
-                dw.bulk_stores(ctx, n64);
-                de.bulk_stores(ctx, n64);
-                c.bulk_stores(ctx, n64);
+            // neighbour, so each row commits as three segments whose
+            // stream sets match the per-site evaluation order exactly.
+            {
                 let jv = j.raw();
                 for r in 0..rows {
-                    for col in 0..cols {
-                        let i = r * cols + col;
-                        let jc = jv[i];
-                        let jn = if r > 0 { jv[i - cols] } else { jc };
-                        let js = if r + 1 < rows { jv[i + cols] } else { jc };
-                        let jw = if col > 0 { jv[i - 1] } else { jc };
-                        let je = if col + 1 < cols { jv[i + 1] } else { jc };
-                        let dnv = dn.write_rounded(i, jn - jc);
-                        let dsv = ds.write_rounded(i, js - jc);
-                        let dwv = dw.write_rounded(i, jw - jc);
-                        let dev = de.write_rounded(i, je - jc);
+                    let segments =
+                        [(0, 1, false, true), (1, cols - 1, true, true), (cols - 1, cols, true, false)];
+                    for (start, end, west, east) in segments {
+                        declare_gradient(
+                            &mut seg_group,
+                            &j,
+                            [&dn, &ds, &dw, &de],
+                            &c,
+                            r * cols + start,
+                            cols,
+                            r,
+                            rows,
+                            west,
+                            east,
+                        );
+                        seg_group.commit(ctx, end - start);
+                        for col in start..end {
+                            let i = r * cols + col;
+                            let jc = jv[i];
+                            let jn = if r > 0 { jv[i - cols] } else { jc };
+                            let js = if r + 1 < rows { jv[i + cols] } else { jc };
+                            let jw = if col > 0 { jv[i - 1] } else { jc };
+                            let je = if col + 1 < cols { jv[i + 1] } else { jc };
+                            let dnv = dn.write_rounded(i, jn - jc);
+                            let dsv = ds.write_rounded(i, js - jc);
+                            let dwv = dw.write_rounded(i, jw - jc);
+                            let dev = de.write_rounded(i, je - jc);
 
-                        g2.set(
-                            ctx,
-                            (dnv * dnv + dsv * dsv + dwv * dwv + dev * dev) / (jc * jc),
-                        );
-                        lv.set(ctx, (dnv + dsv + dwv + dev) / jc);
-                        let denom = 1.0 + 0.25 * lv.get();
-                        qsqr.set(
-                            ctx,
-                            (0.5 * g2.get() - 0.0625 * lv.get() * lv.get()) / (denom * denom),
-                        );
-                        num.set(
-                            ctx,
-                            (qsqr.get() - q0.get()) / (q0.get() * (1.0 + q0.get())),
-                        );
-                        c.write_rounded(i, 1.0 / (1.0 + num.get()));
+                            g2.set(
+                                ctx,
+                                (dnv * dnv + dsv * dsv + dwv * dwv + dev * dev) / (jc * jc),
+                            );
+                            lv.set(ctx, (dnv + dsv + dwv + dev) / jc);
+                            let denom = 1.0 + 0.25 * lv.get();
+                            qsqr.set(
+                                ctx,
+                                (0.5 * g2.get() - 0.0625 * lv.get() * lv.get()) / (denom * denom),
+                            );
+                            num.set(
+                                ctx,
+                                (qsqr.get() - q0.get()) / (q0.get() * (1.0 + q0.get())),
+                            );
+                            c.write_rounded(i, 1.0 / (1.0 + num.get()));
+                        }
                     }
                 }
             }
 
-            // Diffusion update.
+            // Diffusion update: only the south/east coefficient neighbours
+            // are conditional, so each row commits as two segments.
             ctx.flop(v.image, &[v.c, v.dn, v.ds, v.dw, v.de, v.lambda], 9 * n64);
-            if ctx.is_traced() {
-                for r in 0..rows {
-                    for col in 0..cols {
-                        let i = r * cols + col;
-                        let cc = c.get(ctx, i);
-                        let cs = if r + 1 < rows { c.get(ctx, i + cols) } else { cc };
-                        let ce = if col + 1 < cols { c.get(ctx, i + 1) } else { cc };
-                        let div = cc * dn.get(ctx, i)
-                            + cs * ds.get(ctx, i)
-                            + cc * dw.get(ctx, i)
-                            + ce * de.get(ctx, i);
-                        let jc = j.get(ctx, i);
-                        j.set(ctx, i, jc + 0.25 * lambda.get() * div);
-                    }
-                }
-            } else {
-                c.bulk_loads(ctx, n64 + ns_loads + we_loads);
-                dn.bulk_loads(ctx, n64);
-                ds.bulk_loads(ctx, n64);
-                dw.bulk_loads(ctx, n64);
-                de.bulk_loads(ctx, n64);
-                j.bulk_loads(ctx, n64);
-                j.bulk_stores(ctx, n64);
+            {
                 let lam = lambda.get();
                 let cv = c.raw();
                 let dnv = dn.raw();
@@ -357,15 +382,29 @@ impl Benchmark for Srad {
                 let dwv = dw.raw();
                 let dev = de.raw();
                 for r in 0..rows {
-                    for col in 0..cols {
-                        let i = r * cols + col;
-                        let cc = cv[i];
-                        let cs = if r + 1 < rows { cv[i + cols] } else { cc };
-                        let ce = if col + 1 < cols { cv[i + 1] } else { cc };
-                        let div =
-                            cc * dnv[i] + cs * dsv[i] + cc * dwv[i] + ce * dev[i];
-                        let jc = j.raw()[i];
-                        j.write_rounded(i, jc + 0.25 * lam * div);
+                    for (start, end, east) in [(0, cols - 1, true), (cols - 1, cols, false)] {
+                        declare_diffusion(
+                            &mut seg_group,
+                            &c,
+                            [&dn, &ds, &dw, &de],
+                            &j,
+                            r * cols + start,
+                            cols,
+                            r,
+                            rows,
+                            east,
+                        );
+                        seg_group.commit(ctx, end - start);
+                        for col in start..end {
+                            let i = r * cols + col;
+                            let cc = cv[i];
+                            let cs = if r + 1 < rows { cv[i + cols] } else { cc };
+                            let ce = if col + 1 < cols { cv[i + 1] } else { cc };
+                            let div =
+                                cc * dnv[i] + cs * dsv[i] + cc * dwv[i] + ce * dev[i];
+                            let jc = j.raw()[i];
+                            j.write_rounded(i, jc + 0.25 * lam * div);
+                        }
                     }
                 }
             }

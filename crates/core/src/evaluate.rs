@@ -319,15 +319,36 @@ fn run_config_with_token(
     cache: CacheParams,
     token: Option<&CancelToken>,
 ) -> RunOutput {
-    let mut hierarchy = Hierarchy::new(cache);
-    let mut ctx = ExecCtx::with_tracer(cfg, &mut hierarchy);
-    if let Some(token) = token {
-        ctx.set_cancel_token(token.clone());
+    // One hierarchy per worker thread, reset between evaluations: building
+    // a fresh default hierarchy initialises 4608 lines, which costs more
+    // than tracing a small benchmark does, and search loops evaluate
+    // thousands of configurations per thread. `Hierarchy::reset` is O(1)
+    // (epoch-stamped line validity) and bit-identical to a fresh build, so
+    // reuse is a pure wall-clock optimisation. A run that unwinds
+    // (cancellation, injected panic) may leave the cached simulator
+    // mid-flight; the reset on next entry restores it regardless.
+    thread_local! {
+        static HIERARCHY: std::cell::RefCell<Option<Hierarchy>> =
+            const { std::cell::RefCell::new(None) };
     }
-    let output = bench.run(&mut ctx);
-    let counts = ctx.counts();
-    drop(ctx);
-    (output, counts, hierarchy.stats())
+    HIERARCHY.with(|slot| {
+        let mut slot = slot.borrow_mut();
+        let hierarchy = match slot.as_mut() {
+            Some(h) if h.params() == cache => {
+                h.reset();
+                h
+            }
+            _ => slot.insert(Hierarchy::new(cache)),
+        };
+        let mut ctx = ExecCtx::with_tracer(cfg, hierarchy);
+        if let Some(token) = token {
+            ctx.set_cancel_token(token.clone());
+        }
+        let output = bench.run(&mut ctx);
+        let counts = ctx.counts();
+        drop(ctx);
+        (output, counts, hierarchy.stats())
+    })
 }
 
 /// Runs `bench` under `cfg`, converting a cancellation unwind into

@@ -26,6 +26,8 @@
 //! append-only JSONL (evaluations, search phases, retries, cache shards),
 //! and `--metrics` prints the aggregated counter/histogram snapshot after
 //! the report. Neither flag changes any reported number or the exit code.
+//! `harness trace-summary run.jsonl` turns a captured trace back into a
+//! per-phase wall-clock table offline.
 
 use mixp_core::{MetricsSnapshot, Obs};
 use mixp_harness::config::AnalysisConfig;
@@ -126,7 +128,41 @@ fn parse_cli() -> Result<Cli, String> {
     Ok(cli)
 }
 
+/// `harness trace-summary <trace.jsonl>...` — offline phase table for
+/// `--trace` logs. Exits 0 on success, 2 on usage/IO errors.
+fn run_trace_summary(files: &[String]) -> ! {
+    if files.is_empty() {
+        eprintln!("error: trace-summary needs at least one trace file");
+        eprintln!("usage: harness trace-summary <trace.jsonl>...");
+        std::process::exit(2);
+    }
+    for file in files {
+        let text = match std::fs::read_to_string(file) {
+            Ok(t) => t,
+            Err(e) => {
+                eprintln!("error: cannot read {file}: {e}");
+                std::process::exit(2);
+            }
+        };
+        if files.len() > 1 {
+            println!("== {file}");
+        }
+        print!(
+            "{}",
+            mixp_harness::render_trace_summary(&mixp_harness::summarize_trace(&text))
+        );
+    }
+    std::process::exit(0);
+}
+
 fn main() {
+    // Subcommand dispatch: the first positional argument selects the
+    // offline trace consumer; everything else is the campaign driver.
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    if argv.first().map(String::as_str) == Some("trace-summary") {
+        run_trace_summary(&argv[1..]);
+    }
+
     let cli = match parse_cli() {
         Ok(c) => c,
         Err(msg) => {
@@ -135,7 +171,7 @@ fn main() {
                 "usage: harness [--scale small|paper] [--workers N] [--json] \
                  [--deadline-ms MS] [--grace-ms MS] [--retries N] [--backoff-ms MS] \
                  [--checkpoint FILE] [--fsync-every N] [--trace FILE] [--metrics] \
-                 <config.yaml>..."
+                 <config.yaml>...\n       harness trace-summary <trace.jsonl>..."
             );
             std::process::exit(2);
         }

@@ -71,6 +71,7 @@ pub mod json;
 pub mod registry;
 pub mod report;
 pub mod scheduler;
+pub mod tracesum;
 pub mod watchdog;
 pub mod yamlish;
 
@@ -79,6 +80,8 @@ pub use evalcache::{ScopedEvalCache, SharedEvalCache, ShardStats};
 pub use faultplan::{Fault, FaultPlan};
 pub use job::{Job, JobError, JobResult};
 pub use registry::{benchmark_by_name, benchmark_names, Scale};
+pub use tracesum::{render_trace_summary, summarize_trace, TraceSummary};
+
 pub use scheduler::{
     default_workers, run_campaign, run_campaign_with_stats, run_jobs, CampaignOptions,
     CampaignStats, JobOutcome, RetryPolicy,

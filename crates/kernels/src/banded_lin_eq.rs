@@ -105,29 +105,27 @@ impl Benchmark for BandedLinEq {
         // 3 flops per row update, entirely within the {x, y} cluster.
         let iters = (self.sweeps * (self.n - 1) * self.nsys) as u64;
         ctx.flop(self.x, &[self.y], 3 * iters);
-        if ctx.is_traced() {
-            for _ in 0..self.sweeps {
-                // Lock-step forward substitution: row i of every system.
-                for i in 1..self.n {
-                    for j in 0..self.nsys {
-                        let idx = j * self.n + i;
-                        let acc = y.get(ctx, idx) - x.get(ctx, idx - 1) * y.get(ctx, idx - 1);
-                        x.set(ctx, idx, acc);
-                    }
-                }
-            }
-        } else {
-            y.bulk_loads(ctx, 2 * iters);
-            x.bulk_loads(ctx, iters);
-            x.bulk_stores(ctx, iters);
-            let yv = y.raw();
-            for _ in 0..self.sweeps {
-                for i in 1..self.n {
-                    for j in 0..self.nsys {
-                        let idx = j * self.n + i;
-                        let prev = x.raw()[idx - 1];
-                        x.write_rounded(idx, yv[idx] - prev * yv[idx - 1]);
-                    }
+        // Lock-step forward substitution: row i of every system. The inner
+        // j-loop strides across systems (step n elements), so each row is
+        // one 4-stream group of nsys iterations, rebased per row.
+        let step = self.n as i64;
+        let mut row = mixp_float::StreamGroup::new();
+        row.load_strided(&y, 1, step)
+            .load_strided(&x, 0, step)
+            .load_strided(&y, 0, step)
+            .store_strided(&x, 1, step);
+        for _ in 0..self.sweeps {
+            for i in 1..self.n {
+                row.rebase(0, &y, i)
+                    .rebase(1, &x, i - 1)
+                    .rebase(2, &y, i - 1)
+                    .rebase(3, &x, i);
+                row.commit(ctx, self.nsys);
+                let yv = y.raw();
+                for j in 0..self.nsys {
+                    let idx = j * self.n + i;
+                    let prev = x.raw()[idx - 1];
+                    x.write_rounded(idx, yv[idx] - prev * yv[idx - 1]);
                 }
             }
         }

@@ -110,72 +110,50 @@ impl Benchmark for DiffPredictor {
             ctx.flop(self.cx, &[self.px[level]], 4 * iters);
         }
         ctx.flop(self.cx, &[], iters);
-        if ctx.is_traced() {
-            for _ in 0..self.passes {
-                // Build the difference table level by level.
-                for level in 0..4 {
-                    for i in 1..self.n {
-                        let (prev_i, prev_im1) = if level == 0 {
-                            (cx.get(ctx, i), cx.get(ctx, i - 1))
-                        } else {
-                            (px[level - 1].get(ctx, i), px[level - 1].get(ctx, i - 1))
-                        };
-                        let d = prev_i - prev_im1;
-                        px[level].set(ctx, i, d);
-                    }
-                }
-                // Predict: cx[i] += sum of scaled difference levels. The
-                // scales are powers of two so the combination is benign.
-                #[allow(clippy::needless_range_loop)] // mirrors the C loop shape
-                for i in 1..self.n {
-                    let mut acc = cx.get(ctx, i);
-                    // Small, halving weights keep the predictor contractive:
-                    // the worst-case gain of the difference operator stays
-                    // below one, so storage rounding cannot be amplified.
-                    let mut w = 0.01;
-                    for level in 0..4 {
-                        acc += w * px[level].get(ctx, i);
-                        w *= 0.5;
-                    }
-                    cx.set(ctx, i, acc * 0.5);
-                }
-            }
-        } else {
-            // Per pass: cx is read twice per level-0 diff and once per
-            // predict site; each px level is stored once and read twice as
-            // the next level's source (except the last) plus once in the
-            // predict combine.
-            cx.bulk_loads(ctx, 3 * iters);
-            cx.bulk_stores(ctx, iters);
+        // Each difference level reads its source at i and i-1 and stores
+        // level[i]; the predict combine then reads cx and all four levels
+        // before storing cx — exactly the element-wise evaluation order.
+        let mut diff = mixp_float::StreamGroup::new();
+        diff.load(&cx, 1).load(&cx, 0).store(&px[0], 1);
+        let mut predict = mixp_float::StreamGroup::new();
+        predict.load(&cx, 1);
+        for level in &px {
+            predict.load(level, 1);
+        }
+        predict.store(&cx, 1);
+        for _ in 0..self.passes {
             for level in 0..4 {
-                px[level].bulk_stores(ctx, iters);
-                let reads = if level < 3 { 3 } else { 1 };
-                px[level].bulk_loads(ctx, reads * iters);
+                if level == 0 {
+                    diff.rebase(0, &cx, 1).rebase(1, &cx, 0).rebase(2, &px[0], 1);
+                    diff.commit(ctx, self.n - 1);
+                    for i in 1..self.n {
+                        let d = cx.raw()[i] - cx.raw()[i - 1];
+                        px[0].write_rounded(i, d);
+                    }
+                } else {
+                    diff.rebase(0, &px[level - 1], 1)
+                        .rebase(1, &px[level - 1], 0)
+                        .rebase(2, &px[level], 1);
+                    diff.commit(ctx, self.n - 1);
+                    let (lower, upper) = px.split_at_mut(level);
+                    let prev = lower[level - 1].raw();
+                    for i in 1..self.n {
+                        upper[0].write_rounded(i, prev[i] - prev[i - 1]);
+                    }
+                }
             }
-            for _ in 0..self.passes {
+            predict.commit(ctx, self.n - 1);
+            for i in 1..self.n {
+                let mut acc = cx.raw()[i];
+                // Small, halving weights keep the predictor contractive:
+                // the worst-case gain of the difference operator stays
+                // below one, so storage rounding cannot be amplified.
+                let mut w = 0.01;
                 for level in 0..4 {
-                    if level == 0 {
-                        for i in 1..self.n {
-                            let d = cx.raw()[i] - cx.raw()[i - 1];
-                            px[0].write_rounded(i, d);
-                        }
-                    } else {
-                        let (lower, upper) = px.split_at_mut(level);
-                        let prev = lower[level - 1].raw();
-                        for i in 1..self.n {
-                            upper[0].write_rounded(i, prev[i] - prev[i - 1]);
-                        }
-                    }
+                    acc += w * px[level].raw()[i];
+                    w *= 0.5;
                 }
-                for i in 1..self.n {
-                    let mut acc = cx.raw()[i];
-                    let mut w = 0.01;
-                    for level in 0..4 {
-                        acc += w * px[level].raw()[i];
-                        w *= 0.5;
-                    }
-                    cx.write_rounded(i, acc * 0.5);
-                }
+                cx.write_rounded(i, acc * 0.5);
             }
         }
         cx.snapshot()

@@ -130,41 +130,33 @@ impl Benchmark for Eos {
         // is always double and casts lowered operands.
         ctx.flop(self.x, &[self.t_lit], 2 * iters);
         ctx.flop(self.w, &[self.x, self.t_lit, self.u], 2 * iters);
-        if ctx.is_traced() {
-            for _ in 0..self.passes {
-                for i in 0..self.n - 6 {
-                    // Inner polynomial over arrays and the rate scalars.
-                    let inner = u.get(ctx, i)
-                        + r.get() * (z.get(ctx, i) + r.get() * y.get(ctx, i));
-                    let hist = u.get(ctx, i + 3)
-                        + q.get() * (u.get(ctx, i + 2) + q.get() * u.get(ctx, i + 1));
-                    let v = inner + t * hist;
-                    x.set(ctx, i, v);
-                    // Secondary state update, again through the literal.
-                    let wv = x.get(ctx, i) * t + u.get(ctx, i);
-                    w.set(ctx, i, wv);
-                }
-            }
-        } else {
-            // Same loads as the reference loop, charged in bulk — including
-            // the x[i] read-back between the two stores.
-            u.bulk_loads(ctx, 5 * iters);
-            z.bulk_loads(ctx, iters);
-            y.bulk_loads(ctx, iters);
-            x.bulk_loads(ctx, iters);
-            x.bulk_stores(ctx, iters);
-            w.bulk_stores(ctx, iters);
-            let (qv, rv) = (q.get(), r.get());
+        // One stream group per pass, declared in the element-wise loop's
+        // per-iteration evaluation order — including the x[i] read-back
+        // between the two stores — so the cache simulator sees the exact
+        // sequence the reference loop emitted.
+        let mut group = mixp_float::StreamGroup::new();
+        group
+            .load(&u, 0)
+            .load(&z, 0)
+            .load(&y, 0)
+            .load(&u, 3)
+            .load(&u, 2)
+            .load(&u, 1)
+            .store(&x, 0)
+            .load(&x, 0)
+            .load(&u, 0)
+            .store(&w, 0);
+        let (qv, rv) = (q.get(), r.get());
+        for _ in 0..self.passes {
+            group.commit(ctx, self.n - 6);
             let uv = u.raw();
             let zv = z.raw();
             let yv = y.raw();
-            for _ in 0..self.passes {
-                for i in 0..self.n - 6 {
-                    let inner = uv[i] + rv * (zv[i] + rv * yv[i]);
-                    let hist = uv[i + 3] + qv * (uv[i + 2] + qv * uv[i + 1]);
-                    let stored = x.write_rounded(i, inner + t * hist);
-                    w.write_rounded(i, stored * t + uv[i]);
-                }
+            for i in 0..self.n - 6 {
+                let inner = uv[i] + rv * (zv[i] + rv * yv[i]);
+                let hist = uv[i + 3] + qv * (uv[i + 2] + qv * uv[i + 1]);
+                let stored = x.write_rounded(i, inner + t * hist);
+                w.write_rounded(i, stored * t + uv[i]);
             }
         }
         let mut out = x.snapshot();

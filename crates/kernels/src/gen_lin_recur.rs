@@ -108,37 +108,28 @@ impl Benchmark for GenLinRecur {
         let iters = (self.passes * (self.n - 1)) as u64;
         ctx.heavy(self.stb, &[self.sb, self.sa], 2 * iters);
         ctx.heavy(self.sx, &[self.stb, self.sa], 2 * iters);
-        if ctx.is_traced() {
-            for _ in 0..self.passes {
-                // stb[i] = sb[i] - stb[i-1]*sa[i]: strict forward dependence.
-                for i in 1..self.n {
-                    let v = sb.get(ctx, i) - stb.get(ctx, i - 1) * sa.get(ctx, i);
-                    stb.set(ctx, i, v);
-                }
-                // Backward accumulation, equally dependence-bound.
-                for i in (0..self.n - 1).rev() {
-                    let v = stb.get(ctx, i) + sx.get(ctx, i + 1) * sa.get(ctx, i);
-                    sx.set(ctx, i, v);
-                }
+        // stb[i] = sb[i] - stb[i-1]*sa[i]: strict forward dependence.
+        let mut fwd = mixp_float::StreamGroup::new();
+        fwd.load(&sb, 1).load(&stb, 0).load(&sa, 1).store(&stb, 1);
+        // Backward accumulation, equally dependence-bound: a descending
+        // sweep, expressed as negative-stride streams anchored at i = n-2.
+        let mut bwd = mixp_float::StreamGroup::new();
+        bwd.load_strided(&stb, self.n - 2, -1)
+            .load_strided(&sx, self.n - 1, -1)
+            .load_strided(&sa, self.n - 2, -1)
+            .store_strided(&sx, self.n - 2, -1);
+        let sbv = sb.raw();
+        let sav = sa.raw();
+        for _ in 0..self.passes {
+            fwd.commit(ctx, self.n - 1);
+            for i in 1..self.n {
+                let prev = stb.raw()[i - 1];
+                stb.write_rounded(i, sbv[i] - prev * sav[i]);
             }
-        } else {
-            sb.bulk_loads(ctx, iters);
-            sa.bulk_loads(ctx, 2 * iters);
-            stb.bulk_loads(ctx, 2 * iters);
-            stb.bulk_stores(ctx, iters);
-            sx.bulk_loads(ctx, iters);
-            sx.bulk_stores(ctx, iters);
-            let sbv = sb.raw();
-            let sav = sa.raw();
-            for _ in 0..self.passes {
-                for i in 1..self.n {
-                    let prev = stb.raw()[i - 1];
-                    stb.write_rounded(i, sbv[i] - prev * sav[i]);
-                }
-                for i in (0..self.n - 1).rev() {
-                    let next = sx.raw()[i + 1];
-                    sx.write_rounded(i, stb.raw()[i] + next * sav[i]);
-                }
+            bwd.commit(ctx, self.n - 1);
+            for i in (0..self.n - 1).rev() {
+                let next = sx.raw()[i + 1];
+                sx.write_rounded(i, stb.raw()[i] + next * sav[i]);
             }
         }
         sx.snapshot()

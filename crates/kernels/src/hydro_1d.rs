@@ -115,26 +115,15 @@ impl Benchmark for Hydro1d {
         // 3 muls + 2 adds per point, all inside the two clusters.
         let iters = (self.passes * (self.n - 11)) as u64;
         ctx.flop(self.x, &[self.q, self.y, self.r, self.z, self.t], 7 * iters);
-        if ctx.is_traced() {
-            for _ in 0..self.passes {
-                for k in 0..self.n - 11 {
-                    let v = q.get()
-                        + y.get(ctx, k)
-                            * (r.get() * z.get(ctx, k + 10) + t.get() * z.get(ctx, k + 11));
-                    x.set(ctx, k, v);
-                }
-            }
-        } else {
-            y.bulk_loads(ctx, iters);
-            z.bulk_loads(ctx, 2 * iters);
-            x.bulk_stores(ctx, iters);
-            let (qv, rv, tv) = (q.get(), r.get(), t.get());
-            let yv = y.raw();
-            let zv = z.raw();
-            for _ in 0..self.passes {
-                for k in 0..self.n - 11 {
-                    x.write_rounded(k, qv + yv[k] * (rv * zv[k + 10] + tv * zv[k + 11]));
-                }
+        let mut group = mixp_float::StreamGroup::new();
+        group.load(&y, 0).load(&z, 10).load(&z, 11).store(&x, 0);
+        let (qv, rv, tv) = (q.get(), r.get(), t.get());
+        let yv = y.raw();
+        let zv = z.raw();
+        for _ in 0..self.passes {
+            group.commit(ctx, self.n - 11);
+            for k in 0..self.n - 11 {
+                x.write_rounded(k, qv + yv[k] * (rv * zv[k + 10] + tv * zv[k + 11]));
             }
         }
         x.snapshot()

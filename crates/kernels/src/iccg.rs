@@ -109,44 +109,42 @@ impl Benchmark for Iccg {
         };
         let iters = per_pass * self.passes as u64;
         ctx.flop(self.x, &[self.v], 9 * iters);
-        if ctx.is_traced() {
-            for _ in 0..self.passes {
-                // Butterfly reduction: level sizes n/2, n/4, ..., 1.
-                let mut ii = self.n;
-                let mut ipntp = 0;
-                while ii > 1 {
-                    let ipnt = ipntp;
-                    ipntp += ii;
-                    ii /= 2;
-                    let mut i = ipntp;
-                    #[allow(clippy::explicit_counter_loop)] // mirrors the C loop
-                    for k in ((ipnt + 1)..(ipntp - 1)).step_by(2) {
-                        let val = x.get(ctx, k) - v.get(ctx, k) * x.get(ctx, k - 1)
-                            + v.get(ctx, k + 1) * x.get(ctx, k + 1);
-                        x.set(ctx, i, val);
-                        i += 1;
-                    }
-                }
-            }
-        } else {
-            x.bulk_loads(ctx, 3 * iters);
-            v.bulk_loads(ctx, 2 * iters);
-            x.bulk_stores(ctx, iters);
-            let vv = v.raw();
-            for _ in 0..self.passes {
-                let mut ii = self.n;
-                let mut ipntp = 0;
-                while ii > 1 {
-                    let ipnt = ipntp;
-                    ipntp += ii;
-                    ii /= 2;
-                    let mut i = ipntp;
-                    for k in ((ipnt + 1)..(ipntp - 1)).step_by(2) {
-                        let xs = x.raw();
-                        let val = xs[k] - vv[k] * xs[k - 1] + vv[k + 1] * xs[k + 1];
-                        x.write_rounded(i, val);
-                        i += 1;
-                    }
+        // Butterfly reduction: level sizes n/2, n/4, ..., 1. Within a
+        // level k steps by two, so each level is one group whose five load
+        // streams stride 2 elements while the store stream (compacting
+        // into the next level at ipntp) strides 1.
+        let mut level = mixp_float::StreamGroup::new();
+        level
+            .load_strided(&x, 0, 2)
+            .load_strided(&v, 0, 2)
+            .load_strided(&x, 0, 2)
+            .load_strided(&v, 0, 2)
+            .load_strided(&x, 0, 2)
+            .store(&x, 0);
+        let vv = v.raw();
+        for _ in 0..self.passes {
+            let mut ii = self.n;
+            let mut ipntp = 0;
+            while ii > 1 {
+                let ipnt = ipntp;
+                ipntp += ii;
+                ii /= 2;
+                let k0 = ipnt + 1;
+                let klen = ((ipnt + 1)..(ipntp - 1)).step_by(2).len();
+                level
+                    .rebase(0, &x, k0)
+                    .rebase(1, &v, k0)
+                    .rebase(2, &x, k0 - 1)
+                    .rebase(3, &v, k0 + 1)
+                    .rebase(4, &x, k0 + 1)
+                    .rebase(5, &x, ipntp);
+                level.commit(ctx, klen);
+                let mut i = ipntp;
+                for k in ((ipnt + 1)..(ipntp - 1)).step_by(2) {
+                    let xs = x.raw();
+                    let val = xs[k] - vv[k] * xs[k - 1] + vv[k + 1] * xs[k + 1];
+                    x.write_rounded(i, val);
+                    i += 1;
                 }
             }
         }

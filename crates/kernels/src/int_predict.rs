@@ -115,31 +115,24 @@ impl Benchmark for IntPredict {
             ctx.flop(self.px, &[self.coeffs[j], self.cx], 2 * iters);
         }
         ctx.flop(self.px, &[], 2 * iters);
-        if ctx.is_traced() {
-            for _ in 0..self.passes {
-                for i in 7..self.n {
-                    let mut acc = 0.0;
-                    for (j, c) in coeffs.iter().enumerate() {
-                        acc += c.get() * cx.get(ctx, i - j);
-                    }
-                    let prev = px.get(ctx, i - 1);
-                    px.set(ctx, i, 0.5 * (acc + prev));
+        // Per point: seven taps cx[i], cx[i-1], ..., cx[i-6] (one stream
+        // per tap so the group keeps the tap order), then px[i-1], then
+        // the px[i] store.
+        let mut group = mixp_float::StreamGroup::new();
+        for j in 0..coeffs.len() {
+            group.load(&cx, 7 - j);
+        }
+        group.load(&px, 6).store(&px, 7);
+        let cxv = cx.raw();
+        for _ in 0..self.passes {
+            group.commit(ctx, self.n - 7);
+            for i in 7..self.n {
+                let mut acc = 0.0;
+                for (j, c) in coeffs.iter().enumerate() {
+                    acc += c.get() * cxv[i - j];
                 }
-            }
-        } else {
-            cx.bulk_loads(ctx, coeffs.len() as u64 * iters);
-            px.bulk_loads(ctx, iters);
-            px.bulk_stores(ctx, iters);
-            let cxv = cx.raw();
-            for _ in 0..self.passes {
-                for i in 7..self.n {
-                    let mut acc = 0.0;
-                    for (j, c) in coeffs.iter().enumerate() {
-                        acc += c.get() * cxv[i - j];
-                    }
-                    let prev = px.raw()[i - 1];
-                    px.write_rounded(i, 0.5 * (acc + prev));
-                }
+                let prev = px.raw()[i - 1];
+                px.write_rounded(i, 0.5 * (acc + prev));
             }
         }
         px.snapshot()

@@ -118,29 +118,17 @@ impl Benchmark for Planckian {
         ctx.heavy(self.w, &[self.y, self.v, self.expmax], iters);
         ctx.heavy(self.w, &[self.u], iters);
         ctx.heavy(self.w, &[self.x], iters);
-        if ctx.is_traced() {
-            for _ in 0..self.passes {
-                for k in 0..self.n {
-                    let ratio = (y.get(ctx, k) / v.get(ctx, k)).min(expmax.get());
-                    let denom = ratio.exp() - u.get();
-                    let val = x.get(ctx, k) / denom;
-                    w.set(ctx, k, val);
-                }
-            }
-        } else {
-            y.bulk_loads(ctx, iters);
-            v.bulk_loads(ctx, iters);
-            x.bulk_loads(ctx, iters);
-            w.bulk_stores(ctx, iters);
-            let (em, uv) = (expmax.get(), u.get());
-            let yv = y.raw();
-            let vv = v.raw();
-            let xv = x.raw();
-            for _ in 0..self.passes {
-                for k in 0..self.n {
-                    let ratio = (yv[k] / vv[k]).min(em);
-                    w.write_rounded(k, xv[k] / (ratio.exp() - uv));
-                }
+        let mut group = mixp_float::StreamGroup::new();
+        group.load(&y, 0).load(&v, 0).load(&x, 0).store(&w, 0);
+        let (em, uv) = (expmax.get(), u.get());
+        let yv = y.raw();
+        let vv = v.raw();
+        let xv = x.raw();
+        for _ in 0..self.passes {
+            group.commit(ctx, self.n);
+            for k in 0..self.n {
+                let ratio = (yv[k] / vv[k]).min(em);
+                w.write_rounded(k, xv[k] / (ratio.exp() - uv));
             }
         }
         w.snapshot()

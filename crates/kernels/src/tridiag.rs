@@ -100,25 +100,15 @@ impl Benchmark for Tridiag {
         // Serial chain: each element waits on x[i-1].
         let iters = (self.passes * (self.n - 1)) as u64;
         ctx.heavy(self.x, &[self.z, self.y], 2 * iters);
-        if ctx.is_traced() {
-            for _ in 0..self.passes {
-                for i in 1..self.n {
-                    let v = z.get(ctx, i) * (y.get(ctx, i) - x.get(ctx, i - 1));
-                    x.set(ctx, i, v);
-                }
-            }
-        } else {
-            z.bulk_loads(ctx, iters);
-            y.bulk_loads(ctx, iters);
-            x.bulk_loads(ctx, iters);
-            x.bulk_stores(ctx, iters);
-            let zv = z.raw();
-            let yv = y.raw();
-            for _ in 0..self.passes {
-                for i in 1..self.n {
-                    let prev = x.raw()[i - 1];
-                    x.write_rounded(i, zv[i] * (yv[i] - prev));
-                }
+        let mut group = mixp_float::StreamGroup::new();
+        group.load(&z, 1).load(&y, 1).load(&x, 0).store(&x, 1);
+        let zv = z.raw();
+        let yv = y.raw();
+        for _ in 0..self.passes {
+            group.commit(ctx, self.n - 1);
+            for i in 1..self.n {
+                let prev = x.raw()[i - 1];
+                x.write_rounded(i, zv[i] * (yv[i] - prev));
             }
         }
         x.snapshot()

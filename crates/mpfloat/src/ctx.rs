@@ -3,6 +3,34 @@
 
 use crate::{CancelToken, OpCounts, Precision, PrecisionConfig, VarId};
 
+/// One strided access stream inside a batched trace group.
+///
+/// A stream describes a family of accesses `base + i * stride` for
+/// `i in 0..count` (the count lives on the group, not the stream). The
+/// stride is a *byte* offset and may be negative — two's-complement
+/// wrapping arithmetic expresses descending sweeps such as a backward
+/// recurrence — or zero for a location re-touched every iteration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StreamSpec {
+    /// Address of the stream's element 0.
+    pub base: u64,
+    /// Bytes per access (the element width as stored).
+    pub elem_bytes: u8,
+    /// Byte offset between consecutive group iterations (may be negative
+    /// or zero).
+    pub stride: i64,
+    /// Whether the stream's accesses are writes.
+    pub write: bool,
+}
+
+impl StreamSpec {
+    /// The address of the stream's `i`-th access.
+    #[inline]
+    pub fn addr(&self, i: usize) -> u64 {
+        self.base.wrapping_add((i as i64).wrapping_mul(self.stride) as u64)
+    }
+}
+
 /// Receives the synthetic memory-access stream of a benchmark run.
 ///
 /// Implemented by the cache simulator in `mixp-perf`; a run without a tracer
@@ -11,6 +39,21 @@ use crate::{CancelToken, OpCounts, Precision, PrecisionConfig, VarId};
 pub trait MemoryTracer {
     /// Records one access of `bytes` bytes at synthetic address `addr`.
     fn access(&mut self, addr: u64, bytes: u8, write: bool);
+
+    /// Records a batched group of interleaved streams: for `i` in
+    /// `0..count`, each stream's `i`-th access is emitted in declared
+    /// order. The default implementation replays the group element-wise
+    /// through [`MemoryTracer::access`], so recording or profiling tracers
+    /// observe exactly the sequence a per-element loop would have produced;
+    /// the cache simulators override it with a same-line fast path whose
+    /// statistics are bit-identical to this replay by construction.
+    fn access_group(&mut self, streams: &[StreamSpec], count: usize) {
+        for i in 0..count {
+            for s in streams {
+                self.access(s.addr(i), s.elem_bytes, s.write);
+            }
+        }
+    }
 }
 
 /// Per-run execution context.
@@ -85,9 +128,10 @@ impl<'a> ExecCtx<'a> {
 
     /// Attaches a [`CancelToken`] to this run. Once attached, every
     /// load/store accounting hook polls the token and unwinds with
-    /// [`crate::CancelUnwind`] if it has fired — once per bulk operation on
-    /// the untraced fast path, once per element on the traced path. With no
-    /// token attached the poll is a single `Option` branch.
+    /// [`crate::CancelUnwind`] if it has fired — once per bulk operation in
+    /// both modes, since batched tracing (see [`ExecCtx::trace_group`])
+    /// charges and traces at run granularity. With no token attached the
+    /// poll is a single `Option` branch.
     pub fn set_cancel_token(&mut self, token: CancelToken) {
         self.cancel = Some(token);
     }
@@ -264,9 +308,24 @@ impl<'a> ExecCtx<'a> {
         }
     }
 
+    /// Streams a batched group of interleaved access streams to the tracer
+    /// (no counting; a no-op when untraced). Group semantics are those of
+    /// [`MemoryTracer::access_group`]: for `i` in `0..count`, each stream's
+    /// `i`-th access in declared order — so declaring the streams in a
+    /// loop's per-iteration evaluation order reproduces exactly the access
+    /// sequence the element-wise loop would have emitted.
+    #[inline]
+    pub fn trace_group(&mut self, streams: &[StreamSpec], count: usize) {
+        if let Some(tr) = self.tracer.as_deref_mut() {
+            tr.access_group(streams, count);
+        }
+    }
+
     /// Bumps the load counter for `n` elements at `prec` without touching
     /// the tracer. Callers that may be traced are responsible for emitting
-    /// the matching per-element stream via [`ExecCtx::trace_float`].
+    /// the matching access stream via [`ExecCtx::trace_group`] (or a
+    /// per-element escape hatch such as [`ExecCtx::trace_untyped`] for
+    /// data-dependent patterns).
     #[inline]
     pub(crate) fn count_loads(&mut self, prec: Precision, n: u64) {
         self.cancel_point();
@@ -312,16 +371,21 @@ impl<'a> ExecCtx<'a> {
 
     /// Records a contiguous sweep of `n` loads of elements
     /// `start .. start + n` at `prec`: the op counter is bumped once, and
-    /// the per-element access stream is walked only when a tracer is
-    /// attached — in ascending index order, exactly as `n` individual
-    /// `get` calls would emit it.
+    /// the access stream is emitted as a single one-stream group — in
+    /// ascending index order, exactly as `n` individual `get` calls would
+    /// emit it.
     #[inline]
     pub fn record_loads(&mut self, prec: Precision, base: u64, start: usize, n: usize) {
         self.count_loads(prec, n as u64);
         if self.tracer.is_some() {
-            for i in start..start + n {
-                self.trace_float(prec, base, i, false);
-            }
+            let b = prec.bytes();
+            let spec = StreamSpec {
+                base: base + start as u64 * b,
+                elem_bytes: b as u8,
+                stride: b as i64,
+                write: false,
+            };
+            self.trace_group(&[spec], n);
         }
     }
 
@@ -332,9 +396,14 @@ impl<'a> ExecCtx<'a> {
     pub fn record_stores(&mut self, prec: Precision, base: u64, start: usize, n: usize) {
         self.count_stores(prec, n as u64);
         if self.tracer.is_some() {
-            for i in start..start + n {
-                self.trace_float(prec, base, i, true);
-            }
+            let b = prec.bytes();
+            let spec = StreamSpec {
+                base: base + start as u64 * b,
+                elem_bytes: b as u8,
+                stride: b as i64,
+                write: true,
+            };
+            self.trace_group(&[spec], n);
         }
     }
 }
@@ -452,6 +521,56 @@ mod tests {
         assert!(!rec.0[1].2, "second access is a read");
         assert_eq!(rec.0[0].0, rec.0[1].0, "same element, same address");
         assert_eq!(rec.0[0].1, 8);
+    }
+
+    #[test]
+    fn default_access_group_replays_element_wise() {
+        let streams = [
+            StreamSpec { base: 0x1000, elem_bytes: 8, stride: 8, write: false },
+            StreamSpec { base: 0x2000, elem_bytes: 4, stride: 4, write: true },
+        ];
+        let mut rec = Recorder(Vec::new());
+        rec.access_group(&streams, 3);
+        assert_eq!(
+            rec.0,
+            vec![
+                (0x1000, 8, false),
+                (0x2000, 4, true),
+                (0x1008, 8, false),
+                (0x2004, 4, true),
+                (0x1010, 8, false),
+                (0x2008, 4, true),
+            ]
+        );
+    }
+
+    #[test]
+    fn negative_stride_walks_backwards() {
+        let s = StreamSpec { base: 0x1010, elem_bytes: 8, stride: -8, write: false };
+        assert_eq!(s.addr(0), 0x1010);
+        assert_eq!(s.addr(1), 0x1008);
+        assert_eq!(s.addr(2), 0x1000);
+    }
+
+    #[test]
+    fn record_loads_emits_same_stream_as_gets() {
+        let (a, _) = two_vars();
+        let cfg = PrecisionConfig::all_double(2);
+        let mut rec_bulk = Recorder(Vec::new());
+        {
+            let mut ctx = ExecCtx::with_tracer(&cfg, &mut rec_bulk);
+            let v = ctx.alloc_vec(a, 8);
+            ctx.record_loads(Precision::Double, v.base(), 2, 5);
+        }
+        let mut rec_elem = Recorder(Vec::new());
+        {
+            let mut ctx = ExecCtx::with_tracer(&cfg, &mut rec_elem);
+            let v = ctx.alloc_vec(a, 8);
+            for i in 2..7 {
+                let _ = v.get(&mut ctx, i);
+            }
+        }
+        assert_eq!(rec_bulk.0, rec_elem.0);
     }
 
     #[test]

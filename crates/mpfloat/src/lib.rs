@@ -36,14 +36,16 @@ pub mod half;
 mod ctx;
 mod mpvec;
 mod precision;
+mod stream;
 mod var;
 
 pub use cancel::{unwind_cancelled, CancelToken, CancelUnwind};
 pub use config::{ConfigKey, PrecisionConfig};
 pub use counts::OpCounts;
-pub use ctx::{ExecCtx, MemoryTracer, OpSig};
+pub use ctx::{ExecCtx, MemoryTracer, OpSig, StreamSpec};
 pub use mpvec::{IndexVec, MpScalar, MpVec};
 pub use precision::Precision;
+pub use stream::StreamGroup;
 pub use var::{VarId, VarRegistry};
 
 /// Rounds `v` to the storage precision `prec`.

@@ -7,11 +7,13 @@
 //! hot path. The bulk primitives ([`MpVec::fill`], [`MpVec::copy_from`],
 //! [`MpVec::axpy`], [`MpVec::dot`], …) each document the canonical
 //! element-wise loop they replace and are *bit-identical* to it in output
-//! values, op counts, and traced access sequence; when no tracer is
-//! attached they take a count-only monomorphized path instead of walking
-//! per element.
+//! values, op counts, and traced access sequence. There is a single path
+//! for both tracer modes: counts are charged once per sweep, the access
+//! stream is emitted as one batched [`crate::StreamSpec`] group (a no-op
+//! untraced, a same-line fast path inside the cache simulator when
+//! traced), and compute runs monomorphized over the raw slices.
 
-use crate::{round_to, rounder, ExecCtx, Precision, VarId};
+use crate::{round_to, rounder, ExecCtx, Precision, StreamSpec, VarId};
 
 /// Expands `$body` once per storage precision with `$r` bound to an
 /// inlineable rounding closure, so the `Double` arm compiles to a loop with
@@ -153,6 +155,60 @@ impl MpVec {
         self.data.is_empty()
     }
 
+    /// The synthetic base address assigned at allocation.
+    #[inline]
+    pub fn base(&self) -> u64 {
+        self.base
+    }
+
+    /// Bytes per element as stored (the configured width).
+    #[inline]
+    pub fn elem_bytes(&self) -> u64 {
+        self.prec.bytes()
+    }
+
+    /// The synthetic address of element `i`.
+    #[inline]
+    pub fn elem_addr(&self, i: usize) -> u64 {
+        self.base + i as u64 * self.prec.bytes()
+    }
+
+    /// A load stream whose `i`-th access is element `start + i *
+    /// step_elems` (step in elements, may be negative or zero), for use in
+    /// a trace group.
+    #[inline]
+    pub fn stream_load(&self, start: usize, step_elems: i64) -> StreamSpec {
+        let b = self.prec.bytes();
+        StreamSpec {
+            base: self.elem_addr(start),
+            elem_bytes: b as u8,
+            stride: step_elems.wrapping_mul(b as i64),
+            write: false,
+        }
+    }
+
+    /// The store counterpart of [`MpVec::stream_load`].
+    #[inline]
+    pub fn stream_store(&self, start: usize, step_elems: i64) -> StreamSpec {
+        let b = self.prec.bytes();
+        StreamSpec {
+            base: self.elem_addr(start),
+            elem_bytes: b as u8,
+            stride: step_elems.wrapping_mul(b as i64),
+            write: true,
+        }
+    }
+
+    /// Streams one element access to the tracer without counting: the
+    /// per-element escape hatch for data-dependent patterns (gathers
+    /// through runtime indices) whose loads/stores are charged in bulk via
+    /// [`MpVec::bulk_loads`]/[`MpVec::bulk_stores`]. A no-op when
+    /// untraced.
+    #[inline]
+    pub fn trace_element(&self, ctx: &mut ExecCtx<'_>, i: usize, write: bool) {
+        ctx.trace_untyped(self.elem_addr(i), self.prec.bytes() as u8, write);
+    }
+
     /// Reads element `i`, counting and tracing the load.
     ///
     /// # Panics
@@ -225,13 +281,8 @@ impl MpVec {
         assert_eq!(n, src.data.len(), "copy_from: length mismatch");
         ctx.count_loads(src.prec, n as u64);
         ctx.count_stores(self.prec, n as u64);
-        if ctx.is_traced() {
-            for i in 0..n {
-                ctx.trace_float(src.prec, src.base, i, false);
-                self.data[i] = (self.round)(src.data[i]);
-                ctx.trace_float(self.prec, self.base, i, true);
-            }
-        } else if self.prec >= src.prec {
+        ctx.trace_group(&[src.stream_load(0, 1), self.stream_store(0, 1)], n);
+        if self.prec >= src.prec {
             // Destination at least as wide as the source: every incoming
             // value is already representable, rounding is the identity.
             self.data.copy_from_slice(&src.data);
@@ -250,19 +301,12 @@ impl MpVec {
         let n = self.data.len();
         ctx.count_loads(self.prec, n as u64);
         ctx.count_stores(self.prec, n as u64);
-        if ctx.is_traced() {
-            for i in 0..n {
-                ctx.trace_float(self.prec, self.base, i, false);
-                self.data[i] = (self.round)(self.data[i] * a);
-                ctx.trace_float(self.prec, self.base, i, true);
+        ctx.trace_group(&[self.stream_load(0, 1), self.stream_store(0, 1)], n);
+        per_prec!(self.prec, r, {
+            for d in self.data.iter_mut() {
+                *d = r(*d * a);
             }
-        } else {
-            per_prec!(self.prec, r, {
-                for d in self.data.iter_mut() {
-                    *d = r(*d * a);
-                }
-            });
-        }
+        });
     }
 
     /// `self[i] = self[i] + a * x[i]`. Canonical loop:
@@ -278,20 +322,15 @@ impl MpVec {
         ctx.count_loads(self.prec, n as u64);
         ctx.count_loads(x.prec, n as u64);
         ctx.count_stores(self.prec, n as u64);
-        if ctx.is_traced() {
-            for i in 0..n {
-                ctx.trace_float(self.prec, self.base, i, false);
-                ctx.trace_float(x.prec, x.base, i, false);
-                self.data[i] = (self.round)(self.data[i] + a * x.data[i]);
-                ctx.trace_float(self.prec, self.base, i, true);
+        ctx.trace_group(
+            &[self.stream_load(0, 1), x.stream_load(0, 1), self.stream_store(0, 1)],
+            n,
+        );
+        per_prec!(self.prec, r, {
+            for (d, &s) in self.data.iter_mut().zip(&x.data) {
+                *d = r(*d + a * s);
             }
-        } else {
-            per_prec!(self.prec, r, {
-                for (d, &s) in self.data.iter_mut().zip(&x.data) {
-                    *d = r(*d + a * s);
-                }
-            });
-        }
+        });
     }
 
     /// `self[i] = x[i] + b * self[i]`. Canonical loop:
@@ -307,20 +346,15 @@ impl MpVec {
         ctx.count_loads(x.prec, n as u64);
         ctx.count_loads(self.prec, n as u64);
         ctx.count_stores(self.prec, n as u64);
-        if ctx.is_traced() {
-            for i in 0..n {
-                ctx.trace_float(x.prec, x.base, i, false);
-                ctx.trace_float(self.prec, self.base, i, false);
-                self.data[i] = (self.round)(x.data[i] + b * self.data[i]);
-                ctx.trace_float(self.prec, self.base, i, true);
+        ctx.trace_group(
+            &[x.stream_load(0, 1), self.stream_load(0, 1), self.stream_store(0, 1)],
+            n,
+        );
+        per_prec!(self.prec, r, {
+            for (d, &s) in self.data.iter_mut().zip(&x.data) {
+                *d = r(s + b * *d);
             }
-        } else {
-            per_prec!(self.prec, r, {
-                for (d, &s) in self.data.iter_mut().zip(&x.data) {
-                    *d = r(s + b * *d);
-                }
-            });
-        }
+        });
     }
 
     /// Accumulates `self · other` into `acc`, rounding the running sum
@@ -348,22 +382,14 @@ impl MpVec {
         assert_eq!(n, other.data.len(), "dot: length mismatch");
         ctx.count_loads(self.prec, n as u64);
         ctx.count_loads(other.prec, n as u64);
-        if ctx.is_traced() {
-            for i in 0..n {
-                ctx.trace_float(self.prec, self.base, i, false);
-                ctx.trace_float(other.prec, other.base, i, false);
-                let t = self.data[i] * other.data[i];
-                acc.assign(acc.get() + t * w);
+        ctx.trace_group(&[self.stream_load(0, 1), other.stream_load(0, 1)], n);
+        per_prec!(acc.precision(), r, {
+            let mut a = acc.get();
+            for (&x, &y) in self.data.iter().zip(&other.data) {
+                a = r(a + (x * y) * w);
             }
-        } else {
-            per_prec!(acc.precision(), r, {
-                let mut a = acc.get();
-                for (&x, &y) in self.data.iter().zip(&other.data) {
-                    a = r(a + (x * y) * w);
-                }
-                acc.assign_prerounded(a);
-            });
-        }
+            acc.assign_prerounded(a);
+        });
     }
 
     /// Accumulates the element sum into `acc`, rounding the running sum
@@ -372,20 +398,14 @@ impl MpVec {
     pub fn sum(&self, ctx: &mut ExecCtx<'_>, acc: &mut MpScalar) {
         let n = self.data.len();
         ctx.count_loads(self.prec, n as u64);
-        if ctx.is_traced() {
-            for i in 0..n {
-                ctx.trace_float(self.prec, self.base, i, false);
-                acc.assign(acc.get() + self.data[i]);
+        ctx.trace_group(&[self.stream_load(0, 1)], n);
+        per_prec!(acc.precision(), r, {
+            let mut a = acc.get();
+            for &x in &self.data {
+                a = r(a + x);
             }
-        } else {
-            per_prec!(acc.precision(), r, {
-                let mut a = acc.get();
-                for &x in &self.data {
-                    a = r(a + x);
-                }
-                acc.assign_prerounded(a);
-            });
-        }
+            acc.assign_prerounded(a);
+        });
     }
 
     /// Accumulates the element sum into `acc` and the sum of squares into
@@ -395,28 +415,20 @@ impl MpVec {
     pub fn sum_with_squares(&self, ctx: &mut ExecCtx<'_>, acc: &mut MpScalar, acc2: &mut MpScalar) {
         let n = self.data.len();
         ctx.count_loads(self.prec, n as u64);
-        if ctx.is_traced() {
-            for i in 0..n {
-                ctx.trace_float(self.prec, self.base, i, false);
-                let v = self.data[i];
-                acc.assign(acc.get() + v);
-                acc2.assign(acc2.get() + v * v);
-            }
-        } else {
-            // The two accumulators may sit at different precisions, so the
-            // cached per-handle rounders are used instead of a (quadratic)
-            // per-precision-pair expansion.
-            let r1 = acc.round;
-            let r2 = acc2.round;
-            let mut a = acc.get();
-            let mut b = acc2.get();
-            for &v in &self.data {
-                a = r1(a + v);
-                b = r2(b + v * v);
-            }
-            acc.assign_prerounded(a);
-            acc2.assign_prerounded(b);
+        ctx.trace_group(&[self.stream_load(0, 1)], n);
+        // The two accumulators may sit at different precisions, so the
+        // cached per-handle rounders are used instead of a (quadratic)
+        // per-precision-pair expansion.
+        let r1 = acc.round;
+        let r2 = acc2.round;
+        let mut a = acc.get();
+        let mut b = acc2.get();
+        for &v in &self.data {
+            a = r1(a + v);
+            b = r2(b + v * v);
         }
+        acc.assign_prerounded(a);
+        acc2.assign_prerounded(b);
     }
 
     /// Stores `f(i)` into every element. Canonical loop:
@@ -425,39 +437,35 @@ impl MpVec {
     pub fn map_store(&mut self, ctx: &mut ExecCtx<'_>, mut f: impl FnMut(usize) -> f64) {
         let n = self.data.len();
         ctx.count_stores(self.prec, n as u64);
-        if ctx.is_traced() {
-            for i in 0..n {
-                self.data[i] = (self.round)(f(i));
-                ctx.trace_float(self.prec, self.base, i, true);
+        ctx.trace_group(&[self.stream_store(0, 1)], n);
+        per_prec!(self.prec, r, {
+            for (i, d) in self.data.iter_mut().enumerate() {
+                *d = r(f(i));
             }
-        } else {
-            per_prec!(self.prec, r, {
-                for (i, d) in self.data.iter_mut().enumerate() {
-                    *d = r(f(i));
-                }
-            });
-        }
+        });
     }
 
     // ------------------------------------------------------------------
-    // Untraced fast-path tools, for benchmark loops whose access pattern
-    // fits no named primitive. A benchmark that branches on
-    // `ctx.is_traced()` keeps its element-wise loop as the traced
-    // reference and pairs these raw accessors with `bulk_loads`/
-    // `bulk_stores` accounting in the untraced arm; the traced ≡ untraced
-    // property tests pin counts and values together.
+    // Raw fast-path tools, for benchmark loops whose access pattern fits
+    // no named primitive. The single hot loop computes over `raw()`/
+    // `write_rounded` and declares its access streams once as a
+    // `crate::StreamGroup` (whose `commit` both counts and traces), with
+    // `bulk_loads`/`bulk_stores` + `trace_element` covering the
+    // data-dependent accesses a static stream cannot express.
     // ------------------------------------------------------------------
 
     /// Uncounted, untracked view of the stored (already rounded) values.
-    /// Pair with [`MpVec::bulk_loads`] so the op counters still see every
-    /// logical load.
+    /// Pair with a committed [`crate::StreamGroup`] (or
+    /// [`MpVec::bulk_loads`]) so the op counters still see every logical
+    /// load.
     #[inline]
     pub fn raw(&self) -> &[f64] {
         &self.data
     }
 
     /// Rounds `v` into storage and writes element `i` without accounting.
-    /// Pair with [`MpVec::bulk_stores`]. Returns the value as stored.
+    /// Pair with a committed store stream (or [`MpVec::bulk_stores`]).
+    /// Returns the value as stored.
     #[inline]
     pub fn write_rounded(&mut self, i: usize, v: f64) -> f64 {
         let r = (self.round)(v);
@@ -466,31 +474,19 @@ impl MpVec {
     }
 
     /// Charges `n` element loads of this array to the op counters in one
-    /// step, with no per-element walk.
-    ///
-    /// # Panics
-    ///
-    /// Panics if a tracer is attached: a count-only charge would silently
-    /// drop the per-element access stream the cache simulator depends on.
-    /// Fast paths that use this must be reached only when
-    /// [`ExecCtx::is_traced`] is `false`.
+    /// step, with no per-element walk and no tracing. Traced callers pair
+    /// this with the matching access stream — [`MpVec::trace_element`]
+    /// for data-dependent gathers (static patterns belong in a
+    /// [`crate::StreamGroup`], whose `commit` already counts).
     #[inline]
     pub fn bulk_loads(&self, ctx: &mut ExecCtx<'_>, n: u64) {
-        assert!(
-            !ctx.is_traced(),
-            "bulk_loads is an untraced fast-path tool; traced runs must walk per element"
-        );
         ctx.count_loads(self.prec, n);
     }
 
     /// Charges `n` element stores of this array to the op counters in one
-    /// step. Same tracer restriction as [`MpVec::bulk_loads`].
+    /// step. Same pairing contract as [`MpVec::bulk_loads`].
     #[inline]
     pub fn bulk_stores(&self, ctx: &mut ExecCtx<'_>, n: u64) {
-        assert!(
-            !ctx.is_traced(),
-            "bulk_stores is an untraced fast-path tool; traced runs must walk per element"
-        );
         ctx.count_stores(self.prec, n);
     }
 }
@@ -620,6 +616,25 @@ impl IndexVec {
     #[inline]
     pub fn peek(&self, i: usize) -> i64 {
         self.data[i]
+    }
+
+    /// The synthetic address of element `i` (4 bytes per element).
+    #[inline]
+    pub fn elem_addr(&self, i: usize) -> u64 {
+        self.base + i as u64 * 4
+    }
+
+    /// A 4-byte load stream whose `i`-th access is element `start + i *
+    /// step_elems`, for use in a trace group. Index traffic is traced but
+    /// never op-counted.
+    #[inline]
+    pub fn stream_load(&self, start: usize, step_elems: i64) -> StreamSpec {
+        StreamSpec {
+            base: self.elem_addr(start),
+            elem_bytes: 4,
+            stride: step_elems.wrapping_mul(4),
+            write: false,
+        }
     }
 
     /// Untracked view of the contents, for untraced fast paths. Index
@@ -763,17 +778,24 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "untraced fast-path tool")]
-    fn bulk_loads_rejects_traced_contexts() {
-        struct Null;
-        impl crate::MemoryTracer for Null {
-            fn access(&mut self, _: u64, _: u8, _: bool) {}
+    fn trace_element_matches_get_address_and_width() {
+        struct Rec(Vec<(u64, u8, bool)>);
+        impl crate::MemoryTracer for Rec {
+            fn access(&mut self, addr: u64, bytes: u8, write: bool) {
+                self.0.push((addr, bytes, write));
+            }
         }
-        let (a, cfg) = setup(Precision::Double);
-        let mut tr = Null;
-        let mut ctx = ExecCtx::with_tracer(&cfg, &mut tr);
-        let v = ctx.alloc_vec(a, 4);
-        v.bulk_loads(&mut ctx, 4);
+        let (a, cfg) = setup(Precision::Single);
+        let mut rec = Rec(Vec::new());
+        let mut ctx = ExecCtx::with_tracer(&cfg, &mut rec);
+        let v = ctx.alloc_vec(a, 8);
+        let _ = v.get(&mut ctx, 5);
+        v.bulk_loads(&mut ctx, 1);
+        v.trace_element(&mut ctx, 5, false);
+        let c = ctx.counts();
+        drop(ctx);
+        assert_eq!(rec.0[0], rec.0[1], "same element, same access record");
+        assert_eq!(c.loads_f32, 2);
     }
 }
 

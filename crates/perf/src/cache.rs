@@ -1,6 +1,6 @@
 //! Set-associative cache simulation.
 
-use mixp_float::MemoryTracer;
+use mixp_float::{MemoryTracer, StreamSpec};
 
 /// Geometry of one cache level.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -90,12 +90,34 @@ impl CacheStats {
     }
 }
 
+/// One cache line. Validity is epoch-stamped rather than a boolean: a
+/// line is live iff `epoch == CacheSim::epoch`, so [`CacheSim::reset`]
+/// invalidates the whole array by bumping one counter instead of
+/// re-initialising `sets * ways` entries. That makes a simulator
+/// reusable across evaluations at zero cost — which matters because a
+/// fresh default hierarchy (4608 lines) costs more to build than a
+/// small benchmark costs to trace.
 #[derive(Debug, Clone, Copy, Default)]
 struct Line {
     tag: u64,
-    valid: bool,
+    epoch: u64,
     dirty: bool,
     stamp: u64,
+}
+
+/// Per-stream memo for the batched `access_group` fast path: the address
+/// the stream's next access will touch, plus the line it last resolved to
+/// (`block`/`tag`) and where that line sits (`way`, an absolute index into
+/// `lines`). While the stream stays on the same block *and* the memoised
+/// way still holds the matching tag (no cross-stream eviction), an access
+/// is a guaranteed hit at exactly that way, so the set scan is skipped.
+#[derive(Debug, Clone, Copy, Default)]
+struct StreamState {
+    addr: u64,
+    block: u64,
+    tag: u64,
+    way: usize,
+    valid: bool,
 }
 
 /// One level of set-associative, write-back, write-allocate cache with
@@ -110,11 +132,17 @@ pub struct CacheSim {
     set_mask: usize,
     tag_shift: u32,
     lines: Vec<Line>,
+    // Lines whose `epoch` equals this are live; all others are invalid.
+    // Starts at 1 so default-initialised lines (epoch 0) begin invalid.
+    epoch: u64,
     clock: u64,
     hits: u64,
     misses: u64,
     writebacks: u64,
     poisoned: bool,
+    // Reused per-stream state for `access_group`, kept on the simulator so
+    // a group commit allocates nothing.
+    scratch: Vec<StreamState>,
 }
 
 /// Outcome of one access against a single level.
@@ -141,11 +169,13 @@ impl CacheSim {
             set_mask: params.sets - 1,
             tag_shift: params.sets.trailing_zeros(),
             lines: vec![Line::default(); params.sets * params.ways],
+            epoch: 1,
             clock: 0,
             hits: 0,
             misses: 0,
             writebacks: 0,
             poisoned: false,
+            scratch: Vec::new(),
         }
     }
 
@@ -184,40 +214,68 @@ impl CacheSim {
         self.poisoned
     }
 
+    /// Returns the level to its as-new state in O(1): bumping the epoch
+    /// invalidates every line without touching the line array, and the
+    /// counters, clock and poison marker are cleared. Behaviour after a
+    /// reset is bit-identical to a freshly built simulator (stale tags,
+    /// stamps and dirty bits are unreachable behind the epoch check).
+    pub fn reset(&mut self) {
+        self.epoch += 1;
+        self.clock = 0;
+        self.hits = 0;
+        self.misses = 0;
+        self.writebacks = 0;
+        self.poisoned = false;
+    }
+
     #[inline]
     fn touch(&mut self, addr: u64, write: bool) -> Access {
+        self.touch_way(addr, write).0
+    }
+
+    /// The full access path, additionally returning the absolute index of
+    /// the line the access resolved to (hit way, or the way the miss
+    /// filled) so `access_group` can memoise it.
+    #[inline]
+    fn touch_way(&mut self, addr: u64, write: bool) -> (Access, usize) {
         self.clock += 1;
         let block = addr >> self.line_shift;
         let set = (block as usize) & self.set_mask;
         let tag = block >> self.tag_shift;
         let ways = self.params.ways;
         let base = set * ways;
+        let epoch = self.epoch;
         let set_lines = &mut self.lines[base..base + ways];
 
-        if let Some(l) = set_lines.iter_mut().find(|l| l.valid && l.tag == tag) {
+        if let Some((w, l)) = set_lines
+            .iter_mut()
+            .enumerate()
+            .find(|(_, l)| l.epoch == epoch && l.tag == tag)
+        {
             l.stamp = self.clock;
             l.dirty |= write;
             self.hits += 1;
-            return Access::Hit;
+            return (Access::Hit, base + w);
         }
 
         // Miss: fill into an invalid way or evict the LRU way.
         self.misses += 1;
-        let victim = set_lines
+        let (w, victim) = set_lines
             .iter_mut()
-            .min_by_key(|l| if l.valid { l.stamp } else { 0 })
+            .enumerate()
+            .min_by_key(|(_, l)| if l.epoch == epoch { l.stamp } else { 0 })
             .expect("ways > 0");
-        let dirty_evict = victim.valid && victim.dirty;
+        let dirty_evict = victim.epoch == epoch && victim.dirty;
         if dirty_evict {
             self.writebacks += 1;
         }
         *victim = Line {
             tag,
-            valid: true,
+            epoch,
             dirty: write,
             stamp: self.clock,
         };
-        Access::Miss { dirty_evict }
+        (Access::Miss { dirty_evict }, base + w)
     }
 }
 
@@ -225,6 +283,133 @@ impl MemoryTracer for CacheSim {
     #[inline]
     fn access(&mut self, addr: u64, _bytes: u8, write: bool) {
         let _ = self.touch(addr, write);
+    }
+
+    /// Batched fast path, run-granular. Equivalence with the element-wise
+    /// replay is by construction, in two layers:
+    ///
+    /// - *Run batching*: when every stream sits on its memoised resident
+    ///   line, the next `run` iterations are provably all hits (hits never
+    ///   evict, so residency cannot be lost mid-run), and their combined
+    ///   effect is computed in closed form — the LRU clock advances by
+    ///   `run * streams`, each line's stamp lands on the clock value its
+    ///   *last* scalar touch would have written (streams are stamped in
+    ///   declaration order, so a line shared by several streams keeps the
+    ///   highest), dirty bits are OR-ed, hits are bulk-counted.
+    /// - *Scalar fallback*: any iteration not covered by a run — first
+    ///   touch, block crossing, memoised way evicted by another stream —
+    ///   goes through the same [`CacheSim::touch_way`] the element-wise
+    ///   path uses, then re-memoises.
+    fn access_group(&mut self, streams: &[StreamSpec], count: usize) {
+        // Tiny commits — short data-dependent inner loops rebased per
+        // point (a feature row, a particle quad) — are dominated by the
+        // batching machinery, not by the accesses: replay them directly.
+        if count * streams.len() <= 32 {
+            for i in 0..count {
+                for spec in streams {
+                    let _ = self.touch(spec.addr(i), spec.write);
+                }
+            }
+            return;
+        }
+        let line_shift = self.line_shift;
+        let line_mask = (1u64 << line_shift) - 1;
+        // A stream whose stride spans at least a whole line changes block
+        // on every iteration, so the memo/run machinery can never fire —
+        // when the entire group is like that (the lock-step batched-system
+        // sweeps), skip straight to the plain scalar walk.
+        if streams
+            .iter()
+            .all(|s| s.stride.unsigned_abs() > line_mask)
+        {
+            let mut addrs = std::mem::take(&mut self.scratch);
+            addrs.clear();
+            addrs.extend(streams.iter().map(|s| StreamState {
+                addr: s.base,
+                ..StreamState::default()
+            }));
+            for _ in 0..count {
+                for (k, spec) in streams.iter().enumerate() {
+                    let st = &mut addrs[k];
+                    let addr = st.addr;
+                    st.addr = addr.wrapping_add(spec.stride as u64);
+                    let _ = self.touch(addr, spec.write);
+                }
+            }
+            self.scratch = addrs;
+            return;
+        }
+        let mut scratch = std::mem::take(&mut self.scratch);
+        scratch.clear();
+        scratch.extend(streams.iter().map(|s| StreamState {
+            addr: s.base,
+            ..StreamState::default()
+        }));
+        let nstreams = streams.len() as u64;
+        let mut i = 0;
+        while i < count {
+            // Longest run of guaranteed hits starting at iteration `i`:
+            // zero as soon as any stream is off its memoised line.
+            let mut run = count - i;
+            for (k, spec) in streams.iter().enumerate() {
+                let st = &scratch[k];
+                if !st.valid || st.addr >> line_shift != st.block {
+                    run = 0;
+                    break;
+                }
+                let l = &self.lines[st.way];
+                if l.epoch != self.epoch || l.tag != st.tag {
+                    run = 0;
+                    break;
+                }
+                // Iterations until this stream leaves its current block.
+                if spec.stride > 0 {
+                    let remaining = (line_mask + 1) - (st.addr & line_mask);
+                    run = run.min(remaining.div_ceil(spec.stride as u64) as usize);
+                } else if spec.stride < 0 {
+                    let off = st.addr & line_mask;
+                    run = run.min((off / spec.stride.unsigned_abs()) as usize + 1);
+                }
+            }
+            if run > 0 {
+                let r = run as u64;
+                let base_clock = self.clock;
+                self.clock += r * nstreams;
+                self.hits += r * nstreams;
+                for (k, spec) in streams.iter().enumerate() {
+                    let st = &mut scratch[k];
+                    let l = &mut self.lines[st.way];
+                    l.stamp = base_clock + (r - 1) * nstreams + k as u64 + 1;
+                    l.dirty |= spec.write;
+                    st.addr = st.addr.wrapping_add((spec.stride as u64).wrapping_mul(r));
+                }
+                i += run;
+                continue;
+            }
+            for (k, spec) in streams.iter().enumerate() {
+                let st = &mut scratch[k];
+                let addr = st.addr;
+                st.addr = addr.wrapping_add(spec.stride as u64);
+                let block = addr >> line_shift;
+                if st.valid && block == st.block {
+                    let l = &mut self.lines[st.way];
+                    if l.epoch == self.epoch && l.tag == st.tag {
+                        self.clock += 1;
+                        l.stamp = self.clock;
+                        l.dirty |= spec.write;
+                        self.hits += 1;
+                        continue;
+                    }
+                }
+                let (_, way) = self.touch_way(addr, spec.write);
+                st.block = block;
+                st.tag = block >> self.tag_shift;
+                st.way = way;
+                st.valid = true;
+            }
+            i += 1;
+        }
+        self.scratch = scratch;
     }
 }
 
@@ -235,9 +420,12 @@ impl MemoryTracer for CacheSim {
 /// [`mixp_float::ExecCtx`].
 #[derive(Debug, Clone)]
 pub struct Hierarchy {
+    params: CacheParams,
     l1: CacheSim,
     l2: CacheSim,
     stats: CacheStats,
+    // Reused per-stream L1 state for `access_group` (see `StreamState`).
+    scratch: Vec<StreamState>,
 }
 
 impl Hierarchy {
@@ -250,10 +438,33 @@ impl Hierarchy {
             l1.poison();
         }
         Hierarchy {
+            params,
             l1,
             l2: CacheSim::new(params.l2),
             stats: CacheStats::default(),
+            scratch: Vec::new(),
         }
+    }
+
+    /// The geometry (and fault hook) this hierarchy was built with.
+    pub fn params(&self) -> CacheParams {
+        self.params
+    }
+
+    /// Returns the hierarchy to its as-new state in O(1) (see
+    /// [`CacheSim::reset`]): both levels' lines are epoch-invalidated,
+    /// stats are cleared, and the construction-time poison hook is
+    /// re-applied. A reset hierarchy is behaviourally bit-identical to
+    /// `Hierarchy::new(self.params())`, which lets callers that evaluate
+    /// in a tight loop reuse one simulator instead of re-initialising
+    /// `sets * ways` lines per evaluation.
+    pub fn reset(&mut self) {
+        self.l1.reset();
+        self.l2.reset();
+        if self.params.poison_stats {
+            self.l1.poison();
+        }
+        self.stats = CacheStats::default();
     }
 
     /// Fault-injection hook: poisons the hierarchy (see [`CacheSim::poison`]).
@@ -295,6 +506,139 @@ impl MemoryTracer for Hierarchy {
                 }
             }
         }
+    }
+
+    /// Batched fast path over the L1 front, run-granular (the same
+    /// two-layer construction as [`CacheSim::access_group`]): a run of
+    /// iterations in which every stream sits on its memoised resident L1
+    /// line is all L1 hits — which the scalar path never forwards to L2 —
+    /// so its combined L1 bookkeeping is applied in closed form. Any other
+    /// iteration takes the exact scalar two-level path and re-memoises
+    /// where L1 placed the line.
+    fn access_group(&mut self, streams: &[StreamSpec], count: usize) {
+        // Tiny commits: replay directly (see [`CacheSim::access_group`]).
+        if count * streams.len() <= 32 {
+            for i in 0..count {
+                for spec in streams {
+                    self.access(spec.addr(i), spec.elem_bytes, spec.write);
+                }
+            }
+            return;
+        }
+        let line_shift = self.l1.line_shift;
+        let line_mask = (1u64 << line_shift) - 1;
+        // All-far-strided groups change block every iteration; see
+        // [`CacheSim::access_group`].
+        if streams
+            .iter()
+            .all(|s| s.stride.unsigned_abs() > line_mask)
+        {
+            let mut addrs = std::mem::take(&mut self.scratch);
+            addrs.clear();
+            addrs.extend(streams.iter().map(|s| StreamState {
+                addr: s.base,
+                ..StreamState::default()
+            }));
+            for _ in 0..count {
+                for (k, spec) in streams.iter().enumerate() {
+                    let st = &mut addrs[k];
+                    let addr = st.addr;
+                    st.addr = addr.wrapping_add(spec.stride as u64);
+                    self.access(addr, spec.elem_bytes, spec.write);
+                }
+            }
+            self.scratch = addrs;
+            return;
+        }
+        let mut scratch = std::mem::take(&mut self.scratch);
+        scratch.clear();
+        scratch.extend(streams.iter().map(|s| StreamState {
+            addr: s.base,
+            ..StreamState::default()
+        }));
+        let nstreams = streams.len() as u64;
+        let mut i = 0;
+        while i < count {
+            let mut run = count - i;
+            for (k, spec) in streams.iter().enumerate() {
+                let st = &scratch[k];
+                if !st.valid || st.addr >> line_shift != st.block {
+                    run = 0;
+                    break;
+                }
+                let l = &self.l1.lines[st.way];
+                if l.epoch != self.l1.epoch || l.tag != st.tag {
+                    run = 0;
+                    break;
+                }
+                if spec.stride > 0 {
+                    let remaining = (line_mask + 1) - (st.addr & line_mask);
+                    run = run.min(remaining.div_ceil(spec.stride as u64) as usize);
+                } else if spec.stride < 0 {
+                    let off = st.addr & line_mask;
+                    run = run.min((off / spec.stride.unsigned_abs()) as usize + 1);
+                }
+            }
+            if run > 0 {
+                let r = run as u64;
+                let base_clock = self.l1.clock;
+                self.l1.clock += r * nstreams;
+                self.l1.hits += r * nstreams;
+                self.stats.accesses += r * nstreams;
+                self.stats.l1_hits += r * nstreams;
+                for (k, spec) in streams.iter().enumerate() {
+                    let st = &mut scratch[k];
+                    let l = &mut self.l1.lines[st.way];
+                    l.stamp = base_clock + (r - 1) * nstreams + k as u64 + 1;
+                    l.dirty |= spec.write;
+                    st.addr = st.addr.wrapping_add((spec.stride as u64).wrapping_mul(r));
+                }
+                i += run;
+                continue;
+            }
+            for (k, spec) in streams.iter().enumerate() {
+                let st = &mut scratch[k];
+                let addr = st.addr;
+                st.addr = addr.wrapping_add(spec.stride as u64);
+                let block = addr >> line_shift;
+                self.stats.accesses += 1;
+                if st.valid && block == st.block {
+                    let l = &mut self.l1.lines[st.way];
+                    if l.epoch == self.l1.epoch && l.tag == st.tag {
+                        self.l1.clock += 1;
+                        l.stamp = self.l1.clock;
+                        l.dirty |= spec.write;
+                        self.l1.hits += 1;
+                        self.stats.l1_hits += 1;
+                        continue;
+                    }
+                }
+                let (outcome, way) = self.l1.touch_way(addr, spec.write);
+                match outcome {
+                    Access::Hit => self.stats.l1_hits += 1,
+                    Access::Miss { dirty_evict } => {
+                        if dirty_evict {
+                            self.stats.writebacks += 1;
+                        }
+                        match self.l2.touch(addr, spec.write) {
+                            Access::Hit => self.stats.l2_hits += 1,
+                            Access::Miss { dirty_evict } => {
+                                if dirty_evict {
+                                    self.stats.writebacks += 1;
+                                }
+                                self.stats.misses += 1;
+                            }
+                        }
+                    }
+                }
+                st.block = block;
+                st.tag = block >> self.l1.tag_shift;
+                st.way = way;
+                st.valid = true;
+            }
+            i += 1;
+        }
+        self.scratch = scratch;
     }
 }
 
@@ -473,6 +817,130 @@ mod tests {
             let s = h.stats();
             prop_assert_eq!(s.accesses as usize, addrs.len());
             prop_assert_eq!(s.l1_hits + s.l2_hits + s.misses, s.accesses);
+        });
+    }
+
+    /// Replays a group element-wise through the scalar `access` path.
+    fn scalar_replay(sim: &mut dyn MemoryTracer, streams: &[StreamSpec], count: usize) {
+        for i in 0..count {
+            for s in streams {
+                sim.access(s.addr(i), s.elem_bytes, s.write);
+            }
+        }
+    }
+
+    fn arbitrary_streams(
+        bases: &[u64],
+        strides: &[i64],
+        writes: &[bool],
+    ) -> Vec<StreamSpec> {
+        bases
+            .iter()
+            .zip(strides)
+            .zip(writes)
+            .map(|((&b, &s), &w)| StreamSpec {
+                base: b,
+                elem_bytes: 8,
+                stride: s,
+                write: w,
+            })
+            .collect()
+    }
+
+    /// The batched fast path must be bit-identical to the element-wise
+    /// replay for arbitrary stream groups — including overlapping streams,
+    /// zero and negative strides, and line-thrashing conflict patterns.
+    #[test]
+    fn group_fast_path_matches_scalar_replay_on_cachesim() {
+        prop_check!((
+            bases in vecs(u64s(0..4096), 1..6),
+            strides in vecs(mixp_core::prop::i64s(-130..130), 6..7),
+            writes in vecs(bools(), 6..7),
+            count in usizes(0..300),
+        ) => {
+            let streams = arbitrary_streams(&bases, &strides, &writes);
+            let geom = LevelParams { sets: 4, ways: 2, line: 64 };
+            let mut fast = CacheSim::new(geom);
+            let mut slow = CacheSim::new(geom);
+            fast.access_group(&streams, count);
+            scalar_replay(&mut slow, &streams, count);
+            prop_assert_eq!(fast.hits(), slow.hits());
+            prop_assert_eq!(fast.misses(), slow.misses());
+            prop_assert_eq!(fast.writebacks(), slow.writebacks());
+            prop_assert_eq!(fast.clock, slow.clock);
+        });
+    }
+
+    #[test]
+    fn group_fast_path_matches_scalar_replay_on_hierarchy() {
+        prop_check!((
+            bases in vecs(u64s(0..4096), 1..6),
+            strides in vecs(mixp_core::prop::i64s(-130..130), 6..7),
+            writes in vecs(bools(), 6..7),
+            count in usizes(0..300),
+        ) => {
+            let streams = arbitrary_streams(&bases, &strides, &writes);
+            let params = CacheParams {
+                l1: LevelParams { sets: 4, ways: 2, line: 64 },
+                l2: LevelParams { sets: 16, ways: 2, line: 64 },
+                ..CacheParams::default()
+            };
+            let mut fast = Hierarchy::new(params);
+            let mut slow = Hierarchy::new(params);
+            fast.access_group(&streams, count);
+            scalar_replay(&mut slow, &streams, count);
+            prop_assert_eq!(fast.stats(), slow.stats());
+        });
+    }
+
+    /// Consecutive groups share simulator state: the memo must not leak
+    /// stale hits across group boundaries after unrelated traffic.
+    #[test]
+    fn group_memo_does_not_survive_interleaved_scalar_traffic() {
+        let geom = LevelParams { sets: 2, ways: 1, line: 64 };
+        let streams = [StreamSpec { base: 0, elem_bytes: 8, stride: 0, write: false }];
+        let mut fast = CacheSim::new(geom);
+        let mut slow = CacheSim::new(geom);
+        fast.access_group(&streams, 4);
+        // Conflicting line evicts block 0 (1-way set 0).
+        fast.access(128, 8, true);
+        fast.access_group(&streams, 4);
+        scalar_replay(&mut slow, &streams, 4);
+        slow.access(128, 8, true);
+        scalar_replay(&mut slow, &streams, 4);
+        assert_eq!(fast.hits(), slow.hits());
+        assert_eq!(fast.misses(), slow.misses());
+        assert_eq!(fast.writebacks(), slow.writebacks());
+    }
+
+    /// A reset simulator must be bit-identical to a freshly built one on
+    /// any subsequent traffic — stale lines from before the reset (tags,
+    /// stamps, dirty bits) must be unreachable behind the epoch check.
+    #[test]
+    fn reset_is_bit_identical_to_fresh() {
+        prop_check!((
+            before in vecs(u64s(0..2048), 0..200),
+            after in vecs(u64s(0..2048), 1..200),
+            writes in vecs(bools(), 400..401),
+        ) => {
+            let params = CacheParams {
+                l1: LevelParams { sets: 4, ways: 2, line: 64 },
+                l2: LevelParams { sets: 16, ways: 2, line: 64 },
+                poison_stats: true,
+            };
+            let mut reused = Hierarchy::new(params);
+            for (i, &a) in before.iter().enumerate() {
+                reused.access(a, 8, writes[i % writes.len()]);
+            }
+            reused.reset();
+            let mut fresh = Hierarchy::new(params);
+            for (i, &a) in after.iter().enumerate() {
+                reused.access(a, 8, writes[i % writes.len()]);
+                fresh.access(a, 8, writes[i % writes.len()]);
+            }
+            prop_assert_eq!(reused.stats(), fresh.stats());
+            prop_assert_eq!(reused.l1.clock, fresh.l1.clock);
+            prop_assert_eq!(reused.l2.clock, fresh.l2.clock);
         });
     }
 

@@ -78,18 +78,24 @@ echo "== [3/7] fast-path guard: benchmark hot loops must use the bulk layer =="
 # the MpVec fast path: per-handle cached rounding and bulk accounting.
 # Reaching around it — rounding manually with `round_to`, or reading
 # storage with the test-only `.peek(` accessor — silently desynchronises
-# values or op counts from the traced run. Test modules (below the
-# #[cfg(test)] marker) are exempt: peeking is exactly what tests are for.
+# values or op counts from the traced run. Since the batched-tracing
+# refactor, the same holds for the raw tracing layer: per-element
+# `trace_float`/`trace_untyped` calls and direct `record_loads`/
+# `record_stores` accounting in benchmark code reintroduce the traced
+# slow path that `StreamGroup::commit` and the bulk primitives replaced
+# (the sanctioned data-dependent escape hatch is `MpVec::trace_element`
+# plus `bulk_loads`). Test modules (below the #[cfg(test)] marker) are
+# exempt: peeking is exactly what tests are for.
 fastpath_violations=$(find crates/kernels/src crates/apps/src -name '*.rs' -print0 | \
   xargs -0 -n1 awk '
     /#\[cfg\(test\)\]/ { exit }
-    /round_to[[:space:]]*\(|\.peek[[:space:]]*\(/ && !/^[[:space:]]*\/\// {
+    /round_to[[:space:]]*\(|\.peek[[:space:]]*\(|trace_float[[:space:]]*\(|trace_untyped[[:space:]]*\(|record_loads[[:space:]]*\(|record_stores[[:space:]]*\(/ && !/^[[:space:]]*\/\// {
       printf "%s:%d: %s\n", FILENAME, FNR, $0
     }
   ')
 if [ -n "$fastpath_violations" ]; then
   echo "$fastpath_violations"
-  echo "error: kernel/app non-test code bypasses the MpVec fast path — use get/set or the bulk primitives" >&2
+  echo "error: kernel/app non-test code bypasses the MpVec fast path — use the bulk primitives or StreamGroup::commit (trace_element for gathers)" >&2
   exit 1
 fi
 echo "ok: kernels and apps stay on the bulk/fast-path API"

@@ -322,6 +322,79 @@ fn traced_and_untraced_benchmark_runs_are_bit_identical() {
     });
 }
 
+/// The cache simulators' grouped fast paths must be *bit-identical* to the
+/// default element-wise replay on the real access streams of every shipped
+/// benchmark, under arbitrary precision configurations. `ScalarReplay`
+/// forwards only `access`, so the wrapped simulator is driven through
+/// `MemoryTracer::access_group`'s default per-element loop — the legacy
+/// path — while the bare simulator takes the memoized group path.
+#[test]
+fn traced_group_is_bit_identical_to_elementwise() {
+    use mixp_core::perf::{CacheParams, CacheSim, Hierarchy};
+
+    struct ScalarReplay<T>(T);
+    impl<T: mixp_float::MemoryTracer> mixp_float::MemoryTracer for ScalarReplay<T> {
+        fn access(&mut self, addr: u64, bytes: u8, write: bool) {
+            self.0.access(addr, bytes, write);
+        }
+    }
+
+    prop_check!((pick in usizes(0..17), seed in u64s(0..1_000_000), two_level in bools()) => {
+        let bench: Box<dyn Benchmark> = {
+            let mut all = mixp_kernels::all_kernels_small();
+            all.extend(mixp_apps::all_applications_small());
+            all.swap_remove(pick % all.len())
+        };
+        let pm = bench.program();
+        let mut cfg = pm.config_all_double();
+        let mut rng = SplitMix64::new(seed.wrapping_mul(2).wrapping_add(1));
+        for v in pm.tunable_vars() {
+            match rng.next_range(4) {
+                0 | 1 => {}
+                2 => cfg.set(v, mixp_float::Precision::Single),
+                _ => cfg.set(v, mixp_float::Precision::Half),
+            }
+        }
+
+        let params = CacheParams::default();
+        if two_level {
+            let mut fast = Hierarchy::new(params);
+            {
+                let mut ctx = ExecCtx::with_tracer(&cfg, &mut fast);
+                bench.run(&mut ctx);
+            }
+            let mut slow = ScalarReplay(Hierarchy::new(params));
+            {
+                let mut ctx = ExecCtx::with_tracer(&cfg, &mut slow);
+                bench.run(&mut ctx);
+            }
+            prop_assert_eq!(
+                fast.stats(),
+                slow.0.stats(),
+                "{}: hierarchy stats diverge between group and element-wise paths",
+                bench.name()
+            );
+        } else {
+            let mut fast = CacheSim::new(params.l1);
+            {
+                let mut ctx = ExecCtx::with_tracer(&cfg, &mut fast);
+                bench.run(&mut ctx);
+            }
+            let mut slow = ScalarReplay(CacheSim::new(params.l1));
+            {
+                let mut ctx = ExecCtx::with_tracer(&cfg, &mut slow);
+                bench.run(&mut ctx);
+            }
+            prop_assert_eq!(
+                (fast.hits(), fast.misses(), fast.writebacks()),
+                (slow.0.hits(), slow.0.misses(), slow.0.writebacks()),
+                "{}: L1 stats diverge between group and element-wise paths",
+                bench.name()
+            );
+        }
+    });
+}
+
 /// Observability is strictly passive: an arbitrary campaign (random
 /// benchmark subset, algorithm rotation, worker count) produces
 /// bit-identical outcomes — qualities, speedups, evaluation counts, cache
@@ -365,8 +438,16 @@ fn obs_noop_is_bit_identical() {
             !obs.trace_lines().is_empty(),
             "the traced run must actually record something"
         );
-        prop_assert_eq!(plain_stats.shared_cache_hits, traced_stats.shared_cache_hits);
-        prop_assert_eq!(plain_stats.shared_cache_misses, traced_stats.shared_cache_misses);
+        // Total lookups are deterministic (each job's search path depends
+        // only on evaluation results, which are bit-identical), but the
+        // hit/miss *split* is not: two workers evaluating the same config
+        // concurrently race the lookup→insert window and may both miss.
+        // Sharing is documented as a pure wall-clock optimisation, so only
+        // the total is part of the contract.
+        prop_assert_eq!(
+            plain_stats.shared_cache_hits + plain_stats.shared_cache_misses,
+            traced_stats.shared_cache_hits + traced_stats.shared_cache_misses
+        );
         prop_assert_eq!(plain.len(), traced.len());
         for (p, t) in plain.iter().zip(&traced) {
             prop_assert_eq!(p.attempts, t.attempts);
