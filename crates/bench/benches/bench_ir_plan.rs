@@ -1,0 +1,49 @@
+//! Plan-interpretation A/B bench: each IR-ported kernel run through its
+//! hand-written `Benchmark::run` (`direct`) vs the compiled execution
+//! plan, with compilation either paid on every run (`plan-cold`) or
+//! served from a shared `PlanCache` (`plan-cached`).
+//!
+//! All three arms produce bit-identical outputs, op counts and cache
+//! statistics (property-tested in `tests/integration_properties.rs`);
+//! what differs is interpretation overhead. The plan resolves every
+//! op's precision and rounding once per configuration, so the hot loop
+//! runs with zero per-op config dispatch, and the spread between
+//! `plan-cold` and `plan-cached` isolates the compile cost itself.
+
+use mixp_core::perf::bench::{black_box, BenchGroup};
+use mixp_core::{run_config, run_config_direct, run_config_planned, CacheParams, PlanCache};
+use mixp_harness::{benchmark_by_name, Scale};
+use std::time::Duration;
+
+fn main() {
+    let mut group = BenchGroup::new("ir_plan");
+    group
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_secs(2))
+        .sample_size(10);
+    let params = CacheParams::default();
+    for name in ["eos", "hydro-1d", "iccg", "banded-lin-eq", "innerprod"] {
+        let bench = benchmark_by_name(name, Scale::Paper).unwrap();
+        assert!(
+            bench.ir_program().is_some(),
+            "{name} must be IR-ported for this bench"
+        );
+        // A mixed configuration (first cluster lowered) so the plan path
+        // exercises real precision specialization, not the all-double
+        // fast case.
+        let pm = bench.program();
+        let first = pm.clustering().ids().next().unwrap();
+        let cfg = pm.config_from_clusters([first]);
+        group.bench_function(format!("{name}/direct"), |b| {
+            b.iter(|| black_box(run_config_direct(bench.as_ref(), &cfg, params)))
+        });
+        group.bench_function(format!("{name}/plan-cold"), |b| {
+            b.iter(|| black_box(run_config(bench.as_ref(), &cfg, params)))
+        });
+        let plans = PlanCache::new();
+        group.bench_function(format!("{name}/plan-cached"), |b| {
+            b.iter(|| black_box(run_config_planned(bench.as_ref(), &cfg, params, &plans)))
+        });
+    }
+    group.finish();
+}

@@ -1,0 +1,46 @@
+//! A/B of the pool's steal policies (`MIXP_STEAL=one` vs `half`) under the
+//! workload half-stealing targets: DD-shaped campaigns that issue many tiny
+//! batches back to back, so claimer tasks are constantly being raided from
+//! whichever worker opened the latest batch.
+//!
+//! Policies never change results (the batch cursor makes distribution
+//! per-item regardless of who holds a claimer); the question is purely how
+//! much scheduler traffic each policy costs. Each arm owns its pool, pinned
+//! via `Pool::with_steal_policy` so the bench is independent of the
+//! process's `MIXP_STEAL`.
+
+use mixp_core::perf::bench::{black_box, BenchGroup};
+use mixp_core::pool::{Pool, StealPolicy};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Duration;
+
+/// One DD-ish frontier: a burst of tiny batches, each item doing a small
+/// amount of real work (enough that claims overlap, little enough that
+/// queue traffic stays a visible fraction of the total).
+fn tiny_batch_burst(pool: &Pool, batches: usize, items: usize) -> u64 {
+    let total = AtomicU64::new(0);
+    for _ in 0..batches {
+        pool.run_batch(items, |i| {
+            let mut acc = (i as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15);
+            for _ in 0..64 {
+                acc = acc.rotate_left(13).wrapping_add(0xb5ad_4ece_da1c_e2a9);
+            }
+            total.fetch_add(acc | 1, Ordering::Relaxed);
+        });
+    }
+    total.load(Ordering::Relaxed)
+}
+
+fn main() {
+    let mut group = BenchGroup::new("pool_steal");
+    group
+        .warm_up_time(Duration::from_millis(500))
+        .measurement_time(Duration::from_secs(2));
+    for (policy, name) in [(StealPolicy::One, "one"), (StealPolicy::Half, "half")] {
+        let pool = Pool::with_steal_policy(4, mixp_core::Obs::noop(), policy);
+        group.bench_function(&format!("dd_tiny_batches/{name}"), move |b| {
+            b.iter(|| black_box(tiny_batch_burst(&pool, 64, 6)))
+        });
+    }
+    group.finish();
+}

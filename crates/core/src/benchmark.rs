@@ -56,6 +56,20 @@ pub trait Benchmark: Send + Sync {
     /// arithmetic via [`ExecCtx::flop`] / [`ExecCtx::heavy`] so that both
     /// the numerics and the cost accounting reflect the configuration.
     fn run(&self, ctx: &mut ExecCtx<'_>) -> Vec<f64>;
+
+    /// The benchmark expressed as a [`mixp_ir::Program`], if it has been
+    /// ported to the IR.
+    ///
+    /// When present, the evaluator compiles `(program, configuration)`
+    /// pairs into specialized execution plans (cached per configuration
+    /// fingerprint) and interprets those instead of calling
+    /// [`Benchmark::run`]. The contract is strict bit-equivalence: the
+    /// program must reproduce `run`'s outputs, operation counts and
+    /// access stream exactly, for every configuration — `run` stays the
+    /// executable specification, property-tested against the plan path.
+    fn ir_program(&self) -> Option<&mixp_ir::Program> {
+        None
+    }
 }
 
 #[cfg(test)]

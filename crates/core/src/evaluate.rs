@@ -1,5 +1,6 @@
 //! Configuration evaluation: run, verify, price.
 
+use crate::irplan::PlanCache;
 use crate::{Benchmark, Granularity, SearchSpace};
 use mixp_float::{CancelToken, CancelUnwind, ConfigKey, ExecCtx, OpCounts, PrecisionConfig};
 use mixp_obs::{Obs, Value};
@@ -143,6 +144,8 @@ pub struct EvaluatorBuilder {
     obs: Obs,
     parent_span: Option<u64>,
     cancel: Option<CancelToken>,
+    plans: Option<Arc<PlanCache>>,
+    reference: Option<Arc<ReferenceCache>>,
 }
 
 impl fmt::Debug for EvaluatorBuilder {
@@ -174,6 +177,8 @@ impl EvaluatorBuilder {
             obs: Obs::noop(),
             parent_span: None,
             cancel: None,
+            plans: None,
+            reference: None,
         }
     }
 
@@ -247,6 +252,30 @@ impl EvaluatorBuilder {
         self
     }
 
+    /// Shares a compiled-plan cache with other evaluators of the same
+    /// IR-ported benchmark (campaigns re-build evaluators per job; the
+    /// plans are configuration-pure, so sharing them skips recompiles the
+    /// same way [`EvaluatorBuilder::shared_cache`] skips re-runs). The
+    /// default is a fresh private cache per evaluator. Has no effect on
+    /// benchmarks without an IR port.
+    pub fn plan_cache(mut self, plans: Arc<PlanCache>) -> Self {
+        self.plans = Some(plans);
+        self
+    }
+
+    /// Shares a memoised all-double reference run with other evaluators of
+    /// the same benchmark. The reference is configuration-independent and
+    /// every run of it is deterministic, so a campaign that re-builds
+    /// evaluators per job (checkpoint resume, per-worker evaluators, the
+    /// search drivers' per-algorithm loops) pays for it once instead of on
+    /// every [`EvaluatorBuilder::build`]. Like [`PlanCache`], the cache is
+    /// scoped to one benchmark: sharing it across different benchmarks (or
+    /// scales) would serve the wrong reference and must never be done.
+    pub fn reference_cache(mut self, reference: Arc<ReferenceCache>) -> Self {
+        self.reference = Some(reference);
+        self
+    }
+
     /// Attaches a [`CancelToken`]: every numerical run this evaluator
     /// performs polls the token from its load/store accounting hooks and
     /// unwinds within one bulk operation of the token firing, surfacing as
@@ -265,9 +294,23 @@ impl EvaluatorBuilder {
     /// of `build` itself (there is no evaluator yet to report through); the
     /// harness's job-level `catch_unwind` classifies it.
     pub fn build<'b>(self, bench: &'b dyn Benchmark) -> Evaluator<'b> {
+        let plans = self.plans.unwrap_or_default();
         let ref_cfg = bench.program().config_all_double();
-        let (output, counts, stats) =
-            run_config_with_token(bench, &ref_cfg, self.cache, self.cancel.as_ref());
+        let run_reference = || {
+            run_config_with_token(
+                bench,
+                &ref_cfg,
+                self.cache,
+                self.cancel.as_ref(),
+                Some(&plans),
+            )
+        };
+        let (output, counts, stats) = match &self.reference {
+            // A cancellation unwind inside `get_or_init` propagates out and
+            // leaves the cell unset, so a later build retries the run.
+            Some(shared) => shared.slot.get_or_init(run_reference).clone(),
+            None => run_reference(),
+        };
         let ref_cost = self.cost_model.cost(&counts, Some(&stats));
         // Completing the reference run is progress: beat the token so a
         // heartbeat-watching watchdog does not mistake a long (but moving)
@@ -289,6 +332,7 @@ impl EvaluatorBuilder {
             obs: self.obs,
             parent_span: self.parent_span,
             cancel: self.cancel,
+            plans,
             pool: None,
             pool_resolved: false,
             reference: output,
@@ -304,10 +348,63 @@ impl EvaluatorBuilder {
 /// cache statistics.
 type RunOutput = (Vec<f64>, OpCounts, CacheStats);
 
+/// A memoised all-double reference run, shared across evaluators of one
+/// benchmark via [`EvaluatorBuilder::reference_cache`]. The first `build`
+/// that reaches an empty cache performs the run; every later build clones
+/// the stored output instead of re-running. The reference run is
+/// deterministic (same outputs, op counts and cache statistics every
+/// time), so a warm cache is observationally identical to re-running —
+/// only the wall-clock differs.
+#[derive(Debug, Default)]
+pub struct ReferenceCache {
+    slot: std::sync::OnceLock<RunOutput>,
+}
+
+impl ReferenceCache {
+    /// Creates an empty cache.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Whether a reference run has been stored yet.
+    pub fn is_warm(&self) -> bool {
+        self.slot.get().is_some()
+    }
+}
+
 /// Runs `bench` under `cfg` with a fresh cache hierarchy, returning the
 /// verification output, operation counts and cache statistics.
+///
+/// IR-ported benchmarks ([`Benchmark::ir_program`]) execute through a
+/// specialized plan, compiled cold on each call; attach a [`PlanCache`]
+/// (via [`EvaluatorBuilder::plan_cache`] or [`run_config_planned`]) to
+/// amortise compilation across runs. Either way the result is
+/// bit-identical to [`run_config_direct`].
 pub fn run_config(bench: &dyn Benchmark, cfg: &PrecisionConfig, cache: CacheParams) -> RunOutput {
-    run_config_with_token(bench, cfg, cache, None)
+    run_config_with_token(bench, cfg, cache, None, None)
+}
+
+/// [`run_config`] with plan compilations served from (and fed into)
+/// `plans`.
+pub fn run_config_planned(
+    bench: &dyn Benchmark,
+    cfg: &PrecisionConfig,
+    cache: CacheParams,
+    plans: &PlanCache,
+) -> RunOutput {
+    run_config_with_token(bench, cfg, cache, None, Some(plans))
+}
+
+/// Runs `bench` under `cfg` through its hand-written [`Benchmark::run`]
+/// path, ignoring any IR port. The executable specification the plan
+/// path is property-tested against, and the baseline arm of the
+/// plan-interpretation benchmarks.
+pub fn run_config_direct(
+    bench: &dyn Benchmark,
+    cfg: &PrecisionConfig,
+    cache: CacheParams,
+) -> RunOutput {
+    run_in_hierarchy(cfg, cache, None, |ctx| bench.run(ctx))
 }
 
 /// [`run_config`] with an optional [`CancelToken`] attached to the run's
@@ -318,6 +415,28 @@ fn run_config_with_token(
     cfg: &PrecisionConfig,
     cache: CacheParams,
     token: Option<&CancelToken>,
+    plans: Option<&PlanCache>,
+) -> RunOutput {
+    // Resolve the execution plan (if this benchmark is IR-ported) before
+    // entering the run: compilation is configuration-only work and must
+    // not sit between the cache-hierarchy reset and the run it times.
+    let plan = bench.ir_program().map(|prog| match plans {
+        Some(cache) => cache.get_or_compile(prog, cfg),
+        None => std::sync::Arc::new(crate::irplan::compile_plan(prog, cfg)),
+    });
+    run_in_hierarchy(cfg, cache, token, |ctx| match &plan {
+        Some(plan) => crate::irplan::run_plan(plan, ctx),
+        None => bench.run(ctx),
+    })
+}
+
+/// Shared run scaffolding: per-thread hierarchy reuse, context setup,
+/// counts/stats harvest around one benchmark execution.
+fn run_in_hierarchy(
+    cfg: &PrecisionConfig,
+    cache: CacheParams,
+    token: Option<&CancelToken>,
+    run: impl FnOnce(&mut ExecCtx<'_>) -> Vec<f64>,
 ) -> RunOutput {
     // One hierarchy per worker thread, reset between evaluations: building
     // a fresh default hierarchy initialises 4608 lines, which costs more
@@ -344,7 +463,7 @@ fn run_config_with_token(
         if let Some(token) = token {
             ctx.set_cancel_token(token.clone());
         }
-        let output = bench.run(&mut ctx);
+        let output = run(&mut ctx);
         let counts = ctx.counts();
         drop(ctx);
         (output, counts, hierarchy.stats())
@@ -361,15 +480,16 @@ fn run_config_cancellable(
     cfg: &PrecisionConfig,
     cache: CacheParams,
     token: Option<&CancelToken>,
+    plans: Option<&PlanCache>,
 ) -> Result<RunOutput, EvalError> {
     let Some(token) = token else {
-        return Ok(run_config_with_token(bench, cfg, cache, None));
+        return Ok(run_config_with_token(bench, cfg, cache, None, plans));
     };
     if token.is_cancelled() {
         return Err(EvalError::Cancelled);
     }
     let run = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-        run_config_with_token(bench, cfg, cache, Some(token))
+        run_config_with_token(bench, cfg, cache, Some(token), plans)
     }));
     match run {
         Ok(run) => Ok(run),
@@ -398,6 +518,11 @@ pub struct Evaluator<'b> {
     obs: Obs,
     parent_span: Option<u64>,
     cancel: Option<CancelToken>,
+    /// Compiled execution plans for IR-ported benchmarks, keyed by
+    /// configuration fingerprint — the plan-level sibling of `memo`
+    /// (which caches whole outcomes). Shared across evaluators via
+    /// [`EvaluatorBuilder::plan_cache`].
+    plans: Arc<PlanCache>,
     /// Fan-out arena for `evaluate_batch`, resolved lazily on the first
     /// batch that needs one (see [`Self::batch_pool`]). `None` until then,
     /// and forever for sequential evaluators.
@@ -479,6 +604,14 @@ impl<'b> Evaluator<'b> {
     /// degenerates to the historical sequential loop.
     pub fn workers(&self) -> usize {
         self.workers
+    }
+
+    /// The compiled-plan cache this evaluator runs IR-ported benchmarks
+    /// through. Pass the same handle to another builder's
+    /// [`EvaluatorBuilder::plan_cache`] to share warm plans across
+    /// evaluators.
+    pub fn plan_cache(&self) -> Arc<PlanCache> {
+        Arc::clone(&self.plans)
     }
 
     /// A clone of the observability handle this evaluator reports through.
@@ -635,9 +768,13 @@ impl<'b> Evaluator<'b> {
                     self.parent_span,
                     &[("lowered", Value::U64(cfg.lowered_count() as u64))],
                 );
-                let run =
-                    match run_config_cancellable(self.bench, cfg, self.cache, self.cancel.as_ref())
-                    {
+                let run = match run_config_cancellable(
+                    self.bench,
+                    cfg,
+                    self.cache,
+                    self.cancel.as_ref(),
+                    Some(&self.plans),
+                ) {
                         Ok(run) => run,
                         Err(e) => {
                             self.obs.counter_add("evaluator.cancelled", 1);
@@ -759,6 +896,11 @@ impl<'b> Evaluator<'b> {
         }
         self.obs
             .observe("evaluator.batch_width", pending.len() as u64);
+        // Wall time of the fan-out phase, duration-bounded (the default
+        // small-count buckets overflow at 1024 µs — one traced kernel run
+        // already exceeds that). The clock read is gated on an enabled
+        // handle so the pure path stays free of wall-clock calls.
+        let batch_started = self.obs.enabled().then(Instant::now);
 
         // Phase 2 — fan the admitted runs across the work-stealing pool.
         // Items are claimed dynamically; each result lands in its own slot,
@@ -775,6 +917,7 @@ impl<'b> Evaluator<'b> {
                     &cfgs[i],
                     self.cache,
                     self.cancel.as_ref(),
+                    Some(&self.plans),
                 ))
             })),
             Some(pool) => {
@@ -783,13 +926,19 @@ impl<'b> Evaluator<'b> {
                 let bench = self.bench;
                 let cache = self.cache;
                 let cancel = self.cancel.clone();
+                let plans = Arc::clone(&self.plans);
                 // Cancellation is caught *inside* each item (a fired token
                 // yields Err(Cancelled) in that item's slot), so a cancelled
                 // batch never poisons the pool descriptor — every remaining
                 // item drains within one bulk op of the flag flipping.
                 pool.run_batch(pending.len(), |t| {
-                    let run =
-                        run_config_cancellable(bench, &cfgs[pending[t]], cache, cancel.as_ref());
+                    let run = run_config_cancellable(
+                        bench,
+                        &cfgs[pending[t]],
+                        cache,
+                        cancel.as_ref(),
+                        Some(&plans),
+                    );
                     match out[t].lock() {
                         Ok(mut slot) => *slot = Some(run),
                         Err(poisoned) => *poisoned.into_inner() = Some(run),
@@ -800,6 +949,14 @@ impl<'b> Evaluator<'b> {
                     Err(poisoned) => poisoned.into_inner(),
                 }));
             }
+        }
+        if let Some(started) = batch_started {
+            let micros = u64::try_from(started.elapsed().as_micros()).unwrap_or(u64::MAX);
+            self.obs.observe_with_bounds(
+                "evaluator.batch_us",
+                micros,
+                &mixp_obs::DURATION_BOUNDS_US,
+            );
         }
 
         // Phase 3 — score and commit in submission order, exactly as the
@@ -819,7 +976,13 @@ impl<'b> Evaluator<'b> {
                     // benchmark sequentially — it returns Err(Cancelled) at
                     // the first poll instead.
                     let run = runs[p].take().unwrap_or_else(|| {
-                        run_config_cancellable(self.bench, &cfgs[i], self.cache, self.cancel.as_ref())
+                        run_config_cancellable(
+                            self.bench,
+                            &cfgs[i],
+                            self.cache,
+                            self.cancel.as_ref(),
+                            Some(&self.plans),
+                        )
                     });
                     match run {
                         Ok(run) => {
@@ -908,6 +1071,32 @@ mod tests {
                 y.set(ctx, i, v);
             }
             y.snapshot()
+        }
+    }
+
+    #[test]
+    fn shared_reference_cache_is_observationally_identical() {
+        let b = Axpy::new();
+        let cfg = b.program().config_all_single();
+        let fresh = EvaluatorBuilder::new(QualityThreshold::new(1e-3))
+            .build(&b)
+            .evaluate(&cfg)
+            .unwrap();
+        let reference = Arc::new(ReferenceCache::new());
+        assert!(!reference.is_warm());
+        // First build runs the reference and warms the cache; the second
+        // serves it from the cache. Both must report exactly the fresh
+        // evaluator's record.
+        for _ in 0..2 {
+            let rec = EvaluatorBuilder::new(QualityThreshold::new(1e-3))
+                .reference_cache(Arc::clone(&reference))
+                .build(&b)
+                .evaluate(&cfg)
+                .unwrap();
+            assert!(reference.is_warm());
+            assert_eq!(rec.quality.to_bits(), fresh.quality.to_bits());
+            assert_eq!(rec.speedup.to_bits(), fresh.speedup.to_bits());
+            assert_eq!(rec.passes, fresh.passes);
         }
     }
 

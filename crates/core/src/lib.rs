@@ -21,20 +21,23 @@
 
 pub mod benchmark;
 pub mod evaluate;
+pub mod irplan;
 pub mod prop;
 pub mod space;
 pub mod synth;
 
 pub use benchmark::{Benchmark, BenchmarkKind};
 pub use evaluate::{
-    env_eval_workers, run_config, CachedEval, EvalCache, EvalError, EvalRecord, Evaluator,
-    EvaluatorBuilder,
+    env_eval_workers, run_config, run_config_direct, run_config_planned, CachedEval, EvalCache,
+    EvalError, EvalRecord, Evaluator, EvaluatorBuilder, ReferenceCache,
 };
+pub use irplan::{compile_plan, run_plan, PlanCache};
 pub use space::{Granularity, SearchSpace, UnitId};
 
 // Re-export the substrate crates so downstream users need only depend on
 // `mixp-core`.
 pub use mixp_float as float;
+pub use mixp_ir as ir;
 pub use mixp_obs as obs;
 pub use mixp_perf as perf;
 pub use mixp_pool as pool;
@@ -47,6 +50,6 @@ pub use mixp_float::{
 };
 pub use mixp_obs::{MetricsSnapshot, Obs, ObsBuilder, SpanGuard, Value};
 pub use mixp_perf::{CacheParams, CostModel};
-pub use mixp_pool::Pool;
+pub use mixp_pool::{Pool, StealPolicy};
 pub use mixp_typedeps::{ClusterId, ProgramBuilder, ProgramModel};
 pub use mixp_verify::{MetricKind, QualityThreshold};

@@ -26,6 +26,11 @@ pub struct NameStats {
     pub total_us: f64,
     /// How many completed spans carried wall-clock on both endpoints.
     pub timed: u64,
+    /// Every timed span's duration in microseconds, sorted ascending.
+    /// Exact — the summariser is offline, so unlike the live metrics
+    /// histograms it can afford to keep the raw values and report true
+    /// order statistics instead of bucket upper bounds.
+    pub durations_us: Vec<f64>,
 }
 
 impl NameStats {
@@ -36,6 +41,17 @@ impl NameStats {
         } else {
             self.total_us / self.timed as f64
         }
+    }
+
+    /// The `q`-quantile (`0.0 ..= 1.0`, clamped, nearest-rank) of the timed
+    /// spans' durations in microseconds; `0.0` when nothing was timed.
+    pub fn quantile_us(&self, q: f64) -> f64 {
+        if self.durations_us.is_empty() {
+            return 0.0;
+        }
+        let n = self.durations_us.len();
+        let rank = (q.clamp(0.0, 1.0) * n as f64).ceil().max(1.0) as usize;
+        self.durations_us[rank.min(n) - 1]
     }
 }
 
@@ -114,8 +130,10 @@ pub fn summarize_trace(input: &str) -> TraceSummary {
                 let stat = spans.entry(name).or_default();
                 stat.count += 1;
                 if let (Some(s), Some(e)) = (start, wall) {
-                    stat.total_us += (e - s).max(0.0);
+                    let duration = (e - s).max(0.0);
+                    stat.total_us += duration;
                     stat.timed += 1;
+                    stat.durations_us.push(duration);
                 }
             }
             "event" => *events.entry(name).or_default() += 1,
@@ -127,6 +145,9 @@ pub fn summarize_trace(input: &str) -> TraceSummary {
     }
 
     let mut spans: Vec<_> = spans.into_iter().collect();
+    for (_, stat) in spans.iter_mut() {
+        stat.durations_us.sort_by(f64::total_cmp);
+    }
     spans.sort_by(|a, b| {
         b.1.total_us
             .total_cmp(&a.1.total_us)
@@ -172,11 +193,21 @@ pub fn render_trace_summary(summary: &TraceSummary) -> String {
                     } else {
                         "-".to_string()
                     },
+                    if s.timed > 0 {
+                        format!("{:.3}", s.quantile_us(0.5) / 1000.0)
+                    } else {
+                        "-".to_string()
+                    },
+                    if s.timed > 0 {
+                        format!("{:.3}", s.quantile_us(0.9) / 1000.0)
+                    } else {
+                        "-".to_string()
+                    },
                 ]
             })
             .collect();
         out.push_str(&crate::report::render_table(
-            &["Span", "Count", "Open", "Total ms", "Mean ms"],
+            &["Span", "Count", "Open", "Total ms", "Mean ms", "P50 ms", "P90 ms"],
             &rows,
         ));
     }
@@ -217,7 +248,15 @@ mod tests {
         assert_eq!(stat.timed, 2);
         assert_eq!(stat.total_us, 350.0);
         assert_eq!(stat.mean_us(), 175.0);
+        assert_eq!(stat.durations_us, vec![100.0, 250.0], "sorted ascending");
+        assert_eq!(stat.quantile_us(0.5), 100.0, "nearest-rank median");
+        assert_eq!(stat.quantile_us(0.9), 250.0);
         assert_eq!(s.events, vec![("job.attempt".to_string(), 1)]);
+        let rendered = render_trace_summary(&s);
+        assert!(rendered.contains("P50 ms"), "{rendered}");
+        assert!(rendered.contains("P90 ms"), "{rendered}");
+        assert!(rendered.contains("0.100"), "p50 column: {rendered}");
+        assert!(rendered.contains("0.250"), "p90 column: {rendered}");
     }
 
     #[test]

@@ -1,10 +1,11 @@
 //! Banded linear systems solution.
 
-use crate::common::init_data;
+use crate::common::{init_data, vid};
 use mixp_core::{
     Benchmark, BenchmarkKind, ExecCtx, MetricKind, ProgramBuilder, ProgramModel, VarId,
 };
 use mixp_float::MpVec;
+use mixp_ir::{Expr, Sweep};
 
 /// Banded linear systems solution (Table I) — forward substitution over a
 /// *batch* of independent banded systems stored system-major, swept in
@@ -29,6 +30,7 @@ pub struct BandedLinEq {
     n: usize,
     sweeps: usize,
     y_init: Vec<f64>,
+    ir: mixp_ir::Program,
 }
 
 impl BandedLinEq {
@@ -60,6 +62,33 @@ impl BandedLinEq {
         b.bind(x, y); // both flow through the same double* parameters
         let program = b.build();
         let y_init = init_data("banded-lin-eq", 0, nsys * n, 0.01, 0.11);
+
+        // One strided sweep per row (the lock-step inner j-loop), unrolled
+        // across rows inside a counted repeat over the outer sweeps.
+        let mut p = mixp_ir::Program::new("banded-lin-eq");
+        let ya = p.array_init(vid(y), y_init.clone());
+        let xa = p.array(vid(x), nsys * n);
+        let iters = (sweeps * (n - 1) * nsys) as u64;
+        p.flop(vid(x), &[vid(y)], 3 * iters);
+        let step = n as i64;
+        p.begin_repeat(sweeps);
+        for i in 1..n {
+            let mut s = Sweep::new(nsys);
+            s.load_strided(ya, i, step)
+                .load_strided(xa, i - 1, step)
+                .load_strided(ya, i - 1, step)
+                .store_strided(xa, i, step);
+            s.set_strided(
+                xa,
+                i,
+                step,
+                Expr::load(ya, i, step) - Expr::load(xa, i - 1, step) * Expr::load(ya, i - 1, step),
+            );
+            p.sweep(s);
+        }
+        p.end_repeat();
+        p.output(xa);
+
         BandedLinEq {
             program,
             x,
@@ -68,6 +97,7 @@ impl BandedLinEq {
             n,
             sweeps,
             y_init,
+            ir: p,
         }
     }
 }
@@ -130,6 +160,10 @@ impl Benchmark for BandedLinEq {
             }
         }
         x.snapshot()
+    }
+
+    fn ir_program(&self) -> Option<&mixp_ir::Program> {
+        Some(&self.ir)
     }
 }
 

@@ -1,6 +1,12 @@
 //! Shared helpers for the kernel implementations.
 
 use mixp_core::synth::SplitMix64;
+use mixp_core::VarId;
+
+/// Program-model variable id as the raw index the IR stores.
+pub(crate) fn vid(v: VarId) -> u32 {
+    v.index() as u32
+}
 
 /// The fixed seed every kernel derives its random initialisation from.
 /// Determinism across runs is required for the evaluator's reference

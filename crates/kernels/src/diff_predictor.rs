@@ -1,10 +1,11 @@
 //! Difference predictor.
 
-use crate::common::init_data;
+use crate::common::{init_data, vid};
 use mixp_core::{
     Benchmark, BenchmarkKind, ExecCtx, MetricKind, ProgramBuilder, ProgramModel, VarId,
 };
 use mixp_float::MpVec;
+use mixp_ir::{Expr, Sweep};
 
 /// Difference predictor (Table I) — the Livermore-style chained difference
 /// table: each predictor level is the running difference of the previous
@@ -23,6 +24,7 @@ pub struct DiffPredictor {
     n: usize,
     passes: usize,
     cx_init: Vec<f64>,
+    ir: mixp_ir::Program,
 }
 
 impl DiffPredictor {
@@ -59,6 +61,45 @@ impl DiffPredictor {
         }
         let program = b.build();
         let cx_init = init_data("diff-predictor", 0, n, 0.01, 0.11);
+
+        let mut p = mixp_ir::Program::new("diff-predictor");
+        let cxa = p.array_init(vid(cx), cx_init.clone());
+        let pxa: Vec<_> = px.iter().map(|&v| p.array(vid(v), n)).collect();
+        let iters = (passes * (n - 1)) as u64;
+        for level in 0..4 {
+            p.flop(vid(px[level]), &[vid(cx)], 3 * iters);
+            p.flop(vid(cx), &[vid(px[level])], 4 * iters);
+        }
+        p.flop(vid(cx), &[], iters);
+        p.begin_repeat(passes);
+        for level in 0..4 {
+            let (src, dst) = if level == 0 {
+                (cxa, pxa[0])
+            } else {
+                (pxa[level - 1], pxa[level])
+            };
+            let mut s = Sweep::new(n - 1);
+            s.load(src, 1).load(src, 0).store(dst, 1);
+            s.set(dst, 1, Expr::at(src, 1) - Expr::at(src, 0));
+            p.sweep(s);
+        }
+        let mut s = Sweep::new(n - 1);
+        s.load(cxa, 1);
+        for &level in &pxa {
+            s.load(level, 1);
+        }
+        s.store(cxa, 1);
+        let mut acc = Expr::at(cxa, 1);
+        let mut w = 0.01;
+        for &level in &pxa {
+            acc = acc + Expr::k(w) * Expr::at(level, 1);
+            w *= 0.5;
+        }
+        s.set(cxa, 1, acc * Expr::k(0.5));
+        p.sweep(s);
+        p.end_repeat();
+        p.output(cxa);
+
         DiffPredictor {
             program,
             cx,
@@ -66,6 +107,7 @@ impl DiffPredictor {
             n,
             passes,
             cx_init,
+            ir: p,
         }
     }
 }
@@ -157,6 +199,10 @@ impl Benchmark for DiffPredictor {
             }
         }
         cx.snapshot()
+    }
+
+    fn ir_program(&self) -> Option<&mixp_ir::Program> {
+        Some(&self.ir)
     }
 }
 

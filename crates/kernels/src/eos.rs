@@ -1,10 +1,11 @@
 //! Equation of state fragment.
 
-use crate::common::init_data;
+use crate::common::{init_data, vid};
 use mixp_core::{
     Benchmark, BenchmarkKind, ExecCtx, MetricKind, ProgramBuilder, ProgramModel, VarId,
 };
 use mixp_float::MpVec;
+use mixp_ir::{Expr, Sweep};
 
 /// Equation of state fragment (Table I) — the Livermore loop 7 shape:
 /// a polynomial combination of several state arrays.
@@ -32,6 +33,7 @@ pub struct Eos {
     y_init: Vec<f64>,
     z_init: Vec<f64>,
     u_init: Vec<f64>,
+    ir: mixp_ir::Program,
 }
 
 impl Eos {
@@ -68,6 +70,52 @@ impl Eos {
         b.bind(q, r); // both passed through one `double*` rates pointer
         let t_lit = b.literal(f, "t");
         let program = b.build();
+        let y_init = init_data("eos", 0, n, 0.01, 0.11);
+        let z_init = init_data("eos", 1, n, 0.01, 0.11);
+        let u_init = init_data("eos", 2, n, 0.01, 0.11);
+
+        // The IR program mirrors `run` exactly: same allocation order, same
+        // charge statements, same per-pass stream group (including the x[i]
+        // read-back between the two stores), same expression trees.
+        let mut p = mixp_ir::Program::new("eos");
+        let ya = p.array_init(vid(y), y_init.clone());
+        let za = p.array_init(vid(z), z_init.clone());
+        let ua = p.array_init(vid(u), u_init.clone());
+        let xa = p.array(vid(x), n);
+        let wa = p.array(vid(w), n);
+        let qs = p.scalar(vid(q), 0.0625);
+        let rs = p.scalar(vid(r), 0.03125);
+        let t = 0.015625; // literal: always double
+        let iters = (passes * (n - 6)) as u64;
+        p.flop(vid(x), &[vid(u), vid(r), vid(z), vid(y)], 4 * iters);
+        p.flop(vid(x), &[vid(u), vid(q)], 4 * iters);
+        p.flop(vid(x), &[vid(t_lit)], 2 * iters);
+        p.flop(vid(w), &[vid(x), vid(t_lit), vid(u)], 2 * iters);
+        p.begin_repeat(passes);
+        let mut s = Sweep::new(n - 6);
+        s.load(ua, 0)
+            .load(za, 0)
+            .load(ya, 0)
+            .load(ua, 3)
+            .load(ua, 2)
+            .load(ua, 1)
+            .store(xa, 0)
+            .load(xa, 0)
+            .load(ua, 0)
+            .store(wa, 0);
+        let inner = s.bind(
+            Expr::at(ua, 0) + Expr::scal(rs) * (Expr::at(za, 0) + Expr::scal(rs) * Expr::at(ya, 0)),
+        );
+        let hist = s.bind(
+            Expr::at(ua, 3) + Expr::scal(qs) * (Expr::at(ua, 2) + Expr::scal(qs) * Expr::at(ua, 1)),
+        );
+        let stored = s.store_bind(xa, 0, inner + Expr::k(t) * hist);
+        s.set(wa, 0, stored * Expr::k(t) + Expr::at(ua, 0));
+        p.sweep(s);
+        p.end_repeat();
+        p.output(xa);
+        p.output(wa);
+
         Eos {
             program,
             x,
@@ -80,9 +128,10 @@ impl Eos {
             t_lit,
             n,
             passes,
-            y_init: init_data("eos", 0, n, 0.01, 0.11),
-            z_init: init_data("eos", 1, n, 0.01, 0.11),
-            u_init: init_data("eos", 2, n, 0.01, 0.11),
+            y_init,
+            z_init,
+            u_init,
+            ir: p,
         }
     }
 }
@@ -162,6 +211,10 @@ impl Benchmark for Eos {
         let mut out = x.snapshot();
         out.extend(w.snapshot());
         out
+    }
+
+    fn ir_program(&self) -> Option<&mixp_ir::Program> {
+        Some(&self.ir)
     }
 }
 

@@ -1,10 +1,11 @@
 //! General linear recurrence equation.
 
-use crate::common::init_data;
+use crate::common::{init_data, vid};
 use mixp_core::{
     Benchmark, BenchmarkKind, ExecCtx, MetricKind, ProgramBuilder, ProgramModel, VarId,
 };
 use mixp_float::MpVec;
+use mixp_ir::{Expr, Sweep};
 
 /// General linear recurrence equation (Table I) — the Livermore loop 6
 /// shape: a forward recurrence where every element depends on the previous
@@ -28,6 +29,7 @@ pub struct GenLinRecur {
     passes: usize,
     sa_init: Vec<f64>,
     sb_init: Vec<f64>,
+    ir: mixp_ir::Program,
 }
 
 impl GenLinRecur {
@@ -59,6 +61,41 @@ impl GenLinRecur {
             b.bind(sa, a);
         }
         let program = b.build();
+        let sa_init = init_data("gen-lin-recur", 0, n, 0.01, 0.11);
+        let sb_init = init_data("gen-lin-recur", 1, n, 0.01, 0.11);
+
+        let mut p = mixp_ir::Program::new("gen-lin-recur");
+        let saa = p.array_init(vid(sa), sa_init.clone());
+        let sba = p.array_init(vid(sb), sb_init.clone());
+        let stba = p.array(vid(stb), n);
+        let sxa = p.array(vid(sx), n);
+        let iters = (passes * (n - 1)) as u64;
+        p.heavy(vid(stb), &[vid(sb), vid(sa)], 2 * iters);
+        p.heavy(vid(sx), &[vid(stb), vid(sa)], 2 * iters);
+        p.begin_repeat(passes);
+        let mut fwd = Sweep::new(n - 1);
+        fwd.load(sba, 1).load(stba, 0).load(saa, 1).store(stba, 1);
+        fwd.set(
+            stba,
+            1,
+            Expr::at(sba, 1) - Expr::at(stba, 0) * Expr::at(saa, 1),
+        );
+        p.sweep(fwd);
+        let mut bwd = Sweep::new(n - 1);
+        bwd.load_strided(stba, n - 2, -1)
+            .load_strided(sxa, n - 1, -1)
+            .load_strided(saa, n - 2, -1)
+            .store_strided(sxa, n - 2, -1);
+        bwd.set_strided(
+            sxa,
+            n - 2,
+            -1,
+            Expr::load(stba, n - 2, -1) + Expr::load(sxa, n - 1, -1) * Expr::load(saa, n - 2, -1),
+        );
+        p.sweep(bwd);
+        p.end_repeat();
+        p.output(sxa);
+
         GenLinRecur {
             program,
             sa,
@@ -67,8 +104,9 @@ impl GenLinRecur {
             sx,
             n,
             passes,
-            sa_init: init_data("gen-lin-recur", 0, n, 0.01, 0.11),
-            sb_init: init_data("gen-lin-recur", 1, n, 0.01, 0.11),
+            sa_init,
+            sb_init,
+            ir: p,
         }
     }
 }
@@ -133,6 +171,10 @@ impl Benchmark for GenLinRecur {
             }
         }
         sx.snapshot()
+    }
+
+    fn ir_program(&self) -> Option<&mixp_ir::Program> {
+        Some(&self.ir)
     }
 }
 

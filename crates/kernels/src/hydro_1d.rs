@@ -1,10 +1,11 @@
 //! Hydrodynamics fragment.
 
-use crate::common::init_data;
+use crate::common::{init_data, vid};
 use mixp_core::{
     Benchmark, BenchmarkKind, ExecCtx, MetricKind, ProgramBuilder, ProgramModel, VarId,
 };
 use mixp_float::{MpScalar, MpVec};
+use mixp_ir::{Expr, Sweep};
 
 /// 1-D hydrodynamics fragment (Table I) — the Livermore loop 1 shape:
 /// `x[k] = q + y[k] * (r * z[k+10] + t * z[k+11])`.
@@ -28,6 +29,7 @@ pub struct Hydro1d {
     passes: usize,
     y_init: Vec<f64>,
     z_init: Vec<f64>,
+    ir: mixp_ir::Program,
 }
 
 impl Hydro1d {
@@ -62,6 +64,32 @@ impl Hydro1d {
         b.bind(q, r);
         b.bind(q, t);
         let program = b.build();
+        let y_init = init_data("hydro-1d", 0, n, 0.01, 0.11);
+        let z_init = init_data("hydro-1d", 1, n, 0.01, 0.11);
+
+        let mut p = mixp_ir::Program::new("hydro-1d");
+        let ya = p.array_init(vid(y), y_init.clone());
+        let za = p.array_init(vid(z), z_init.clone());
+        let xa = p.array(vid(x), n);
+        let qs = p.scalar(vid(q), 0.05);
+        let rs = p.scalar(vid(r), 0.02);
+        let ts = p.scalar(vid(t), 0.01);
+        let iters = (passes * (n - 11)) as u64;
+        p.flop(vid(x), &[vid(q), vid(y), vid(r), vid(z), vid(t)], 7 * iters);
+        p.begin_repeat(passes);
+        let mut s = Sweep::new(n - 11);
+        s.load(ya, 0).load(za, 10).load(za, 11).store(xa, 0);
+        s.set(
+            xa,
+            0,
+            Expr::scal(qs)
+                + Expr::at(ya, 0)
+                    * (Expr::scal(rs) * Expr::at(za, 10) + Expr::scal(ts) * Expr::at(za, 11)),
+        );
+        p.sweep(s);
+        p.end_repeat();
+        p.output(xa);
+
         Hydro1d {
             program,
             x,
@@ -72,8 +100,9 @@ impl Hydro1d {
             t,
             n,
             passes,
-            y_init: init_data("hydro-1d", 0, n, 0.01, 0.11),
-            z_init: init_data("hydro-1d", 1, n, 0.01, 0.11),
+            y_init,
+            z_init,
+            ir: p,
         }
     }
 }
@@ -127,6 +156,10 @@ impl Benchmark for Hydro1d {
             }
         }
         x.snapshot()
+    }
+
+    fn ir_program(&self) -> Option<&mixp_ir::Program> {
+        Some(&self.ir)
     }
 }
 

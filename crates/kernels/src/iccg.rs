@@ -1,10 +1,11 @@
 //! Incomplete Cholesky conjugate gradient fragment.
 
-use crate::common::init_data;
+use crate::common::{init_data, vid};
 use mixp_core::{
     Benchmark, BenchmarkKind, ExecCtx, MetricKind, ProgramBuilder, ProgramModel, VarId,
 };
 use mixp_float::MpVec;
+use mixp_ir::{Expr, Sweep};
 
 /// Incomplete Cholesky conjugate gradient fragment (Table I) — the
 /// Livermore loop 2 shape: a butterfly-style reduction with halving strides,
@@ -24,6 +25,7 @@ pub struct Iccg {
     passes: usize,
     x_init: Vec<f64>,
     v_init: Vec<f64>,
+    ir: mixp_ir::Program,
 }
 
 impl Iccg {
@@ -51,14 +53,64 @@ impl Iccg {
         let v = b.array(f, "v");
         b.bind(x, v);
         let program = b.build();
+        let x_init = init_data("iccg", 0, 2 * n, 0.01, 0.11);
+        let v_init = init_data("iccg", 1, 2 * n, 0.001, 0.011);
+
+        // The butterfly's level structure is static given `n`, so the IR
+        // unrolls one sweep per level (the same dry walk `run` counts with)
+        // inside a counted repeat over the passes.
+        let mut p = mixp_ir::Program::new("iccg");
+        let xa = p.array_init(vid(x), x_init.clone());
+        let va = p.array_init(vid(v), v_init.clone());
+        let per_pass = {
+            let mut count = 0u64;
+            let mut ii = n;
+            let mut ipntp = 0;
+            while ii > 1 {
+                let ipnt = ipntp;
+                ipntp += ii;
+                ii /= 2;
+                count += ((ipnt + 1)..(ipntp - 1)).step_by(2).len() as u64;
+            }
+            count
+        };
+        p.flop(vid(x), &[vid(v)], 9 * per_pass * passes as u64);
+        p.begin_repeat(passes);
+        let mut ii = n;
+        let mut ipntp = 0;
+        while ii > 1 {
+            let ipnt = ipntp;
+            ipntp += ii;
+            ii /= 2;
+            let k0 = ipnt + 1;
+            let klen = ((ipnt + 1)..(ipntp - 1)).step_by(2).len();
+            let mut s = Sweep::new(klen);
+            s.load_strided(xa, k0, 2)
+                .load_strided(va, k0, 2)
+                .load_strided(xa, k0 - 1, 2)
+                .load_strided(va, k0 + 1, 2)
+                .load_strided(xa, k0 + 1, 2)
+                .store(xa, ipntp);
+            s.set(
+                xa,
+                ipntp,
+                Expr::load(xa, k0, 2) - Expr::load(va, k0, 2) * Expr::load(xa, k0 - 1, 2)
+                    + Expr::load(va, k0 + 1, 2) * Expr::load(xa, k0 + 1, 2),
+            );
+            p.sweep(s);
+        }
+        p.end_repeat();
+        p.output(xa);
+
         Iccg {
             program,
             x,
             v,
             n,
             passes,
-            x_init: init_data("iccg", 0, 2 * n, 0.01, 0.11),
-            v_init: init_data("iccg", 1, 2 * n, 0.001, 0.011),
+            x_init,
+            v_init,
+            ir: p,
         }
     }
 }
@@ -149,6 +201,10 @@ impl Benchmark for Iccg {
             }
         }
         x.snapshot()
+    }
+
+    fn ir_program(&self) -> Option<&mixp_ir::Program> {
+        Some(&self.ir)
     }
 }
 

@@ -1,10 +1,11 @@
 //! Inner product.
 
-use crate::common::init_data;
+use crate::common::{init_data, vid};
 use mixp_core::{
     Benchmark, BenchmarkKind, ExecCtx, MetricKind, ProgramBuilder, ProgramModel, VarId,
 };
 use mixp_float::{MpScalar, MpVec};
+use mixp_ir::Reduce;
 
 /// Inner product (Table I) — the Livermore loop 3 shape:
 /// `q += z[k] * x[k]`.
@@ -27,6 +28,7 @@ pub struct InnerProd {
     passes: usize,
     z_init: Vec<f64>,
     x_init: Vec<f64>,
+    ir: mixp_ir::Program,
 }
 
 impl InnerProd {
@@ -55,6 +57,23 @@ impl InnerProd {
         b.bind(z, x);
         let q = b.scalar(f, "q");
         let program = b.build();
+        let z_init = init_data("innerprod", 0, n, 0.001, 0.011);
+        let x_init = init_data("innerprod", 1, n, 0.001, 0.011);
+
+        // Passes are unrolled (each uses a distinct weight); the fresh
+        // per-pass accumulator becomes one scalar reset via `set_scalar`.
+        let mut p = mixp_ir::Program::new("innerprod");
+        let za = p.array_init(vid(z), z_init.clone());
+        let xa = p.array_init(vid(x), x_init.clone());
+        let qs = p.scalar(vid(q), 0.0);
+        for pass in 0..passes {
+            p.set_scalar(qs);
+            p.reduce(Reduce::dot(qs, za, xa, n, 1.0 + pass as f64 * 1e-6));
+            p.flop(vid(q), &[vid(z), vid(x)], n as u64);
+            p.heavy(vid(q), &[], 2 * n as u64);
+            p.emit_scalar(qs);
+        }
+
         InnerProd {
             program,
             z,
@@ -62,8 +81,9 @@ impl InnerProd {
             q,
             n,
             passes,
-            z_init: init_data("innerprod", 0, n, 0.001, 0.011),
-            x_init: init_data("innerprod", 1, n, 0.001, 0.011),
+            z_init,
+            x_init,
+            ir: p,
         }
     }
 }
@@ -110,6 +130,10 @@ impl Benchmark for InnerProd {
             out.push(q.get());
         }
         out
+    }
+
+    fn ir_program(&self) -> Option<&mixp_ir::Program> {
+        Some(&self.ir)
     }
 }
 

@@ -1,10 +1,11 @@
 //! Integrate predictors.
 
-use crate::common::init_data;
+use crate::common::{init_data, vid};
 use mixp_core::{
     Benchmark, BenchmarkKind, ExecCtx, MetricKind, ProgramBuilder, ProgramModel, VarId,
 };
 use mixp_float::{MpScalar, MpVec};
+use mixp_ir::{Expr, Sweep};
 
 /// Integrate predictors (Table I) — the Livermore loop 24-style predictor
 /// integration: each point is advanced by a 7-coefficient combination of its
@@ -25,6 +26,7 @@ pub struct IntPredict {
     n: usize,
     passes: usize,
     cx_init: Vec<f64>,
+    ir: mixp_ir::Program,
 }
 
 impl IntPredict {
@@ -60,6 +62,37 @@ impl IntPredict {
             b.bind(coeffs[0], coeffs[i]);
         }
         let program = b.build();
+        let cx_init = init_data("int-predict", 0, n, 0.01, 0.11);
+
+        let mut p = mixp_ir::Program::new("int-predict");
+        let cxa = p.array_init(vid(cx), cx_init.clone());
+        let pxa = p.array(vid(px), n);
+        let cvals = [0.5, 0.25, 0.125, 0.0625, 0.03125, 0.015625, 0.0078125];
+        let cs: Vec<_> = coeffs
+            .iter()
+            .zip(cvals)
+            .map(|(&v, c)| p.scalar(vid(v), c))
+            .collect();
+        let iters = (passes * (n - 7)) as u64;
+        for &c in &coeffs {
+            p.flop(vid(px), &[vid(c), vid(cx)], 2 * iters);
+        }
+        p.flop(vid(px), &[], 2 * iters);
+        p.begin_repeat(passes);
+        let mut s = Sweep::new(n - 7);
+        for j in 0..7 {
+            s.load(cxa, 7 - j);
+        }
+        s.load(pxa, 6).store(pxa, 7);
+        let mut acc = Expr::k(0.0);
+        for (j, &c) in cs.iter().enumerate() {
+            acc = acc + Expr::scal(c) * Expr::at(cxa, 7 - j);
+        }
+        s.set(pxa, 7, Expr::k(0.5) * (acc + Expr::at(pxa, 6)));
+        p.sweep(s);
+        p.end_repeat();
+        p.output(pxa);
+
         IntPredict {
             program,
             px,
@@ -67,7 +100,8 @@ impl IntPredict {
             coeffs,
             n,
             passes,
-            cx_init: init_data("int-predict", 0, n, 0.01, 0.11),
+            cx_init,
+            ir: p,
         }
     }
 }
@@ -136,6 +170,10 @@ impl Benchmark for IntPredict {
             }
         }
         px.snapshot()
+    }
+
+    fn ir_program(&self) -> Option<&mixp_ir::Program> {
+        Some(&self.ir)
     }
 }
 

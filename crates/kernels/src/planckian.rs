@@ -1,10 +1,11 @@
 //! Planckian distribution.
 
-use crate::common::init_data;
+use crate::common::{init_data, vid};
 use mixp_core::{
     Benchmark, BenchmarkKind, ExecCtx, MetricKind, ProgramBuilder, ProgramModel, VarId,
 };
 use mixp_float::{MpScalar, MpVec};
+use mixp_ir::{Expr, Sweep};
 
 /// Planckian distribution (Table I) — the Livermore loop 22 shape:
 /// `w[k] = x[k] / (exp(y[k] / v[k]) - 1)`.
@@ -29,6 +30,7 @@ pub struct Planckian {
     x_init: Vec<f64>,
     y_init: Vec<f64>,
     v_init: Vec<f64>,
+    ir: mixp_ir::Program,
 }
 
 impl Planckian {
@@ -63,6 +65,30 @@ impl Planckian {
         let u = b.scalar(f, "u");
         b.bind(expmax, u);
         let program = b.build();
+        let x_init = init_data("planckian", 0, n, 0.01, 0.11);
+        let y_init = init_data("planckian", 1, n, 0.5, 1.5);
+        let v_init = init_data("planckian", 2, n, 0.5, 1.5);
+
+        let mut p = mixp_ir::Program::new("planckian");
+        let xa = p.array_init(vid(x), x_init.clone());
+        let ya = p.array_init(vid(y), y_init.clone());
+        let va = p.array_init(vid(v), v_init.clone());
+        let wa = p.array(vid(w), n);
+        let ems = p.scalar(vid(expmax), 20.0);
+        let us = p.scalar(vid(u), 0.990);
+        let iters = (passes * n) as u64;
+        p.heavy(vid(w), &[vid(y), vid(v), vid(expmax)], iters);
+        p.heavy(vid(w), &[vid(u)], iters);
+        p.heavy(vid(w), &[vid(x)], iters);
+        p.begin_repeat(passes);
+        let mut s = Sweep::new(n);
+        s.load(ya, 0).load(va, 0).load(xa, 0).store(wa, 0);
+        let ratio = s.bind((Expr::at(ya, 0) / Expr::at(va, 0)).min(Expr::scal(ems)));
+        s.set(wa, 0, Expr::at(xa, 0) / (ratio.exp() - Expr::scal(us)));
+        p.sweep(s);
+        p.end_repeat();
+        p.output(wa);
+
         Planckian {
             program,
             w,
@@ -73,9 +99,10 @@ impl Planckian {
             u,
             n,
             passes,
-            x_init: init_data("planckian", 0, n, 0.01, 0.11),
-            y_init: init_data("planckian", 1, n, 0.5, 1.5),
-            v_init: init_data("planckian", 2, n, 0.5, 1.5),
+            x_init,
+            y_init,
+            v_init,
+            ir: p,
         }
     }
 }
@@ -132,6 +159,10 @@ impl Benchmark for Planckian {
             }
         }
         w.snapshot()
+    }
+
+    fn ir_program(&self) -> Option<&mixp_ir::Program> {
+        Some(&self.ir)
     }
 }
 

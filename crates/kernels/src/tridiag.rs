@@ -1,10 +1,11 @@
 //! Tridiagonal linear systems solution.
 
-use crate::common::init_data;
+use crate::common::{init_data, vid};
 use mixp_core::{
     Benchmark, BenchmarkKind, ExecCtx, MetricKind, ProgramBuilder, ProgramModel, VarId,
 };
 use mixp_float::MpVec;
+use mixp_ir::{Expr, Sweep};
 
 /// Tridiagonal linear systems solution (Table I) — the Livermore loop 5
 /// shape: `x[i] = z[i] * (y[i] - x[i-1])`, a strict forward elimination.
@@ -24,6 +25,7 @@ pub struct Tridiag {
     passes: usize,
     y_init: Vec<f64>,
     z_init: Vec<f64>,
+    ir: mixp_ir::Program,
 }
 
 impl Tridiag {
@@ -53,6 +55,23 @@ impl Tridiag {
         b.bind(x, y);
         b.bind(x, z);
         let program = b.build();
+        let y_init = init_data("tridiag", 0, n, 0.01, 0.11);
+        let z_init = init_data("tridiag", 1, n, 0.1, 0.9);
+
+        let mut p = mixp_ir::Program::new("tridiag");
+        let ya = p.array_init(vid(y), y_init.clone());
+        let za = p.array_init(vid(z), z_init.clone());
+        let xa = p.array(vid(x), n);
+        let iters = (passes * (n - 1)) as u64;
+        p.heavy(vid(x), &[vid(z), vid(y)], 2 * iters);
+        p.begin_repeat(passes);
+        let mut s = Sweep::new(n - 1);
+        s.load(za, 1).load(ya, 1).load(xa, 0).store(xa, 1);
+        s.set(xa, 1, Expr::at(za, 1) * (Expr::at(ya, 1) - Expr::at(xa, 0)));
+        p.sweep(s);
+        p.end_repeat();
+        p.output(xa);
+
         Tridiag {
             program,
             x,
@@ -60,8 +79,9 @@ impl Tridiag {
             z,
             n,
             passes,
-            y_init: init_data("tridiag", 0, n, 0.01, 0.11),
-            z_init: init_data("tridiag", 1, n, 0.1, 0.9),
+            y_init,
+            z_init,
+            ir: p,
         }
     }
 }
@@ -112,6 +132,10 @@ impl Benchmark for Tridiag {
             }
         }
         x.snapshot()
+    }
+
+    fn ir_program(&self) -> Option<&mixp_ir::Program> {
+        Some(&self.ir)
     }
 }
 

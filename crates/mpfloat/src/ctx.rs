@@ -321,13 +321,45 @@ impl<'a> ExecCtx<'a> {
         }
     }
 
+    /// Commits `count` iterations of an interleaved stream group: charges
+    /// every float stream's loads/stores to the op counters (polling
+    /// cancellation once per stream) and emits one batched trace call.
+    /// `precs[i]` is `Some` for float streams (charged at that width) and
+    /// `None` for index streams (traced but never op-counted). A no-op
+    /// when `count` is zero.
+    ///
+    /// This is the accounting primitive behind both
+    /// [`crate::StreamGroup::commit`] and compiled execution plans, so a
+    /// plan-interpreted sweep is indistinguishable — counters and access
+    /// stream alike — from the hand-written grouped loop.
+    pub fn commit_streams(
+        &mut self,
+        specs: &[StreamSpec],
+        precs: &[Option<Precision>],
+        count: usize,
+    ) {
+        if count == 0 {
+            return;
+        }
+        for (spec, prec) in specs.iter().zip(precs) {
+            if let Some(p) = *prec {
+                if spec.write {
+                    self.count_stores(p, count as u64);
+                } else {
+                    self.count_loads(p, count as u64);
+                }
+            }
+        }
+        self.trace_group(specs, count);
+    }
+
     /// Bumps the load counter for `n` elements at `prec` without touching
     /// the tracer. Callers that may be traced are responsible for emitting
     /// the matching access stream via [`ExecCtx::trace_group`] (or a
     /// per-element escape hatch such as [`ExecCtx::trace_untyped`] for
     /// data-dependent patterns).
     #[inline]
-    pub(crate) fn count_loads(&mut self, prec: Precision, n: u64) {
+    pub fn count_loads(&mut self, prec: Precision, n: u64) {
         self.cancel_point();
         match prec {
             Precision::Half => self.counts.loads_f16 += n,
@@ -339,7 +371,7 @@ impl<'a> ExecCtx<'a> {
     /// Bumps the store counter for `n` elements at `prec` without touching
     /// the tracer.
     #[inline]
-    pub(crate) fn count_stores(&mut self, prec: Precision, n: u64) {
+    pub fn count_stores(&mut self, prec: Precision, n: u64) {
         self.cancel_point();
         match prec {
             Precision::Half => self.counts.stores_f16 += n,

@@ -142,19 +142,7 @@ impl StreamGroup {
     /// once per stream) and emits one batched trace call. A no-op when
     /// `count` is zero.
     pub fn commit(&self, ctx: &mut ExecCtx<'_>, count: usize) {
-        if count == 0 {
-            return;
-        }
-        for (spec, prec) in self.specs.iter().zip(&self.precs) {
-            if let Some(p) = *prec {
-                if spec.write {
-                    ctx.count_stores(p, count as u64);
-                } else {
-                    ctx.count_loads(p, count as u64);
-                }
-            }
-        }
-        ctx.trace_group(&self.specs, count);
+        ctx.commit_streams(&self.specs, &self.precs, count);
     }
 }
 

@@ -44,6 +44,6 @@ pub mod metrics;
 pub mod sink;
 pub mod trace;
 
-pub use metrics::{HistogramSnapshot, MetricsSnapshot};
+pub use metrics::{HistogramSnapshot, MetricsSnapshot, BUCKET_BOUNDS, DURATION_BOUNDS_US};
 pub use sink::{parse_trace_line, Scalar};
 pub use trace::{Field, Obs, ObsBuilder, SpanGuard, Value};

@@ -17,16 +17,41 @@ use std::sync::{Mutex, MutexGuard};
 /// Number of independently locked name shards.
 const SHARD_COUNT: usize = 8;
 
-/// Histogram bucket upper bounds (inclusive), fixed powers of two.
+/// Default histogram bucket upper bounds (inclusive), fixed powers of two.
 /// Values above the last bound land in the overflow bucket. The range
-/// covers the quantities this workspace observes: batch fan-out widths
-/// (≤ 256), retry attempts, partition sizes, shard populations.
+/// covers the small-count quantities this workspace observes: batch
+/// fan-out widths (≤ 256), retry attempts, partition sizes, shard
+/// populations. Quantities with a wider dynamic range register their own
+/// bounds via `observe_with_bounds` (e.g. [`DURATION_BOUNDS_US`]).
 pub const BUCKET_BOUNDS: [u64; 11] = [1, 2, 4, 8, 16, 32, 64, 128, 256, 512, 1024];
 
-/// Index of the bucket an observed value falls in, or `None` for the
-/// overflow bucket.
+/// Bucket bounds sized for microsecond durations: powers of four from 8 µs
+/// to ~8.4 s. The default [`BUCKET_BOUNDS`] top out at 1024, which a single
+/// traced kernel run already overflows; these cover everything from one
+/// plan interpretation to a whole campaign phase.
+pub const DURATION_BOUNDS_US: [u64; 11] = [
+    8,
+    32,
+    128,
+    512,
+    2_048,
+    8_192,
+    32_768,
+    131_072,
+    524_288,
+    2_097_152,
+    8_388_608,
+];
+
+/// Index of the bucket an observed value falls in under the default
+/// [`BUCKET_BOUNDS`], or `None` for the overflow bucket.
 pub fn bucket_index(value: u64) -> Option<usize> {
-    BUCKET_BOUNDS.iter().position(|&bound| value <= bound)
+    bucket_index_in(&BUCKET_BOUNDS, value)
+}
+
+/// [`bucket_index`] against an arbitrary ascending bound list.
+fn bucket_index_in(bounds: &[u64], value: u64) -> Option<usize> {
+    bounds.iter().position(|&bound| value <= bound)
 }
 
 enum Metric {
@@ -35,17 +60,29 @@ enum Metric {
     Histogram(Histo),
 }
 
-#[derive(Default)]
 struct Histo {
-    buckets: [u64; BUCKET_BOUNDS.len()],
+    /// Inclusive upper bounds, fixed at first observation; the default is
+    /// [`BUCKET_BOUNDS`].
+    bounds: Box<[u64]>,
+    buckets: Vec<u64>,
     overflow: u64,
     count: u64,
     sum: u64,
 }
 
 impl Histo {
+    fn with_bounds(bounds: &[u64]) -> Histo {
+        Histo {
+            bounds: bounds.into(),
+            buckets: vec![0; bounds.len()],
+            overflow: 0,
+            count: 0,
+            sum: 0,
+        }
+    }
+
     fn observe(&mut self, value: u64) {
-        match bucket_index(value) {
+        match bucket_index_in(&self.bounds, value) {
             Some(i) => self.buckets[i] += 1,
             None => self.overflow += 1,
         }
@@ -107,12 +144,22 @@ impl Registry {
         }
     }
 
-    /// Records one observation into a fixed-bucket histogram.
+    /// Records one observation into a fixed-bucket histogram with the
+    /// default [`BUCKET_BOUNDS`].
     pub(crate) fn observe(&self, name: &str, value: u64) {
+        self.observe_with_bounds(name, value, &BUCKET_BOUNDS);
+    }
+
+    /// Records one observation into a histogram whose bucket bounds are
+    /// `bounds` (inclusive upper bounds, ascending). The bounds are fixed
+    /// by the histogram's **first** observation; later calls fold into the
+    /// registered buckets regardless of the bounds they pass, so one late
+    /// caller with a stale list cannot fork the series.
+    pub(crate) fn observe_with_bounds(&self, name: &str, value: u64, bounds: &[u64]) {
         let mut shard = lock_recovering(self.shard(name));
         match shard
             .entry(name.to_string())
-            .or_insert_with(|| Metric::Histogram(Histo::default()))
+            .or_insert_with(|| Metric::Histogram(Histo::with_bounds(bounds)))
         {
             Metric::Histogram(h) => h.observe(value),
             _ => {}
@@ -137,7 +184,8 @@ impl Registry {
                             HistogramSnapshot {
                                 count: h.count,
                                 sum: h.sum,
-                                buckets: BUCKET_BOUNDS
+                                buckets: h
+                                    .bounds
                                     .iter()
                                     .zip(h.buckets.iter())
                                     .map(|(&bound, &count)| (bound, count))
@@ -165,6 +213,29 @@ pub struct HistogramSnapshot {
     pub buckets: Vec<(u64, u64)>,
     /// Observations above the last bound.
     pub overflow: u64,
+}
+
+impl HistogramSnapshot {
+    /// The inclusive upper bound of the bucket holding the `q`-quantile
+    /// observation (`0.0 ..= 1.0`, clamped). Bucketed histograms cannot
+    /// recover exact order statistics, so this is an upper estimate that is
+    /// tight to one bucket. Returns `None` for an empty histogram and
+    /// `Some(u64::MAX)` when the quantile falls in the overflow bucket —
+    /// i.e. "above the last bound" is all that is known.
+    pub fn quantile(&self, q: f64) -> Option<u64> {
+        if self.count == 0 {
+            return None;
+        }
+        let rank = (q.clamp(0.0, 1.0) * self.count as f64).ceil().max(1.0) as u64;
+        let mut seen = 0u64;
+        for &(bound, count) in &self.buckets {
+            seen += count;
+            if seen >= rank {
+                return Some(bound);
+            }
+        }
+        Some(u64::MAX)
+    }
 }
 
 /// Deterministically ordered copy of the whole registry, rendered into the
@@ -244,6 +315,46 @@ mod tests {
         assert_eq!(h.buckets[0], (1, 2)); // two observations of 1
         assert_eq!(h.buckets[2], (4, 1)); // the 3
         assert_eq!(h.buckets[10], (1024, 1));
+    }
+
+    #[test]
+    fn custom_bounds_are_fixed_by_the_first_observation() {
+        let r = Registry::new();
+        r.observe_with_bounds("lat_us", 300, &DURATION_BOUNDS_US);
+        // A later caller with the default bounds folds into the registered
+        // duration buckets instead of forking the series.
+        r.observe("lat_us", 5_000);
+        r.observe_with_bounds("lat_us", 40_000_000, &BUCKET_BOUNDS);
+        let snap = r.snapshot();
+        let h = &snap.histograms["lat_us"];
+        assert_eq!(h.count, 3);
+        assert_eq!(h.buckets.len(), DURATION_BOUNDS_US.len());
+        assert_eq!(h.buckets[3], (512, 1), "300 µs lands in le512");
+        assert_eq!(h.buckets[4], (2_048, 0));
+        assert_eq!(h.buckets[5], (8_192, 1), "5 ms lands in le8192");
+        assert_eq!(h.overflow, 1, "40 s overflows even duration bounds");
+    }
+
+    #[test]
+    fn quantile_returns_the_covering_bucket_bound() {
+        let r = Registry::new();
+        for v in [1, 1, 1, 6, 6, 6, 6, 6, 100, 5000] {
+            r.observe("q", v);
+        }
+        let snap = r.snapshot();
+        let h = &snap.histograms["q"];
+        assert_eq!(h.quantile(0.0), Some(1), "rank clamps to the first value");
+        assert_eq!(h.quantile(0.3), Some(1));
+        assert_eq!(h.quantile(0.5), Some(8), "6 lands in le8");
+        assert_eq!(h.quantile(0.9), Some(128));
+        assert_eq!(h.quantile(1.0), Some(u64::MAX), "max is in overflow");
+        let empty = HistogramSnapshot {
+            count: 0,
+            sum: 0,
+            buckets: vec![(1, 0)],
+            overflow: 0,
+        };
+        assert_eq!(empty.quantile(0.5), None);
     }
 
     #[test]

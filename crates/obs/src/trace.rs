@@ -203,10 +203,22 @@ impl Obs {
         }
     }
 
-    /// Records one observation into a named fixed-bucket histogram.
+    /// Records one observation into a named fixed-bucket histogram with
+    /// the default bounds (`metrics::BUCKET_BOUNDS`).
     pub fn observe(&self, name: &str, value: u64) {
         if let Some(inner) = &self.inner {
             inner.metrics.observe(name, value);
+        }
+    }
+
+    /// Records one observation into a histogram whose bucket bounds are
+    /// fixed to `bounds` at its first observation (e.g.
+    /// `metrics::DURATION_BOUNDS_US` for microsecond durations, which
+    /// overflow the small-count defaults immediately). Later observations
+    /// fold into the registered buckets whatever bounds they pass.
+    pub fn observe_with_bounds(&self, name: &str, value: u64, bounds: &[u64]) {
+        if let Some(inner) = &self.inner {
+            inner.metrics.observe_with_bounds(name, value, bounds);
         }
     }
 

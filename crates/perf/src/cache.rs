@@ -90,34 +90,52 @@ impl CacheStats {
     }
 }
 
-/// One cache line. Validity is epoch-stamped rather than a boolean: a
-/// line is live iff `epoch == CacheSim::epoch`, so [`CacheSim::reset`]
-/// invalidates the whole array by bumping one counter instead of
-/// re-initialising `sets * ways` entries. That makes a simulator
-/// reusable across evaluations at zero cost — which matters because a
-/// fresh default hierarchy (4608 lines) costs more to build than a
-/// small benchmark costs to trace.
-#[derive(Debug, Clone, Copy, Default)]
-struct Line {
-    tag: u64,
-    epoch: u64,
-    dirty: bool,
-    stamp: u64,
-}
+/// Tag value that marks a way as empty. Unreachable as a real tag: it
+/// would require an address within one line of `u64::MAX`, far above the
+/// synthetic allocation range (`ExecCtx` bases grow upward from 0x1000).
+const EMPTY_TAG: u64 = u64::MAX;
 
 /// Per-stream memo for the batched `access_group` fast path: the address
-/// the stream's next access will touch, plus the line it last resolved to
-/// (`block`/`tag`) and where that line sits (`way`, an absolute index into
-/// `lines`). While the stream stays on the same block *and* the memoised
-/// way still holds the matching tag (no cross-stream eviction), an access
-/// is a guaranteed hit at exactly that way, so the set scan is skipped.
+/// the stream's next access will touch, where the line it last resolved
+/// to sits (`way`, an absolute index into the tag/stamp/dirty arrays —
+/// `set * ways + way_in_set`), and `cross_in` — the
+/// number of upcoming accesses still on that line. While `valid` holds
+/// and `cross_in > 0`, an access is a guaranteed hit at exactly that way,
+/// so both the set scan and the address decomposition are skipped.
+///
+/// Validity is eviction-driven rather than re-checked per access: every
+/// miss fill scans the (small) stream list and clears `valid` on any memo
+/// pointing at the refilled way. Line state only changes through misses
+/// (hits touch stamp/dirty, never tag), so between fills a valid memo
+/// stays correct by construction. `cross_in` is pure address arithmetic —
+/// decremented as iterations advance, recomputed (one division) only when
+/// the stream actually crosses a line boundary or loses its memo.
 #[derive(Debug, Clone, Copy, Default)]
 struct StreamState {
     addr: u64,
-    block: u64,
-    tag: u64,
+    cross_in: usize,
     way: usize,
     valid: bool,
+}
+
+/// Accesses a stream still on its memoised line has left, given that its
+/// *previous* access touched `prev` and the next will touch `next`.
+/// `usize::MAX` for a zero stride (never crosses); the caller treats the
+/// value only as a countdown, so the sentinel just means "unbounded".
+#[inline]
+fn cross_in_after(prev: u64, next: u64, stride: i64, line_shift: u32) -> usize {
+    if next >> line_shift != prev >> line_shift {
+        return 0;
+    }
+    let line_mask = (1u64 << line_shift) - 1;
+    if stride > 0 {
+        let remaining = (line_mask + 1) - (next & line_mask);
+        remaining.div_ceil(stride as u64) as usize
+    } else if stride < 0 {
+        ((next & line_mask) / stride.unsigned_abs()) as usize + 1
+    } else {
+        usize::MAX
+    }
 }
 
 /// One level of set-associative, write-back, write-allocate cache with
@@ -131,9 +149,23 @@ pub struct CacheSim {
     line_shift: u32,
     set_mask: usize,
     tag_shift: u32,
-    lines: Vec<Line>,
-    // Lines whose `epoch` equals this are live; all others are invalid.
-    // Starts at 1 so default-initialised lines (epoch 0) begin invalid.
+    // Line state in structure-of-arrays layout, indexed by absolute way
+    // (`set * ways + w`). The hit scan compares `ways` contiguous u64
+    // tags — one cache line for an 8-way set — instead of striding
+    // through an array of line structs, and the LRU victim scan reads
+    // `stamps` the same way. Empty ways hold `EMPTY_TAG` / stamp 0 /
+    // clean, so neither scan needs a validity branch: the sentinel never
+    // matches a real tag, and stamp 0 sorts before every live stamp
+    // (the clock starts at 1).
+    tags: Vec<u64>,
+    stamps: Vec<u64>,
+    dirty: Vec<bool>,
+    // Lazy epoch-stamped invalidation, per *set* rather than per line: a
+    // set whose `set_epoch` entry differs from `epoch` is wiped (all
+    // ways emptied) on first touch after a reset. Keeps `reset` O(1)
+    // without a per-access epoch check in the scans. Construction leaves
+    // every set current (`set_epoch == epoch`) over already-empty ways.
+    set_epoch: Vec<u64>,
     epoch: u64,
     clock: u64,
     hits: u64,
@@ -168,7 +200,10 @@ impl CacheSim {
             line_shift: params.line.trailing_zeros(),
             set_mask: params.sets - 1,
             tag_shift: params.sets.trailing_zeros(),
-            lines: vec![Line::default(); params.sets * params.ways],
+            tags: vec![EMPTY_TAG; params.sets * params.ways],
+            stamps: vec![0; params.sets * params.ways],
+            dirty: vec![false; params.sets * params.ways],
+            set_epoch: vec![1; params.sets],
             epoch: 1,
             clock: 0,
             hits: 0,
@@ -244,38 +279,41 @@ impl CacheSim {
         let tag = block >> self.tag_shift;
         let ways = self.params.ways;
         let base = set * ways;
-        let epoch = self.epoch;
-        let set_lines = &mut self.lines[base..base + ways];
-
-        if let Some((w, l)) = set_lines
-            .iter_mut()
-            .enumerate()
-            .find(|(_, l)| l.epoch == epoch && l.tag == tag)
-        {
-            l.stamp = self.clock;
-            l.dirty |= write;
-            self.hits += 1;
-            return (Access::Hit, base + w);
+        if self.set_epoch[set] != self.epoch {
+            // First touch of this set since the last reset: wipe it.
+            self.set_epoch[set] = self.epoch;
+            self.tags[base..base + ways].fill(EMPTY_TAG);
+            self.stamps[base..base + ways].fill(0);
+            self.dirty[base..base + ways].fill(false);
         }
 
-        // Miss: fill into an invalid way or evict the LRU way.
+        if let Some(w) = self.tags[base..base + ways].iter().position(|&t| t == tag) {
+            let aw = base + w;
+            self.stamps[aw] = self.clock;
+            self.dirty[aw] |= write;
+            self.hits += 1;
+            return (Access::Hit, aw);
+        }
+
+        // Miss: fill into an empty way (stamp 0, always least) or evict
+        // the LRU way — first minimal stamp, scanning ways in order.
         self.misses += 1;
-        let (w, victim) = set_lines
-            .iter_mut()
-            .enumerate()
-            .min_by_key(|(_, l)| if l.epoch == epoch { l.stamp } else { 0 })
-            .expect("ways > 0");
-        let dirty_evict = victim.epoch == epoch && victim.dirty;
+        let mut vw = base;
+        let mut vs = self.stamps[base];
+        for w in base + 1..base + ways {
+            if self.stamps[w] < vs {
+                vs = self.stamps[w];
+                vw = w;
+            }
+        }
+        let dirty_evict = self.dirty[vw];
         if dirty_evict {
             self.writebacks += 1;
         }
-        *victim = Line {
-            tag,
-            epoch,
-            dirty: write,
-            stamp: self.clock,
-        };
-        (Access::Miss { dirty_evict }, base + w)
+        self.tags[vw] = tag;
+        self.stamps[vw] = self.clock;
+        self.dirty[vw] = write;
+        (Access::Miss { dirty_evict }, vw)
     }
 }
 
@@ -349,27 +387,16 @@ impl MemoryTracer for CacheSim {
         let mut i = 0;
         while i < count {
             // Longest run of guaranteed hits starting at iteration `i`:
-            // zero as soon as any stream is off its memoised line.
+            // the smallest per-stream countdown, zero as soon as any memo
+            // is missing. No divisions and no line loads here — `cross_in`
+            // is maintained incrementally and validity is eviction-driven.
             let mut run = count - i;
-            for (k, spec) in streams.iter().enumerate() {
-                let st = &scratch[k];
-                if !st.valid || st.addr >> line_shift != st.block {
+            for st in &scratch {
+                if !st.valid || st.cross_in == 0 {
                     run = 0;
                     break;
                 }
-                let l = &self.lines[st.way];
-                if l.epoch != self.epoch || l.tag != st.tag {
-                    run = 0;
-                    break;
-                }
-                // Iterations until this stream leaves its current block.
-                if spec.stride > 0 {
-                    let remaining = (line_mask + 1) - (st.addr & line_mask);
-                    run = run.min(remaining.div_ceil(spec.stride as u64) as usize);
-                } else if spec.stride < 0 {
-                    let off = st.addr & line_mask;
-                    run = run.min((off / spec.stride.unsigned_abs()) as usize + 1);
-                }
+                run = run.min(st.cross_in);
             }
             if run > 0 {
                 let r = run as u64;
@@ -378,34 +405,43 @@ impl MemoryTracer for CacheSim {
                 self.hits += r * nstreams;
                 for (k, spec) in streams.iter().enumerate() {
                     let st = &mut scratch[k];
-                    let l = &mut self.lines[st.way];
-                    l.stamp = base_clock + (r - 1) * nstreams + k as u64 + 1;
-                    l.dirty |= spec.write;
+                    self.stamps[st.way] = base_clock + (r - 1) * nstreams + k as u64 + 1;
+                    self.dirty[st.way] |= spec.write;
                     st.addr = st.addr.wrapping_add((spec.stride as u64).wrapping_mul(r));
+                    st.cross_in -= run;
                 }
                 i += run;
                 continue;
             }
             for (k, spec) in streams.iter().enumerate() {
-                let st = &mut scratch[k];
-                let addr = st.addr;
-                st.addr = addr.wrapping_add(spec.stride as u64);
-                let block = addr >> line_shift;
-                if st.valid && block == st.block {
-                    let l = &mut self.lines[st.way];
-                    if l.epoch == self.epoch && l.tag == st.tag {
+                let (addr, next) = {
+                    let st = &mut scratch[k];
+                    let addr = st.addr;
+                    st.addr = addr.wrapping_add(spec.stride as u64);
+                    if st.valid && st.cross_in > 0 {
                         self.clock += 1;
-                        l.stamp = self.clock;
-                        l.dirty |= spec.write;
+                        self.stamps[st.way] = self.clock;
+                        self.dirty[st.way] |= spec.write;
                         self.hits += 1;
+                        st.cross_in -= 1;
                         continue;
                     }
+                    (addr, st.addr)
+                };
+                let (outcome, way) = self.touch_way(addr, spec.write);
+                if let Access::Miss { .. } = outcome {
+                    // The fill gave `way` a new tag: any memo pointing at
+                    // it is stale now (including overlapping streams).
+                    for st in scratch.iter_mut() {
+                        if st.valid && st.way == way {
+                            st.valid = false;
+                        }
+                    }
                 }
-                let (_, way) = self.touch_way(addr, spec.write);
-                st.block = block;
-                st.tag = block >> self.tag_shift;
+                let st = &mut scratch[k];
                 st.way = way;
                 st.valid = true;
+                st.cross_in = cross_in_after(addr, next, spec.stride, line_shift);
             }
             i += 1;
         }
@@ -559,25 +595,16 @@ impl MemoryTracer for Hierarchy {
         let nstreams = streams.len() as u64;
         let mut i = 0;
         while i < count {
+            // Division- and load-free run computation (see
+            // [`CacheSim::access_group`]): countdowns are maintained,
+            // validity is eviction-driven.
             let mut run = count - i;
-            for (k, spec) in streams.iter().enumerate() {
-                let st = &scratch[k];
-                if !st.valid || st.addr >> line_shift != st.block {
+            for st in &scratch {
+                if !st.valid || st.cross_in == 0 {
                     run = 0;
                     break;
                 }
-                let l = &self.l1.lines[st.way];
-                if l.epoch != self.l1.epoch || l.tag != st.tag {
-                    run = 0;
-                    break;
-                }
-                if spec.stride > 0 {
-                    let remaining = (line_mask + 1) - (st.addr & line_mask);
-                    run = run.min(remaining.div_ceil(spec.stride as u64) as usize);
-                } else if spec.stride < 0 {
-                    let off = st.addr & line_mask;
-                    run = run.min((off / spec.stride.unsigned_abs()) as usize + 1);
-                }
+                run = run.min(st.cross_in);
             }
             if run > 0 {
                 let r = run as u64;
@@ -588,31 +615,31 @@ impl MemoryTracer for Hierarchy {
                 self.stats.l1_hits += r * nstreams;
                 for (k, spec) in streams.iter().enumerate() {
                     let st = &mut scratch[k];
-                    let l = &mut self.l1.lines[st.way];
-                    l.stamp = base_clock + (r - 1) * nstreams + k as u64 + 1;
-                    l.dirty |= spec.write;
+                    self.l1.stamps[st.way] = base_clock + (r - 1) * nstreams + k as u64 + 1;
+                    self.l1.dirty[st.way] |= spec.write;
                     st.addr = st.addr.wrapping_add((spec.stride as u64).wrapping_mul(r));
+                    st.cross_in -= run;
                 }
                 i += run;
                 continue;
             }
             for (k, spec) in streams.iter().enumerate() {
-                let st = &mut scratch[k];
-                let addr = st.addr;
-                st.addr = addr.wrapping_add(spec.stride as u64);
-                let block = addr >> line_shift;
                 self.stats.accesses += 1;
-                if st.valid && block == st.block {
-                    let l = &mut self.l1.lines[st.way];
-                    if l.epoch == self.l1.epoch && l.tag == st.tag {
+                let (addr, next) = {
+                    let st = &mut scratch[k];
+                    let addr = st.addr;
+                    st.addr = addr.wrapping_add(spec.stride as u64);
+                    if st.valid && st.cross_in > 0 {
                         self.l1.clock += 1;
-                        l.stamp = self.l1.clock;
-                        l.dirty |= spec.write;
+                        self.l1.stamps[st.way] = self.l1.clock;
+                        self.l1.dirty[st.way] |= spec.write;
                         self.l1.hits += 1;
                         self.stats.l1_hits += 1;
+                        st.cross_in -= 1;
                         continue;
                     }
-                }
+                    (addr, st.addr)
+                };
                 let (outcome, way) = self.l1.touch_way(addr, spec.write);
                 match outcome {
                     Access::Hit => self.stats.l1_hits += 1,
@@ -629,12 +656,19 @@ impl MemoryTracer for Hierarchy {
                                 self.stats.misses += 1;
                             }
                         }
+                        // The L1 fill gave `way` a new tag: stale memos
+                        // pointing at it must drop out of the fast path.
+                        for st in scratch.iter_mut() {
+                            if st.valid && st.way == way {
+                                st.valid = false;
+                            }
+                        }
                     }
                 }
-                st.block = block;
-                st.tag = block >> self.l1.tag_shift;
+                let st = &mut scratch[k];
                 st.way = way;
                 st.valid = true;
+                st.cross_in = cross_in_after(addr, next, spec.stride, line_shift);
             }
             i += 1;
         }

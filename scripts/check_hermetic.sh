@@ -16,19 +16,21 @@
 # rotting until the next manual `cargo bench` — including
 # `bench_obs_overhead`, the noop-tracer-costs-nothing watchdog.
 #
-# Three structural guards ride along: the fault-tolerant harness paths
-# must stay panic-free, the `mixp-obs` crate must stay dependency-free with
-# wall-clock access confined to its clock.rs module, and raw thread
-# creation must stay confined to `crates/pool` (plus the one sanctioned
-# watchdog supervisor thread in crates/harness/src/watchdog.rs) so
-# MIXP_WORKERS remains the single bound on campaign parallelism.
+# Structural guards ride along: the fault-tolerant harness paths must
+# stay panic-free, the `mixp-obs` crate must stay dependency-free with
+# wall-clock access confined to its clock.rs module, raw thread creation
+# must stay confined to `crates/pool` (plus the one sanctioned watchdog
+# supervisor thread in crates/harness/src/watchdog.rs) so MIXP_WORKERS
+# remains the single bound on campaign parallelism, and the `mixp-ir`
+# crate must stay dependency-free with precision semantics confined to
+# its round.rs/plan.rs so plans stay bit-identical to the direct path.
 #
 # Run from anywhere: scripts/check_hermetic.sh
 
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-echo "== [1/7] grep guard: only path dependencies allowed =="
+echo "== [1/8] grep guard: only path dependencies allowed =="
 violations=$(find . -name Cargo.toml -not -path './target/*' -print0 | xargs -0 awk '
   FNR == 1 { section = "" }
   /^\[/ { section = $0 }
@@ -44,7 +46,7 @@ if [ -n "$violations" ]; then
 fi
 echo "ok: no non-path dependencies"
 
-echo "== [2/7] panic guard: fault-tolerant harness paths must not panic =="
+echo "== [2/8] panic guard: fault-tolerant harness paths must not panic =="
 # The campaign execution path promises typed errors instead of aborts:
 # no unwrap()/expect()/panic! in non-test code of the scheduler, job,
 # checkpoint, faultplan, watchdog and cancellation modules. Test modules
@@ -73,7 +75,7 @@ if [ -n "$panic_violations" ]; then
 fi
 echo "ok: campaign execution paths are panic-free"
 
-echo "== [3/7] fast-path guard: benchmark hot loops must use the bulk layer =="
+echo "== [3/8] fast-path guard: benchmark hot loops must use the bulk layer =="
 # The speedup model's wall-clock claims rest on benchmarks going through
 # the MpVec fast path: per-handle cached rounding and bulk accounting.
 # Reaching around it — rounding manually with `round_to`, or reading
@@ -100,7 +102,7 @@ if [ -n "$fastpath_violations" ]; then
 fi
 echo "ok: kernels and apps stay on the bulk/fast-path API"
 
-echo "== [4/7] obs purity guard: zero deps, wall clock quarantined in clock.rs =="
+echo "== [4/8] obs purity guard: zero deps, wall clock quarantined in clock.rs =="
 # The observability crate underpins the determinism story twice over: it
 # must stay dependency-free (it is linked into every other crate), and its
 # trace/metrics layers must never read wall-clock time themselves — all
@@ -131,7 +133,7 @@ if [ -n "$obs_clock_violations" ]; then
 fi
 echo "ok: crates/obs is dependency-free and logically clocked"
 
-echo "== [5/7] thread-confinement guard: raw threads only inside crates/pool =="
+echo "== [5/8] thread-confinement guard: raw threads only inside crates/pool =="
 # The oversubscription fix rests on one invariant: all parallelism flows
 # through the work-stealing pool, sized once by MIXP_WORKERS. Raw
 # `thread::spawn`/`thread::scope`/`thread::Builder` anywhere else quietly
@@ -156,7 +158,43 @@ if [ -n "$thread_violations" ]; then
 fi
 echo "ok: thread creation is confined to the pool crate"
 
-echo "== [6/7] offline build + test with an empty CARGO_HOME =="
+echo "== [6/8] IR purity guard: crates/ir dependency-free and precision-agnostic =="
+# The program IR is the layer future backends hang off, so it must know
+# nothing about ExecCtx, tracers or benchmarks: its Cargo.toml declares no
+# dependencies at all (not even workspace ones). Precision semantics are
+# likewise confined: numeric rounding lives in round.rs (RoundMode), and
+# the one sanctioned consumer that inlines those semantics is the plan
+# interpreter's fused loops in plan.rs. Everywhere else — prog, analyze,
+# compile, lib — the IR must stay pure f64 with symbolic precision only,
+# or config-specialized plans quietly stop being bit-identical to the
+# hand-written execution path. Test modules and comments are exempt.
+ir_dep_violations=$(awk '
+  /^\[/ { section = $0 }
+  section ~ /dependencies/ && /=/ && !/^[[:space:]]*#/ {
+    printf "crates/ir/Cargo.toml:%d: %s\n", FNR, $0
+  }
+' crates/ir/Cargo.toml)
+if [ -n "$ir_dep_violations" ]; then
+  echo "$ir_dep_violations"
+  echo "error: crates/ir must have no dependencies at all — not even path ones" >&2
+  exit 1
+fi
+ir_purity_violations=$(find crates/ir/src -name '*.rs' \
+    -not -name round.rs -not -name plan.rs -print0 | \
+  xargs -0 -n1 awk '
+    /#\[cfg\(test\)\]/ { exit }
+    /f32|round_to[[:space:]]*\(/ && !/^[[:space:]]*\/\// {
+      printf "%s:%d: %s\n", FILENAME, FNR, $0
+    }
+  ')
+if [ -n "$ir_purity_violations" ]; then
+  echo "$ir_purity_violations"
+  echo "error: precision-specific code outside crates/ir round.rs/plan.rs — express it as a RoundMode" >&2
+  exit 1
+fi
+echo "ok: crates/ir is dependency-free and precision-agnostic outside round.rs/plan.rs"
+
+echo "== [7/8] offline build + test with an empty CARGO_HOME =="
 tmp=$(mktemp -d)
 trap 'rm -rf "$tmp"' EXIT
 export CARGO_HOME="$tmp/cargo_home"
@@ -165,7 +203,7 @@ mkdir -p "$CARGO_HOME"
 cargo build --release --offline
 cargo test -q --offline
 
-echo "== [7/7] bench smoke: every [[bench]] target runs under MIXP_BENCH_QUICK =="
+echo "== [8/8] bench smoke: every [[bench]] target runs under MIXP_BENCH_QUICK =="
 MIXP_BENCH_QUICK=1 cargo bench --offline
 
 echo "hermetic check passed"

@@ -472,6 +472,156 @@ fn obs_noop_is_bit_identical() {
     });
 }
 
+/// Every IR-ported kernel's config-specialized execution plan is
+/// bit-identical to the hand-written `run` it was compiled from, for
+/// arbitrary mixed-precision configurations: same output bits, same
+/// operation counts, same cache statistics. Both arms are exercised —
+/// the full `run_config` pipeline (hierarchy-traced) and bare untraced
+/// contexts around `compile_plan`/`run_plan`.
+#[test]
+fn ir_plans_are_bit_identical_to_handwritten_kernels() {
+    prop_check!((pick in usizes(0..10), seed in u64s(0..1_000_000), traced in bools()) => {
+        let bench: Box<dyn Benchmark> = {
+            let mut all = mixp_kernels::all_kernels_small();
+            all.swap_remove(pick % all.len())
+        };
+        let prog = bench.ir_program().expect("all ten kernels are IR-ported");
+        let pm = bench.program();
+        let mut cfg = pm.config_all_double();
+        let mut rng = SplitMix64::new(seed.wrapping_mul(2).wrapping_add(1));
+        for v in pm.tunable_vars() {
+            match rng.next_range(4) {
+                0 | 1 => {}
+                2 => cfg.set(v, mixp_float::Precision::Single),
+                _ => cfg.set(v, mixp_float::Precision::Half),
+            }
+        }
+
+        if traced {
+            let params = mixp_core::CacheParams::default();
+            let (d_out, d_counts, d_stats) =
+                mixp_core::run_config_direct(bench.as_ref(), &cfg, params);
+            let (p_out, p_counts, p_stats) = mixp_core::run_config(bench.as_ref(), &cfg, params);
+            prop_assert_eq!(d_out.len(), p_out.len());
+            for (d, p) in d_out.iter().zip(&p_out) {
+                prop_assert_eq!(d.to_bits(), p.to_bits(), "{} outputs diverge", bench.name());
+            }
+            prop_assert_eq!(d_counts, p_counts, "{} op counts diverge", bench.name());
+            prop_assert_eq!(d_stats, p_stats, "{} cache stats diverge", bench.name());
+        } else {
+            let plan = mixp_core::compile_plan(prog, &cfg);
+            let (d_out, d_counts) = {
+                let mut ctx = ExecCtx::new(&cfg);
+                (bench.run(&mut ctx), ctx.counts())
+            };
+            let (p_out, p_counts) = {
+                let mut ctx = ExecCtx::new(&cfg);
+                (mixp_core::run_plan(&plan, &mut ctx), ctx.counts())
+            };
+            prop_assert_eq!(d_out.len(), p_out.len());
+            for (d, p) in d_out.iter().zip(&p_out) {
+                prop_assert_eq!(d.to_bits(), p.to_bits(), "{} outputs diverge", bench.name());
+            }
+            prop_assert_eq!(d_counts, p_counts, "{} op counts diverge", bench.name());
+        }
+    });
+}
+
+/// The evaluator's plan path (shared `PlanCache`, any worker count, batch
+/// or sequential submission) reports the same records as an evaluator
+/// forced onto the hand-written path — including non-compiling
+/// cluster-splitting configurations and the all-double reference run.
+#[test]
+fn evaluator_plan_path_matches_direct_for_kernels() {
+    /// Forwards a benchmark but hides its IR port, pinning the evaluator
+    /// to the hand-written `run` path.
+    struct DirectOnly<'a>(&'a dyn Benchmark);
+    impl Benchmark for DirectOnly<'_> {
+        fn name(&self) -> &str {
+            self.0.name()
+        }
+        fn description(&self) -> &str {
+            self.0.description()
+        }
+        fn kind(&self) -> BenchmarkKind {
+            self.0.kind()
+        }
+        fn program(&self) -> &ProgramModel {
+            self.0.program()
+        }
+        fn metric(&self) -> MetricKind {
+            self.0.metric()
+        }
+        fn run(&self, ctx: &mut ExecCtx<'_>) -> Vec<f64> {
+            self.0.run(ctx)
+        }
+    }
+
+    prop_check!((
+        pick in usizes(0..10),
+        mix in u64s(0..8_000),
+        masks in vecs(usizes(0..64), 1..6),
+    ) => {
+        let workers = 1 + (mix % 4) as usize;
+        let bench: Box<dyn Benchmark> = {
+            let mut all = mixp_kernels::all_kernels_small();
+            all.swap_remove(pick % all.len())
+        };
+        let pm = bench.program().clone();
+        // Alternate single-lowered variable subsets (some split clusters
+        // and must not compile) with random three-way precision draws.
+        let cfgs: Vec<PrecisionConfig> = masks
+            .iter()
+            .enumerate()
+            .map(|(i, &mask)| {
+                if i % 2 == 0 {
+                    let lowered = pm
+                        .tunable_vars()
+                        .into_iter()
+                        .filter(|v| (mask >> (v.index() % 6)) & 1 == 1);
+                    PrecisionConfig::from_lowered(pm.var_count(), lowered)
+                } else {
+                    let mut cfg = pm.config_all_double();
+                    let mut rng = SplitMix64::new(mask as u64 ^ (mix << 8));
+                    for v in pm.tunable_vars() {
+                        match rng.next_range(4) {
+                            0 | 1 => {}
+                            2 => cfg.set(v, mixp_float::Precision::Single),
+                            _ => cfg.set(v, mixp_float::Precision::Half),
+                        }
+                    }
+                    cfg
+                }
+            })
+            .collect();
+
+        let direct_bench = DirectOnly(bench.as_ref());
+        let mut direct = EvaluatorBuilder::new(QualityThreshold::new(1e-3))
+            .workers(workers)
+            .build(&direct_bench);
+        let direct_results = direct.evaluate_batch(&cfgs);
+
+        let mut planned = EvaluatorBuilder::new(QualityThreshold::new(1e-3))
+            .workers(workers)
+            .build(bench.as_ref());
+        let planned_results = planned.evaluate_batch(&cfgs);
+
+        prop_assert_eq!(direct_results.len(), planned_results.len());
+        for (d, p) in direct_results.iter().zip(&planned_results) {
+            match (d, p) {
+                (Ok(dr), Ok(pr)) => {
+                    prop_assert_eq!(dr.compiled, pr.compiled);
+                    prop_assert_eq!(dr.passes, pr.passes);
+                    prop_assert_eq!(dr.quality.to_bits(), pr.quality.to_bits());
+                    prop_assert_eq!(dr.speedup.to_bits(), pr.speedup.to_bits());
+                }
+                (Err(de), Err(pe)) => prop_assert_eq!(de, pe),
+                other => prop_assert!(false, "paths diverge: {:?}", other),
+            }
+        }
+    });
+}
+
 /// The evaluator's speedup and quality are invariant under evaluation
 /// order (no hidden state leaks between evaluations).
 #[test]
