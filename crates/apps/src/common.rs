@@ -9,6 +9,11 @@ use std::io::Cursor;
 /// Fixed seed all applications derive their synthetic inputs from.
 pub(crate) const APP_SEED: u64 = 0x4850_432d_4d69_7850; // "HPC-MixP"
 
+/// Program-model variable id as the raw index the IR stores.
+pub(crate) fn vid(v: VarId) -> u32 {
+    v.index() as u32
+}
+
 /// A deterministic RNG stream for application `name`, stream `k`.
 pub(crate) fn rng(name: &str, k: u64) -> SplitMix64 {
     let mut h = APP_SEED;

@@ -1,10 +1,11 @@
 //! HotSpot — Rodinia thermal simulation.
 
-use crate::common::{rng, InputFile};
+use crate::common::{rng, vid, InputFile};
 use mixp_core::{
     Benchmark, BenchmarkKind, ExecCtx, MetricKind, ProgramBuilder, ProgramModel, VarId,
 };
 use mixp_float::{MpScalar, MpVec, StreamGroup};
+use mixp_ir::{Expr, Sweep};
 
 /// Declares one row segment's stencil streams in the per-cell evaluation
 /// order: centre, north/south (when the row has them), west/east (when the
@@ -67,6 +68,7 @@ pub struct Hotspot {
     iterations: usize,
     power_file: InputFile,
     temp_file: InputFile,
+    ir: mixp_ir::Program,
 }
 
 #[derive(Debug, Clone, Copy)]
@@ -186,6 +188,83 @@ impl Hotspot {
         let power_vals: Vec<f64> = (0..n).map(|_| g.uniform(1.0e-6, 5.0e-5)).collect();
         let temp_vals: Vec<f64> = (0..n).map(|_| g.uniform(0.0, 1.0e-3)).collect();
 
+        // The IR program mirrors `run` exactly: the same allocation order
+        // (power, temp, result), the same four per-iteration charges, and
+        // one sweep per row segment with streams declared in the
+        // stencil's per-cell evaluation order. The grid ping-pong cannot
+        // hoist (each pass reads the previous pass's writes), so the
+        // iteration loop is unrolled with the cur/nxt array ids swapped
+        // per pass; the output is whichever grid the last pass wrote.
+        let mut p = mixp_ir::Program::new("hotspot");
+        let pow_a = p.array_init(vid(power), power_vals.clone());
+        let temp_a = p.array_init(vid(temp), temp_vals.clone());
+        let result_a = p.array(vid(result), n);
+        let cap_s = p.scalar(vid(cap), 0.5);
+        let rx_s = p.scalar(vid(rx), 1.0 / 3.0);
+        let ry_s = p.scalar(vid(ry), 1.0 / 3.0);
+        let rz_s = p.scalar(vid(rz), 4.75);
+        let step_s = p.scalar(vid(step), 1.0 / 64.0);
+        let tc_sc = p.scalar(vid(tc), 0.0);
+        let delta_sc = p.scalar(vid(delta), 0.0);
+        let n64 = n as u64;
+        let (mut cur, mut nxt) = (temp_a, result_a);
+        for _ in 0..iterations {
+            p.flop(vid(tc), &[], 4 * n64);
+            p.flop(vid(delta), &[vid(tc), vid(step_lit)], 2 * n64);
+            p.flop(
+                vid(delta),
+                &[vid(step), vid(cap), vid(power), vid(ry), vid(rx), vid(rz)],
+                7 * n64,
+            );
+            p.flop(vid(result), &[vid(tc), vid(delta)], n64);
+            for r in 0..rows {
+                let segments =
+                    [(0, 1, false, true), (1, cols - 1, true, true), (cols - 1, cols, true, false)];
+                for (start, end, west, east) in segments {
+                    let base = r * cols + start;
+                    let mut s = Sweep::new(end - start);
+                    s.load(cur, base);
+                    if r > 0 {
+                        s.load(cur, base - cols);
+                    }
+                    if r + 1 < rows {
+                        s.load(cur, base + cols);
+                    }
+                    if west {
+                        s.load(cur, base - 1);
+                    }
+                    if east {
+                        s.load(cur, base + 1);
+                    }
+                    s.load(pow_a, base).store(nxt, base);
+                    // The centre temperature rounds through the `tc`
+                    // scratch scalar; boundary sites reuse it in place of
+                    // the missing neighbour, exactly like `run`.
+                    let tc_l = s.bind_scal(tc_sc, Expr::at(cur, base));
+                    let tn = if r > 0 { Expr::at(cur, base - cols) } else { tc_l.clone() };
+                    let ts = if r + 1 < rows { Expr::at(cur, base + cols) } else { tc_l.clone() };
+                    let tw = if west { Expr::at(cur, base - 1) } else { tc_l.clone() };
+                    let te = if east { Expr::at(cur, base + 1) } else { tc_l.clone() };
+                    let vert = s.bind(ts + tn - Expr::k(2.0) * tc_l.clone());
+                    let horiz = s.bind(te + tw - Expr::k(2.0) * tc_l.clone());
+                    // `-tc` as `-1.0 * tc`: an exact IEEE sign flip,
+                    // signed zeros included.
+                    let sink = s.bind(Expr::k(-1.0) * tc_l.clone());
+                    let d = (Expr::scal(step_s) / Expr::scal(cap_s))
+                        * (Expr::at(pow_a, base)
+                            + vert / Expr::scal(ry_s)
+                            + horiz / Expr::scal(rx_s)
+                            + sink / Expr::scal(rz_s));
+                    let d_l = s.bind_scal(delta_sc, d);
+                    let tc2 = s.bind_scal(tc_sc, tc_l + d_l);
+                    s.set(nxt, base, tc2);
+                    p.sweep(s);
+                }
+            }
+            std::mem::swap(&mut cur, &mut nxt);
+        }
+        p.output(cur);
+
         Hotspot {
             program,
             v: Vars {
@@ -206,6 +285,7 @@ impl Hotspot {
             iterations,
             power_file: InputFile::new(&power_vals),
             temp_file: InputFile::new(&temp_vals),
+            ir: p,
         }
     }
 }
@@ -318,6 +398,10 @@ impl Benchmark for Hotspot {
             std::mem::swap(&mut temp, &mut result);
         }
         temp.snapshot()
+    }
+
+    fn ir_program(&self) -> Option<&mixp_ir::Program> {
+        Some(&self.ir)
     }
 }
 

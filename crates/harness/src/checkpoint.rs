@@ -105,6 +105,14 @@ fn precision_from_name(name: &str) -> Option<Precision> {
 /// Serialises one completed cell as a single JSON line (no internal
 /// newlines, so a torn write is detectable as a bad final line).
 fn result_line(index: usize, job: &Job, result: &JobResult) -> String {
+    compact(&result_doc(index, job, result))
+}
+
+/// The JSON document behind [`Journal::record`]'s line. Public so the
+/// campaign service's queue journal can reuse the exact cell format
+/// (annotated with its own campaign-id fields) and stay readable by
+/// [`result_from_line`].
+pub fn result_doc(index: usize, job: &Job, result: &JobResult) -> Json {
     let best = match &result.result.best {
         None => Json::Null,
         Some(rec) => {
@@ -159,13 +167,14 @@ fn result_line(index: usize, job: &Job, result: &JobResult) -> String {
         ("dnf".to_string(), Json::Bool(result.result.dnf)),
         ("best".to_string(), best),
     ]);
-    compact(&doc)
+    doc
 }
 
 /// One-line JSON rendering (the pretty writer inserts newlines, which the
 /// journal format forbids). Shared with the cache journal
-/// ([`crate::evalcache`]), which uses the same torn-line-tolerant format.
-pub(crate) fn compact(doc: &Json) -> String {
+/// ([`crate::evalcache`]) and the campaign service's queue journal, which
+/// use the same torn-line-tolerant format.
+pub fn compact(doc: &Json) -> String {
     match doc {
         Json::Null => "null".to_string(),
         Json::Bool(b) => if *b { "true" } else { "false" }.to_string(),
@@ -199,6 +208,13 @@ pub(crate) fn compact(doc: &Json) -> String {
 /// error is stored by its stable `code` plus whatever payload it needs to
 /// round-trip ([`failure_from_line`] rebuilds it).
 fn failure_line(index: usize, job: &Job, error: &JobError) -> String {
+    compact(&failure_doc(index, job, error))
+}
+
+/// The JSON document behind [`Journal::record_failure`]'s line. Public for
+/// the same reason as [`result_doc`]: the campaign service journals failed
+/// cells in this exact shape.
+pub fn failure_doc(index: usize, job: &Job, error: &JobError) -> Json {
     let mut members = vec![
         ("job".to_string(), Json::Number(index as f64)),
         ("status".to_string(), Json::String("failed".to_string())),
@@ -226,14 +242,14 @@ fn failure_line(index: usize, job: &Job, error: &JobError) -> String {
         }
         _ => {}
     }
-    compact(&Json::Object(members))
+    Json::Object(members)
 }
 
 /// Rebuilds a [`JobError`] from one `"status": "failed"` journal line,
 /// validating it against the job it claims to belong to. Transient error
 /// codes (which should never be journaled) and anything malformed return
 /// `None`, so the cell re-runs.
-fn failure_from_line(doc: &Json, jobs: &[Job]) -> Option<(usize, JobError)> {
+pub fn failure_from_line(doc: &Json, jobs: &[Job]) -> Option<(usize, JobError)> {
     let index = doc.get("job")?.as_f64()? as usize;
     let job = jobs.get(index)?;
     if doc.get("benchmark")?.as_str()? != job.benchmark
@@ -262,7 +278,7 @@ fn failure_from_line(doc: &Json, jobs: &[Job]) -> Option<(usize, JobError)> {
 /// Rebuilds a [`JobResult`] from one journal line, validating it against
 /// the job it claims to belong to. Returns `None` (skip the line — the
 /// cell re-runs) rather than failing on any mismatch.
-fn result_from_line(doc: &Json, jobs: &[Job]) -> Option<(usize, JobResult)> {
+pub fn result_from_line(doc: &Json, jobs: &[Job]) -> Option<(usize, JobResult)> {
     let index = doc.get("job")?.as_f64()? as usize;
     let job = jobs.get(index)?;
     let benchmark = doc.get("benchmark")?.as_str()?;
@@ -353,8 +369,9 @@ pub fn load(path: &Path, jobs: &[Job]) -> RunState {
 /// sibling `<path>.tmp` file, is fsynced, and is renamed over `path` — so
 /// a crash mid-restart leaves either the old journal or a complete new
 /// header, never a torn one. Returns the renamed file reopened for
-/// appending. Shared with the cache journal ([`crate::evalcache`]).
-pub(crate) fn create_with_header(path: &Path, header: &Json) -> std::io::Result<File> {
+/// appending. Shared with the cache journal ([`crate::evalcache`]) and the
+/// campaign service's queue journal.
+pub fn create_with_header(path: &Path, header: &Json) -> std::io::Result<File> {
     let mut tmp = path.as_os_str().to_os_string();
     tmp.push(".tmp");
     let tmp = std::path::PathBuf::from(tmp);

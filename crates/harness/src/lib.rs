@@ -83,7 +83,7 @@ pub use registry::{benchmark_by_name, benchmark_names, Scale};
 pub use tracesum::{render_trace_summary, summarize_trace, TraceSummary};
 
 pub use scheduler::{
-    default_workers, run_campaign, run_campaign_with_stats, run_jobs, CampaignOptions,
+    default_workers, run_campaign, run_campaign_with_stats, run_cell, run_jobs, CampaignOptions,
     CampaignStats, JobOutcome, RetryPolicy,
 };
 pub use watchdog::{WatchGuard, Watchdog};

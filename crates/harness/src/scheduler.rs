@@ -202,6 +202,7 @@ fn run_with_retry(
     shared: Option<&Arc<SharedEvalCache>>,
     parent: Option<u64>,
     watchdog: Option<&Watchdog>,
+    pool: Option<&Pool>,
 ) -> (u32, Result<JobResult, JobError>) {
     let obs = &opts.obs;
     let max = opts.retry.max_attempts.max(1);
@@ -260,6 +261,24 @@ fn run_with_retry(
         if !retry {
             return (attempt, outcome);
         }
+        // A retry would run right here, on this thread — but if the
+        // watchdog handed this worker's deque slot to a replacement while
+        // the attempt was in flight, the thread is abandoned: a retry
+        // would burn a detached thread's CPU for another full deadline
+        // (its fresh token generation is out of the stale fire's reach)
+        // and hold the batch open the whole time. The transient failure
+        // becomes the job's final outcome instead.
+        if pool.is_some_and(Pool::detach_current) {
+            obs.counter_add("campaign.retry_detached", 1);
+            obs.event(
+                "job.retry_detached",
+                &[
+                    ("job", Value::U64(index as u64)),
+                    ("attempt", Value::U64(u64::from(attempt))),
+                ],
+            );
+            return (attempt, outcome);
+        }
         obs.counter_add("campaign.retries", 1);
         let delay = opts.retry.delay_for(index, attempt);
         if !delay.is_zero() {
@@ -273,6 +292,32 @@ fn run_with_retry(
             std::thread::sleep(delay);
         }
     }
+}
+
+/// Runs one campaign cell to completion on the current thread: retry
+/// policy, fault injection, deadline, shared cache and watchdog
+/// registration exactly as inside [`run_campaign`]. This is the
+/// entry point the long-lived campaign service uses to interleave cells
+/// from *different* campaigns (each with its own options, cache and
+/// watchdog) on one shared pool — the outcome for a given `(job, opts)`
+/// pair is bit-identical to the one [`run_campaign`] would report for the
+/// same cell.
+///
+/// `index` is the cell's index within its own campaign (it selects the
+/// fault from `opts.faults` and seeds retry jitter); `parent` optionally
+/// nests the evaluator's spans under a caller-opened span; `pool` is the
+/// pool the caller is running on, used only to suppress retries on a
+/// quarantined (detached) worker thread. Returns `(attempts, outcome)`.
+pub fn run_cell(
+    index: usize,
+    job: &Job,
+    opts: &CampaignOptions,
+    cache: Option<&Arc<SharedEvalCache>>,
+    parent: Option<u64>,
+    watchdog: Option<&Watchdog>,
+    pool: Option<&Pool>,
+) -> (u32, Result<JobResult, JobError>) {
+    run_with_retry(index, job, opts, cache, parent, watchdog, pool)
 }
 
 /// Runs a campaign: `jobs` fanned out over a thread pool with panic
@@ -372,6 +417,7 @@ pub fn run_campaign_with_stats(
     let journal = journal.as_ref();
     let cache = cache.as_ref();
     let watchdog_ref = watchdog.as_ref();
+    let pool_ref = pool.as_ref();
     let run_job = |i: usize| {
         if restored[i].is_some() {
             obs.event("job.restored", &[("job", Value::U64(i as u64))]);
@@ -385,7 +431,8 @@ pub fn run_campaign_with_stats(
                 ("algorithm", Value::S(jobs[i].algorithm.clone())),
             ],
         );
-        let (attempts, outcome) = run_with_retry(i, &jobs[i], opts, cache, span.id(), watchdog_ref);
+        let (attempts, outcome) =
+            run_with_retry(i, &jobs[i], opts, cache, span.id(), watchdog_ref, pool_ref);
         obs.observe("campaign.attempts", u64::from(attempts));
         obs.counter_add(
             if outcome.is_ok() {

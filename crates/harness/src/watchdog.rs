@@ -271,6 +271,31 @@ fn supervise(shared: &Shared) {
                         ("worker", Value::U64(worker as u64)),
                     ],
                 );
+                // The slot's thread is abandoned from here on: nothing
+                // joins it and the replacement re-runs nothing. Fire every
+                // attempt still registered from the slot — normally a
+                // no-op re-fire of the wedged attempt, but it pins the
+                // invariant that a quarantined worker never carries a live
+                // un-fired token, so cancellable computation the abandoned
+                // thread reaches next unwinds at its first check instead
+                // of running to completion unobserved.
+                for registration in state.regs.values_mut() {
+                    if registration.worker == Some(worker)
+                        && registration.fired_at.is_none()
+                        && registration.token.fire_if(registration.generation)
+                    {
+                        registration.fired_at = Some(Instant::now());
+                        shared.obs.counter_add("watchdog.quarantine_fired", 1);
+                        shared.obs.event(
+                            "watchdog.quarantine_fire",
+                            &[
+                                ("job", Value::U64(registration.job as u64)),
+                                ("attempt", Value::U64(u64::from(registration.attempt))),
+                                ("worker", Value::U64(worker as u64)),
+                            ],
+                        );
+                    }
+                }
             }
         }
         let (guard, _timeout) = shared
@@ -308,11 +333,14 @@ mod tests {
 
     #[test]
     fn beating_job_is_never_fired() {
-        let dog = quick_dog(5, 5);
+        // Wide margins on purpose: the whole workspace's test binaries run
+        // concurrently, and this thread being descheduled for longer than
+        // deadline+grace would fire the watchdog spuriously.
+        let dog = quick_dog(50, 50);
         let token = CancelToken::new();
         let _guard = dog.watch(0, 1, &token);
         let start = Instant::now();
-        while start.elapsed() < Duration::from_millis(60) {
+        while start.elapsed() < Duration::from_millis(200) {
             token.beat();
             std::thread::sleep(Duration::from_millis(1));
         }

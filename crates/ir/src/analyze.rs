@@ -82,7 +82,7 @@ fn vectorizable(s: &Sweep) -> bool {
     let mut stores: Vec<(usize, u32, usize)> = Vec::new();
     for (j, stmt) in s.body.iter().enumerate() {
         let (expr, dst) = match stmt {
-            ElemStmt::Let { expr, .. } => (expr, None),
+            ElemStmt::Let { expr, .. } | ElemStmt::LetScal { expr, .. } => (expr, None),
             ElemStmt::Store {
                 arr, start, step, expr, ..
             } => (expr, Some((*arr, *start, *step))),
@@ -177,7 +177,7 @@ fn hoistable(p: &Program, body: &[Stmt]) -> bool {
         for k in 0..s.count {
             for stmt in &s.body {
                 let (expr, dst) = match stmt {
-                    ElemStmt::Let { expr, .. } => (expr, None),
+                    ElemStmt::Let { expr, .. } | ElemStmt::LetScal { expr, .. } => (expr, None),
                     ElemStmt::Store {
                         arr, start, step, expr, ..
                     } => (expr, Some((arr.0, *start, *step))),

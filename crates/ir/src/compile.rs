@@ -322,6 +322,20 @@ impl<'a> Lower<'a> {
                     let v = self.vec_expr(expr, count, &mut insts, &mut next_temp, &local_map);
                     local_map[*local as usize] = v;
                 }
+                ElemStmt::LetScal { local, scal, expr } => {
+                    let v = self.vec_expr(expr, count, &mut insts, &mut next_temp, &local_map);
+                    // Dead-cast elimination: a double scratch scalar is a
+                    // plain binding.
+                    local_map[*local as usize] = match self.scal_modes[scal.0 as usize] {
+                        RoundMode::Id => v,
+                        mode => {
+                            let dst = next_temp;
+                            next_temp += 1;
+                            insts.push(VecInst::Round { dst, a: v, mode });
+                            VOp::Temp(dst)
+                        }
+                    };
+                }
                 ElemStmt::Store {
                     arr,
                     start,
@@ -428,6 +442,15 @@ impl<'a> Lower<'a> {
             match stmt {
                 ElemStmt::Let { local, expr } => {
                     self.emit_expr(expr, s.count, &mut code, &mut depth, &mut max);
+                    code.push(BOp::SetLocal(*local));
+                    depth -= 1;
+                }
+                ElemStmt::LetScal { local, scal, expr } => {
+                    self.emit_expr(expr, s.count, &mut code, &mut depth, &mut max);
+                    match self.scal_modes[scal.0 as usize] {
+                        RoundMode::Id => {}
+                        mode => code.push(BOp::Round(mode)),
+                    }
                     code.push(BOp::SetLocal(*local));
                     depth -= 1;
                 }

@@ -82,6 +82,13 @@ pub(crate) enum VecInst {
         dst: u32,
         a: VOp,
     },
+    /// `temps[dst] = round(a)` — a scalar-precision binding
+    /// ([`crate::prog::ElemStmt::LetScal`]); no memory traffic.
+    Round {
+        dst: u32,
+        a: VOp,
+        mode: RoundMode,
+    },
     /// `arena[off..off+count] = round(src)`.
     Store {
         off: usize,
@@ -106,6 +113,10 @@ pub(crate) enum BOp {
     Div,
     Min,
     Exp,
+    /// Round the stack top through a scalar's storage precision (a
+    /// [`crate::prog::ElemStmt::LetScal`] binding; never emitted for
+    /// [`RoundMode::Id`]).
+    Round(RoundMode),
     /// Pop into a local.
     SetLocal(u32),
     /// Pop, round, store to `arena[off + k * step]`; optionally bind
@@ -390,6 +401,17 @@ impl Plan {
                     }
                     scratch.temps[*dst as usize] = d;
                 }
+                VecInst::Round { dst, a, mode } => {
+                    let half = self.half;
+                    let mut d = std::mem::take(&mut scratch.temps[*dst as usize]);
+                    d.clear();
+                    d.resize(count, 0.0);
+                    {
+                        let a = resolve(&scratch.arena, &scratch.temps, &scratch.scal, *a, count);
+                        un1(&mut d, a, |x| mode.apply(half, x));
+                    }
+                    scratch.temps[*dst as usize] = d;
+                }
                 VecInst::Store { off, src, mode } => {
                     let half = self.half;
                     match *src {
@@ -490,6 +512,7 @@ impl Plan {
                     stack[sp - 1] = stack[sp - 1].min(stack[sp]);
                 }
                 BOp::Exp => stack[sp - 1] = stack[sp - 1].exp(),
+                BOp::Round(mode) => stack[sp - 1] = mode.apply(half, stack[sp - 1]),
                 BOp::SetLocal(i) => {
                     sp -= 1;
                     locals[i as usize] = stack[sp];

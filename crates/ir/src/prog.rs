@@ -167,6 +167,12 @@ pub enum StreamDecl {
 pub enum ElemStmt {
     /// Bind a local to an (unrounded, f64) intermediate.
     Let { local: u32, expr: Expr },
+    /// Bind a local to `expr` rounded through scalar `scal`'s precision
+    /// — the register-resident `MpScalar::set` idiom: the value rounds
+    /// into scalar storage but is not traced as memory traffic, and the
+    /// scalar slot itself is never read back (each iteration overwrites
+    /// it), so the binding carries the dataflow.
+    LetScal { local: u32, scal: ScalId, expr: Expr },
     /// `arr[start + k * step] = round(expr)`; optionally also binds the
     /// *stored* (rounded) value to a local, matching `write_rounded`'s
     /// return value.
@@ -251,6 +257,16 @@ impl Sweep {
         let local = self.locals;
         self.locals += 1;
         self.body.push(ElemStmt::Let { local, expr });
+        Expr::Local(local)
+    }
+
+    /// Binds `expr` rounded through `scal`'s precision to a fresh local,
+    /// like `MpScalar::set` followed by `get` on a per-iteration
+    /// scratch scalar (no memory traffic, no flop charge).
+    pub fn bind_scal(&mut self, scal: ScalId, expr: Expr) -> Expr {
+        let local = self.locals;
+        self.locals += 1;
+        self.body.push(ElemStmt::LetScal { local, scal, expr });
         Expr::Local(local)
     }
 

@@ -22,6 +22,11 @@ pub(crate) enum Sink {
     Memory(Vec<String>),
     /// Append to a JSONL file, one flushed line per record.
     File { writer: BufWriter<File>, failed: bool },
+    /// Hand each rendered line to a callback — the fan-out hook the
+    /// campaign service uses to stream a live campaign's records to its
+    /// subscribers. The callback runs under the sink lock, so it must be
+    /// quick and must never call back into the same `Obs` handle.
+    Forward(Box<dyn Fn(&str) + Send>),
 }
 
 impl Sink {
@@ -51,6 +56,7 @@ impl Sink {
                     eprintln!("warning: trace sink write failed, tracing disabled: {e}");
                 }
             }
+            Sink::Forward(callback) => callback(line),
         }
     }
 

@@ -282,11 +282,23 @@ impl Drop for SpanGuard {
 }
 
 /// Configures and builds an enabled [`Obs`] handle.
-#[derive(Debug, Default)]
+#[derive(Default)]
 pub struct ObsBuilder {
     trace_path: Option<PathBuf>,
     memory: bool,
     wall_clock: bool,
+    forward: Option<Box<dyn Fn(&str) + Send>>,
+}
+
+impl std::fmt::Debug for ObsBuilder {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ObsBuilder")
+            .field("trace_path", &self.trace_path)
+            .field("memory", &self.memory)
+            .field("wall_clock", &self.wall_clock)
+            .field("forward", &self.forward.is_some())
+            .finish()
+    }
 }
 
 impl ObsBuilder {
@@ -309,12 +321,26 @@ impl ObsBuilder {
         self
     }
 
+    /// Hands every rendered record line to `callback` instead of a file or
+    /// buffer — the fan-out hook a long-lived service uses to stream a
+    /// campaign's records to live subscribers. The callback runs under the
+    /// sink lock on whichever thread emitted the record, so it must be
+    /// quick, must not block indefinitely, and must never call back into
+    /// the same `Obs` handle. Takes precedence over `trace_path`/`memory`.
+    pub fn forward(mut self, callback: impl Fn(&str) + Send + 'static) -> Self {
+        self.forward = Some(Box::new(callback));
+        self
+    }
+
     /// Builds the handle; fails only if the trace file cannot be opened.
-    pub fn build(self) -> std::io::Result<Obs> {
-        let sink = match &self.trace_path {
-            Some(path) => Sink::file(path)?,
-            None if self.memory => Sink::Memory(Vec::new()),
-            None => Sink::Null,
+    pub fn build(mut self) -> std::io::Result<Obs> {
+        let sink = match self.forward.take() {
+            Some(callback) => Sink::Forward(callback),
+            None => match &self.trace_path {
+                Some(path) => Sink::file(path)?,
+                None if self.memory => Sink::Memory(Vec::new()),
+                None => Sink::Null,
+            },
         };
         Ok(self.assemble(sink))
     }
@@ -471,6 +497,26 @@ mod tests {
         assert_eq!(get(&fields, "s"), Some(&Scalar::Str("lit\"eral".into())));
         assert_eq!(get(&fields, "o"), Some(&Scalar::Str("owned".into())));
         assert_eq!(get(&fields, "b"), Some(&Scalar::Bool(true)));
+    }
+
+    #[test]
+    fn forward_sink_hands_each_line_to_the_callback() {
+        let seen = std::sync::Arc::new(Mutex::new(Vec::new()));
+        let sink = Arc::clone(&seen);
+        let obs = ObsBuilder::default()
+            .forward(move |line| sink.lock().unwrap().push(line.to_string()))
+            .build()
+            .expect("forward sink cannot fail to open");
+        obs.event("tick", &[("n", Value::U64(1))]);
+        obs.span("s", &[]).end_with(&[]);
+        let lines = seen.lock().unwrap();
+        assert_eq!(lines.len(), 3, "event + span start + span end");
+        assert!(lines[0].contains("\"tick\""));
+        for line in lines.iter() {
+            assert!(parse_trace_line(line).is_some(), "forwarded line parses");
+        }
+        // The forward sink buffers nothing itself.
+        assert!(obs.trace_lines().is_empty());
     }
 
     #[test]

@@ -28,6 +28,19 @@
 //! the report. Neither flag changes any reported number or the exit code.
 //! `harness trace-summary run.jsonl` turns a captured trace back into a
 //! per-phase wall-clock table offline.
+//!
+//! `harness serve` starts the long-lived multi-tenant campaign daemon
+//! (`mixp-serve`) on a Unix-domain socket:
+//!
+//! ```sh
+//! cargo run --release --bin harness -- serve \
+//!     --socket /tmp/mixp.sock --state /tmp/mixp-state \
+//!     --workers 4 --queue-depth 64 --default-quota 4096 --quota vip=65536
+//! ```
+//!
+//! It runs until a client sends `{"op":"shutdown"}`; admitted-but-
+//! unfinished campaigns survive a kill via the queue journal in the state
+//! directory and resume on the next start.
 
 use mixp_core::{MetricsSnapshot, Obs};
 use mixp_harness::config::AnalysisConfig;
@@ -35,6 +48,7 @@ use mixp_harness::interchange;
 use mixp_harness::job::Job;
 use mixp_harness::report::{fmt_evaluated, fmt_failed, fmt_quality, fmt_speedup, render_table};
 use mixp_harness::{run_campaign_with_stats, CampaignOptions, RetryPolicy, Scale};
+use mixp_serve::{DaemonConfig, DaemonHandle, ServeConfig};
 use std::path::PathBuf;
 use std::time::Duration;
 
@@ -155,12 +169,107 @@ fn run_trace_summary(files: &[String]) -> ! {
     std::process::exit(0);
 }
 
+/// `harness serve ...` — the campaign daemon. Blocks until a client sends
+/// `shutdown`. Exits 0 on a clean stop, 2 on usage/startup errors.
+/// Silences backtraces for *injected* fault panics only — the scheduler
+/// catches those and turns them into typed `JobError`s, so a multi-tenant
+/// daemon must not spam its stderr every time one tenant's faulted job
+/// fires. Real panics still print through the previous hook.
+fn quiet_injected_panics() {
+    let previous = std::panic::take_hook();
+    std::panic::set_hook(Box::new(move |info| {
+        let injected = info
+            .payload()
+            .downcast_ref::<String>()
+            .map(String::as_str)
+            .or_else(|| info.payload().downcast_ref::<&str>().copied())
+            .is_some_and(|s| s.starts_with("injected fault"));
+        if !injected {
+            previous(info);
+        }
+    }));
+}
+
+fn run_serve(args: &[String]) -> ! {
+    let usage = "usage: harness serve --socket PATH --state DIR [--workers N] \
+                 [--queue-depth N] [--default-quota N] [--quota TENANT=N]...";
+    let mut socket: Option<PathBuf> = None;
+    let mut state_dir: Option<PathBuf> = None;
+    let mut serve = ServeConfig::default();
+    let mut iter = args.iter();
+    let fail = |msg: &str| -> ! {
+        eprintln!("error: {msg}");
+        eprintln!("{usage}");
+        std::process::exit(2);
+    };
+    while let Some(arg) = iter.next() {
+        match arg.as_str() {
+            "--socket" => match iter.next() {
+                Some(v) => socket = Some(PathBuf::from(v)),
+                None => fail("--socket needs a path"),
+            },
+            "--state" => match iter.next() {
+                Some(v) => state_dir = Some(PathBuf::from(v)),
+                None => fail("--state needs a directory"),
+            },
+            "--workers" => match iter.next().and_then(|v| v.parse().ok()) {
+                Some(n) if n > 0 => serve.workers = n,
+                _ => fail("--workers needs a positive integer"),
+            },
+            "--queue-depth" => match iter.next().and_then(|v| v.parse().ok()) {
+                Some(n) if n > 0 => serve.queue_depth = n,
+                _ => fail("--queue-depth needs a positive integer"),
+            },
+            "--default-quota" => match iter.next().and_then(|v| v.parse().ok()) {
+                Some(n) => serve.default_quota = n,
+                None => fail("--default-quota needs an integer"),
+            },
+            "--quota" => {
+                let Some((tenant, amount)) = iter.next().and_then(|v| v.split_once('=')) else {
+                    fail("--quota needs TENANT=N");
+                };
+                match amount.parse() {
+                    Ok(n) => serve.quotas.push((tenant.to_string(), n)),
+                    Err(_) => fail("--quota needs TENANT=N with integer N"),
+                }
+            }
+            other => fail(&format!("unknown serve argument `{other}`")),
+        }
+    }
+    let Some(socket) = socket else {
+        fail("--socket is required");
+    };
+    let Some(state_dir) = state_dir else {
+        fail("--state is required");
+    };
+    let config = DaemonConfig {
+        socket,
+        state_dir,
+        serve,
+    };
+    quiet_injected_panics();
+    match DaemonHandle::start(config) {
+        Ok(handle) => {
+            handle.wait();
+            std::process::exit(0);
+        }
+        Err(err) => {
+            eprintln!("error: cannot start daemon: {err}");
+            std::process::exit(2);
+        }
+    }
+}
+
 fn main() {
     // Subcommand dispatch: the first positional argument selects the
-    // offline trace consumer; everything else is the campaign driver.
+    // offline trace consumer or the daemon; everything else is the
+    // campaign driver.
     let argv: Vec<String> = std::env::args().skip(1).collect();
     if argv.first().map(String::as_str) == Some("trace-summary") {
         run_trace_summary(&argv[1..]);
+    }
+    if argv.first().map(String::as_str) == Some("serve") {
+        run_serve(&argv[1..]);
     }
 
     let cli = match parse_cli() {
@@ -171,7 +280,9 @@ fn main() {
                 "usage: harness [--scale small|paper] [--workers N] [--json] \
                  [--deadline-ms MS] [--grace-ms MS] [--retries N] [--backoff-ms MS] \
                  [--checkpoint FILE] [--fsync-every N] [--trace FILE] [--metrics] \
-                 <config.yaml>...\n       harness trace-summary <trace.jsonl>..."
+                 <config.yaml>...\n       harness trace-summary <trace.jsonl>...\n       \
+                 harness serve --socket PATH --state DIR [--workers N] [--queue-depth N] \
+                 [--default-quota N] [--quota TENANT=N]..."
             );
             std::process::exit(2);
         }

@@ -1,0 +1,576 @@
+//! `loadgen` — a synthetic multi-tenant client fleet for the campaign
+//! daemon, and the service's end-to-end correctness gauntlet.
+//!
+//! It spawns a real `harness serve` daemon (a child process, found next to
+//! this binary), then drives it with concurrent clients submitting a mixed
+//! workload: clean campaigns, fault-injected campaigns, deadline
+//! campaigns, immediate cancellations, quota pressure on one tenant and
+//! deliberate queue-depth pressure on everyone. Partway through it
+//! `SIGKILL`s the daemon and restarts it on the same state directory;
+//! clients ride out the outage by reconnecting and resubmitting under
+//! their idempotency keys.
+//!
+//! At the end it verifies, and exits non-zero if any of this fails:
+//!
+//! * every admitted campaign reached a terminal state (`done` or
+//!   `cancelled`) — nothing is lost across the kill;
+//! * per-tenant quota accounting is **exact**: the daemon's reported
+//!   `used` equals the sum of admitted campaign costs the clients counted
+//!   (idempotency keys make this well-defined across the restart);
+//! * at least one `quota-exceeded` and one `queue-full` rejection was
+//!   observed (the admission gates actually engaged);
+//! * a sample of no-deadline campaigns re-run directly through
+//!   [`mixp_harness::run_campaign`] produces **bit-identical** outcomes
+//!   (speedup/quality compared by f64 bits, plus evaluated/dnf).
+//!
+//! `MIXP_LOADGEN_QUICK=1` shrinks the run (fewer campaigns, same shape)
+//! for CI smoke use; the default run submits ≥1000 campaigns from 8
+//! clients across 4 tenants.
+
+use mixp_core::synth::SplitMix64;
+use mixp_harness::checkpoint::{compact, result_doc};
+use mixp_harness::json::Json;
+use mixp_harness::scheduler::{run_campaign, CampaignOptions, RetryPolicy};
+use mixp_harness::{Fault, FaultPlan, Job, Scale};
+use mixp_serve::protocol::{submit_line, FaultSpec, SubmitOptions};
+use mixp_serve::Client;
+use std::collections::BTreeMap;
+use std::path::{Path, PathBuf};
+use std::process::{Child, Command, Stdio};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+const BENCHMARKS: &[&str] = &["tridiag", "innerprod", "eos", "hydro-1d"];
+const ALGORITHMS: &[&str] = &["DD", "CM", "CB"];
+const TENANTS: usize = 4;
+const CLIENTS: usize = 8;
+
+/// Overall wall-clock budget; blowing it means the service lost work.
+const RUN_TIMEOUT: Duration = Duration::from_secs(900);
+
+struct Plan {
+    campaigns_per_client: usize,
+    /// Kill the daemon once this many campaigns were admitted.
+    kill_after: usize,
+    queue_depth: usize,
+    /// The constrained tenant's quota (others get a huge default).
+    tight_quota: usize,
+    workers: usize,
+}
+
+fn plan() -> Plan {
+    let quick = std::env::var("MIXP_LOADGEN_QUICK").is_ok_and(|v| v == "1");
+    if quick {
+        Plan {
+            campaigns_per_client: 16, // 128 total
+            kill_after: 32,
+            queue_depth: 12,
+            tight_quota: 180,
+            workers: 4,
+        }
+    } else {
+        Plan {
+            campaigns_per_client: 125, // 1000 total
+            kill_after: 250,
+            queue_depth: 24,
+            tight_quota: 1200,
+            workers: 4,
+        }
+    }
+}
+
+/// One client's description of a campaign it submitted.
+struct Submitted {
+    id: u64,
+    key: String,
+    tenant: usize,
+    jobs: Vec<Job>,
+    options: SubmitOptions,
+    cancelled: bool,
+}
+
+/// What each client thread reports back.
+#[derive(Default)]
+struct ClientReport {
+    /// (tenant index, cost) for every campaign counted exactly once.
+    charges: Vec<(usize, usize)>,
+    quota_rejections: usize,
+    queue_full_rejections: usize,
+    reconnects: usize,
+    campaigns: Vec<Submitted>,
+    streamed_records: usize,
+}
+
+/// A client that transparently reconnects and retries around the daemon
+/// kill. Requests are idempotent by construction (submit carries a key;
+/// status/cancel/list are reads or idempotent verbs).
+struct RetryClient {
+    socket: PathBuf,
+    client: Option<Client>,
+    reconnects: usize,
+}
+
+impl RetryClient {
+    fn new(socket: &Path) -> RetryClient {
+        RetryClient {
+            socket: socket.to_path_buf(),
+            client: None,
+            reconnects: 0,
+        }
+    }
+
+    fn request(&mut self, line: &str) -> Json {
+        let deadline = Instant::now() + Duration::from_secs(120);
+        loop {
+            if self.client.is_none() {
+                match Client::connect_within(&self.socket, Duration::from_secs(60)) {
+                    Ok(client) => {
+                        self.client = Some(client);
+                        self.reconnects += 1;
+                    }
+                    Err(err) => panic!("loadgen: cannot reach daemon: {err}"),
+                }
+            }
+            match self.client.as_mut().expect("just connected").request(line) {
+                Ok(doc) => return doc,
+                Err(_) if Instant::now() < deadline => {
+                    // The daemon died mid-request (the kill) — reconnect.
+                    self.client = None;
+                    std::thread::sleep(Duration::from_millis(25));
+                }
+                Err(err) => panic!("loadgen: request never succeeded: {err}"),
+            }
+        }
+    }
+}
+
+fn spawn_daemon(harness: &Path, socket: &Path, state: &Path, plan: &Plan) -> Child {
+    let mut quotas = Vec::new();
+    // Tenant t3 is the constrained one; the rest share a huge default.
+    quotas.push(format!("t{}={}", TENANTS - 1, plan.tight_quota));
+    let mut cmd = Command::new(harness);
+    cmd.arg("serve")
+        .arg("--socket")
+        .arg(socket)
+        .arg("--state")
+        .arg(state)
+        .arg("--workers")
+        .arg(plan.workers.to_string())
+        .arg("--queue-depth")
+        .arg(plan.queue_depth.to_string())
+        .arg("--default-quota")
+        .arg((1usize << 30).to_string());
+    for quota in quotas {
+        cmd.arg("--quota").arg(quota);
+    }
+    cmd.stdout(Stdio::null()).stdin(Stdio::null());
+    match cmd.spawn() {
+        Ok(child) => child,
+        Err(err) => panic!("loadgen: cannot spawn daemon: {err}"),
+    }
+}
+
+/// Deterministically generates client `c`'s `n`-th campaign.
+fn make_campaign(c: usize, n: usize) -> (usize, Vec<Job>, SubmitOptions) {
+    let mut rng = SplitMix64::new(0x10AD_0000 + (c as u64) * 10_007 + n as u64);
+    let tenant = (rng.next_range(TENANTS as u64)) as usize;
+    let job_count = 1 + rng.next_range(2) as usize;
+    let jobs: Vec<Job> = (0..job_count)
+        .map(|_| {
+            let mut job = Job::new(
+                BENCHMARKS[rng.next_range(BENCHMARKS.len() as u64) as usize],
+                ALGORITHMS[rng.next_range(ALGORITHMS.len() as u64) as usize],
+                1e-3,
+                Scale::Small,
+            );
+            job.budget = 4 + rng.next_range(8) as usize;
+            job
+        })
+        .collect();
+    let mut options = SubmitOptions::default();
+    // Client 0's first campaign is the subscription probe: slow, clean and
+    // never cancelled (0 % 20 != 7), so the stream provably runs while a
+    // subscriber is attached.
+    if c == 0 && n == 0 {
+        options.faults.push(FaultSpec {
+            job: 0,
+            fault: Fault::SlowMs(40),
+            attempts: u32::MAX,
+        });
+        return (tenant, jobs, options);
+    }
+    let roll = rng.next_range(100);
+    if roll < 10 {
+        // Transient fault on the first attempt; one retry heals it.
+        options.retries = Some(2);
+        options.faults.push(FaultSpec {
+            job: 0,
+            fault: Fault::Panic { at_eval: 0 },
+            attempts: 1,
+        });
+    } else if roll < 15 {
+        // Permanent numerical poison — a typed non-finite failure.
+        options.faults.push(FaultSpec {
+            job: 0,
+            fault: Fault::NanOutput { from_eval: 0 },
+            attempts: u32::MAX,
+        });
+    } else if roll < 17 {
+        // Deadline campaign: a hang the watchdog has to cut short.
+        // Wall-clock-shaped, so excluded from the bit-identity sample.
+        options.deadline_ms = Some(150);
+        options.faults.push(FaultSpec {
+            job: 0,
+            fault: Fault::HangMs(5_000),
+            attempts: u32::MAX,
+        });
+    }
+    (tenant, jobs, options)
+}
+
+fn run_client(
+    c: usize,
+    socket: &Path,
+    plan: &Plan,
+    admitted_counter: &AtomicUsize,
+) -> ClientReport {
+    let mut report = ClientReport::default();
+    let mut rc = RetryClient::new(socket);
+    for n in 0..plan.campaigns_per_client {
+        let (tenant, jobs, options) = make_campaign(c, n);
+        let key = format!("c{c}-n{n}");
+        let line = submit_line(&format!("t{tenant}"), Some(&key), &jobs, &options);
+        let id = loop {
+            let doc = rc.request(&line);
+            if doc.get("ok") == Some(&Json::Bool(true)) {
+                let id = doc
+                    .get("id")
+                    .and_then(Json::as_f64)
+                    .expect("ok submit carries an id") as u64;
+                // Exactly-once accounting: the idempotency key guarantees
+                // one charge even if the request was resubmitted after the
+                // kill (a `duplicate:true` ack is the same admission).
+                report
+                    .charges
+                    .push((tenant, jobs.iter().map(|j| j.budget).sum()));
+                break Some(id);
+            }
+            let kind = doc
+                .get("error")
+                .and_then(|e| e.get("kind"))
+                .and_then(Json::as_str)
+                .unwrap_or("");
+            match kind {
+                "queue-full" => {
+                    report.queue_full_rejections += 1;
+                    std::thread::sleep(Duration::from_millis(40));
+                }
+                "quota-exceeded" => {
+                    report.quota_rejections += 1;
+                    break None;
+                }
+                other => panic!("loadgen: unexpected rejection `{other}`: {doc:?}"),
+            }
+        };
+        let Some(id) = id else { continue };
+        admitted_counter.fetch_add(1, Ordering::SeqCst);
+        let mut cancelled = false;
+        if n % 20 == 7 {
+            let doc = rc.request(&mixp_serve::protocol::id_line("cancel", id));
+            cancelled = doc.get("ok") == Some(&Json::Bool(true));
+        }
+        report.campaigns.push(Submitted {
+            id,
+            key,
+            tenant,
+            jobs,
+            options,
+            cancelled,
+        });
+        // Client 0 live-streams its very first campaign: protocol coverage
+        // for subscribe under load (dedicated connection so the submit
+        // loop keeps flowing — a subscription owns its connection).
+        if c == 0 && n == 0 {
+            if let Ok(mut sub) = Client::connect_within(&rc.socket, Duration::from_secs(10)) {
+                let mut records = 0usize;
+                if let Ok(trailer) = sub.subscribe(id, |_record| records += 1) {
+                    assert_eq!(
+                        trailer.get("done"),
+                        Some(&Json::Bool(true)),
+                        "subscription must end with a done trailer"
+                    );
+                    assert!(records > 0, "live subscription streamed nothing");
+                }
+                report.streamed_records = records;
+            }
+        }
+    }
+    // Wait for every admitted campaign to reach a terminal state.
+    let deadline = Instant::now() + RUN_TIMEOUT;
+    let mut pending: Vec<u64> = report.campaigns.iter().map(|s| s.id).collect();
+    while !pending.is_empty() {
+        assert!(
+            Instant::now() < deadline,
+            "loadgen: campaigns stuck non-terminal: {pending:?}"
+        );
+        pending.retain(|id| {
+            let doc = rc.request(&mixp_serve::protocol::id_line("status", *id));
+            let state = doc.get("state").and_then(Json::as_str).unwrap_or("");
+            !matches!(state, "done" | "cancelled")
+        });
+        if !pending.is_empty() {
+            std::thread::sleep(Duration::from_millis(60));
+        }
+    }
+    report.reconnects = rc.reconnects;
+    report
+}
+
+/// Re-runs a submitted campaign directly through the scheduler and
+/// compares per-cell outcome documents bit-for-bit with what the service
+/// reported.
+fn verify_bit_identity(rc: &mut RetryClient, submitted: &Submitted) {
+    let doc = rc.request(&mixp_serve::protocol::id_line("status", submitted.id));
+    let cells = doc
+        .get("cells")
+        .and_then(Json::as_array)
+        .unwrap_or_else(|| panic!("status without cells: {doc:?}"));
+    let mut faults = FaultPlan::new();
+    for spec in &submitted.options.faults {
+        faults = faults.inject(spec.job, spec.fault, spec.attempts);
+    }
+    let opts = CampaignOptions {
+        workers: 1,
+        retry: RetryPolicy::attempts(submitted.options.retries.unwrap_or(1)),
+        faults,
+        ..CampaignOptions::default()
+    };
+    let direct = run_campaign(&submitted.jobs, &opts);
+    for (index, (cell, outcome)) in cells.iter().zip(&direct).enumerate() {
+        let state = cell.get("state").and_then(Json::as_str).unwrap_or("");
+        match (&outcome.outcome, state) {
+            (Ok(result), "done") => {
+                let expected = result_doc(index, &submitted.jobs[index], result);
+                let Json::Object(expected) = expected else {
+                    unreachable!()
+                };
+                for (field, want) in &expected {
+                    if field == "job" {
+                        continue;
+                    }
+                    let got = cell.get(field);
+                    assert_eq!(
+                        got.map(compact),
+                        Some(compact(want)),
+                        "campaign {} cell {index} field `{field}` diverged \
+                         (service vs direct run)",
+                        submitted.id
+                    );
+                }
+            }
+            (Err(error), "failed") => {
+                let got = cell.get("code").and_then(Json::as_str).unwrap_or("");
+                assert_eq!(
+                    got,
+                    error.code(),
+                    "campaign {} cell {index} failure code diverged",
+                    submitted.id
+                );
+            }
+            (_, other) => panic!(
+                "campaign {} cell {index}: direct run {:?} vs service state `{other}`",
+                submitted.id,
+                outcome.outcome.as_ref().map(|_| "ok")
+            ),
+        }
+    }
+}
+
+/// The bit-identity phase re-runs faulted campaigns in-process; injected
+/// panics are expected data there, so keep their backtraces off stderr
+/// (real panics still print).
+fn quiet_injected_panics() {
+    let previous = std::panic::take_hook();
+    std::panic::set_hook(Box::new(move |info| {
+        let injected = info
+            .payload()
+            .downcast_ref::<String>()
+            .map(String::as_str)
+            .or_else(|| info.payload().downcast_ref::<&str>().copied())
+            .is_some_and(|s| s.starts_with("injected fault"));
+        if !injected {
+            previous(info);
+        }
+    }));
+}
+
+fn main() {
+    quiet_injected_panics();
+    let plan = plan();
+    let total = plan.campaigns_per_client * CLIENTS;
+    let harness = std::env::current_exe()
+        .expect("own path")
+        .parent()
+        .expect("bin dir")
+        .join("harness");
+    assert!(
+        harness.exists(),
+        "loadgen: harness binary not found at {} (build the workspace first)",
+        harness.display()
+    );
+    let arena = std::env::temp_dir().join(format!("mixp-loadgen-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&arena);
+    std::fs::create_dir_all(&arena).expect("create arena");
+    let socket = arena.join("serve.sock");
+    let state = arena.join("state");
+
+    println!(
+        "loadgen: {total} campaigns, {CLIENTS} clients, {TENANTS} tenants, \
+         kill after {} admissions",
+        plan.kill_after
+    );
+    let mut child = spawn_daemon(&harness, &socket, &state, &plan);
+
+    let admitted = Arc::new(AtomicUsize::new(0));
+    let reports: Arc<Mutex<Vec<ClientReport>>> = Arc::new(Mutex::new(Vec::new()));
+    std::thread::scope(|scope| {
+        for c in 0..CLIENTS {
+            let socket = socket.clone();
+            let plan = &plan;
+            let admitted = Arc::clone(&admitted);
+            let reports = Arc::clone(&reports);
+            scope.spawn(move || {
+                let report = run_client(c, &socket, plan, &admitted);
+                reports.lock().expect("reports lock").push(report);
+            });
+        }
+        // The coordinator: wait until enough campaigns are admitted, then
+        // SIGKILL the daemon and restart it on the same state directory.
+        let kill_deadline = Instant::now() + RUN_TIMEOUT;
+        while admitted.load(Ordering::SeqCst) < plan.kill_after {
+            assert!(
+                Instant::now() < kill_deadline,
+                "loadgen: never reached the kill threshold ({} admitted)",
+                admitted.load(Ordering::SeqCst)
+            );
+            std::thread::sleep(Duration::from_millis(20));
+        }
+        println!(
+            "loadgen: SIGKILL after {} admissions; restarting",
+            admitted.load(Ordering::SeqCst)
+        );
+        child.kill().expect("kill daemon");
+        let _ = child.wait();
+        child = spawn_daemon(&harness, &socket, &state, &plan);
+    });
+
+    // All clients done: their campaigns are terminal. Final audit.
+    let reports = Arc::try_unwrap(reports)
+        .unwrap_or_else(|_| panic!("client thread leaked its report handle"))
+        .into_inner()
+        .expect("reports lock");
+    assert_eq!(reports.len(), CLIENTS);
+    let mut rc = RetryClient::new(&socket);
+
+    // 1. Exact quota accounting, tenant by tenant.
+    let mut expected_used: BTreeMap<String, usize> = BTreeMap::new();
+    for report in &reports {
+        for (tenant, cost) in &report.charges {
+            *expected_used.entry(format!("t{tenant}")).or_default() += cost;
+        }
+    }
+    let listing = rc.request(&mixp_serve::protocol::list_line(None));
+    let tenants = listing
+        .get("tenants")
+        .and_then(Json::as_array)
+        .expect("list carries tenants");
+    let mut audited = 0usize;
+    for entry in tenants {
+        let name = entry.get("tenant").and_then(Json::as_str).expect("name");
+        let used = entry.get("used").and_then(Json::as_f64).expect("used") as usize;
+        let expected = expected_used.get(name).copied().unwrap_or(0);
+        assert_eq!(
+            used, expected,
+            "tenant {name}: daemon reports {used} used, clients counted {expected}"
+        );
+        audited += 1;
+    }
+    assert!(audited >= TENANTS, "expected every tenant in the ledger");
+
+    // 2. Every admitted campaign is terminal (already polled per client);
+    //    double-check through the daemon's own listing.
+    let campaigns = listing
+        .get("campaigns")
+        .and_then(Json::as_array)
+        .expect("list carries campaigns");
+    let non_terminal = campaigns
+        .iter()
+        .filter(|c| {
+            let state = c.get("state").and_then(Json::as_str).unwrap_or("");
+            !matches!(state, "done" | "cancelled")
+        })
+        .count();
+    assert_eq!(non_terminal, 0, "non-terminal campaigns after drain");
+
+    // 3. The admission gates actually engaged.
+    let quota_rejections: usize = reports.iter().map(|r| r.quota_rejections).sum();
+    let queue_full: usize = reports.iter().map(|r| r.queue_full_rejections).sum();
+    let cancelled: usize = reports
+        .iter()
+        .flat_map(|r| &r.campaigns)
+        .filter(|s| s.cancelled)
+        .count();
+    assert!(quota_rejections > 0, "tight tenant never hit its quota");
+    assert!(queue_full > 0, "queue depth never engaged");
+    assert!(cancelled > 0, "no campaign was cancelled");
+
+    // 4. Bit-identity spot check: re-run a sample of no-deadline campaigns
+    //    directly and compare outcome documents field by field.
+    let mut verified = 0usize;
+    for submitted in reports
+        .iter()
+        .flat_map(|r| &r.campaigns)
+        .filter(|s| s.options.deadline_ms.is_none() && !s.cancelled)
+        .take(25)
+    {
+        verify_bit_identity(&mut rc, submitted);
+        verified += 1;
+    }
+    assert!(verified >= 10, "bit-identity sample too small: {verified}");
+
+    // Idempotency keys stay recorded across the restart: resubmitting any
+    // known key must dedupe, not double-charge.
+    let sample = reports
+        .iter()
+        .flat_map(|r| &r.campaigns)
+        .next()
+        .expect("at least one campaign");
+    let doc = rc.request(&submit_line(
+        &format!("t{}", sample.tenant),
+        Some(&sample.key),
+        &sample.jobs,
+        &sample.options,
+    ));
+    assert_eq!(
+        doc.get("duplicate"),
+        Some(&Json::Bool(true)),
+        "resubmitted key must dedupe: {doc:?}"
+    );
+
+    // Graceful shutdown; the daemon must exit cleanly.
+    let _ = rc.request(&mixp_serve::protocol::shutdown_line());
+    let status = child.wait().expect("daemon wait");
+    assert!(status.success(), "daemon exited with {status:?}");
+    let _ = std::fs::remove_dir_all(&arena);
+
+    let reconnects: usize = reports.iter().map(|r| r.reconnects).sum();
+    println!(
+        "loadgen: OK — {} campaigns admitted, {quota_rejections} quota rejections, \
+         {queue_full} queue-full rejections, {cancelled} cancelled, \
+         {verified} bit-verified, {reconnects} (re)connects, \
+         {} streamed records",
+        admitted.load(Ordering::SeqCst),
+        reports.iter().map(|r| r.streamed_records).sum::<usize>()
+    );
+}

@@ -1,0 +1,49 @@
+//! `mixp-serve` — a long-lived, multi-tenant campaign service over the
+//! HPC-MixPBench harness.
+//!
+//! The paper's workflow is batch: one user, one campaign, one scheduler
+//! run. This crate turns that into a *service*: a daemon that listens on a
+//! Unix-domain socket, admits campaigns from many tenants, and multiplexes
+//! their cells over one shared work-stealing pool — the stand-in for a
+//! shared mixed-precision-analysis cluster with a queue in front of it.
+//!
+//! The layers, bottom up:
+//!
+//! * [`protocol`] — the line-delimited JSON wire format: `submit`,
+//!   `status`, `subscribe`, `cancel`, `list`, `shutdown`; typed rejections
+//!   (`bad-request`, `queue-full`, `quota-exceeded`, `unknown-campaign`,
+//!   `shutting-down`). Malformed input is answered, never fatal.
+//! * [`state`] — the pure in-memory state machine: admission control
+//!   (bounded queue depth + per-tenant evaluation-budget quotas charged at
+//!   admission), idempotency keys, round-robin-per-tenant wave picking,
+//!   cancellation and terminal-state bookkeeping.
+//! * [`journal`] — the durable queue journal, built on the run-state
+//!   checkpoint primitives ([`mixp_harness::checkpoint`]): admissions,
+//!   cancellations and cell outcomes replay after a `SIGKILL`, so a
+//!   restarted daemon resumes exactly where the dead one stopped —
+//!   without double-charging quotas (admissions carry the client's
+//!   idempotency key) and without granting killed cells extra retry
+//!   attempts.
+//! * [`daemon`] — the server: accept loop, per-connection request threads,
+//!   and the dispatcher that executes fairness-picked waves of cells via
+//!   [`mixp_harness::scheduler::run_cell`] on one shared
+//!   [`mixp_pool::Pool`]. Outcomes are bit-identical to running each
+//!   campaign alone through `run_campaign`.
+//! * [`client`] — a small blocking client, used by the `loadgen` binary
+//!   and the integration tests.
+//!
+//! The `harness` binary's `serve` subcommand starts the daemon; the
+//! `loadgen` binary drives it with a fleet of synthetic tenants, faults,
+//! cancellations, quota pressure and a mid-run kill-and-restart.
+
+pub mod client;
+pub mod daemon;
+pub mod journal;
+pub mod protocol;
+pub mod state;
+
+pub use client::Client;
+pub use daemon::{DaemonConfig, DaemonHandle};
+pub use journal::{QueueJournal, QUEUE_VERSION};
+pub use protocol::{FaultSpec, RejectKind, Request, SubmitOptions};
+pub use state::{Admission, Campaign, CellSlot, ServeConfig, ServiceState, Terminal};

@@ -19,18 +19,26 @@
 # Structural guards ride along: the fault-tolerant harness paths must
 # stay panic-free, the `mixp-obs` crate must stay dependency-free with
 # wall-clock access confined to its clock.rs module, raw thread creation
-# must stay confined to `crates/pool` (plus the one sanctioned watchdog
-# supervisor thread in crates/harness/src/watchdog.rs) so MIXP_WORKERS
-# remains the single bound on campaign parallelism, and the `mixp-ir`
-# crate must stay dependency-free with precision semantics confined to
-# its round.rs/plan.rs so plans stay bit-identical to the direct path.
+# must stay confined to `crates/pool` (plus the sanctioned watchdog
+# supervisor thread in crates/harness/src/watchdog.rs and the campaign
+# daemon's accept/dispatch/connection threads in crates/serve) so
+# MIXP_WORKERS remains the single bound on campaign parallelism, the
+# `mixp-ir` crate must stay dependency-free with precision semantics
+# confined to its round.rs/plan.rs so plans stay bit-identical to the
+# direct path, and Unix-domain-socket use must stay confined to
+# `crates/serve` so the batch harness keeps zero network surface.
+#
+# Finally the loadgen fleet runs in quick mode (MIXP_LOADGEN_QUICK=1):
+# a real daemon, concurrent multi-tenant clients, fault injection, a
+# SIGKILL-and-restart, and bit-identity spot checks — the campaign
+# service's end-to-end gate.
 #
 # Run from anywhere: scripts/check_hermetic.sh
 
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-echo "== [1/8] grep guard: only path dependencies allowed =="
+echo "== [1/10] grep guard: only path dependencies allowed =="
 violations=$(find . -name Cargo.toml -not -path './target/*' -print0 | xargs -0 awk '
   FNR == 1 { section = "" }
   /^\[/ { section = $0 }
@@ -46,7 +54,7 @@ if [ -n "$violations" ]; then
 fi
 echo "ok: no non-path dependencies"
 
-echo "== [2/8] panic guard: fault-tolerant harness paths must not panic =="
+echo "== [2/10] panic guard: fault-tolerant harness paths must not panic =="
 # The campaign execution path promises typed errors instead of aborts:
 # no unwrap()/expect()/panic! in non-test code of the scheduler, job,
 # checkpoint, faultplan, watchdog and cancellation modules. Test modules
@@ -75,7 +83,7 @@ if [ -n "$panic_violations" ]; then
 fi
 echo "ok: campaign execution paths are panic-free"
 
-echo "== [3/8] fast-path guard: benchmark hot loops must use the bulk layer =="
+echo "== [3/10] fast-path guard: benchmark hot loops must use the bulk layer =="
 # The speedup model's wall-clock claims rest on benchmarks going through
 # the MpVec fast path: per-handle cached rounding and bulk accounting.
 # Reaching around it — rounding manually with `round_to`, or reading
@@ -102,7 +110,7 @@ if [ -n "$fastpath_violations" ]; then
 fi
 echo "ok: kernels and apps stay on the bulk/fast-path API"
 
-echo "== [4/8] obs purity guard: zero deps, wall clock quarantined in clock.rs =="
+echo "== [4/10] obs purity guard: zero deps, wall clock quarantined in clock.rs =="
 # The observability crate underpins the determinism story twice over: it
 # must stay dependency-free (it is linked into every other crate), and its
 # trace/metrics layers must never read wall-clock time themselves — all
@@ -133,18 +141,23 @@ if [ -n "$obs_clock_violations" ]; then
 fi
 echo "ok: crates/obs is dependency-free and logically clocked"
 
-echo "== [5/8] thread-confinement guard: raw threads only inside crates/pool =="
+echo "== [5/10] thread-confinement guard: raw threads only inside crates/pool =="
 # The oversubscription fix rests on one invariant: all parallelism flows
 # through the work-stealing pool, sized once by MIXP_WORKERS. Raw
 # `thread::spawn`/`thread::scope`/`thread::Builder` anywhere else quietly
 # reintroduces a second thread population the pool cannot see or bound.
-# The single sanctioned exception is the harness watchdog, which owns
-# exactly one supervisor thread (accounted for in the DESIGN.md thread
-# budget) so it can cancel jobs whose own threads are wedged. Test
-# modules (below the #[cfg(test)] marker) are exempt — tests may spin up
-# threads to exercise concurrency — as are comment lines.
+# Sanctioned exceptions, each accounted for in the DESIGN.md thread
+# budgets: the harness watchdog's single supervisor thread (so it can
+# cancel jobs whose own threads are wedged), the campaign daemon's
+# accept/dispatch/connection threads (control plane only — cell
+# *execution* still flows through the one shared pool), and the loadgen
+# binary's client fleet (a test driver, not harness code). Test modules
+# (below the #[cfg(test)] marker) are exempt — tests may spin up threads
+# to exercise concurrency — as are comment lines.
 thread_violations=$(find crates -name '*.rs' -not -path 'crates/pool/*' \
-    -not -path 'crates/harness/src/watchdog.rs' -print0 | \
+    -not -path 'crates/harness/src/watchdog.rs' \
+    -not -path 'crates/serve/src/daemon.rs' \
+    -not -path 'crates/serve/src/bin/loadgen.rs' -print0 | \
   xargs -0 -n1 awk '
     /#\[cfg\(test\)\]/ { exit }
     /thread::spawn|thread::scope|thread::Builder/ && !/^[[:space:]]*\/\// {
@@ -158,7 +171,7 @@ if [ -n "$thread_violations" ]; then
 fi
 echo "ok: thread creation is confined to the pool crate"
 
-echo "== [6/8] IR purity guard: crates/ir dependency-free and precision-agnostic =="
+echo "== [6/10] IR purity guard: crates/ir dependency-free and precision-agnostic =="
 # The program IR is the layer future backends hang off, so it must know
 # nothing about ExecCtx, tracers or benchmarks: its Cargo.toml declares no
 # dependencies at all (not even workspace ones). Precision semantics are
@@ -194,7 +207,28 @@ if [ -n "$ir_purity_violations" ]; then
 fi
 echo "ok: crates/ir is dependency-free and precision-agnostic outside round.rs/plan.rs"
 
-echo "== [7/8] offline build + test with an empty CARGO_HOME =="
+echo "== [7/10] socket-confinement guard: Unix sockets only inside crates/serve =="
+# The campaign service is deliberately the workspace's only network-ish
+# surface, and a Unix-domain one at that. `UnixListener`/`UnixStream`
+# creeping into any other crate would give the batch harness an ambient
+# I/O capability its determinism and hermeticity story doesn't account
+# for. Test modules and comments are exempt (integration tests connect
+# to the daemon on purpose).
+socket_violations=$(find crates -name '*.rs' -not -path 'crates/serve/*' -print0 | \
+  xargs -0 -n1 awk '
+    /#\[cfg\(test\)\]/ { exit }
+    /UnixListener|UnixStream/ && !/^[[:space:]]*\/\// {
+      printf "%s:%d: %s\n", FILENAME, FNR, $0
+    }
+  ')
+if [ -n "$socket_violations" ]; then
+  echo "$socket_violations"
+  echo "error: Unix-domain-socket use outside crates/serve — the harness proper must stay I/O-free" >&2
+  exit 1
+fi
+echo "ok: socket use is confined to the serve crate"
+
+echo "== [8/10] offline build + test with an empty CARGO_HOME =="
 tmp=$(mktemp -d)
 trap 'rm -rf "$tmp"' EXIT
 export CARGO_HOME="$tmp/cargo_home"
@@ -203,7 +237,14 @@ mkdir -p "$CARGO_HOME"
 cargo build --release --offline
 cargo test -q --offline
 
-echo "== [8/8] bench smoke: every [[bench]] target runs under MIXP_BENCH_QUICK =="
+echo "== [9/10] bench smoke: every [[bench]] target runs under MIXP_BENCH_QUICK =="
 MIXP_BENCH_QUICK=1 cargo bench --offline
+
+echo "== [10/10] loadgen smoke: the campaign-service fleet in quick mode =="
+# Spawns a real daemon, drives it with concurrent multi-tenant clients,
+# SIGKILLs and restarts it mid-run, and asserts terminal states, exact
+# quota accounting and bit-identical outcomes. Quick mode keeps it to a
+# couple hundred campaigns.
+MIXP_LOADGEN_QUICK=1 ./target/release/loadgen
 
 echo "hermetic check passed"

@@ -527,6 +527,57 @@ fn ir_plans_are_bit_identical_to_handwritten_kernels() {
     });
 }
 
+/// The first IR-ported *application* (hotspot) satisfies the same
+/// bit-identity contract as the 10 kernels: its unrolled stencil IR —
+/// per-iteration charges, three row segments with boundary streams, the
+/// `tc`/`delta` scratch-scalar roundings (`LetScal`), and the grid
+/// ping-pong — reproduces the hand-written `run` exactly for arbitrary
+/// mixed configurations, on both the traced and untraced arms.
+#[test]
+fn ir_plan_is_bit_identical_to_handwritten_hotspot() {
+    prop_check!((seed in u64s(0..1_000_000), traced in bools()) => {
+        let bench = mixp_apps::Hotspot::small();
+        let prog = bench.ir_program().expect("hotspot is IR-ported");
+        let pm = bench.program();
+        let mut cfg = pm.config_all_double();
+        let mut rng = SplitMix64::new(seed.wrapping_mul(2).wrapping_add(1));
+        for v in pm.tunable_vars() {
+            match rng.next_range(4) {
+                0 | 1 => {}
+                2 => cfg.set(v, mixp_float::Precision::Single),
+                _ => cfg.set(v, mixp_float::Precision::Half),
+            }
+        }
+
+        if traced {
+            let params = mixp_core::CacheParams::default();
+            let (d_out, d_counts, d_stats) = mixp_core::run_config_direct(&bench, &cfg, params);
+            let (p_out, p_counts, p_stats) = mixp_core::run_config(&bench, &cfg, params);
+            prop_assert_eq!(d_out.len(), p_out.len());
+            for (d, p) in d_out.iter().zip(&p_out) {
+                prop_assert_eq!(d.to_bits(), p.to_bits(), "hotspot outputs diverge");
+            }
+            prop_assert_eq!(d_counts, p_counts, "hotspot op counts diverge");
+            prop_assert_eq!(d_stats, p_stats, "hotspot cache stats diverge");
+        } else {
+            let plan = mixp_core::compile_plan(prog, &cfg);
+            let (d_out, d_counts) = {
+                let mut ctx = ExecCtx::new(&cfg);
+                (bench.run(&mut ctx), ctx.counts())
+            };
+            let (p_out, p_counts) = {
+                let mut ctx = ExecCtx::new(&cfg);
+                (mixp_core::run_plan(&plan, &mut ctx), ctx.counts())
+            };
+            prop_assert_eq!(d_out.len(), p_out.len());
+            for (d, p) in d_out.iter().zip(&p_out) {
+                prop_assert_eq!(d.to_bits(), p.to_bits(), "hotspot outputs diverge");
+            }
+            prop_assert_eq!(d_counts, p_counts, "hotspot op counts diverge");
+        }
+    });
+}
+
 /// The evaluator's plan path (shared `PlanCache`, any worker count, batch
 /// or sequential submission) reports the same records as an evaluator
 /// forced onto the hand-written path — including non-compiling

@@ -136,6 +136,90 @@ fn wedged_worker_is_quarantined_and_replaced() {
     );
 }
 
+/// A quarantined worker's cell must not be retried: the thread is detached
+/// (its deque slot belongs to a replacement), so a retry would burn
+/// abandoned CPU for another full deadline with a token generation the
+/// stale fire cannot reach. The caller-thread cell — never quarantined —
+/// keeps its full retry budget. Gauge-verified: exactly one suppressed
+/// retry, one quarantine, and an attempt split of 1 + 2 across the cells.
+#[test]
+fn quarantined_cell_is_not_retried_on_the_detached_thread() {
+    let jobs = jobs(&["tridiag", "innerprod"]);
+    let obs = Obs::in_memory();
+    let outcomes = run_campaign(
+        &jobs,
+        &CampaignOptions {
+            workers: 2,
+            deadline: Some(Duration::from_millis(50)),
+            grace: Duration::from_millis(5),
+            retry: RetryPolicy::attempts(2),
+            faults: FaultPlan::new()
+                .inject(0, Fault::SlowMs(400), u32::MAX)
+                .inject(1, Fault::SlowMs(400), u32::MAX),
+            obs: obs.clone(),
+            ..CampaignOptions::default()
+        },
+    );
+    for outcome in &outcomes {
+        assert!(
+            matches!(
+                outcome.outcome,
+                Err(JobError::DeadlineExceeded { limit_ms: 50 })
+            ),
+            "{:?}",
+            outcome.outcome
+        );
+    }
+    // One cell ran on the pool worker (quarantined, retry suppressed:
+    // 1 attempt), the other on the batch caller (full budget: 2
+    // attempts). Which cell got which thread is scheduling-dependent.
+    let mut attempts: Vec<u32> = outcomes.iter().map(|o| o.attempts).collect();
+    attempts.sort_unstable();
+    assert_eq!(
+        attempts,
+        vec![1, 2],
+        "quarantined cell stops at 1 attempt, caller cell retries"
+    );
+
+    let mut snap = obs.metrics_snapshot().unwrap();
+    for _ in 0..2000 {
+        if snap.gauges.get("pool.live_threads").copied() == Some(0.0) {
+            break;
+        }
+        std::thread::sleep(Duration::from_millis(1));
+        snap = obs.metrics_snapshot().unwrap();
+    }
+    assert_eq!(
+        snap.counters.get("watchdog.quarantined").copied().unwrap_or(0),
+        1
+    );
+    assert_eq!(
+        snap.counters.get("campaign.retry_detached").copied().unwrap_or(0),
+        1,
+        "exactly the quarantined cell's retry is suppressed"
+    );
+    assert_eq!(
+        snap.counters.get("campaign.retries").copied().unwrap_or(0),
+        1,
+        "exactly the caller cell retries"
+    );
+    // By the time a slot is quarantined its token has long been fired, so
+    // the quarantine-time sweep is a no-op here; it exists for attempts
+    // that race onto a slot between fire and quarantine.
+    assert_eq!(
+        snap.counters
+            .get("watchdog.quarantine_fired")
+            .copied()
+            .unwrap_or(0),
+        0
+    );
+    assert!(
+        snap.gauges.get("pool.peak_threads").copied().unwrap_or(0.0) <= 2.0,
+        "1 configured pool thread + 1 quarantine replacement, got {:?}",
+        snap.gauges.get("pool.peak_threads")
+    );
+}
+
 /// When the token never fires, the watchdog is pure observation: campaigns
 /// run with a generous deadline produce bit-identical results to a
 /// deadline-less (watchdog-less) campaign, for any worker count.
